@@ -1,0 +1,34 @@
+//! A2 — sequencer- vs consensus-based Atomic Broadcast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repl_bench::{abcast_impls_table, render, update_workload};
+use repl_core::protocols::common::AbcastImpl;
+use repl_core::{run, RunConfig, Technique};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render("A2 — ABCAST implementations", &abcast_impls_table())
+    );
+    let mut g = c.benchmark_group("abcast_impls");
+    g.sample_size(10);
+    for (label, which) in [
+        ("sequencer", AbcastImpl::Sequencer),
+        ("consensus", AbcastImpl::Consensus),
+    ] {
+        let cfg = RunConfig::new(Technique::Active)
+            .with_servers(4)
+            .with_clients(2)
+            .with_seed(131)
+            .with_trace(false)
+            .with_abcast(which)
+            .with_workload(update_workload(10));
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(run(&cfg)).ops_completed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

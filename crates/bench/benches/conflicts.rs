@@ -1,0 +1,44 @@
+//! P4 — conflict behaviour (aborts, wounds, reconciliations) vs skew.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repl_bench::{conflicts_table, render};
+use repl_core::{run, RunConfig, Technique};
+use repl_sim::SimDuration;
+use repl_workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render(
+            "P4 — conflicts vs access skew (4 clients, 32 items, rmw txns)",
+            &conflicts_table(&[0.0, 0.5, 1.0, 1.5]),
+        )
+    );
+    let hot = WorkloadSpec::default()
+        .with_items(32)
+        .with_read_ratio(0.5)
+        .with_ops_per_txn(2)
+        .with_skew(1.0)
+        .with_txns_per_client(10)
+        .with_think_time(SimDuration::from_ticks(50));
+    let mut g = c.benchmark_group("conflicts");
+    g.sample_size(10);
+    for technique in [
+        Technique::Certification,
+        Technique::EagerUpdateEverywhereLocking,
+    ] {
+        let cfg = RunConfig::new(technique)
+            .with_servers(3)
+            .with_clients(4)
+            .with_seed(109)
+            .with_trace(false)
+            .with_workload(hot.clone());
+        g.bench_function(format!("{technique}/zipf1.0"), |b| {
+            b.iter(|| std::hint::black_box(run(&cfg)).ops_completed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

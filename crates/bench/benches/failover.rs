@@ -1,0 +1,42 @@
+//! P5 — failover cost per fault-tolerance strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repl_bench::{failover_table, render, update_workload};
+use repl_core::protocols::common::AbcastImpl;
+use repl_core::{run, RunConfig, Technique};
+use repl_sim::{NodeId, SimTime};
+use repl_workload::CrashSchedule;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render(
+            "P5 — failover: rank-0 server crashes mid-run (5 replicas)",
+            &failover_table()
+        )
+    );
+    let crash = CrashSchedule::new().crash_at(SimTime::from_ticks(12_000), NodeId::new(0));
+    let mut g = c.benchmark_group("failover");
+    g.sample_size(10);
+    for technique in [
+        Technique::Active,
+        Technique::Passive,
+        Technique::EagerPrimary,
+    ] {
+        let cfg = RunConfig::new(technique)
+            .with_servers(5)
+            .with_clients(2)
+            .with_seed(113)
+            .with_trace(false)
+            .with_abcast(AbcastImpl::Consensus)
+            .with_crashes(crash.clone())
+            .with_workload(update_workload(10));
+        g.bench_function(format!("{technique}/crash"), |b| {
+            b.iter(|| std::hint::black_box(run(&cfg)).ops_completed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

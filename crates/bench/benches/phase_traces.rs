@@ -1,0 +1,41 @@
+//! Figures 2–4 and 7–14 — phase-trace generation for every technique,
+//! single- and multi-operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repl_bench::figure_config;
+use repl_core::{figures, run, Technique};
+
+fn bench(c: &mut Criterion) {
+    // Print every measured phase diagram once (the figures themselves).
+    for (technique, ops) in [
+        (Technique::Active, 1),
+        (Technique::Passive, 1),
+        (Technique::SemiActive, 1),
+        (Technique::SemiPassive, 1),
+        (Technique::EagerPrimary, 1),
+        (Technique::EagerUpdateEverywhereLocking, 1),
+        (Technique::EagerUpdateEverywhereAbcast, 1),
+        (Technique::LazyPrimary, 1),
+        (Technique::LazyUpdateEverywhere, 1),
+        (Technique::Certification, 1),
+        (Technique::EagerPrimary, 3),
+        (Technique::EagerUpdateEverywhereLocking, 3),
+    ] {
+        println!("{}", figures::phase_diagram(technique, ops));
+    }
+    let mut g = c.benchmark_group("phase_traces");
+    g.sample_size(10);
+    for technique in [Technique::Active, Technique::Certification] {
+        let cfg = figure_config(technique, 1);
+        g.bench_function(format!("{technique}/figure_run"), |b| {
+            b.iter(|| {
+                let report = run(&cfg);
+                std::hint::black_box(report.canonical_skeleton())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

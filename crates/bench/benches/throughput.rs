@@ -1,0 +1,34 @@
+//! P2 — closed-loop throughput per technique vs client count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repl_bench::{render, throughput_table, update_workload};
+use repl_core::{run, RunConfig, Technique};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render(
+            "P2 — throughput vs clients (3 replicas)",
+            &throughput_table(&[1, 2, 4, 8])
+        )
+    );
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    for technique in [Technique::Active, Technique::EagerUpdateEverywhereAbcast] {
+        for clients in [2u32, 8] {
+            let cfg = RunConfig::new(technique)
+                .with_servers(3)
+                .with_clients(clients)
+                .with_seed(103)
+                .with_trace(false)
+                .with_workload(update_workload(10));
+            g.bench_function(format!("{technique}/c{clients}"), |b| {
+                b.iter(|| std::hint::black_box(run(&cfg)).throughput())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

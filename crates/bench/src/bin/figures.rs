@@ -1,0 +1,62 @@
+//! Regenerates every figure of the paper from executed protocols.
+//!
+//! ```sh
+//! cargo run --release --bin figures          # all figures
+//! cargo run --release --bin figures -- 16    # one figure
+//! ```
+
+use repl_core::{figures, Technique};
+
+fn print_figure(n: u32) {
+    match n {
+        1 => println!("{}", figures::fig1_functional_model()),
+        2 => println!("{}", figures::phase_diagram(Technique::Active, 1)),
+        3 => println!("{}", figures::phase_diagram(Technique::Passive, 1)),
+        4 => println!("{}", figures::phase_diagram(Technique::SemiActive, 1)),
+        5 => println!("{}", figures::fig5_ds_matrix()),
+        6 => println!("{}", figures::fig6_db_matrix()),
+        7 => println!("{}", figures::phase_diagram(Technique::EagerPrimary, 1)),
+        8 => println!(
+            "{}",
+            figures::phase_diagram(Technique::EagerUpdateEverywhereLocking, 1)
+        ),
+        9 => println!(
+            "{}",
+            figures::phase_diagram(Technique::EagerUpdateEverywhereAbcast, 1)
+        ),
+        10 => println!("{}", figures::phase_diagram(Technique::LazyPrimary, 1)),
+        11 => println!(
+            "{}",
+            figures::phase_diagram(Technique::LazyUpdateEverywhere, 1)
+        ),
+        12 => println!("{}", figures::phase_diagram(Technique::EagerPrimary, 3)),
+        13 => println!(
+            "{}",
+            figures::phase_diagram(Technique::EagerUpdateEverywhereLocking, 3)
+        ),
+        14 => println!("{}", figures::phase_diagram(Technique::Certification, 1)),
+        15 => println!("{}", figures::fig15_combinations()),
+        16 => println!("{}", figures::fig16_synthetic_view()),
+        other => eprintln!("no figure {other}: the paper has figures 1–16"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for n in 1..=16 {
+            print_figure(n);
+        }
+        return;
+    }
+    for a in args {
+        match a
+            .trim_start_matches("--fig")
+            .trim_start_matches('=')
+            .parse::<u32>()
+        {
+            Ok(n) => print_figure(n),
+            Err(_) => eprintln!("unrecognised argument {a:?}; pass figure numbers 1–16"),
+        }
+    }
+}

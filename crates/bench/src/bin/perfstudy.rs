@@ -1,0 +1,93 @@
+//! The performance study the paper promised, in one command:
+//!
+//! ```sh
+//! cargo run --release --bin perfstudy
+//! ```
+//!
+//! Prints every table (P1–P6, A2, A3); EXPERIMENTS.md records a reference
+//! output with the paper-predicted shapes annotated.
+
+use repl_bench::*;
+
+fn main() {
+    println!(
+        "Performance study of the replication techniques of Wiesmann et al. \
+         (ICDCS 2000)\nunits: t = virtual ticks (≈ µs at the LAN profile); \
+         deterministic, seed-fixed runs\n"
+    );
+    let degrees = [2, 4, 8, 16];
+    println!(
+        "{}",
+        render(
+            "P1 — mean response time vs replication degree",
+            &response_time_table(&degrees)
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "P2 — throughput vs clients (3 replicas)",
+            &throughput_table(&[1, 2, 4, 8, 16])
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "P3 — messages per operation vs replication degree",
+            &message_cost_table(&degrees)
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "P4 — conflicts vs access skew (4 clients, 32 items, rmw txns)",
+            &conflicts_table(&[0.0, 0.5, 1.0, 1.5]),
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "P5 — failover: rank-0 server crashes mid-run (5 replicas)",
+            &failover_table()
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "P6 — eager vs lazy: latency against staleness",
+            &eager_vs_lazy_table(&[1_000, 10_000, 50_000]),
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "P7 — open-loop saturation (4 Poisson clients, 3 replicas)",
+            &open_loop_table(&[2_000, 500, 120, 40]),
+        )
+    );
+    println!(
+        "{}",
+        render("A2 — ABCAST implementations", &abcast_impls_table())
+    );
+    println!(
+        "{}",
+        render(
+            "A3 — deadlock handling under contention",
+            &deadlock_table(&[0.5, 1.0, 1.5])
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "A4 — lock scope: all-site reads vs read-one/write-all (§5.4.1)",
+            &lock_scope_table(&[0.2, 0.5, 0.9]),
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "A5 — lazy reconciliation: LWW vs ABCAST order (§4.6)",
+            &reconcile_table()
+        )
+    );
+}

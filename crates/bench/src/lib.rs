@@ -1,0 +1,564 @@
+//! # repl-bench — the performance study the paper promised
+//!
+//! "Presently, we are planning a performance study of the different
+//! approaches, taking into account different workloads and failures
+//! assumptions." — Wiesmann et al., ICDCS 2000, Section 6.
+//!
+//! This crate *is* that study, over the reproduction's simulator. Each
+//! experiment is a pure function returning printable rows, shared by:
+//!
+//! * `cargo run --bin perfstudy` — prints every table (the artifact
+//!   recorded in EXPERIMENTS.md),
+//! * `cargo run --bin figures` — regenerates the paper's figures,
+//! * `cargo bench` — Criterion benchmarks, one target per experiment.
+//!
+//! Absolute numbers are simulator ticks (≈ µs at LAN latencies); the
+//! *shapes* — who wins, by what factor, where the curves bend — are the
+//! reproduction targets.
+
+use repl_core::protocols::common::{AbcastImpl, ExecutionMode};
+use repl_core::{run, RunConfig, RunReport, Technique};
+use repl_db::DeadlockPolicy;
+use repl_sim::{NodeId, SimDuration, SimTime};
+use repl_workload::{CrashSchedule, WorkloadSpec};
+
+/// One row of an experiment table: a label and named columns.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (technique, parameter value, …).
+    pub label: String,
+    /// `(column name, value)` pairs.
+    pub cells: Vec<(&'static str, String)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>) -> Self {
+        Row {
+            label: label.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds a cell.
+    pub fn cell(mut self, name: &'static str, value: impl std::fmt::Display) -> Self {
+        self.cells.push((name, value.to_string()));
+        self
+    }
+}
+
+/// Renders rows as an aligned text table.
+pub fn render(title: &str, rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "### {title}");
+    if rows.is_empty() {
+        let _ = writeln!(s, "(no rows)");
+        return s;
+    }
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(5).max(5);
+    let _ = write!(s, "{:<label_w$}", "");
+    let mut col_w = Vec::new();
+    for (name, _) in &rows[0].cells {
+        let w = rows
+            .iter()
+            .flat_map(|r| r.cells.iter())
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.len())
+            .max()
+            .unwrap_or(0)
+            .max(name.len());
+        col_w.push(w);
+        let _ = write!(s, "  {name:>w$}");
+    }
+    let _ = writeln!(s);
+    for r in rows {
+        let _ = write!(s, "{:<label_w$}", r.label);
+        for ((_, v), w) in r.cells.iter().zip(&col_w) {
+            let _ = write!(s, "  {v:>w$}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// The baseline update workload used across the study.
+pub fn update_workload(txns: u32) -> WorkloadSpec {
+    WorkloadSpec::default()
+        .with_items(128)
+        .with_read_ratio(0.0)
+        .with_txns_per_client(txns)
+}
+
+fn p99(report: &RunReport) -> u64 {
+    let mut l = report.latencies.clone();
+    l.percentile(0.99).ticks()
+}
+
+fn worst(report: &RunReport) -> u64 {
+    let mut l = report.latencies.clone();
+    l.percentile(1.0).ticks()
+}
+
+/// The techniques included in the latency/throughput/message sweeps.
+pub fn study_techniques() -> Vec<Technique> {
+    Technique::ALL.to_vec()
+}
+
+/// P1 — response time per technique vs replication degree.
+pub fn response_time_table(degrees: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for technique in study_techniques() {
+        let mut row = Row::new(technique.name());
+        for &n in degrees {
+            let report = run(&RunConfig::new(technique)
+                .with_servers(n)
+                .with_clients(2)
+                .with_seed(101)
+                .with_trace(false)
+                .with_workload(update_workload(12)));
+            let name: &'static str = degree_label(n);
+            row = row.cell(name, format!("{}t", report.latencies.mean().ticks()));
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+fn degree_label(n: u32) -> &'static str {
+    match n {
+        2 => "n=2",
+        3 => "n=3",
+        4 => "n=4",
+        8 => "n=8",
+        16 => "n=16",
+        _ => "n=?",
+    }
+}
+
+fn clients_label(n: u32) -> &'static str {
+    match n {
+        1 => "c=1",
+        2 => "c=2",
+        4 => "c=4",
+        8 => "c=8",
+        16 => "c=16",
+        _ => "c=?",
+    }
+}
+
+/// P2 — closed-loop throughput per technique vs client count.
+pub fn throughput_table(client_counts: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for technique in study_techniques() {
+        let mut row = Row::new(technique.name());
+        for &c in client_counts {
+            let report = run(&RunConfig::new(technique)
+                .with_servers(3)
+                .with_clients(c)
+                .with_seed(103)
+                .with_trace(false)
+                .with_workload(update_workload(10)));
+            row = row.cell(clients_label(c), format!("{:.0}/s", report.throughput()));
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// P3 — messages and bytes per operation vs replication degree.
+///
+/// Uses long runs (80 transactions per client) so the failure detectors'
+/// O(n²) background heartbeats amortize over real work; the residual
+/// per-op cost of FD-based techniques still grows faster with n than the
+/// pure protocol cost — an honest finding, recorded in EXPERIMENTS.md.
+pub fn message_cost_table(degrees: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for technique in study_techniques() {
+        let mut row = Row::new(technique.name());
+        for &n in degrees {
+            let report = run(&RunConfig::new(technique)
+                .with_servers(n)
+                .with_clients(2)
+                .with_seed(107)
+                .with_trace(false)
+                .with_workload(update_workload(80)));
+            row = row.cell(degree_label(n), format!("{:.1}", report.messages_per_op()));
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// P4 — conflict behaviour vs access skew: aborts (certification),
+/// wounds (distributed locking) and reconciliations (lazy UE).
+pub fn conflicts_table(skews: &[f64]) -> Vec<Row> {
+    let contended = |skew: f64| {
+        WorkloadSpec::default()
+            .with_items(32)
+            .with_read_ratio(0.5)
+            .with_ops_per_txn(2)
+            .with_skew(skew)
+            .with_txns_per_client(10)
+            .with_think_time(SimDuration::from_ticks(50))
+    };
+    let mut rows = Vec::new();
+    for &skew in skews {
+        let cert = run(&RunConfig::new(Technique::Certification)
+            .with_servers(3)
+            .with_clients(4)
+            .with_seed(109)
+            .with_trace(false)
+            .with_workload(contended(skew)));
+        let lock = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+            .with_servers(3)
+            .with_clients(4)
+            .with_seed(109)
+            .with_trace(false)
+            .with_workload(contended(skew)));
+        let lazy = run(&RunConfig::new(Technique::LazyUpdateEverywhere)
+            .with_servers(3)
+            .with_clients(4)
+            .with_seed(109)
+            .with_trace(false)
+            .with_propagation_delay(SimDuration::from_ticks(2_000))
+            .with_workload(contended(skew)));
+        rows.push(
+            Row::new(format!("zipf {skew:.1}"))
+                .cell("cert abort%", format!("{:.1}", cert.abort_rate() * 100.0))
+                .cell("lock wounds", lock.wounds)
+                .cell("lock mean", format!("{}t", lock.latencies.mean().ticks()))
+                .cell("lazy reconciled", lazy.reconciliations),
+        );
+    }
+    rows
+}
+
+/// P5 — failover: crash the rank-0 server mid-run.
+///
+/// The "unaffected client" column is the paper's failure-transparency
+/// axis made visible: under active-style techniques a client attached to
+/// a *surviving* replica never notices the crash, while primary-copy
+/// techniques stall every client (they all depend on the dead primary).
+pub fn failover_table() -> Vec<Row> {
+    let crash = CrashSchedule::new().crash_at(SimTime::from_ticks(3_000), NodeId::new(0));
+    let mut rows = Vec::new();
+    for technique in [
+        Technique::Active,
+        Technique::SemiActive,
+        Technique::SemiPassive,
+        Technique::Passive,
+        Technique::EagerPrimary,
+    ] {
+        let mut cfg = RunConfig::new(technique)
+            .with_servers(5)
+            .with_clients(4)
+            .with_seed(113)
+            .with_trace(false)
+            .with_abcast(AbcastImpl::Consensus)
+            .with_crashes(crash.clone())
+            .with_workload(update_workload(10));
+        if technique == Technique::SemiActive {
+            cfg = cfg.with_exec(ExecutionMode::NonDeterministic);
+        }
+        let report = run(&cfg);
+        let baseline = run(&{
+            let mut c = cfg.clone();
+            c.crashes = CrashSchedule::new();
+            c
+        });
+        // Worst latency per client; the best-off client shows whether the
+        // technique kept *anyone* fully unaffected.
+        let mut per_client_worst: std::collections::HashMap<u32, u64> =
+            std::collections::HashMap::new();
+        for (c, rec) in &report.records {
+            if let Some(l) = rec.latency() {
+                let e = per_client_worst.entry(*c).or_insert(0);
+                *e = (*e).max(l.ticks());
+            }
+        }
+        let unaffected = per_client_worst.values().copied().min().unwrap_or(0);
+        rows.push(
+            Row::new(technique.name())
+                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                .cell("worst", format!("{}t", worst(&report)))
+                .cell("unaffected client", format!("{unaffected}t"))
+                .cell("worst (no crash)", format!("{}t", worst(&baseline)))
+                .cell("retries", report.client_retries)
+                .cell("unanswered", report.ops_unanswered),
+        );
+    }
+    rows
+}
+
+/// P6 — eager vs lazy: response time against staleness as the
+/// propagation window widens.
+pub fn eager_vs_lazy_table(delays: &[u64]) -> Vec<Row> {
+    let workload = WorkloadSpec::default()
+        .with_items(16)
+        .with_read_ratio(0.6)
+        .with_skew(0.5)
+        .with_txns_per_client(12)
+        .with_think_time(SimDuration::from_ticks(500));
+    let mut rows = Vec::new();
+    for technique in [
+        Technique::EagerPrimary,
+        Technique::EagerUpdateEverywhereAbcast,
+    ] {
+        let report = run(&RunConfig::new(technique)
+            .with_servers(3)
+            .with_clients(3)
+            .with_seed(127)
+            .with_trace(false)
+            .with_workload(workload.clone()));
+        rows.push(
+            Row::new(technique.name())
+                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                .cell("p99", format!("{}t", p99(&report)))
+                .cell("stale reads", report.stale_reads().len())
+                .cell("reconciled", report.reconciliations),
+        );
+    }
+    for &delay in delays {
+        for technique in [Technique::LazyPrimary, Technique::LazyUpdateEverywhere] {
+            let report = run(&RunConfig::new(technique)
+                .with_servers(3)
+                .with_clients(3)
+                .with_seed(127)
+                .with_trace(false)
+                .with_propagation_delay(SimDuration::from_ticks(delay))
+                .with_workload(workload.clone()));
+            rows.push(
+                Row::new(format!("{} (delay {delay}t)", technique.name()))
+                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                    .cell("p99", format!("{}t", p99(&report)))
+                    .cell("stale reads", report.stale_reads().len())
+                    .cell("reconciled", report.reconciliations),
+            );
+        }
+    }
+    rows
+}
+
+/// A2 — sequencer- vs consensus-based ABCAST underneath the same
+/// technique.
+pub fn abcast_impls_table() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for technique in [
+        Technique::Active,
+        Technique::EagerUpdateEverywhereAbcast,
+        Technique::Certification,
+    ] {
+        for (label, which) in [
+            ("sequencer", AbcastImpl::Sequencer),
+            ("consensus", AbcastImpl::Consensus),
+        ] {
+            let report = run(&RunConfig::new(technique)
+                .with_servers(4)
+                .with_clients(2)
+                .with_seed(131)
+                .with_trace(false)
+                .with_abcast(which)
+                .with_workload(update_workload(10)));
+            rows.push(
+                Row::new(format!("{} / {label}", technique.name()))
+                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                    .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
+                    .cell(
+                        "bytes/op",
+                        format!(
+                            "{:.0}",
+                            report.messages.bytes_sent as f64 / report.ops_completed.max(1) as f64
+                        ),
+                    ),
+            );
+        }
+    }
+    rows
+}
+
+/// A3 — wound-wait vs distributed deadlock detection under rising
+/// contention.
+pub fn deadlock_table(skews: &[f64]) -> Vec<Row> {
+    let contended = |skew: f64| {
+        WorkloadSpec::default()
+            .with_items(8)
+            .with_read_ratio(0.0)
+            .with_ops_per_txn(2)
+            .with_skew(skew)
+            .with_txns_per_client(6)
+            .with_think_time(SimDuration::from_ticks(100))
+    };
+    let mut rows = Vec::new();
+    for &skew in skews {
+        for (label, policy) in [
+            ("wound-wait", DeadlockPolicy::WoundWait),
+            ("detection", DeadlockPolicy::Detect),
+        ] {
+            let report = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+                .with_servers(3)
+                .with_clients(3)
+                .with_seed(137)
+                .with_trace(false)
+                .with_deadlock(policy)
+                .with_workload(contended(skew)));
+            rows.push(
+                Row::new(format!("zipf {skew:.1} / {label}"))
+                    .cell("duration", format!("{}t", report.duration.ticks()))
+                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                    .cell("wounds", report.wounds)
+                    .cell("server aborts", report.server_aborts)
+                    .cell("unanswered", report.ops_unanswered),
+            );
+        }
+    }
+    rows
+}
+
+/// P7 — open-loop saturation: Poisson arrivals at increasing offered
+/// load. Closed-loop clients self-throttle; open-loop clients expose the
+/// point where a technique's pipeline can no longer keep up (operations
+/// left unanswered at the deadline, latency blow-up).
+pub fn open_loop_table(mean_interarrivals: &[u64]) -> Vec<Row> {
+    use repl_core::Arrival;
+    let mut rows = Vec::new();
+    for technique in [
+        Technique::Active,
+        Technique::SemiPassive,
+        Technique::EagerUpdateEverywhereLocking,
+        Technique::LazyUpdateEverywhere,
+    ] {
+        for &mean in mean_interarrivals {
+            let report = run(&RunConfig::new(technique)
+                .with_servers(3)
+                .with_clients(4)
+                .with_seed(151)
+                .with_arrival(Arrival::Open(mean))
+                .with_trace(false)
+                .with_max_time(SimTime::from_ticks(400_000))
+                .with_workload(update_workload(40)));
+            let offered = 1_000_000.0 * 4.0 / mean as f64; // ops/s across clients
+            rows.push(
+                Row::new(format!("{} @ {:.0}/s", technique.name(), offered))
+                    .cell("completed", report.ops_completed)
+                    .cell("unanswered", report.ops_unanswered)
+                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                    .cell("p99", format!("{}t", p99(&report))),
+            );
+        }
+    }
+    rows
+}
+
+/// A4 — read-one/write-all vs all-site read locks (paper §5.4.1's quorum
+/// note), across read ratios.
+pub fn lock_scope_table(read_ratios: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &ratio in read_ratios {
+        for (label, rowa) in [("all-site", false), ("read-one/write-all", true)] {
+            let report = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+                .with_servers(4)
+                .with_clients(3)
+                .with_seed(139)
+                .with_rowa(rowa)
+                .with_trace(false)
+                .with_workload(
+                    WorkloadSpec::default()
+                        .with_items(64)
+                        .with_read_ratio(ratio)
+                        .with_txns_per_client(12),
+                ));
+            rows.push(
+                Row::new(format!("{:.0}% reads / {label}", ratio * 100.0))
+                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                    .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
+                    .cell("1SR", report.check_one_copy_serializable().is_ok()),
+            );
+        }
+    }
+    rows
+}
+
+/// A5 — lazy reconciliation rules: per-object LWW vs ABCAST-determined
+/// after-commit order (paper §4.6), under hot-key conflicts.
+pub fn reconcile_table() -> Vec<Row> {
+    use repl_core::protocols::lazy_ue::ReconcileMode;
+    let hot = WorkloadSpec::default()
+        .with_items(4)
+        .with_read_ratio(0.0)
+        .with_skew(1.2)
+        .with_txns_per_client(8);
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("last-writer-wins", ReconcileMode::Lww),
+        ("abcast order", ReconcileMode::AbcastOrder),
+    ] {
+        let report = run(&RunConfig::new(Technique::LazyUpdateEverywhere)
+            .with_servers(4)
+            .with_clients(4)
+            .with_seed(149)
+            .with_reconcile(mode)
+            .with_propagation_delay(SimDuration::from_ticks(2_000))
+            .with_trace(false)
+            .with_workload(hot.clone()));
+        rows.push(
+            Row::new(label)
+                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
+                .cell("reconciled", report.reconciliations)
+                .cell("converged", report.converged()),
+        );
+    }
+    rows
+}
+
+/// The run used by the phase-trace benchmark and Figures 2–4/7–14.
+pub fn figure_config(technique: Technique, ops_per_txn: u32) -> RunConfig {
+    let mut cfg = RunConfig::new(technique)
+        .with_clients(1)
+        .with_seed(42)
+        .with_workload(
+            WorkloadSpec::default()
+                .with_items(16)
+                .with_read_ratio(0.0)
+                .with_ops_per_txn(ops_per_txn)
+                .with_txns_per_client(4),
+        );
+    if technique == Technique::SemiActive {
+        cfg = cfg.with_exec(ExecutionMode::NonDeterministic);
+    }
+    if technique.info().propagation == repl_core::Propagation::Lazy {
+        cfg = cfg.with_propagation_delay(SimDuration::from_ticks(2_000));
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let rows = vec![
+            Row::new("a").cell("x", 1).cell("yy", "long-value"),
+            Row::new("much-longer").cell("x", 22).cell("yy", 3),
+        ];
+        let s = render("T", &rows);
+        assert!(s.contains("### T"));
+        assert!(s.contains("much-longer"));
+        assert!(s.contains("long-value"));
+    }
+
+    #[test]
+    fn response_time_table_has_all_techniques() {
+        let rows = response_time_table(&[2]);
+        assert_eq!(rows.len(), Technique::ALL.len());
+    }
+
+    #[test]
+    fn conflicts_table_rows_per_skew() {
+        let rows = conflicts_table(&[0.0]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cells.len(), 4);
+    }
+}

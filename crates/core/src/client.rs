@@ -1,0 +1,513 @@
+//! The closed-loop client driver shared by all techniques.
+//!
+//! A client submits its transactions one at a time: invoke, wait for the
+//! response, think, submit the next. On a response timeout it re-submits
+//! the *same* operation (same [`OpId`]) to the next server — the paper's
+//! "clients can then be connected to another database server and re-submit
+//! the transaction" (Section 4.1). Servers suppress duplicates through
+//! their response caches, so retries are exactly-once.
+
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
+use repl_workload::TxnTemplate;
+
+use crate::op::{ClientOp, OpId, Response};
+use crate::phase::Phase;
+
+/// A protocol wire type that clients can talk: carries invocations in and
+/// responses out.
+pub trait ProtocolMsg: Message {
+    /// Wraps a client operation for submission.
+    fn invoke(op: ClientOp) -> Self;
+    /// Extracts a response, if this message is one.
+    fn response(&self) -> Option<&Response>;
+}
+
+/// What a client observed for one operation.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// The operation id.
+    pub op: OpId,
+    /// The submitted transaction.
+    pub txn: TxnTemplate,
+    /// Invocation time (first submission).
+    pub invoked: SimTime,
+    /// Response time, if any arrived before the run ended.
+    pub responded: Option<SimTime>,
+    /// The response, if any.
+    pub response: Option<Response>,
+    /// Number of re-submissions (0 = first attempt answered).
+    pub retries: u32,
+}
+
+impl OpRecord {
+    /// The observed latency, if the operation completed.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.responded.map(|r| r - self.invoked)
+    }
+
+    /// True if the operation completed with a commit.
+    pub fn committed(&self) -> bool {
+        self.response.as_ref().is_some_and(|r| r.committed)
+    }
+}
+
+const RETRY_TAG: u64 = 1;
+const THINK_TAG: u64 = 2;
+
+/// The closed-loop client actor.
+///
+/// Generic over the protocol's wire type `M`; the technique decides which
+/// server the client prefers (its "local" server, the primary, …) via
+/// `preferred`.
+pub struct ClientActor<M> {
+    client_no: u32,
+    servers: Vec<NodeId>,
+    preferred: usize,
+    txns: Vec<TxnTemplate>,
+    think: SimDuration,
+    retry_after: SimDuration,
+    /// Completed and in-flight operation records.
+    pub records: Vec<OpRecord>,
+    next_txn: usize,
+    target: usize,
+    done: bool,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: ProtocolMsg> ClientActor<M> {
+    /// Creates a client that will submit `txns` in order, preferring
+    /// `servers[preferred]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn new(
+        client_no: u32,
+        servers: Vec<NodeId>,
+        preferred: usize,
+        txns: Vec<TxnTemplate>,
+        think: SimDuration,
+        retry_after: SimDuration,
+    ) -> Self {
+        assert!(!servers.is_empty(), "client needs at least one server");
+        let preferred = preferred % servers.len();
+        ClientActor {
+            client_no,
+            servers,
+            preferred,
+            txns,
+            think,
+            retry_after,
+            records: Vec::new(),
+            next_txn: 0,
+            target: preferred,
+            done: true,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// True once every transaction has a response.
+    pub fn is_done(&self) -> bool {
+        self.done && self.next_txn >= self.txns.len()
+    }
+
+    /// The completed operation records.
+    pub fn completed(&self) -> impl Iterator<Item = &OpRecord> {
+        self.records.iter().filter(|r| r.responded.is_some())
+    }
+
+    fn submit_next(&mut self, ctx: &mut Context<'_, M>) {
+        if self.next_txn >= self.txns.len() {
+            return;
+        }
+        let seq = self.next_txn as u32;
+        let id = OpId::compose(self.client_no, seq);
+        let txn = self.txns[self.next_txn].clone();
+        self.next_txn += 1;
+        self.done = false;
+        self.target = self.preferred;
+        self.records.push(OpRecord {
+            op: id,
+            txn: txn.clone(),
+            invoked: ctx.now(),
+            responded: None,
+            response: None,
+            retries: 0,
+        });
+        ctx.mark(Phase::Request.tag(), id.0, 0);
+        let op = ClientOp {
+            id,
+            client: ctx.me(),
+            txn,
+        };
+        ctx.send(self.servers[self.target], M::invoke(op));
+        ctx.set_timer(self.retry_after, RETRY_TAG);
+    }
+
+    fn retry(&mut self, ctx: &mut Context<'_, M>) {
+        let Some(rec) = self.records.last_mut() else {
+            return;
+        };
+        if rec.responded.is_some() {
+            return;
+        }
+        rec.retries += 1;
+        self.target = (self.target + 1) % self.servers.len();
+        let op = ClientOp {
+            id: rec.op,
+            client: ctx.me(),
+            txn: rec.txn.clone(),
+        };
+        ctx.send(self.servers[self.target], M::invoke(op));
+        ctx.set_timer(self.retry_after, RETRY_TAG);
+    }
+}
+
+/// An open-loop client: submits transactions at exponentially distributed
+/// inter-arrival times regardless of responses, so several operations may
+/// be outstanding at once. Unanswered operations are *not* retried — the
+/// point of an open-loop driver is to expose saturation, not to mask it.
+pub struct OpenLoopClient<M> {
+    client_no: u32,
+    servers: Vec<NodeId>,
+    preferred: usize,
+    txns: Vec<TxnTemplate>,
+    mean_interarrival: SimDuration,
+    /// Completed and in-flight operation records.
+    pub records: Vec<OpRecord>,
+    next_txn: usize,
+    _marker: std::marker::PhantomData<M>,
+}
+
+const SUBMIT_TAG: u64 = 3;
+
+impl<M: ProtocolMsg> OpenLoopClient<M> {
+    /// Creates an open-loop client with the given mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or the mean inter-arrival is zero.
+    pub fn new(
+        client_no: u32,
+        servers: Vec<NodeId>,
+        preferred: usize,
+        txns: Vec<TxnTemplate>,
+        mean_interarrival: SimDuration,
+    ) -> Self {
+        assert!(!servers.is_empty(), "client needs at least one server");
+        assert!(
+            !mean_interarrival.is_zero(),
+            "inter-arrival must be positive"
+        );
+        let preferred = preferred % servers.len();
+        OpenLoopClient {
+            client_no,
+            servers,
+            preferred,
+            txns,
+            mean_interarrival,
+            records: Vec::new(),
+            next_txn: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// True once every submitted transaction has been answered *and* all
+    /// transactions were submitted.
+    pub fn is_done(&self) -> bool {
+        self.next_txn >= self.txns.len() && self.records.iter().all(|r| r.responded.is_some())
+    }
+
+    /// The completed operation records.
+    pub fn completed(&self) -> impl Iterator<Item = &OpRecord> {
+        self.records.iter().filter(|r| r.responded.is_some())
+    }
+
+    fn arm_next(&mut self, ctx: &mut Context<'_, M>) {
+        if self.next_txn >= self.txns.len() {
+            return;
+        }
+        // Exponential inter-arrival from the world's deterministic RNG.
+        let u: f64 = rand::Rng::gen_range(ctx.rng(), 1e-9..1.0f64);
+        let ticks = (-(u.ln()) * self.mean_interarrival.ticks() as f64).ceil() as u64;
+        ctx.set_timer(SimDuration::from_ticks(ticks.max(1)), SUBMIT_TAG);
+    }
+
+    fn submit(&mut self, ctx: &mut Context<'_, M>) {
+        if self.next_txn >= self.txns.len() {
+            return;
+        }
+        let seq = self.next_txn as u32;
+        let id = OpId::compose(self.client_no, seq);
+        let txn = self.txns[self.next_txn].clone();
+        self.next_txn += 1;
+        self.records.push(OpRecord {
+            op: id,
+            txn: txn.clone(),
+            invoked: ctx.now(),
+            responded: None,
+            response: None,
+            retries: 0,
+        });
+        ctx.mark(Phase::Request.tag(), id.0, 0);
+        let op = ClientOp {
+            id,
+            client: ctx.me(),
+            txn,
+        };
+        ctx.send(self.servers[self.preferred], M::invoke(op));
+    }
+}
+
+impl<M: ProtocolMsg> Actor<M> for OpenLoopClient<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        self.arm_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, _from: NodeId, msg: M) {
+        let Some(resp) = msg.response() else {
+            return;
+        };
+        let Some(rec) = self.records.iter_mut().find(|r| r.op == resp.op) else {
+            return;
+        };
+        if rec.responded.is_some() {
+            return;
+        }
+        rec.responded = Some(ctx.now());
+        rec.response = Some(resp.clone());
+        ctx.mark(Phase::Response.tag(), resp.op.0, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, _timer: TimerId, tag: u64) {
+        if tag == SUBMIT_TAG {
+            self.submit(ctx);
+            self.arm_next(ctx);
+        }
+    }
+
+    impl_as_any!();
+}
+
+impl<M: ProtocolMsg> Actor<M> for ClientActor<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, _from: NodeId, msg: M) {
+        let Some(resp) = msg.response() else {
+            return;
+        };
+        let Some(rec) = self.records.iter_mut().find(|r| r.op == resp.op) else {
+            return;
+        };
+        if rec.responded.is_some() {
+            return; // duplicate response (active replication answers n times)
+        }
+        rec.responded = Some(ctx.now());
+        rec.response = Some(resp.clone());
+        ctx.mark(Phase::Response.tag(), resp.op.0, 0);
+        self.done = true;
+        if self.next_txn < self.txns.len() {
+            ctx.set_timer(self.think, THINK_TAG);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, _timer: TimerId, tag: u64) {
+        match tag {
+            RETRY_TAG if !self.done => {
+                self.retry(ctx);
+            }
+            THINK_TAG if self.done => {
+                self.submit_next(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_db::{Key, Value};
+    use repl_sim::{Message, SimConfig, SimTime, World};
+    use repl_workload::{OpTemplate, TxnTemplate};
+
+    /// A trivial wire type for driving the clients directly.
+    #[derive(Debug, Clone)]
+    enum EchoMsg {
+        Invoke(ClientOp),
+        Reply(crate::Response),
+    }
+    impl Message for EchoMsg {}
+    impl ProtocolMsg for EchoMsg {
+        fn invoke(op: ClientOp) -> Self {
+            EchoMsg::Invoke(op)
+        }
+        fn response(&self) -> Option<&crate::Response> {
+            match self {
+                EchoMsg::Reply(r) => Some(r),
+                _ => None,
+            }
+        }
+    }
+
+    /// A server that answers every invoke — unless mute.
+    struct EchoServer {
+        mute: bool,
+        served: u32,
+    }
+    impl Actor<EchoMsg> for EchoServer {
+        fn on_message(&mut self, ctx: &mut Context<'_, EchoMsg>, _from: NodeId, msg: EchoMsg) {
+            if let EchoMsg::Invoke(op) = msg {
+                self.served += 1;
+                if !self.mute {
+                    ctx.send(op.client, EchoMsg::Reply(crate::Response::committed(op.id)));
+                }
+            }
+        }
+        impl_as_any!();
+    }
+
+    fn txns(n: usize) -> Vec<TxnTemplate> {
+        (0..n)
+            .map(|i| TxnTemplate {
+                ops: vec![OpTemplate::Write(Key(i as u64), Value(1))],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_runs_all_transactions_in_order() {
+        let mut world: World<EchoMsg> = World::new(SimConfig::new(1));
+        let s = world.add_actor(Box::new(EchoServer {
+            mute: false,
+            served: 0,
+        }));
+        let c = world.add_actor(Box::new(ClientActor::<EchoMsg>::new(
+            0,
+            vec![s],
+            0,
+            txns(5),
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(10_000),
+        )));
+        world.start();
+        world.run_to_quiescence(SimTime::from_ticks(1_000_000));
+        let client = world.actor_ref::<ClientActor<EchoMsg>>(c);
+        assert!(client.is_done());
+        assert_eq!(client.completed().count(), 5);
+        // Strictly sequential: each op invoked after the previous response.
+        for w in client.records.windows(2) {
+            assert!(w[1].invoked >= w[0].responded.expect("responded"));
+        }
+        assert_eq!(world.actor_ref::<EchoServer>(s).served, 5);
+    }
+
+    #[test]
+    fn closed_loop_retries_rotate_to_the_next_server() {
+        let mut world: World<EchoMsg> = World::new(SimConfig::new(2));
+        let dead = world.add_actor(Box::new(EchoServer {
+            mute: true,
+            served: 0,
+        }));
+        let live = world.add_actor(Box::new(EchoServer {
+            mute: false,
+            served: 0,
+        }));
+        let c = world.add_actor(Box::new(ClientActor::<EchoMsg>::new(
+            0,
+            vec![dead, live],
+            0, // prefers the mute server
+            txns(2),
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(2_000),
+        )));
+        world.start();
+        world.run_until(SimTime::from_ticks(100_000));
+        let client = world.actor_ref::<ClientActor<EchoMsg>>(c);
+        assert!(client.is_done(), "failover retry did not happen");
+        assert!(client.records.iter().all(|r| r.retries >= 1));
+        assert!(world.actor_ref::<EchoServer>(dead).served >= 2);
+        assert!(world.actor_ref::<EchoServer>(live).served >= 2);
+    }
+
+    #[test]
+    fn duplicate_responses_are_recorded_once() {
+        // An echo server that answers twice.
+        struct DoubleEcho;
+        impl Actor<EchoMsg> for DoubleEcho {
+            fn on_message(&mut self, ctx: &mut Context<'_, EchoMsg>, _: NodeId, msg: EchoMsg) {
+                if let EchoMsg::Invoke(op) = msg {
+                    ctx.send(op.client, EchoMsg::Reply(crate::Response::committed(op.id)));
+                    ctx.send(op.client, EchoMsg::Reply(crate::Response::committed(op.id)));
+                }
+            }
+            impl_as_any!();
+        }
+        let mut world: World<EchoMsg> = World::new(SimConfig::new(3));
+        let s = world.add_actor(Box::new(DoubleEcho));
+        let c = world.add_actor(Box::new(ClientActor::<EchoMsg>::new(
+            0,
+            vec![s],
+            0,
+            txns(3),
+            SimDuration::from_ticks(50),
+            SimDuration::from_ticks(10_000),
+        )));
+        world.start();
+        world.run_to_quiescence(SimTime::from_ticks(1_000_000));
+        let client = world.actor_ref::<ClientActor<EchoMsg>>(c);
+        assert!(client.is_done());
+        assert_eq!(client.records.len(), 3, "no duplicate records");
+    }
+
+    #[test]
+    fn open_loop_pipelines_and_reports_unanswered() {
+        let mut world: World<EchoMsg> = World::new(SimConfig::new(4));
+        let s = world.add_actor(Box::new(EchoServer {
+            mute: true,
+            served: 0,
+        }));
+        let c = world.add_actor(Box::new(OpenLoopClient::<EchoMsg>::new(
+            0,
+            vec![s],
+            0,
+            txns(4),
+            SimDuration::from_ticks(100),
+        )));
+        world.start();
+        world.run_until(SimTime::from_ticks(50_000));
+        let client = world.actor_ref::<OpenLoopClient<EchoMsg>>(c);
+        // All submitted (server is mute, so none answered) — open loop
+        // does not block on responses.
+        assert_eq!(client.records.len(), 4);
+        assert!(!client.is_done());
+        assert_eq!(client.completed().count(), 0);
+    }
+
+    #[test]
+    fn op_record_latency_math() {
+        let rec = OpRecord {
+            op: OpId(1),
+            txn: TxnTemplate {
+                ops: vec![OpTemplate::Read(Key(0))],
+            },
+            invoked: SimTime::from_ticks(100),
+            responded: Some(SimTime::from_ticks(175)),
+            response: Some(crate::Response::committed(OpId(1))),
+            retries: 0,
+        };
+        assert_eq!(rec.latency(), Some(SimDuration::from_ticks(75)));
+        assert!(rec.committed());
+        let unanswered = OpRecord {
+            responded: None,
+            response: None,
+            ..rec
+        };
+        assert_eq!(unanswered.latency(), None);
+        assert!(!unanswered.committed());
+    }
+}

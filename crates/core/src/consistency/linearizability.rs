@@ -1,0 +1,280 @@
+//! Linearisability and sequential-consistency checking for register
+//! histories (Wing & Gong style exhaustive search with memoisation).
+//!
+//! The paper (Section 2.2): "Distributed systems use linearisability and
+//! sequential consistency. … Linearisability is based on real-time
+//! dependencies, while sequential consistency only considers the order in
+//! which operations are performed on every individual process." The two
+//! checkers share one search engine; the flag picks which dependency
+//! structure constrains the interleaving.
+
+use std::collections::HashSet;
+
+use repl_db::Value;
+use repl_sim::SimTime;
+
+/// One completed register operation as observed by a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterOp {
+    /// The issuing client.
+    pub client: u32,
+    /// Invocation time.
+    pub invoke: SimTime,
+    /// Response time.
+    pub response: SimTime,
+    /// `Some(v)` for writes.
+    pub write: Option<Value>,
+    /// The written value, or the value the read observed.
+    pub value: Value,
+}
+
+/// Why a history failed the check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyError {
+    /// No legal linearisation/interleaving exists.
+    NoLegalOrder,
+    /// The history is too large for exhaustive checking.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for ConsistencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyError::NoLegalOrder => write!(f, "no legal serialization of the history"),
+            ConsistencyError::TooLarge(n) => write!(f, "history too large to check ({n} ops)"),
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyError {}
+
+const MAX_OPS: usize = 100;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Order {
+    RealTime,
+    PerProcess,
+}
+
+/// Checks a single-register history for linearisability starting from
+/// `initial`.
+///
+/// # Errors
+///
+/// [`ConsistencyError::NoLegalOrder`] if the history is not linearisable;
+/// [`ConsistencyError::TooLarge`] beyond 100 operations.
+///
+/// # Examples
+///
+/// ```
+/// use repl_core::consistency::{check_linearizable, RegisterOp};
+/// use repl_db::Value;
+/// use repl_sim::SimTime;
+///
+/// let t = SimTime::from_ticks;
+/// // w(1) completes before r()->1: linearizable.
+/// let ops = vec![
+///     RegisterOp { client: 0, invoke: t(0), response: t(10), write: Some(Value(1)), value: Value(1) },
+///     RegisterOp { client: 1, invoke: t(20), response: t(30), write: None, value: Value(1) },
+/// ];
+/// assert!(check_linearizable(&ops, Value(0)).is_ok());
+/// ```
+pub fn check_linearizable(ops: &[RegisterOp], initial: Value) -> Result<(), ConsistencyError> {
+    search(ops, initial, Order::RealTime)
+}
+
+/// Checks a single-register history for sequential consistency starting
+/// from `initial` (per-client order must be preserved; real time may not
+/// be).
+///
+/// # Errors
+///
+/// Same as [`check_linearizable`].
+pub fn check_sequentially_consistent(
+    ops: &[RegisterOp],
+    initial: Value,
+) -> Result<(), ConsistencyError> {
+    search(ops, initial, Order::PerProcess)
+}
+
+fn search(ops: &[RegisterOp], initial: Value, order: Order) -> Result<(), ConsistencyError> {
+    let n = ops.len();
+    if n == 0 {
+        return Ok(());
+    }
+    if n > MAX_OPS {
+        return Err(ConsistencyError::TooLarge(n));
+    }
+    // For per-process order, precompute each op's predecessor (same client).
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    if order == Order::PerProcess {
+        use std::collections::HashMap;
+        let mut last: HashMap<u32, usize> = HashMap::new();
+        let mut by_client: Vec<usize> = (0..n).collect();
+        // Program order = invocation order per client.
+        by_client.sort_by_key(|&i| (ops[i].client, ops[i].invoke, ops[i].response));
+        for &i in &by_client {
+            if let Some(&p) = last.get(&ops[i].client) {
+                pred[i] = Some(p);
+            }
+            last.insert(ops[i].client, i);
+        }
+    }
+
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
+    let mut visited: HashSet<(u128, i64)> = HashSet::new();
+    let mut stack: Vec<(u128, Value)> = vec![(0, initial)];
+    while let Some((done, value)) = stack.pop() {
+        if done == full {
+            return Ok(());
+        }
+        if !visited.insert((done, value.0)) {
+            continue;
+        }
+        for i in 0..n {
+            if done & (1u128 << i) != 0 {
+                continue;
+            }
+            // Dependency constraints.
+            let allowed = match order {
+                Order::RealTime => (0..n).all(|j| {
+                    done & (1u128 << j) != 0 || j == i || ops[j].response >= ops[i].invoke
+                }),
+                Order::PerProcess => pred[i].is_none_or(|p| done & (1u128 << p) != 0),
+            };
+            if !allowed {
+                continue;
+            }
+            // Register semantics.
+            match ops[i].write {
+                Some(v) => stack.push((done | (1u128 << i), v)),
+                None => {
+                    if ops[i].value == value {
+                        stack.push((done | (1u128 << i), value));
+                    }
+                }
+            }
+        }
+    }
+    Err(ConsistencyError::NoLegalOrder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+    fn w(client: u32, i: u64, r: u64, v: i64) -> RegisterOp {
+        RegisterOp {
+            client,
+            invoke: t(i),
+            response: t(r),
+            write: Some(Value(v)),
+            value: Value(v),
+        }
+    }
+    fn rd(client: u32, i: u64, r: u64, v: i64) -> RegisterOp {
+        RegisterOp {
+            client,
+            invoke: t(i),
+            response: t(r),
+            write: None,
+            value: Value(v),
+        }
+    }
+
+    #[test]
+    fn empty_history_is_fine() {
+        assert!(check_linearizable(&[], Value(0)).is_ok());
+        assert!(check_sequentially_consistent(&[], Value(0)).is_ok());
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        let ops = [w(0, 0, 10, 5), rd(1, 20, 30, 5)];
+        assert!(check_linearizable(&ops, Value(0)).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_not_linearizable() {
+        // Write finished at t=10; a read starting at t=20 returns the old
+        // value: violates real time.
+        let ops = [w(0, 0, 10, 5), rd(1, 20, 30, 0)];
+        assert_eq!(
+            check_linearizable(&ops, Value(0)),
+            Err(ConsistencyError::NoLegalOrder)
+        );
+        // …but it is sequentially consistent (the read's process may be
+        // "behind" — reordering across processes is allowed).
+        assert!(check_sequentially_consistent(&ops, Value(0)).is_ok());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        let ops_old = [w(0, 0, 100, 5), rd(1, 20, 30, 0)];
+        let ops_new = [w(0, 0, 100, 5), rd(1, 20, 30, 5)];
+        assert!(check_linearizable(&ops_old, Value(0)).is_ok());
+        assert!(check_linearizable(&ops_new, Value(0)).is_ok());
+    }
+
+    #[test]
+    fn read_of_never_written_value_fails_both() {
+        let ops = [w(0, 0, 10, 5), rd(1, 20, 30, 99)];
+        assert!(check_linearizable(&ops, Value(0)).is_err());
+        assert!(check_sequentially_consistent(&ops, Value(0)).is_err());
+    }
+
+    #[test]
+    fn fifo_violation_within_one_process_fails_sequential() {
+        // One client writes 1 then reads 0 (its own earlier write lost):
+        // per-process order makes this illegal even without real time.
+        let ops = [w(0, 0, 10, 1), rd(0, 20, 30, 0)];
+        assert!(check_sequentially_consistent(&ops, Value(0)).is_err());
+    }
+
+    #[test]
+    fn interleaved_writes_and_reads_linearize() {
+        let ops = [
+            w(0, 0, 50, 1),
+            w(1, 10, 60, 2),
+            rd(2, 70, 80, 1),
+            rd(2, 90, 100, 1),
+        ];
+        // w(2) linearized before w(1): reads of 1 stay legal.
+        assert!(check_linearizable(&ops, Value(0)).is_ok());
+    }
+
+    #[test]
+    fn non_atomic_register_behaviour_detected() {
+        // Two sequential reads observe values in an order inconsistent
+        // with any single write order: r->2 then r->1 while w1 < w2 in
+        // real time and both writes completed before the reads.
+        let ops = [
+            w(0, 0, 10, 1),
+            w(0, 20, 30, 2),
+            rd(1, 40, 50, 2),
+            rd(1, 60, 70, 1),
+        ];
+        assert!(check_linearizable(&ops, Value(0)).is_err());
+        // Also not sequentially consistent: client 0's program order
+        // forces 1 before 2, and client 1 reads 2 then 1.
+        assert!(check_sequentially_consistent(&ops, Value(0)).is_err());
+    }
+
+    #[test]
+    fn oversized_history_reports_too_large() {
+        let ops: Vec<RegisterOp> = (0..101)
+            .map(|i| w(0, i * 10, i * 10 + 5, i as i64))
+            .collect();
+        assert_eq!(
+            check_linearizable(&ops, Value(0)),
+            Err(ConsistencyError::TooLarge(101))
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Consistency oracles: the correctness criteria of the paper's
+//! Section 2.2, executable.
+//!
+//! * [`check_linearizable`] — linearisability (Wing & Gong search), the
+//!   guarantee the distributed-systems techniques claim,
+//! * [`check_sequentially_consistent`] — sequential consistency (program
+//!   order preserved, some legal total order exists),
+//! * [`count_stale_reads`] — real-time staleness of reads, the price the
+//!   lazy techniques pay,
+//! * one-copy serializability lives in [`repl_db::ReplicatedHistory`].
+//!
+//! All oracles consume the client-observed [`OpRecord`]s of a run, so
+//! they are protocol-agnostic.
+
+mod linearizability;
+mod staleness;
+
+pub use linearizability::{
+    check_linearizable, check_sequentially_consistent, ConsistencyError, RegisterOp,
+};
+pub use staleness::{count_stale_reads, StaleRead};
+
+use crate::client::OpRecord;
+use repl_db::Key;
+
+/// Extracts single-operation register histories per key from client
+/// records, for the linearizability/sequential-consistency oracles.
+///
+/// Multi-operation transactions are skipped (register oracles apply to
+/// the paper's single-operation model; transactional runs use the 1SR
+/// checker instead). Aborted and unanswered operations are skipped too:
+/// an aborted operation took no effect by definition of the protocols
+/// that abort (certification), and an unanswered one has no response
+/// time.
+pub fn register_histories(records: &[(u32, OpRecord)]) -> Vec<(Key, Vec<RegisterOp>)> {
+    use repl_workload::OpTemplate;
+    use std::collections::HashMap;
+    let mut per_key: HashMap<Key, Vec<RegisterOp>> = HashMap::new();
+    for (client, rec) in records {
+        if rec.txn.ops.len() != 1 || !rec.committed() {
+            continue;
+        }
+        let Some(responded) = rec.responded else {
+            continue;
+        };
+        let resp = rec.response.as_ref().expect("committed implies response");
+        match rec.txn.ops[0] {
+            OpTemplate::Read(k) => {
+                let value = resp
+                    .reads
+                    .first()
+                    .map(|&(_, v)| v)
+                    .unwrap_or(repl_db::Value(0));
+                per_key.entry(k).or_default().push(RegisterOp {
+                    client: *client,
+                    invoke: rec.invoked,
+                    response: responded,
+                    write: None,
+                    value,
+                });
+            }
+            OpTemplate::Write(k, v) => {
+                per_key.entry(k).or_default().push(RegisterOp {
+                    client: *client,
+                    invoke: rec.invoked,
+                    response: responded,
+                    write: Some(v),
+                    value: v,
+                });
+            }
+        }
+    }
+    let mut v: Vec<(Key, Vec<RegisterOp>)> = per_key.into_iter().collect();
+    v.sort_by_key(|(k, _)| *k);
+    v
+}

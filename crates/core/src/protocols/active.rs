@@ -1,0 +1,357 @@
+//! Active replication — the state machine approach (paper §3.2, Fig. 2).
+//!
+//! Every replica receives the same totally ordered request stream (Atomic
+//! Broadcast) and executes every request; determinism makes the replicas
+//! interchangeable, so failures are fully transparent: the client simply
+//! takes the first of the n replies.
+//!
+//! Phases: RE and SC merge into the ABCAST; there is **no** agreement
+//! coordination. Skeleton: `RE SC EX END`.
+//!
+//! The client addresses the group through a contact replica which relays
+//! the request into the ABCAST; on timeout it re-contacts another replica
+//! (duplicates are suppressed by the order-delivery path).
+
+use std::collections::HashSet;
+
+use repl_gcs::Outbox;
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+
+use crate::client::ProtocolMsg;
+use crate::op::{ClientOp, OpId, Response};
+use crate::phase::Phase;
+use crate::protocols::common::{
+    global_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+};
+use repl_gcs::ConsensusConfig;
+
+/// Wire messages of active replication.
+#[derive(Debug, Clone)]
+pub enum ActiveMsg {
+    /// Client → contact replica.
+    Invoke(ClientOp),
+    /// Replica ↔ replica ABCAST traffic.
+    Ab(AbMsg<ClientOp>),
+    /// Replica → client.
+    Reply(Response),
+}
+
+impl Message for ActiveMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ActiveMsg::Invoke(op) => 8 + op.wire_size(),
+            ActiveMsg::Ab(m) => m.wire_size(),
+            ActiveMsg::Reply(r) => 8 + r.wire_size(),
+        }
+    }
+}
+
+impl ProtocolMsg for ActiveMsg {
+    fn invoke(op: ClientOp) -> Self {
+        ActiveMsg::Invoke(op)
+    }
+    fn response(&self) -> Option<&Response> {
+        match self {
+            ActiveMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// An active-replication server.
+pub struct ActiveServer {
+    /// Shared database/server state (public for post-run inspection).
+    pub base: ServerBase,
+    ab: AbcastEndpoint<ClientOp>,
+    relayed: HashSet<OpId>,
+    marks: bool,
+}
+
+impl ActiveServer {
+    /// Creates server `site` of `group`.
+    pub fn new(
+        site: u32,
+        me: NodeId,
+        group: Vec<NodeId>,
+        items: u64,
+        exec: ExecutionMode,
+        abcast: AbcastImpl,
+        cons: ConsensusConfig,
+    ) -> Self {
+        ActiveServer {
+            base: ServerBase::new(site, items, exec),
+            ab: AbcastEndpoint::new(abcast, me, group, cons),
+            relayed: HashSet::new(),
+            // Exactly one process marks server-side phases (see phase.rs).
+            marks: site == 0,
+        }
+    }
+
+    fn drain(
+        &mut self,
+        ctx: &mut Context<'_, ActiveMsg>,
+        out: Outbox<AbMsg<ClientOp>, repl_gcs::AbDeliver<ClientOp>>,
+    ) {
+        let deliveries = repl_gcs::apply_outbox(ctx, out, 0, ActiveMsg::Ab);
+        for d in deliveries {
+            let op = d.payload;
+            if self.base.cached(op.id).is_some() {
+                continue; // duplicate ordering of a retried op
+            }
+            if self.marks {
+                ctx.mark(Phase::ServerCoordination.tag(), op.id.0, d.gseq);
+                ctx.mark(Phase::Execution.tag(), op.id.0, 0);
+            }
+            let (_ws, resp) = self.base.execute_commit(&op, global_txn(op.id));
+            self.base.remember(&resp);
+            // Every replica answers; the client keeps the first reply.
+            ctx.send(op.client, ActiveMsg::Reply(resp));
+        }
+    }
+}
+
+impl Actor<ActiveMsg> for ActiveServer {
+    fn on_message(&mut self, ctx: &mut Context<'_, ActiveMsg>, from: NodeId, msg: ActiveMsg) {
+        match msg {
+            ActiveMsg::Invoke(op) => {
+                if let Some(resp) = self.base.cached(op.id) {
+                    ctx.send(op.client, ActiveMsg::Reply(resp));
+                    return;
+                }
+                if !self.relayed.insert(op.id) {
+                    return; // already in the ordering pipeline
+                }
+                let mut out = Outbox::new();
+                self.ab.broadcast(op, &mut out);
+                self.drain(ctx, out);
+            }
+            ActiveMsg::Ab(m) => {
+                let mut out = Outbox::new();
+                self.ab.on_message(from, m, &mut out);
+                self.drain(ctx, out);
+            }
+            ActiveMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ActiveMsg>, _timer: TimerId, tag: u64) {
+        let mut out = Outbox::new();
+        self.ab.on_timer(tag, &mut out);
+        self.drain(ctx, out);
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientActor;
+    use repl_db::{Key, Value};
+    use repl_sim::{SimConfig, SimDuration, SimTime, World};
+    use repl_workload::{OpTemplate, TxnTemplate};
+
+    fn write(k: u64, v: i64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Write(Key(k), Value(v))],
+        }
+    }
+    fn read(k: u64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Read(Key(k))],
+        }
+    }
+
+    fn build(
+        n_servers: u32,
+        txns_per_client: Vec<Vec<TxnTemplate>>,
+        abcast: AbcastImpl,
+        exec: ExecutionMode,
+        seed: u64,
+    ) -> (World<ActiveMsg>, Vec<NodeId>, Vec<NodeId>) {
+        let mut world = World::new(SimConfig::new(seed));
+        let servers: Vec<NodeId> = (0..n_servers).map(NodeId::new).collect();
+        for i in 0..n_servers {
+            world.add_actor(Box::new(ActiveServer::new(
+                i,
+                NodeId::new(i),
+                servers.clone(),
+                16,
+                exec,
+                abcast,
+                ConsensusConfig::default(),
+            )));
+        }
+        let mut clients = Vec::new();
+        for (c, txns) in txns_per_client.into_iter().enumerate() {
+            let client = ClientActor::<ActiveMsg>::new(
+                c as u32,
+                servers.clone(),
+                c % n_servers as usize,
+                txns,
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(20_000),
+            );
+            clients.push(world.add_actor(Box::new(client)));
+        }
+        (world, servers, clients)
+    }
+
+    #[test]
+    fn single_client_write_then_read() {
+        let (mut world, servers, clients) = build(
+            3,
+            vec![vec![write(1, 7), read(1)]],
+            AbcastImpl::Sequencer,
+            ExecutionMode::Deterministic,
+            1,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let client = world.actor_ref::<ClientActor<ActiveMsg>>(clients[0]);
+        assert!(client.is_done());
+        let recs: Vec<_> = client.completed().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs[1].response.as_ref().expect("responded").reads,
+            vec![(Key(1), Value(7))]
+        );
+        // All replicas converge.
+        let fp0 = world
+            .actor_ref::<ActiveServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world.actor_ref::<ActiveServer>(s).base.store.fingerprint(),
+                fp0
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_converge_with_determinism() {
+        let (mut world, servers, _clients) = build(
+            4,
+            vec![
+                vec![write(0, 1), write(1, 2), write(2, 3)],
+                vec![write(0, 10), write(1, 20), write(2, 30)],
+                vec![write(0, 100), write(2, 300)],
+            ],
+            AbcastImpl::Sequencer,
+            ExecutionMode::Deterministic,
+            7,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        let fp0 = world
+            .actor_ref::<ActiveServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world.actor_ref::<ActiveServer>(s).base.store.fingerprint(),
+                fp0,
+                "replica {s} diverged despite total order + determinism"
+            );
+        }
+    }
+
+    #[test]
+    fn nondeterminism_breaks_active_replication() {
+        // The paper's determinism requirement, demonstrated: with
+        // site-dependent execution, replicas diverge.
+        let (mut world, servers, _clients) = build(
+            3,
+            vec![vec![write(0, 1)]],
+            AbcastImpl::Sequencer,
+            ExecutionMode::NonDeterministic,
+            2,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let fp0 = world
+            .actor_ref::<ActiveServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        let fp1 = world
+            .actor_ref::<ActiveServer>(servers[1])
+            .base
+            .store
+            .fingerprint();
+        assert_ne!(fp0, fp1, "divergence expected without determinism");
+    }
+
+    #[test]
+    fn replica_crash_is_transparent_to_clients() {
+        // With consensus-based ABCAST, a replica crash (even the round-0
+        // coordinator) neither loses operations nor requires the client to
+        // do anything beyond its normal retry.
+        let (mut world, servers, clients) = build(
+            5,
+            vec![vec![write(0, 1), write(1, 2), read(0)]],
+            AbcastImpl::Consensus,
+            ExecutionMode::Deterministic,
+            3,
+        );
+        world.schedule_crash(SimTime::from_ticks(500), servers[0]);
+        world.start();
+        world.run_until(SimTime::from_ticks(2_000_000));
+        let client = world.actor_ref::<ClientActor<ActiveMsg>>(clients[0]);
+        assert!(client.is_done(), "client did not finish after crash");
+        let last = client.records.last().expect("records exist");
+        assert_eq!(
+            last.response.as_ref().expect("responded").reads,
+            vec![(Key(0), Value(1))]
+        );
+        // Surviving replicas converge.
+        let fp1 = world
+            .actor_ref::<ActiveServer>(servers[1])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[2..] {
+            assert_eq!(
+                world.actor_ref::<ActiveServer>(s).base.store.fingerprint(),
+                fp1
+            );
+        }
+    }
+
+    #[test]
+    fn history_is_one_copy_serializable() {
+        let (mut world, servers, _clients) = build(
+            3,
+            vec![vec![write(0, 1), read(1)], vec![write(1, 2), read(0)]],
+            AbcastImpl::Sequencer,
+            ExecutionMode::Deterministic,
+            9,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        let mut merged = repl_db::ReplicatedHistory::new();
+        for &s in &servers {
+            merged.merge(&world.actor_ref::<ActiveServer>(s).base.history);
+        }
+        assert!(merged.check_one_copy_serializable().is_ok());
+    }
+
+    #[test]
+    fn phase_skeleton_matches_figure_2() {
+        let (mut world, _servers, _clients) = build(
+            3,
+            vec![vec![write(0, 1)]],
+            AbcastImpl::Sequencer,
+            ExecutionMode::Deterministic,
+            4,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        let sk = pt.canonical().expect("an op completed");
+        assert_eq!(sk.to_string(), "RE SC EX END");
+    }
+}

@@ -1,0 +1,423 @@
+//! Shared plumbing for the protocol implementations: the server base
+//! (store + transaction manager + history + response cache), the unified
+//! Atomic Broadcast endpoint, and execution-mode handling.
+
+use std::collections::HashMap;
+
+use repl_db::{
+    AccessKind, Key, ReplicatedHistory, ShadowStore, Store, TxnId, TxnManager, Value, WriteSet,
+};
+use repl_gcs::{
+    AbDeliver, CAbMsg, ConsensusAbcast, ConsensusConfig, MsgId, Outbox, SeqAbMsg, SequencerAbcast,
+};
+use repl_sim::{Message, NodeId};
+
+use crate::op::{accesses, ClientOp, OpId, Response};
+
+/// Whether servers execute deterministically.
+///
+/// The paper's central distributed-systems contrast (Sections 3.2–3.4)
+/// hinges on this assumption. `NonDeterministic` models scheduling
+/// divergence: each site perturbs written values in a site-specific way,
+/// so replicas that execute independently visibly diverge — unless a
+/// leader imposes its choice (semi-active) or only one site executes
+/// (passive and the primary-copy techniques).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Same input, same order ⇒ same output.
+    #[default]
+    Deterministic,
+    /// Site-dependent execution results.
+    NonDeterministic,
+}
+
+/// Which Atomic Broadcast implementation to use (ablation A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AbcastImpl {
+    /// Fixed sequencer: cheapest, not crash-tolerant.
+    #[default]
+    Sequencer,
+    /// Consensus-based: tolerates any minority of crashes.
+    Consensus,
+}
+
+/// Unified wire message for either ABCAST implementation.
+#[derive(Debug, Clone)]
+pub enum AbMsg<P> {
+    /// Sequencer-based traffic.
+    Seq(SeqAbMsg<P>),
+    /// Consensus-based traffic.
+    Cons(CAbMsg<P>),
+}
+
+impl<P: Message> Message for AbMsg<P> {
+    fn wire_size(&self) -> usize {
+        match self {
+            AbMsg::Seq(m) => m.wire_size(),
+            AbMsg::Cons(m) => m.wire_size(),
+        }
+    }
+}
+
+/// An Atomic Broadcast endpoint backed by either implementation.
+#[derive(Debug)]
+pub enum AbcastEndpoint<P> {
+    /// Fixed-sequencer endpoint.
+    Seq(SequencerAbcast<P>),
+    /// Consensus-based endpoint.
+    Cons(ConsensusAbcast<P>),
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> AbcastEndpoint<P> {
+    /// Creates an endpoint of the requested flavour. `cons` configures the
+    /// consensus variant (its round timeout must exceed the network RTT).
+    pub fn new(which: AbcastImpl, me: NodeId, group: Vec<NodeId>, cons: ConsensusConfig) -> Self {
+        match which {
+            AbcastImpl::Sequencer => AbcastEndpoint::Seq(SequencerAbcast::new(me, group)),
+            AbcastImpl::Consensus => AbcastEndpoint::Cons(ConsensusAbcast::new(me, group, cons)),
+        }
+    }
+
+    /// Broadcasts a payload; returns its id.
+    pub fn broadcast(&mut self, p: P, out: &mut Outbox<AbMsg<P>, AbDeliver<P>>) -> MsgId {
+        match self {
+            AbcastEndpoint::Seq(a) => {
+                let mut sub = Outbox::new();
+                let id = a.broadcast(p, &mut sub);
+                for e in out.absorb(sub, 0, AbMsg::Seq) {
+                    out.event(e);
+                }
+                id
+            }
+            AbcastEndpoint::Cons(a) => {
+                let mut sub = Outbox::new();
+                let id = a.broadcast(p, &mut sub);
+                for e in out.absorb(sub, 0, AbMsg::Cons) {
+                    out.event(e);
+                }
+                id
+            }
+        }
+    }
+
+    /// Routes an incoming message (mismatched flavours are ignored).
+    pub fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: AbMsg<P>,
+        out: &mut Outbox<AbMsg<P>, AbDeliver<P>>,
+    ) {
+        match (self, msg) {
+            (AbcastEndpoint::Seq(a), AbMsg::Seq(m)) => {
+                let mut sub = Outbox::new();
+                repl_gcs::Component::on_message(a, from, m, &mut sub);
+                for e in out.absorb(sub, 0, AbMsg::Seq) {
+                    out.event(e);
+                }
+            }
+            (AbcastEndpoint::Cons(a), AbMsg::Cons(m)) => {
+                let mut sub = Outbox::new();
+                repl_gcs::Component::on_message(a, from, m, &mut sub);
+                for e in out.absorb(sub, 0, AbMsg::Cons) {
+                    out.event(e);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Routes a timer with a component-local tag.
+    pub fn on_timer(&mut self, tag: u64, out: &mut Outbox<AbMsg<P>, AbDeliver<P>>) {
+        match self {
+            AbcastEndpoint::Seq(a) => {
+                let mut sub = Outbox::new();
+                repl_gcs::Component::on_timer(a, tag, &mut sub);
+                for e in out.absorb(sub, 0, AbMsg::Seq) {
+                    out.event(e);
+                }
+            }
+            AbcastEndpoint::Cons(a) => {
+                let mut sub = Outbox::new();
+                repl_gcs::Component::on_timer(a, tag, &mut sub);
+                for e in out.absorb(sub, 0, AbMsg::Cons) {
+                    out.event(e);
+                }
+            }
+        }
+    }
+}
+
+/// State every replica server shares: the database kernel pieces plus
+/// duplicate suppression and execution statistics.
+#[derive(Debug)]
+pub struct ServerBase {
+    /// This site's index (dense, 0-based).
+    pub site: u32,
+    /// This site's physical copies.
+    pub store: Store,
+    /// This site's transaction manager.
+    pub tm: TxnManager,
+    /// This site's recorded execution history.
+    pub history: ReplicatedHistory,
+    /// Responses already produced, for exactly-once retries.
+    pub cache: HashMap<OpId, Response>,
+    /// Execution mode (determinism injection).
+    pub exec: ExecutionMode,
+    /// Transactions committed at this site.
+    pub committed: u64,
+    /// Transactions aborted at this site.
+    pub aborted: u64,
+}
+
+impl ServerBase {
+    /// Creates a server base over `items` data items initialised to 0.
+    pub fn new(site: u32, items: u64, exec: ExecutionMode) -> Self {
+        ServerBase {
+            site,
+            store: Store::with_items(items, Value(0)),
+            tm: TxnManager::new(),
+            history: ReplicatedHistory::new(),
+            cache: HashMap::new(),
+            exec,
+            committed: 0,
+            aborted: 0,
+        }
+    }
+
+    /// The value actually written for a requested write, after the
+    /// execution-mode perturbation.
+    pub fn effective_value(&self, v: Value) -> Value {
+        match self.exec {
+            ExecutionMode::Deterministic => v,
+            ExecutionMode::NonDeterministic => Value(v.0 * 1_000 + self.site as i64),
+        }
+    }
+
+    /// Executes a whole client transaction locally and commits it,
+    /// recording history. Returns the writeset and the client response.
+    pub fn execute_commit(&mut self, op: &ClientOp, txn: TxnId) -> (WriteSet, Response) {
+        self.tm.begin(txn);
+        let mut reads: Vec<(Key, Value)> = Vec::new();
+        for (key, write) in accesses(&op.txn) {
+            match write {
+                None => {
+                    let v = self
+                        .tm
+                        .read(&self.store, txn, key)
+                        .expect("txn is active")
+                        .map_or(Value(0), |v| v.value);
+                    self.history.record(self.site, txn, key, AccessKind::Read);
+                    reads.push((key, v));
+                }
+                Some(v) => {
+                    let v = self.effective_value(v);
+                    self.tm
+                        .write(&mut self.store, txn, key, v)
+                        .expect("txn is active");
+                    self.history.record(self.site, txn, key, AccessKind::Write);
+                }
+            }
+        }
+        let ws = self.tm.commit(txn).expect("txn is active");
+        self.history.mark_committed(txn);
+        self.committed += 1;
+        let resp = Response {
+            op: op.id,
+            committed: true,
+            reads,
+        };
+        (ws, resp)
+    }
+
+    /// Executes a transaction on shadow copies (no store mutation),
+    /// returning the read set (versions), the writeset and the response.
+    pub fn execute_shadow(
+        &mut self,
+        op: &ClientOp,
+        txn: TxnId,
+    ) -> (Vec<(Key, u64)>, WriteSet, Response) {
+        let mut shadow = ShadowStore::new(&self.store, txn);
+        let mut reads: Vec<(Key, Value)> = Vec::new();
+        let mut writes: Vec<(Key, Value)> = Vec::new();
+        for (key, write) in accesses(&op.txn) {
+            match write {
+                None => {
+                    let v = shadow.read(key).map_or(Value(0), |v| v.value);
+                    reads.push((key, v));
+                }
+                Some(v) => {
+                    writes.push((key, v));
+                    shadow.write(key, self.effective_value(v));
+                }
+            }
+        }
+        let _ = writes;
+        let read_set = shadow.read_set().to_vec();
+        let ws = shadow.into_writeset();
+        let resp = Response {
+            op: op.id,
+            committed: true,
+            reads,
+        };
+        (read_set, ws, resp)
+    }
+
+    /// Installs a replicated writeset (no re-execution), recording history.
+    pub fn install_writeset(&mut self, ws: &WriteSet) {
+        for w in &ws.writes {
+            self.history
+                .record(self.site, ws.txn, w.key, AccessKind::Write);
+        }
+        self.history.mark_committed(ws.txn);
+        self.store.apply_writeset(ws);
+        self.committed += 1;
+    }
+
+    /// Reads a single key outside any transaction (lazy/stale reads),
+    /// recording history under the given transaction id.
+    pub fn read_committed(&mut self, txn: TxnId, key: Key) -> Value {
+        self.history.record(self.site, txn, key, AccessKind::Read);
+        self.store.read(key).map_or(Value(0), |v| v.value)
+    }
+
+    /// Looks up a cached response for duplicate suppression.
+    pub fn cached(&self, op: OpId) -> Option<Response> {
+        self.cache.get(&op).cloned()
+    }
+
+    /// Caches a response.
+    pub fn remember(&mut self, resp: &Response) {
+        self.cache.insert(resp.op, resp.clone());
+    }
+}
+
+/// A transaction id derived from an operation id, stable across client
+/// retries (so a restarted transaction keeps its age, which is what makes
+/// wound-wait starvation-free). The per-client sequence number dominates
+/// the age order so that, under closed-loop clients, age roughly tracks
+/// submission time instead of privileging low-numbered clients.
+pub fn txn_for_op(op: OpId, site: u32) -> TxnId {
+    TxnId::new(((op.seq() as u64) << 20) | op.client() as u64, site)
+}
+
+/// The site-independent transaction id of an operation: every replica
+/// executing (or installing) the same client operation uses the same
+/// transaction id, so cross-site histories line up for the one-copy-
+/// serializability checker.
+pub fn global_txn(op: OpId) -> TxnId {
+    txn_for_op(op, op.client())
+}
+
+/// Inverts [`txn_for_op`]/[`global_txn`]: recovers the operation id from a
+/// transaction id (used to attribute late, post-response phase marks of
+/// lazy techniques to the right operation).
+pub fn op_of_txn(txn: TxnId) -> OpId {
+    let seq = (txn.ts >> 20) as u32;
+    let client = (txn.ts & 0xF_FFFF) as u32;
+    OpId::compose(client, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_sim::NodeId;
+    use repl_workload::{OpTemplate, TxnTemplate};
+
+    fn op(id: u64, ops: Vec<OpTemplate>) -> ClientOp {
+        ClientOp {
+            id: OpId(id),
+            client: NodeId::new(99),
+            txn: TxnTemplate { ops },
+        }
+    }
+
+    #[test]
+    fn execute_commit_reads_and_writes() {
+        let mut base = ServerBase::new(0, 4, ExecutionMode::Deterministic);
+        let o = op(
+            1,
+            vec![
+                OpTemplate::Write(Key(1), Value(5)),
+                OpTemplate::Read(Key(1)),
+            ],
+        );
+        let (ws, resp) = base.execute_commit(&o, TxnId::new(1, 0));
+        assert_eq!(ws.writes.len(), 1);
+        assert_eq!(resp.reads, vec![(Key(1), Value(5))]);
+        assert!(resp.committed);
+        assert_eq!(base.committed, 1);
+        assert_eq!(base.store.read(Key(1)).expect("exists").value, Value(5));
+    }
+
+    #[test]
+    fn nondeterministic_mode_perturbs_per_site() {
+        let mut s0 = ServerBase::new(0, 2, ExecutionMode::NonDeterministic);
+        let mut s1 = ServerBase::new(1, 2, ExecutionMode::NonDeterministic);
+        let o = op(1, vec![OpTemplate::Write(Key(0), Value(5))]);
+        s0.execute_commit(&o, TxnId::new(1, 0));
+        s1.execute_commit(&o, TxnId::new(1, 1));
+        assert_ne!(
+            s0.store.read(Key(0)).expect("exists").value,
+            s1.store.read(Key(0)).expect("exists").value,
+            "independent execution must diverge"
+        );
+        assert_ne!(s0.store.fingerprint(), s1.store.fingerprint());
+    }
+
+    #[test]
+    fn shadow_execution_leaves_store_untouched() {
+        let mut base = ServerBase::new(0, 2, ExecutionMode::Deterministic);
+        let fp = base.store.fingerprint();
+        let o = op(
+            2,
+            vec![
+                OpTemplate::Read(Key(0)),
+                OpTemplate::Write(Key(1), Value(9)),
+            ],
+        );
+        let (read_set, ws, resp) = base.execute_shadow(&o, TxnId::new(2, 0));
+        assert_eq!(base.store.fingerprint(), fp);
+        assert_eq!(read_set, vec![(Key(0), 0)]);
+        assert_eq!(ws.writes.len(), 1);
+        assert!(resp.committed);
+    }
+
+    #[test]
+    fn install_writeset_converges_replicas() {
+        let mut a = ServerBase::new(0, 2, ExecutionMode::Deterministic);
+        let mut b = ServerBase::new(1, 2, ExecutionMode::Deterministic);
+        let o = op(3, vec![OpTemplate::Write(Key(0), Value(7))]);
+        let (ws, _) = a.execute_commit(&o, TxnId::new(3, 0));
+        b.install_writeset(&ws);
+        assert_eq!(a.store.fingerprint(), b.store.fingerprint());
+        assert_eq!(b.committed, 1);
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let mut base = ServerBase::new(0, 1, ExecutionMode::Deterministic);
+        assert!(base.cached(OpId(9)).is_none());
+        let resp = Response::committed(OpId(9));
+        base.remember(&resp);
+        assert_eq!(base.cached(OpId(9)), Some(resp));
+    }
+
+    #[test]
+    fn txn_ids_align_with_submission_order() {
+        let a = txn_for_op(OpId::compose(0, 5), 0);
+        let b = txn_for_op(OpId::compose(0, 6), 1);
+        assert!(a.is_older_than(b));
+        // Same sequence number across clients: earlier rounds dominate.
+        let c = txn_for_op(OpId::compose(7, 5), 0);
+        let d = txn_for_op(OpId::compose(0, 6), 0);
+        assert!(
+            c.is_older_than(d),
+            "round 5 of any client is older than round 6"
+        );
+        // Retrying the same op yields the same age.
+        assert_eq!(
+            txn_for_op(OpId::compose(1, 2), 3),
+            txn_for_op(OpId::compose(1, 2), 3)
+        );
+    }
+}

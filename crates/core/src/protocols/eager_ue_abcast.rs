@@ -1,0 +1,270 @@
+//! Eager update everywhere based on Atomic Broadcast (paper §4.4.2,
+//! Fig. 9).
+//!
+//! The client submits to its local server, which relays the operation to
+//! the whole group through ABCAST; every server executes operations in
+//! delivery order (conflicting operations are therefore serialized the
+//! same way everywhere), and the local server answers as soon as *it* has
+//! executed. The total order replaces both distributed locking and the
+//! final 2PC — there is **no** Agreement Coordination phase.
+//! Skeleton: `RE SC EX END`.
+//!
+//! Like active replication this relies on deterministic execution; the
+//! paper points to \[KA98\] for when that assumption is safe.
+
+use std::collections::HashSet;
+
+use repl_gcs::Outbox;
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+
+use crate::client::ProtocolMsg;
+use crate::op::{ClientOp, OpId, Response};
+use crate::phase::Phase;
+use crate::protocols::common::{
+    global_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+};
+use repl_gcs::ConsensusConfig;
+
+/// Wire messages of eager update everywhere over ABCAST.
+#[derive(Debug, Clone)]
+pub enum EuaMsg {
+    /// Client → local server.
+    Invoke(ClientOp),
+    /// Server ↔ server ABCAST traffic.
+    Ab(AbMsg<ClientOp>),
+    /// Local server → client.
+    Reply(Response),
+}
+
+impl Message for EuaMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            EuaMsg::Invoke(op) => 8 + op.wire_size(),
+            EuaMsg::Ab(m) => m.wire_size(),
+            EuaMsg::Reply(r) => 8 + r.wire_size(),
+        }
+    }
+}
+
+impl ProtocolMsg for EuaMsg {
+    fn invoke(op: ClientOp) -> Self {
+        EuaMsg::Invoke(op)
+    }
+    fn response(&self) -> Option<&Response> {
+        match self {
+            EuaMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A server for eager update everywhere over ABCAST.
+pub struct EuaServer {
+    /// Shared database/server state (public for post-run inspection).
+    pub base: ServerBase,
+    ab: AbcastEndpoint<ClientOp>,
+    /// Operations this server relayed (it is their delegate and answers).
+    delegated: HashSet<OpId>,
+    marks: bool,
+}
+
+impl EuaServer {
+    /// Creates server `site` of `group`.
+    pub fn new(
+        site: u32,
+        me: NodeId,
+        group: Vec<NodeId>,
+        items: u64,
+        exec: ExecutionMode,
+        abcast: AbcastImpl,
+        cons: ConsensusConfig,
+    ) -> Self {
+        EuaServer {
+            base: ServerBase::new(site, items, exec),
+            ab: AbcastEndpoint::new(abcast, me, group, cons),
+            delegated: HashSet::new(),
+            marks: site == 0,
+        }
+    }
+
+    fn drain(
+        &mut self,
+        ctx: &mut Context<'_, EuaMsg>,
+        out: Outbox<AbMsg<ClientOp>, repl_gcs::AbDeliver<ClientOp>>,
+    ) {
+        let deliveries = repl_gcs::apply_outbox(ctx, out, 0, EuaMsg::Ab);
+        for d in deliveries {
+            let op = d.payload;
+            if self.base.cached(op.id).is_some() {
+                continue;
+            }
+            if self.marks {
+                ctx.mark(Phase::ServerCoordination.tag(), op.id.0, d.gseq);
+                ctx.mark(Phase::Execution.tag(), op.id.0, 0);
+            }
+            let (_ws, resp) = self.base.execute_commit(&op, global_txn(op.id));
+            self.base.remember(&resp);
+            // Only the delegate (the server the client contacted) answers.
+            if self.delegated.contains(&op.id) {
+                ctx.send(op.client, EuaMsg::Reply(resp));
+            }
+        }
+    }
+}
+
+impl Actor<EuaMsg> for EuaServer {
+    fn on_message(&mut self, ctx: &mut Context<'_, EuaMsg>, from: NodeId, msg: EuaMsg) {
+        match msg {
+            EuaMsg::Invoke(op) => {
+                if let Some(resp) = self.base.cached(op.id) {
+                    ctx.send(op.client, EuaMsg::Reply(resp));
+                    return;
+                }
+                if !self.delegated.insert(op.id) {
+                    return;
+                }
+                let mut out = Outbox::new();
+                self.ab.broadcast(op, &mut out);
+                self.drain(ctx, out);
+            }
+            EuaMsg::Ab(m) => {
+                let mut out = Outbox::new();
+                self.ab.on_message(from, m, &mut out);
+                self.drain(ctx, out);
+            }
+            EuaMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, EuaMsg>, _timer: TimerId, tag: u64) {
+        let mut out = Outbox::new();
+        self.ab.on_timer(tag, &mut out);
+        self.drain(ctx, out);
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientActor;
+    use repl_db::{Key, Value};
+    use repl_sim::{SimConfig, SimDuration, SimTime, World};
+    use repl_workload::{OpTemplate, TxnTemplate};
+
+    fn write(k: u64, v: i64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Write(Key(k), Value(v))],
+        }
+    }
+    fn rmw(k: u64, v: i64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![
+                OpTemplate::Read(Key(k)),
+                OpTemplate::Write(Key(k), Value(v)),
+            ],
+        }
+    }
+
+    fn build(
+        n: u32,
+        txns: Vec<Vec<TxnTemplate>>,
+        seed: u64,
+    ) -> (World<EuaMsg>, Vec<NodeId>, Vec<NodeId>) {
+        let mut world = World::new(SimConfig::new(seed));
+        let servers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        for i in 0..n {
+            world.add_actor(Box::new(EuaServer::new(
+                i,
+                NodeId::new(i),
+                servers.clone(),
+                16,
+                ExecutionMode::Deterministic,
+                AbcastImpl::Sequencer,
+                ConsensusConfig::default(),
+            )));
+        }
+        let mut clients = Vec::new();
+        for (c, t) in txns.into_iter().enumerate() {
+            let client = ClientActor::<EuaMsg>::new(
+                c as u32,
+                servers.clone(),
+                c % n as usize,
+                t,
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(20_000),
+            );
+            clients.push(world.add_actor(Box::new(client)));
+        }
+        (world, servers, clients)
+    }
+
+    #[test]
+    fn conflicting_updates_from_different_sites_serialize_identically() {
+        let (mut world, servers, clients) = build(
+            3,
+            vec![
+                vec![rmw(0, 1), rmw(1, 2)],
+                vec![rmw(0, 10), rmw(1, 20)],
+                vec![rmw(0, 100)],
+            ],
+            1,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        for &c in &clients {
+            assert!(world.actor_ref::<ClientActor<EuaMsg>>(c).is_done());
+        }
+        let fp0 = world
+            .actor_ref::<EuaServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world.actor_ref::<EuaServer>(s).base.store.fingerprint(),
+                fp0
+            );
+        }
+        let mut merged = repl_db::ReplicatedHistory::new();
+        for &s in &servers {
+            merged.merge(&world.actor_ref::<EuaServer>(s).base.history);
+        }
+        merged
+            .check_one_copy_serializable()
+            .expect("total order must imply 1SR");
+    }
+
+    #[test]
+    fn only_the_delegate_answers() {
+        let (mut world, _servers, clients) = build(3, vec![vec![write(0, 1)]], 2);
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let client = world.actor_ref::<ClientActor<EuaMsg>>(clients[0]);
+        assert!(client.is_done());
+        // Exactly one reply reached the client: its record has a response
+        // and no duplicate-response path was exercised (active replication
+        // sends n replies; here it must be 1). We verify by counting Reply
+        // deliveries to the client in the trace.
+        let client_node = clients[0];
+        let replies = world
+            .trace()
+            .iter()
+            .filter(|r| {
+                r.node == client_node
+                    && matches!(r.event, repl_sim::TraceEvent::MsgDelivered { .. })
+            })
+            .count();
+        assert_eq!(replies, 1, "non-delegate servers must stay silent");
+    }
+
+    #[test]
+    fn phase_skeleton_matches_figure_9() {
+        let (mut world, _s, _c) = build(3, vec![vec![write(0, 1)]], 3);
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        assert_eq!(pt.canonical().expect("op done").to_string(), "RE SC EX END");
+    }
+}

@@ -1,0 +1,931 @@
+//! Eager update everywhere with distributed locking (paper §4.4.1 Fig. 8;
+//! §5.4.1 Fig. 13).
+//!
+//! The client's local server becomes the transaction's *delegate*. For
+//! each operation it requests the lock at **all** replicas (Server
+//! Coordination), executes the operation at all replicas once every site
+//! granted (Execution), and after the last operation runs a 2PC
+//! (Agreement Coordination) before answering. Skeleton: `RE SC EX AC END`,
+//! with the SC/EX pair looping per operation for multi-operation
+//! transactions (Fig. 13).
+//!
+//! Deadlock handling is configurable (ablation A3):
+//!
+//! * [`DeadlockPolicy::WoundWait`] — prevention: sites wound younger
+//!   conflicting holders; the victim's delegate aborts it globally and
+//!   retries with the same (old) timestamp.
+//! * [`DeadlockPolicy::Detect`] — server 0 periodically collects every
+//!   site's wait-for edges, finds cycles in the union, and aborts the
+//!   youngest member.
+//!
+//! The paper notes that quorums are orthogonal to the phase structure and
+//! mentions the read-one/write-all extreme (§5.4.1): with
+//! [`EulServer::with_rowa`] read operations lock and execute only at the
+//! delegate while writes still lock everywhere — same phases, fewer
+//! messages for reads.
+//!
+//! The protocol is *blocking* under crashes (the paper, Section 2.1:
+//! databases accept blocking protocols); the failover experiments use the
+//! primary-copy and distributed-systems techniques instead.
+
+use std::collections::{HashMap, HashSet};
+
+use repl_db::{
+    Acquire, DeadlockPolicy, Key, LockManager, LockMode, TpcCoordinator, TpcDecision, TxnId, Value,
+};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+use repl_workload::OpTemplate;
+
+use crate::client::ProtocolMsg;
+use crate::op::{ClientOp, Response};
+use crate::phase::Phase;
+use crate::protocols::common::{global_txn, ExecutionMode, ServerBase};
+
+/// Wire messages of eager update everywhere with distributed locking.
+#[derive(Debug, Clone)]
+pub enum EulMsg {
+    /// Client → delegate server.
+    Invoke(ClientOp),
+    /// Delegate → all replicas: request a lock for one operation.
+    LockReq {
+        /// The transaction.
+        txn: TxnId,
+        /// The operation step within the transaction.
+        step: u32,
+        /// The item to lock.
+        key: Key,
+        /// Shared (read) or exclusive (write).
+        exclusive: bool,
+        /// The delegate to answer (and to notify on wound).
+        delegate: NodeId,
+    },
+    /// Replica → delegate: lock granted at this site.
+    LockGrant {
+        /// The transaction.
+        txn: TxnId,
+        /// The granted step.
+        step: u32,
+    },
+    /// Replica → victim's delegate: transaction wounded at some site.
+    Wound {
+        /// The wounded transaction.
+        victim: TxnId,
+    },
+    /// Delegate → all replicas: execute one operation.
+    Exec {
+        /// The transaction.
+        txn: TxnId,
+        /// The step being executed.
+        step: u32,
+        /// The item.
+        key: Key,
+        /// `Some(v)` for writes, `None` for reads.
+        write: Option<Value>,
+    },
+    /// Delegate → participants: 2PC prepare.
+    Prepare {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Participant → delegate: 2PC vote.
+    Vote {
+        /// The transaction.
+        txn: TxnId,
+        /// Yes or no.
+        yes: bool,
+    },
+    /// Delegate → participants: 2PC decision.
+    Decision {
+        /// The transaction.
+        txn: TxnId,
+        /// Commit or abort.
+        commit: bool,
+    },
+    /// Detector → all: send me your wait-for edges (Detect policy).
+    ProbeReq,
+    /// Replica → detector: local wait-for edges.
+    ProbeEdges {
+        /// `waiter → holder` pairs.
+        edges: Vec<(TxnId, TxnId)>,
+    },
+    /// Server → client.
+    Reply(Response),
+}
+
+impl Message for EulMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            EulMsg::Invoke(op) => 8 + op.wire_size(),
+            EulMsg::LockReq { .. } => 40,
+            EulMsg::LockGrant { .. } => 24,
+            EulMsg::Wound { .. } => 20,
+            EulMsg::Exec { .. } => 40,
+            EulMsg::Prepare { .. } => 20,
+            EulMsg::Vote { .. } => 24,
+            EulMsg::Decision { .. } => 24,
+            EulMsg::ProbeReq => 8,
+            EulMsg::ProbeEdges { edges } => 8 + edges.len() * 24,
+            EulMsg::Reply(r) => 8 + r.wire_size(),
+        }
+    }
+}
+
+impl ProtocolMsg for EulMsg {
+    fn invoke(op: ClientOp) -> Self {
+        EulMsg::Invoke(op)
+    }
+    fn response(&self) -> Option<&Response> {
+        match self {
+            EulMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum DelPhase {
+    /// Waiting for lock grants for `step`.
+    Locking {
+        step: u32,
+        awaiting: HashSet<NodeId>,
+    },
+    /// 2PC voting.
+    Committing(TpcCoordinator<NodeId>),
+}
+
+#[derive(Debug)]
+struct DelegateTxn {
+    op: ClientOp,
+    step: usize,
+    reads: Vec<(Key, Value)>,
+    phase: DelPhase,
+    retries: u32,
+}
+
+const MAX_RETRIES: u32 = 30;
+const DETECT_TICK: u64 = 1;
+const RETRY_TICK: u64 = 2;
+
+/// A replica server for eager update everywhere with distributed locking.
+pub struct EulServer {
+    /// Shared database/server state (public for post-run inspection).
+    pub base: ServerBase,
+    me: NodeId,
+    servers: Vec<NodeId>,
+    lm: LockManager,
+    policy: DeadlockPolicy,
+    detect_every: SimDuration,
+    /// Transactions this server delegates.
+    delegated: HashMap<TxnId, DelegateTxn>,
+    /// Wounded operations awaiting retry here.
+    requeue: Vec<(ClientOp, u32)>,
+    /// For each txn we hold or queue locks for: its delegate and step.
+    lock_owner: HashMap<TxnId, (NodeId, u32)>,
+    /// Transactions with tentative local writes.
+    tentative: HashSet<TxnId>,
+    /// Detect-policy probe state (server 0 only).
+    probe_edges: Vec<(TxnId, TxnId)>,
+    probe_answers: usize,
+    /// Wound events observed (statistic for the conflicts study).
+    pub wounds: u64,
+    /// Read-one/write-all: reads lock and execute locally only.
+    rowa: bool,
+    marks: bool,
+}
+
+impl EulServer {
+    /// Creates server `site` of `servers`.
+    pub fn new(
+        site: u32,
+        me: NodeId,
+        servers: Vec<NodeId>,
+        items: u64,
+        exec: ExecutionMode,
+        policy: DeadlockPolicy,
+    ) -> Self {
+        EulServer {
+            base: ServerBase::new(site, items, exec),
+            me,
+            servers,
+            lm: LockManager::new(policy),
+            policy,
+            detect_every: SimDuration::from_ticks(2_500),
+            delegated: HashMap::new(),
+            requeue: Vec::new(),
+            lock_owner: HashMap::new(),
+            tentative: HashSet::new(),
+            probe_edges: Vec::new(),
+            probe_answers: 0,
+            wounds: 0,
+            rowa: false,
+            marks: site == 0,
+        }
+    }
+
+    /// Enables the read-one/write-all optimisation (paper §5.4.1): read
+    /// locks are taken only at the delegate; writes still lock all sites.
+    pub fn with_rowa(mut self, rowa: bool) -> Self {
+        self.rowa = rowa;
+        self
+    }
+
+    fn start_txn(&mut self, ctx: &mut Context<'_, EulMsg>, op: ClientOp, retries: u32) {
+        let txn = global_txn(op.id);
+        if self.delegated.contains_key(&txn) {
+            return;
+        }
+        self.base.tm.begin(txn);
+        self.delegated.insert(
+            txn,
+            DelegateTxn {
+                op,
+                step: 0,
+                reads: Vec::new(),
+                phase: DelPhase::Locking {
+                    step: 0,
+                    awaiting: HashSet::new(),
+                },
+                retries,
+            },
+        );
+        self.request_lock(ctx, txn);
+    }
+
+    /// Sends the lock request for the current step to every replica
+    /// (including this one, via loopback, for uniformity).
+    fn request_lock(&mut self, ctx: &mut Context<'_, EulMsg>, txn: TxnId) {
+        let Some(t) = self.delegated.get_mut(&txn) else {
+            return;
+        };
+        let step = t.step;
+        if step >= t.op.txn.ops.len() {
+            self.start_commit(ctx, txn);
+            return;
+        }
+        let (key, exclusive) = match t.op.txn.ops[step] {
+            OpTemplate::Read(k) => (k, false),
+            OpTemplate::Write(k, _) => (k, true),
+        };
+        if self.marks {
+            ctx.mark(Phase::ServerCoordination.tag(), t.op.id.0, step as u64);
+        }
+        // Read-one/write-all: a read locks only the local copy.
+        let targets: Vec<NodeId> = if self.rowa && !exclusive {
+            vec![self.me]
+        } else {
+            self.servers.clone()
+        };
+        t.phase = DelPhase::Locking {
+            step: step as u32,
+            awaiting: targets.iter().copied().collect(),
+        };
+        for &s in &targets {
+            ctx.send(
+                s,
+                EulMsg::LockReq {
+                    txn,
+                    step: step as u32,
+                    key,
+                    exclusive,
+                    delegate: self.me,
+                },
+            );
+        }
+    }
+
+    /// All sites granted: execute the step everywhere and move on.
+    fn step_granted(&mut self, ctx: &mut Context<'_, EulMsg>, txn: TxnId) {
+        let Some(t) = self.delegated.get_mut(&txn) else {
+            return;
+        };
+        let step = t.step;
+        let (key, write) = match t.op.txn.ops[step] {
+            OpTemplate::Read(k) => (k, None),
+            OpTemplate::Write(k, v) => (k, Some(v)),
+        };
+        if self.marks {
+            ctx.mark(Phase::Execution.tag(), t.op.id.0, step as u64);
+        }
+        t.step += 1;
+        // Reads under read-one/write-all execute only locally.
+        let exec_targets: Vec<NodeId> = if self.rowa && write.is_none() {
+            vec![self.me]
+        } else {
+            self.servers.clone()
+        };
+        for &s in &exec_targets {
+            ctx.send(
+                s,
+                EulMsg::Exec {
+                    txn,
+                    step: step as u32,
+                    key,
+                    write,
+                },
+            );
+        }
+        // The delegate's local Exec arrives by loopback and records the
+        // read value; but the client response needs the value *now* — read
+        // it directly (the lock is held, so it cannot change in between).
+        if write.is_none() {
+            let v = self.base.store.read(key).map_or(Value(0), |v| v.value);
+            if let Some(t) = self.delegated.get_mut(&txn) {
+                t.reads.push((key, v));
+            }
+        }
+        self.request_lock(ctx, txn);
+    }
+
+    fn start_commit(&mut self, ctx: &mut Context<'_, EulMsg>, txn: TxnId) {
+        let others: Vec<NodeId> = self
+            .servers
+            .iter()
+            .copied()
+            .filter(|&s| s != self.me)
+            .collect();
+        let Some(t) = self.delegated.get_mut(&txn) else {
+            return;
+        };
+        if self.marks {
+            ctx.mark(Phase::AgreementCoordination.tag(), t.op.id.0, u64::MAX);
+        }
+        let mut coord = TpcCoordinator::new(others.clone());
+        coord.start();
+        t.phase = DelPhase::Committing(coord);
+        if others.is_empty() {
+            self.finish(ctx, txn, true);
+            return;
+        }
+        for s in others {
+            ctx.send(s, EulMsg::Prepare { txn });
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Context<'_, EulMsg>, txn: TxnId, commit: bool) {
+        let Some(t) = self.delegated.remove(&txn) else {
+            return;
+        };
+        for &s in &self.servers {
+            if s != self.me {
+                ctx.send(s, EulMsg::Decision { txn, commit });
+            }
+        }
+        self.apply_decision(ctx, txn, commit);
+        let resp = Response {
+            op: t.op.id,
+            committed: commit,
+            reads: t.reads,
+        };
+        if commit {
+            self.base.remember(&resp);
+            ctx.send(t.op.client, EulMsg::Reply(resp));
+        } else if t.retries < MAX_RETRIES {
+            self.requeue.push((t.op, t.retries + 1));
+            let backoff = SimDuration::from_ticks(400 + 150 * t.retries as u64);
+            ctx.set_timer(backoff, RETRY_TICK);
+        } else {
+            ctx.send(t.op.client, EulMsg::Reply(resp));
+        }
+    }
+
+    /// Commits or aborts the local tentative state and releases locks.
+    fn apply_decision(&mut self, ctx: &mut Context<'_, EulMsg>, txn: TxnId, commit: bool) {
+        if self.tentative.remove(&txn) || self.base.tm.is_active(txn) {
+            if commit {
+                let _ = self.base.tm.commit(txn);
+                self.base.history.mark_committed(txn);
+                self.base.committed += 1;
+            } else {
+                let _ = self.base.tm.abort(&mut self.base.store, txn);
+                self.base.history.purge(txn);
+                self.base.aborted += 1;
+            }
+        }
+        self.lock_owner.remove(&txn);
+        let granted = self.lm.release_all(txn);
+        for (g, _, _) in granted {
+            self.granted_locally(ctx, g);
+        }
+    }
+
+    /// A queued lock request of `txn` became grantable at this site.
+    fn granted_locally(&mut self, ctx: &mut Context<'_, EulMsg>, txn: TxnId) {
+        if let Some(&(delegate, step)) = self.lock_owner.get(&txn) {
+            ctx.send(delegate, EulMsg::LockGrant { txn, step });
+        }
+    }
+
+    /// A site (or the detector) wounded `victim`, for which we delegate.
+    fn wound_delegated(&mut self, ctx: &mut Context<'_, EulMsg>, victim: TxnId) {
+        if self.delegated.contains_key(&victim) {
+            self.wounds += 1;
+            self.finish(ctx, victim, false);
+        }
+    }
+
+    fn run_detection(&mut self, ctx: &mut Context<'_, EulMsg>) {
+        self.probe_edges = self.lm.wait_for_edges();
+        self.probe_answers = 1;
+        for &s in &self.servers {
+            if s != self.me {
+                ctx.send(s, EulMsg::ProbeReq);
+            }
+        }
+        self.maybe_resolve_deadlock(ctx);
+    }
+
+    fn maybe_resolve_deadlock(&mut self, ctx: &mut Context<'_, EulMsg>) {
+        if self.probe_answers < self.servers.len() {
+            return;
+        }
+        // Union collected; reuse the lock manager's cycle finder through a
+        // scratch structure.
+        if let Some(victim) = find_cycle_victim(&self.probe_edges) {
+            for &s in &self.servers {
+                ctx.send(s, EulMsg::Wound { victim });
+            }
+        }
+        self.probe_answers = 0;
+    }
+}
+
+/// Finds the youngest transaction on a wait-for cycle, if any.
+fn find_cycle_victim(edges: &[(TxnId, TxnId)]) -> Option<TxnId> {
+    use std::collections::HashMap as Map;
+    let mut adj: Map<TxnId, Vec<TxnId>> = Map::new();
+    let mut nodes: Vec<TxnId> = Vec::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+        nodes.push(a);
+        nodes.push(b);
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    #[derive(Clone, Copy, PartialEq)]
+    enum C {
+        W,
+        G,
+        B,
+    }
+    let mut color: Map<TxnId, C> = nodes.iter().map(|&n| (n, C::W)).collect();
+    for &start in &nodes {
+        if color[&start] != C::W {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        color.insert(start, C::G);
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let next = adj.get(&node).and_then(|v| v.get(*idx).copied());
+            *idx += 1;
+            match next {
+                Some(n) => match color[&n] {
+                    C::G => {
+                        let pos = path.iter().position(|&p| p == n).expect("on path");
+                        return path[pos..].iter().copied().max();
+                    }
+                    C::W => {
+                        color.insert(n, C::G);
+                        stack.push((n, 0));
+                        path.push(n);
+                    }
+                    C::B => {}
+                },
+                None => {
+                    color.insert(node, C::B);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+    }
+    None
+}
+
+impl Actor<EulMsg> for EulServer {
+    fn on_start(&mut self, ctx: &mut Context<'_, EulMsg>) {
+        if self.policy == DeadlockPolicy::Detect && self.base.site == 0 {
+            ctx.set_timer(self.detect_every, DETECT_TICK);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, EulMsg>, from: NodeId, msg: EulMsg) {
+        match msg {
+            EulMsg::Invoke(op) => {
+                if let Some(resp) = self.base.cached(op.id) {
+                    ctx.send(op.client, EulMsg::Reply(resp));
+                    return;
+                }
+                let txn = global_txn(op.id);
+                if !self.delegated.contains_key(&txn)
+                    && !self.requeue.iter().any(|(o, _)| o.id == op.id)
+                {
+                    self.start_txn(ctx, op, 0);
+                }
+            }
+            EulMsg::LockReq {
+                txn,
+                step,
+                key,
+                exclusive,
+                delegate,
+            } => {
+                self.lock_owner.insert(txn, (delegate, step));
+                let mode = if exclusive {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                };
+                match self.lm.acquire(txn, key, mode) {
+                    Acquire::Granted => {
+                        ctx.send(delegate, EulMsg::LockGrant { txn, step });
+                    }
+                    Acquire::Waiting { wounded } => {
+                        for v in wounded {
+                            self.wounds += 1;
+                            if let Some(&(d, _)) = self.lock_owner.get(&v) {
+                                ctx.send(d, EulMsg::Wound { victim: v });
+                            }
+                        }
+                    }
+                }
+            }
+            EulMsg::LockGrant { txn, step } => {
+                let ready = {
+                    let Some(t) = self.delegated.get_mut(&txn) else {
+                        return;
+                    };
+                    match &mut t.phase {
+                        DelPhase::Locking { step: s, awaiting } if *s == step => {
+                            awaiting.remove(&from);
+                            awaiting.is_empty()
+                        }
+                        _ => false,
+                    }
+                };
+                if ready {
+                    self.step_granted(ctx, txn);
+                }
+            }
+            EulMsg::Wound { victim } => {
+                self.wound_delegated(ctx, victim);
+            }
+            EulMsg::Exec {
+                txn, key, write, ..
+            } => {
+                self.base.tm.begin(txn);
+                self.tentative.insert(txn);
+                match write {
+                    Some(v) => {
+                        let v = self.base.effective_value(v);
+                        let _ = self.base.tm.write(&mut self.base.store, txn, key, v);
+                        self.base.history.record(
+                            self.base.site,
+                            txn,
+                            key,
+                            repl_db::AccessKind::Write,
+                        );
+                    }
+                    None => {
+                        let _ = self.base.tm.read(&self.base.store, txn, key);
+                        self.base.history.record(
+                            self.base.site,
+                            txn,
+                            key,
+                            repl_db::AccessKind::Read,
+                        );
+                    }
+                }
+            }
+            EulMsg::Prepare { txn } => {
+                ctx.send(from, EulMsg::Vote { txn, yes: true });
+            }
+            EulMsg::Vote { txn, yes } => {
+                let decision = {
+                    let Some(t) = self.delegated.get_mut(&txn) else {
+                        return;
+                    };
+                    match &mut t.phase {
+                        DelPhase::Committing(c) => c.on_vote(from, yes),
+                        _ => None,
+                    }
+                };
+                match decision {
+                    Some(TpcDecision::Commit) => self.finish(ctx, txn, true),
+                    Some(TpcDecision::Abort) => self.finish(ctx, txn, false),
+                    None => {}
+                }
+            }
+            EulMsg::Decision { txn, commit } => {
+                self.apply_decision(ctx, txn, commit);
+            }
+            EulMsg::ProbeReq => {
+                ctx.send(
+                    from,
+                    EulMsg::ProbeEdges {
+                        edges: self.lm.wait_for_edges(),
+                    },
+                );
+            }
+            EulMsg::ProbeEdges { edges } => {
+                self.probe_edges.extend(edges);
+                self.probe_answers += 1;
+                self.maybe_resolve_deadlock(ctx);
+            }
+            EulMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, EulMsg>, _timer: TimerId, tag: u64) {
+        match tag {
+            DETECT_TICK => {
+                self.run_detection(ctx);
+                ctx.set_timer(self.detect_every, DETECT_TICK);
+            }
+            RETRY_TICK => {
+                let pending = std::mem::take(&mut self.requeue);
+                for (op, retries) in pending {
+                    self.start_txn(ctx, op, retries);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientActor;
+    use repl_sim::{SimConfig, SimTime, World};
+    use repl_workload::TxnTemplate;
+
+    fn write(k: u64, v: i64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Write(Key(k), Value(v))],
+        }
+    }
+    fn read(k: u64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Read(Key(k))],
+        }
+    }
+    fn multi(ops: Vec<OpTemplate>) -> TxnTemplate {
+        TxnTemplate { ops }
+    }
+
+    fn build(
+        n: u32,
+        txns: Vec<Vec<TxnTemplate>>,
+        policy: DeadlockPolicy,
+        seed: u64,
+    ) -> (World<EulMsg>, Vec<NodeId>, Vec<NodeId>) {
+        let mut world = World::new(SimConfig::new(seed));
+        let servers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        for i in 0..n {
+            world.add_actor(Box::new(EulServer::new(
+                i,
+                NodeId::new(i),
+                servers.clone(),
+                16,
+                ExecutionMode::Deterministic,
+                policy,
+            )));
+        }
+        let mut clients = Vec::new();
+        for (c, t) in txns.into_iter().enumerate() {
+            // Each client talks to its local server (update everywhere!).
+            let client = ClientActor::<EulMsg>::new(
+                c as u32,
+                servers.clone(),
+                c % n as usize,
+                t,
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(40_000),
+            );
+            clients.push(world.add_actor(Box::new(client)));
+        }
+        (world, servers, clients)
+    }
+
+    #[test]
+    fn single_op_write_replicates_to_all_sites() {
+        let (mut world, servers, clients) = build(
+            3,
+            vec![vec![write(0, 7), read(0)]],
+            DeadlockPolicy::WoundWait,
+            1,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        let client = world.actor_ref::<ClientActor<EulMsg>>(clients[0]);
+        assert!(client.is_done());
+        assert_eq!(
+            client.records[1].response.as_ref().expect("r").reads,
+            vec![(Key(0), Value(7))]
+        );
+        let fp0 = world
+            .actor_ref::<EulServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world.actor_ref::<EulServer>(s).base.store.fingerprint(),
+                fp0
+            );
+        }
+    }
+
+    #[test]
+    fn updates_from_different_delegates_converge() {
+        let (mut world, servers, clients) = build(
+            3,
+            vec![
+                vec![write(0, 1), write(1, 2)],
+                vec![write(2, 3), write(3, 4)],
+                vec![write(4, 5)],
+            ],
+            DeadlockPolicy::WoundWait,
+            2,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        for &c in &clients {
+            assert!(world.actor_ref::<ClientActor<EulMsg>>(c).is_done());
+        }
+        let fp0 = world
+            .actor_ref::<EulServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world.actor_ref::<EulServer>(s).base.store.fingerprint(),
+                fp0
+            );
+        }
+    }
+
+    #[test]
+    fn opposite_order_writes_resolved_by_wound_wait() {
+        let (mut world, servers, clients) = build(
+            2,
+            vec![
+                vec![multi(vec![
+                    OpTemplate::Write(Key(0), Value(1)),
+                    OpTemplate::Write(Key(1), Value(2)),
+                ])],
+                vec![multi(vec![
+                    OpTemplate::Write(Key(1), Value(20)),
+                    OpTemplate::Write(Key(0), Value(10)),
+                ])],
+            ],
+            DeadlockPolicy::WoundWait,
+            3,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(3_000_000));
+        for &c in &clients {
+            assert!(
+                world.actor_ref::<ClientActor<EulMsg>>(c).is_done(),
+                "deadlock not resolved for {c}"
+            );
+        }
+        let mut merged = repl_db::ReplicatedHistory::new();
+        for &s in &servers {
+            merged.merge(&world.actor_ref::<EulServer>(s).base.history);
+        }
+        assert!(merged.check_one_copy_serializable().is_ok());
+        let fp0 = world
+            .actor_ref::<EulServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        assert_eq!(
+            world
+                .actor_ref::<EulServer>(servers[1])
+                .base
+                .store
+                .fingerprint(),
+            fp0
+        );
+    }
+
+    #[test]
+    fn opposite_order_writes_resolved_by_detection() {
+        let (mut world, servers, clients) = build(
+            2,
+            vec![
+                vec![multi(vec![
+                    OpTemplate::Write(Key(0), Value(1)),
+                    OpTemplate::Write(Key(1), Value(2)),
+                ])],
+                vec![multi(vec![
+                    OpTemplate::Write(Key(1), Value(20)),
+                    OpTemplate::Write(Key(0), Value(10)),
+                ])],
+            ],
+            DeadlockPolicy::Detect,
+            4,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(5_000_000));
+        for &c in &clients {
+            assert!(
+                world.actor_ref::<ClientActor<EulMsg>>(c).is_done(),
+                "deadlock not detected/resolved for {c}"
+            );
+        }
+        let fp0 = world
+            .actor_ref::<EulServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        assert_eq!(
+            world
+                .actor_ref::<EulServer>(servers[1])
+                .base
+                .store
+                .fingerprint(),
+            fp0
+        );
+    }
+
+    #[test]
+    fn phase_skeleton_single_op_matches_figure_8() {
+        let (mut world, _s, _c) = build(3, vec![vec![write(0, 1)]], DeadlockPolicy::WoundWait, 5);
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        assert_eq!(
+            pt.canonical().expect("op done").to_string(),
+            "RE SC EX AC END"
+        );
+    }
+
+    #[test]
+    fn phase_skeleton_multi_op_loops_sc_ex_as_figure_13() {
+        let (mut world, _s, _c) = build(
+            3,
+            vec![vec![multi(vec![
+                OpTemplate::Write(Key(0), Value(1)),
+                OpTemplate::Write(Key(1), Value(2)),
+            ])]],
+            DeadlockPolicy::WoundWait,
+            6,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        let sk = pt.canonical().expect("op done");
+        assert_eq!(sk.to_string(), "RE SC EX SC EX AC END");
+        assert!(sk.has_loop());
+    }
+
+    #[test]
+    fn history_under_contention_is_one_copy_serializable() {
+        // Several clients hammering two hot keys with read-modify-write
+        // style transactions; whatever commits must be 1SR.
+        let mut txns = Vec::new();
+        for c in 0..4u64 {
+            txns.push(vec![
+                multi(vec![
+                    OpTemplate::Read(Key(0)),
+                    OpTemplate::Write(Key(0), Value(100 + c as i64)),
+                ]),
+                multi(vec![
+                    OpTemplate::Read(Key(1)),
+                    OpTemplate::Write(Key(1), Value(200 + c as i64)),
+                ]),
+            ]);
+        }
+        let (mut world, servers, clients) = build(3, txns, DeadlockPolicy::WoundWait, 7);
+        world.start();
+        world.run_until(SimTime::from_ticks(5_000_000));
+        for &c in &clients {
+            assert!(
+                world.actor_ref::<ClientActor<EulMsg>>(c).is_done(),
+                "{c} stuck"
+            );
+        }
+        let mut merged = repl_db::ReplicatedHistory::new();
+        for &s in &servers {
+            merged.merge(&world.actor_ref::<EulServer>(s).base.history);
+        }
+        merged.check_one_copy_serializable().expect("1SR violated");
+        let fp0 = world
+            .actor_ref::<EulServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world.actor_ref::<EulServer>(s).base.store.fingerprint(),
+                fp0
+            );
+        }
+    }
+}

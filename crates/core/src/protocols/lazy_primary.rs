@@ -1,0 +1,410 @@
+//! Lazy primary copy replication (paper §4.5, Fig. 10).
+//!
+//! All updates go to the primary, which executes, commits and answers the
+//! client *before* any coordination; the changes propagate to the
+//! secondaries afterwards (the paper's inverted phase order — the END
+//! phase precedes Agreement Coordination). Skeleton: `RE EX END AC`.
+//!
+//! Reads execute at whatever server the client contacts, so secondaries
+//! serve **stale** data until propagation catches up — the price of the
+//! one-round-trip response time. The staleness oracle in
+//! [`crate::consistency`] quantifies it.
+//!
+//! Because ordering happens entirely at the primary, secondaries apply
+//! updates in primary-commit order (FIFO from the primary) and replicas
+//! converge; no reconciliation is ever needed (contrast with
+//! [`crate::protocols::lazy_ue`]).
+//!
+//! Secondaries support **crash recovery with catch-up**: the primary
+//! numbers every propagated writeset against its redo log
+//! ([`repl_db::RedoLog`]); a recovering (or gap-detecting) secondary asks
+//! for the suffix it missed and replays it in order — the classic
+//! log-shipping standby pattern.
+
+use repl_db::{RedoLog, WriteSet};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+use repl_workload::OpTemplate;
+
+use crate::client::ProtocolMsg;
+use crate::op::{ClientOp, Response};
+use crate::phase::Phase;
+use crate::protocols::common::{global_txn, ExecutionMode, ServerBase};
+
+/// Wire messages of lazy primary copy replication.
+#[derive(Debug, Clone)]
+pub enum LazyPrimaryMsg {
+    /// Client → server (updates forwarded to the primary, reads local).
+    Invoke(ClientOp),
+    /// Primary → secondaries: committed writesets, in commit order.
+    Propagate {
+        /// Position in the primary's redo log.
+        idx: u64,
+        /// The committed redo records.
+        ws: WriteSet,
+    },
+    /// Recovering/gapped secondary → primary: send me the log from `have`.
+    CatchUpReq {
+        /// Number of log entries the secondary has applied.
+        have: u64,
+    },
+    /// Primary → secondary: log suffix starting at `start`.
+    CatchUpData {
+        /// Log index of the first entry.
+        start: u64,
+        /// The missing entries, in log order.
+        entries: Vec<WriteSet>,
+    },
+    /// Server → client.
+    Reply(Response),
+}
+
+impl Message for LazyPrimaryMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            LazyPrimaryMsg::Invoke(op) => 8 + op.wire_size(),
+            LazyPrimaryMsg::Propagate { ws, .. } => 16 + ws.wire_size(),
+            LazyPrimaryMsg::CatchUpReq { .. } => 16,
+            LazyPrimaryMsg::CatchUpData { entries, .. } => {
+                16 + entries.iter().map(|w| w.wire_size()).sum::<usize>()
+            }
+            LazyPrimaryMsg::Reply(r) => 8 + r.wire_size(),
+        }
+    }
+}
+
+impl ProtocolMsg for LazyPrimaryMsg {
+    fn invoke(op: ClientOp) -> Self {
+        LazyPrimaryMsg::Invoke(op)
+    }
+    fn response(&self) -> Option<&Response> {
+        match self {
+            LazyPrimaryMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+const FLUSH_TAG: u64 = 1;
+
+/// A lazy-primary-copy server.
+pub struct LazyPrimaryServer {
+    /// Shared database/server state (public for post-run inspection).
+    pub base: ServerBase,
+    me: NodeId,
+    servers: Vec<NodeId>,
+    /// Extra delay before propagating committed updates (0 = propagate
+    /// immediately after the reply; larger values widen the staleness
+    /// window for the experiments).
+    propagation_delay: SimDuration,
+    /// Committed writesets awaiting propagation.
+    outbound: Vec<WriteSet>,
+    flush_armed: bool,
+    /// The primary's redo log (numbering the propagation stream).
+    pub log: RedoLog,
+    /// Secondary: how many log entries have been applied.
+    pub applied: u64,
+    marks: bool,
+}
+
+impl LazyPrimaryServer {
+    /// Creates server `site` of `servers`; the primary is rank 0.
+    pub fn new(
+        site: u32,
+        me: NodeId,
+        servers: Vec<NodeId>,
+        items: u64,
+        exec: ExecutionMode,
+        propagation_delay: SimDuration,
+    ) -> Self {
+        LazyPrimaryServer {
+            base: ServerBase::new(site, items, exec),
+            me,
+            servers,
+            propagation_delay,
+            outbound: Vec::new(),
+            flush_armed: false,
+            log: RedoLog::new(),
+            applied: 0,
+            marks: site == 0,
+        }
+    }
+
+    /// The static primary.
+    pub fn primary(&self) -> NodeId {
+        self.servers[0]
+    }
+
+    fn flush(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>) {
+        let pending = std::mem::take(&mut self.outbound);
+        self.flush_armed = false;
+        for ws in pending {
+            if self.marks {
+                // AC happens *after* END: the lazy signature.
+                let op = crate::protocols::common::op_of_txn(ws.txn);
+                ctx.mark(Phase::AgreementCoordination.tag(), op.0, 0);
+            }
+            let idx = self.log.append(ws.clone()) as u64;
+            for &s in &self.servers {
+                if s != self.me {
+                    ctx.send(
+                        s,
+                        LazyPrimaryMsg::Propagate {
+                            idx,
+                            ws: ws.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Secondary: applies one numbered log entry if it is next in order.
+    fn apply_entry(&mut self, idx: u64, ws: &WriteSet) -> bool {
+        if idx != self.applied {
+            return false;
+        }
+        self.base.install_writeset(ws);
+        self.applied += 1;
+        true
+    }
+}
+
+impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
+    fn on_recover(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>) {
+        // Crash recovery: ask the primary for everything missed.
+        let primary = self.primary();
+        if primary != self.me {
+            ctx.send(primary, LazyPrimaryMsg::CatchUpReq { have: self.applied });
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, LazyPrimaryMsg>,
+        from: NodeId,
+        msg: LazyPrimaryMsg,
+    ) {
+        match msg {
+            LazyPrimaryMsg::Invoke(op) => {
+                if let Some(resp) = self.base.cached(op.id) {
+                    ctx.send(op.client, LazyPrimaryMsg::Reply(resp));
+                    return;
+                }
+                // Reads answer locally wherever they land (possibly stale).
+                if op.is_read_only() {
+                    let txn = global_txn(op.id);
+                    let mut reads = Vec::new();
+                    for tpl in &op.txn.ops {
+                        if let OpTemplate::Read(k) = tpl {
+                            reads.push((*k, self.base.read_committed(txn, *k)));
+                        }
+                    }
+                    self.base.history.mark_committed(txn);
+                    let resp = Response {
+                        op: op.id,
+                        committed: true,
+                        reads,
+                    };
+                    self.base.remember(&resp);
+                    ctx.send(op.client, LazyPrimaryMsg::Reply(resp));
+                    return;
+                }
+                // Updates must reach the primary.
+                if self.me != self.primary() {
+                    let p = self.primary();
+                    ctx.send(p, LazyPrimaryMsg::Invoke(op));
+                    return;
+                }
+                if self.marks {
+                    ctx.mark(Phase::Execution.tag(), op.id.0, 0);
+                }
+                let (ws, resp) = self.base.execute_commit(&op, global_txn(op.id));
+                self.base.remember(&resp);
+                // Lazy: reply *now*, coordinate later.
+                ctx.send(op.client, LazyPrimaryMsg::Reply(resp));
+                if !ws.is_empty() {
+                    self.outbound.push(ws);
+                    if self.propagation_delay.is_zero() {
+                        self.flush(ctx);
+                    } else if !self.flush_armed {
+                        self.flush_armed = true;
+                        ctx.set_timer(self.propagation_delay, FLUSH_TAG);
+                    }
+                }
+            }
+            LazyPrimaryMsg::Propagate { idx, ws } => {
+                // Secondary: install in log order; on a gap (messages sent
+                // while this secondary was crashed), ask for the suffix.
+                if !self.apply_entry(idx, &ws) && idx > self.applied {
+                    let primary = self.primary();
+                    ctx.send(primary, LazyPrimaryMsg::CatchUpReq { have: self.applied });
+                }
+            }
+            LazyPrimaryMsg::CatchUpReq { have } => {
+                if self.me == self.primary() {
+                    let entries: Vec<WriteSet> = self.log.since(have as usize).cloned().collect();
+                    if !entries.is_empty() {
+                        ctx.send(
+                            from,
+                            LazyPrimaryMsg::CatchUpData {
+                                start: have,
+                                entries,
+                            },
+                        );
+                    }
+                }
+            }
+            LazyPrimaryMsg::CatchUpData { start, entries } => {
+                for (i, ws) in entries.iter().enumerate() {
+                    self.apply_entry(start + i as u64, ws);
+                }
+            }
+            LazyPrimaryMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>, _timer: TimerId, tag: u64) {
+        if tag == FLUSH_TAG {
+            self.flush(ctx);
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientActor;
+    use repl_db::{Key, Value};
+    use repl_sim::{SimConfig, SimTime, World};
+    use repl_workload::TxnTemplate;
+
+    fn write(k: u64, v: i64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Write(Key(k), Value(v))],
+        }
+    }
+    fn read(k: u64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Read(Key(k))],
+        }
+    }
+
+    fn build(
+        n: u32,
+        txns: Vec<Vec<TxnTemplate>>,
+        delay: u64,
+        seed: u64,
+    ) -> (World<LazyPrimaryMsg>, Vec<NodeId>, Vec<NodeId>) {
+        let mut world = World::new(SimConfig::new(seed));
+        let servers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        for i in 0..n {
+            world.add_actor(Box::new(LazyPrimaryServer::new(
+                i,
+                NodeId::new(i),
+                servers.clone(),
+                16,
+                ExecutionMode::Deterministic,
+                SimDuration::from_ticks(delay),
+            )));
+        }
+        let mut clients = Vec::new();
+        for (c, t) in txns.into_iter().enumerate() {
+            let client = ClientActor::<LazyPrimaryMsg>::new(
+                c as u32,
+                servers.clone(),
+                c % n as usize,
+                t,
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(20_000),
+            );
+            clients.push(world.add_actor(Box::new(client)));
+        }
+        (world, servers, clients)
+    }
+
+    #[test]
+    fn replicas_converge_after_quiescence() {
+        let (mut world, servers, clients) =
+            build(3, vec![vec![write(0, 1), write(1, 2), write(0, 3)]], 0, 1);
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        assert!(world
+            .actor_ref::<ClientActor<LazyPrimaryMsg>>(clients[0])
+            .is_done());
+        let fp0 = world
+            .actor_ref::<LazyPrimaryServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world
+                    .actor_ref::<LazyPrimaryServer>(s)
+                    .base
+                    .store
+                    .fingerprint(),
+                fp0
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_update_is_faster_than_propagation() {
+        // The update's response arrives before secondaries have the data:
+        // immediately after the client's reply, a secondary still holds
+        // the old value when propagation is delayed.
+        let (mut world, servers, clients) = build(2, vec![vec![write(0, 9)]], 50_000, 2);
+        world.start();
+        world.run_until(SimTime::from_ticks(10_000));
+        let client = world.actor_ref::<ClientActor<LazyPrimaryMsg>>(clients[0]);
+        assert!(client.is_done(), "lazy reply must not wait for propagation");
+        let secondary = world.actor_ref::<LazyPrimaryServer>(servers[1]);
+        assert_eq!(
+            secondary.base.store.read(Key(0)).expect("exists").value,
+            Value(0),
+            "secondary must still be stale"
+        );
+        // After the propagation delay, it converges.
+        world.run_until(SimTime::from_ticks(200_000));
+        let secondary = world.actor_ref::<LazyPrimaryServer>(servers[1]);
+        assert_eq!(
+            secondary.base.store.read(Key(0)).expect("exists").value,
+            Value(9)
+        );
+    }
+
+    #[test]
+    fn secondary_reads_can_be_stale() {
+        // Writer commits at the primary; a reader attached to the
+        // secondary reads during the staleness window.
+        let (mut world, _servers, clients) = build(
+            2,
+            vec![
+                vec![write(0, 7)], // client 0 at primary
+                vec![read(0)],     // client 1 at secondary
+            ],
+            80_000,
+            3,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(40_000));
+        let reader = world.actor_ref::<ClientActor<LazyPrimaryMsg>>(clients[1]);
+        assert!(reader.is_done());
+        let observed = reader.records[0].response.as_ref().expect("r").reads[0].1;
+        assert_eq!(observed, Value(0), "read should be stale in the window");
+    }
+
+    #[test]
+    fn phase_skeleton_matches_figure_10_end_before_ac() {
+        let (mut world, _s, _c) = build(3, vec![vec![write(0, 1)]], 5_000, 4);
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        let sk = pt.canonical().expect("op done");
+        assert_eq!(sk.to_string(), "RE EX END AC");
+        assert!(sk.responds_before_agreement());
+        assert!(!sk.synchronises_before_response());
+    }
+}

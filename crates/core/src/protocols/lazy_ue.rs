@@ -1,0 +1,519 @@
+//! Lazy update everywhere with reconciliation (paper §4.6, Fig. 11).
+//!
+//! Any copy takes updates, commits and answers immediately; changes
+//! propagate afterwards. Because other sites may have committed
+//! conflicting transactions in the meantime, copies can be not merely
+//! stale but *inconsistent*, and a reconciliation rule decides which
+//! updates win (the paper: "Reconciliation is needed to decide which
+//! updates are the winners"). Skeleton: `RE EX END AC`.
+//!
+//! Two reconciliation rules, selectable with [`ReconcileMode`]:
+//!
+//! * [`ReconcileMode::Lww`] — per-object last-writer-wins by commit
+//!   timestamp with site tie-break (the Thomas write rule); exactly the
+//!   per-object scheme whose limitation the paper notes.
+//! * [`ReconcileMode::AbcastOrder`] — the paper's suggested alternative
+//!   ("a straightforward solution … is to run an Atomic Broadcast and
+//!   determine the after-commit-order according to the order of the
+//!   atomic broadcast"): committed writesets are ABCAST and applied in
+//!   total order everywhere.
+//!
+//! Discarded/overridden optimistic writes are counted in
+//! [`LazyUeServer::reconciliations`] — the conflict-intensity experiment
+//! sweeps them.
+
+use std::collections::{HashMap, HashSet};
+
+use repl_db::{Key, TxnId, WriteSet};
+use repl_gcs::Outbox;
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+use repl_workload::OpTemplate;
+
+use crate::client::ProtocolMsg;
+use crate::op::{ClientOp, Response};
+use crate::phase::Phase;
+use crate::protocols::common::{
+    global_txn, op_of_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+};
+
+/// How conflicting lazy updates are reconciled (paper §4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconcileMode {
+    /// Per-object last-writer-wins (Thomas write rule).
+    #[default]
+    Lww,
+    /// After-commit order decided by Atomic Broadcast.
+    AbcastOrder,
+}
+
+/// A committed writeset travelling through the ABCAST (AbcastOrder mode).
+///
+/// The ordering uses the fixed-sequencer ABCAST (`servers[0]` sequences);
+/// lazy techniques are not run in the crash experiments (the paper studies
+/// them for performance, not fault tolerance), so the cheap primitive is
+/// the right default here.
+#[derive(Debug, Clone)]
+pub struct OrderedWs(pub WriteSet);
+
+impl Message for OrderedWs {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size()
+    }
+}
+
+/// Wire messages of lazy update everywhere.
+#[derive(Debug, Clone)]
+pub enum LazyUeMsg {
+    /// Client → its local server.
+    Invoke(ClientOp),
+    /// Server → all other servers, after commit.
+    Propagate {
+        /// The committed redo records.
+        ws: WriteSet,
+        /// Commit timestamp (virtual-time ticks) for last-writer-wins.
+        commit_ts: u64,
+        /// Committing site (timestamp tie-break).
+        site: u32,
+    },
+    /// ABCAST traffic (AbcastOrder reconciliation).
+    Ab(AbMsg<OrderedWs>),
+    /// Server → client.
+    Reply(Response),
+}
+
+impl Message for LazyUeMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            LazyUeMsg::Invoke(op) => 8 + op.wire_size(),
+            LazyUeMsg::Propagate { ws, .. } => 20 + ws.wire_size(),
+            LazyUeMsg::Ab(m) => m.wire_size(),
+            LazyUeMsg::Reply(r) => 8 + r.wire_size(),
+        }
+    }
+}
+
+impl ProtocolMsg for LazyUeMsg {
+    fn invoke(op: ClientOp) -> Self {
+        LazyUeMsg::Invoke(op)
+    }
+    fn response(&self) -> Option<&Response> {
+        match self {
+            LazyUeMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+const FLUSH_TAG: u64 = 1;
+
+/// A lazy-update-everywhere server.
+pub struct LazyUeServer {
+    /// Shared database/server state (public for post-run inspection).
+    pub base: ServerBase,
+    me: NodeId,
+    servers: Vec<NodeId>,
+    propagation_delay: SimDuration,
+    /// Last accepted writer per key: `(commit_ts, site)`.
+    last_writer: HashMap<Key, (u64, u32)>,
+    outbound: Vec<(WriteSet, u64)>,
+    flush_armed: bool,
+    mode: ReconcileMode,
+    ab: AbcastEndpoint<OrderedWs>,
+    /// Locally committed transactions not yet confirmed by the total
+    /// order (AbcastOrder mode).
+    local_pending: HashSet<TxnId>,
+    /// Writes discarded by the Thomas write rule (losers of concurrent
+    /// conflicting updates).
+    pub reconciliations: u64,
+    marks: bool,
+}
+
+impl LazyUeServer {
+    /// Creates server `site` of `servers`.
+    pub fn new(
+        site: u32,
+        me: NodeId,
+        servers: Vec<NodeId>,
+        items: u64,
+        exec: ExecutionMode,
+        propagation_delay: SimDuration,
+    ) -> Self {
+        let servers_copy = servers.clone();
+        LazyUeServer {
+            base: ServerBase::new(site, items, exec),
+            me,
+            servers,
+            propagation_delay,
+            last_writer: HashMap::new(),
+            outbound: Vec::new(),
+            flush_armed: false,
+            mode: ReconcileMode::Lww,
+            ab: AbcastEndpoint::new(
+                AbcastImpl::Sequencer,
+                me,
+                servers_copy,
+                repl_gcs::ConsensusConfig::default(),
+            ),
+            local_pending: HashSet::new(),
+            reconciliations: 0,
+            marks: site == 0,
+        }
+    }
+
+    /// Selects the reconciliation rule (default: last-writer-wins).
+    pub fn with_reconcile(mut self, mode: ReconcileMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    fn flush(&mut self, ctx: &mut Context<'_, LazyUeMsg>) {
+        let pending = std::mem::take(&mut self.outbound);
+        self.flush_armed = false;
+        let site = self.base.site;
+        for (ws, commit_ts) in pending {
+            if self.marks {
+                ctx.mark(Phase::AgreementCoordination.tag(), op_of_txn(ws.txn).0, 0);
+            }
+            match self.mode {
+                ReconcileMode::Lww => {
+                    for &s in &self.servers {
+                        if s != self.me {
+                            ctx.send(
+                                s,
+                                LazyUeMsg::Propagate {
+                                    ws: ws.clone(),
+                                    commit_ts,
+                                    site,
+                                },
+                            );
+                        }
+                    }
+                }
+                ReconcileMode::AbcastOrder => {
+                    let mut out = Outbox::new();
+                    self.ab.broadcast(OrderedWs(ws), &mut out);
+                    self.drive_ab(ctx, out);
+                }
+            }
+        }
+    }
+
+    /// Applies ABCAST-ordered writesets: the total order *is* the
+    /// after-commit order, so every site replays the same sequence.
+    fn drive_ab(
+        &mut self,
+        ctx: &mut Context<'_, LazyUeMsg>,
+        out: Outbox<AbMsg<OrderedWs>, repl_gcs::AbDeliver<OrderedWs>>,
+    ) {
+        let deliveries = repl_gcs::apply_outbox(ctx, out, 0, LazyUeMsg::Ab);
+        for d in deliveries {
+            let ws = d.payload.0;
+            let own = self.local_pending.remove(&ws.txn);
+            for w in &ws.writes {
+                // An optimistic local value that had not reached the total
+                // order yet is being overridden: that is a reconciliation.
+                if let Some(current) = self.base.store.read(w.key) {
+                    if let Some(writer) = current.writer {
+                        if writer != ws.txn && self.local_pending.contains(&writer) {
+                            self.reconciliations += 1;
+                        }
+                    }
+                }
+                self.base.store.write(w.key, w.value, ws.txn);
+                if !own {
+                    self.base.history.record(
+                        self.base.site,
+                        ws.txn,
+                        w.key,
+                        repl_db::AccessKind::Write,
+                    );
+                }
+            }
+            if !own {
+                self.base.history.mark_committed(ws.txn);
+                self.base.committed += 1;
+            }
+        }
+    }
+
+    /// Applies a remote writeset under the Thomas write rule.
+    fn reconcile(&mut self, ws: &WriteSet, commit_ts: u64, site: u32) {
+        let mut any_applied = false;
+        for w in &ws.writes {
+            let stamp = (commit_ts, site);
+            let current = self
+                .last_writer
+                .get(&w.key)
+                .copied()
+                .unwrap_or((0, u32::MAX));
+            // Newer stamp wins; on equal timestamps the lower site wins
+            // (any deterministic rule works, it just has to be the same
+            // everywhere).
+            let newer = stamp.0 > current.0 || (stamp.0 == current.0 && stamp.1 < current.1);
+            if newer {
+                self.last_writer.insert(w.key, stamp);
+                self.base.store.write(w.key, w.value, ws.txn);
+                self.base
+                    .history
+                    .record(self.base.site, ws.txn, w.key, repl_db::AccessKind::Write);
+                any_applied = true;
+            } else {
+                self.reconciliations += 1;
+            }
+        }
+        if any_applied {
+            self.base.history.mark_committed(ws.txn);
+            self.base.committed += 1;
+        }
+    }
+}
+
+impl Actor<LazyUeMsg> for LazyUeServer {
+    fn on_message(&mut self, ctx: &mut Context<'_, LazyUeMsg>, _from: NodeId, msg: LazyUeMsg) {
+        match msg {
+            LazyUeMsg::Invoke(op) => {
+                if let Some(resp) = self.base.cached(op.id) {
+                    ctx.send(op.client, LazyUeMsg::Reply(resp));
+                    return;
+                }
+                if self.marks {
+                    ctx.mark(Phase::Execution.tag(), op.id.0, 0);
+                }
+                let txn = global_txn(op.id);
+                // Execute locally, against possibly-divergent local state.
+                let mut reads = Vec::new();
+                let mut writes = Vec::new();
+                for tpl in &op.txn.ops {
+                    match *tpl {
+                        OpTemplate::Read(k) => {
+                            reads.push((k, self.base.read_committed(txn, k)));
+                        }
+                        OpTemplate::Write(k, v) => {
+                            let v = self.base.effective_value(v);
+                            let after = self.base.store.write(k, v, txn);
+                            self.base.history.record(
+                                self.base.site,
+                                txn,
+                                k,
+                                repl_db::AccessKind::Write,
+                            );
+                            self.last_writer
+                                .insert(k, (ctx.now().ticks(), self.base.site));
+                            writes.push(repl_db::WriteRecord {
+                                key: k,
+                                value: v,
+                                version: after.version,
+                            });
+                        }
+                    }
+                }
+                self.base.history.mark_committed(txn);
+                self.base.committed += 1;
+                let resp = Response {
+                    op: op.id,
+                    committed: true,
+                    reads,
+                };
+                self.base.remember(&resp);
+                // Lazy: reply before any coordination.
+                ctx.send(op.client, LazyUeMsg::Reply(resp));
+                if !writes.is_empty() {
+                    if self.mode == ReconcileMode::AbcastOrder {
+                        self.local_pending.insert(txn);
+                    }
+                    let ws = WriteSet { txn, writes };
+                    self.outbound.push((ws, ctx.now().ticks()));
+                    if self.propagation_delay.is_zero() {
+                        self.flush(ctx);
+                    } else if !self.flush_armed {
+                        self.flush_armed = true;
+                        ctx.set_timer(self.propagation_delay, FLUSH_TAG);
+                    }
+                }
+            }
+            LazyUeMsg::Propagate {
+                ws,
+                commit_ts,
+                site,
+            } => {
+                self.reconcile(&ws, commit_ts, site);
+            }
+            LazyUeMsg::Ab(m) => {
+                let mut out = Outbox::new();
+                self.ab.on_message(_from, m, &mut out);
+                self.drive_ab(ctx, out);
+            }
+            LazyUeMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, LazyUeMsg>, _timer: TimerId, tag: u64) {
+        if tag == FLUSH_TAG {
+            self.flush(ctx);
+        } else {
+            let mut out = Outbox::new();
+            self.ab.on_timer(tag, &mut out);
+            self.drive_ab(ctx, out);
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientActor;
+    use repl_db::Value;
+    use repl_sim::{SimConfig, SimTime, World};
+    use repl_workload::TxnTemplate;
+
+    fn write(k: u64, v: i64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Write(Key(k), Value(v))],
+        }
+    }
+
+    fn build(
+        n: u32,
+        txns: Vec<Vec<TxnTemplate>>,
+        delay: u64,
+        seed: u64,
+    ) -> (World<LazyUeMsg>, Vec<NodeId>, Vec<NodeId>) {
+        let mut world = World::new(SimConfig::new(seed));
+        let servers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        for i in 0..n {
+            world.add_actor(Box::new(LazyUeServer::new(
+                i,
+                NodeId::new(i),
+                servers.clone(),
+                16,
+                ExecutionMode::Deterministic,
+                SimDuration::from_ticks(delay),
+            )));
+        }
+        let mut clients = Vec::new();
+        for (c, t) in txns.into_iter().enumerate() {
+            let client = ClientActor::<LazyUeMsg>::new(
+                c as u32,
+                servers.clone(),
+                c % n as usize,
+                t,
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(20_000),
+            );
+            clients.push(world.add_actor(Box::new(client)));
+        }
+        (world, servers, clients)
+    }
+
+    #[test]
+    fn disjoint_updates_converge_without_reconciliation() {
+        let (mut world, servers, _clients) = build(
+            3,
+            vec![vec![write(0, 1)], vec![write(1, 2)], vec![write(2, 3)]],
+            0,
+            1,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        let fp0 = world
+            .actor_ref::<LazyUeServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            let srv = world.actor_ref::<LazyUeServer>(s);
+            assert_eq!(srv.base.store.fingerprint(), fp0);
+            assert_eq!(srv.reconciliations, 0);
+        }
+    }
+
+    #[test]
+    fn conflicting_updates_reconcile_to_one_winner_everywhere() {
+        // Two clients write the same key at different sites at (almost)
+        // the same time: each site commits its own value first, then
+        // reconciliation picks a single global winner.
+        let (mut world, servers, clients) =
+            build(2, vec![vec![write(0, 111)], vec![write(0, 222)]], 2_000, 2);
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        for &c in &clients {
+            assert!(world.actor_ref::<ClientActor<LazyUeMsg>>(c).is_done());
+        }
+        let s0 = world.actor_ref::<LazyUeServer>(servers[0]);
+        let s1 = world.actor_ref::<LazyUeServer>(servers[1]);
+        let v0 = s0.base.store.read(Key(0)).expect("e").value;
+        let v1 = s1.base.store.read(Key(0)).expect("e").value;
+        assert_eq!(v0, v1, "reconciliation did not converge");
+        assert!(v0 == Value(111) || v0 == Value(222));
+        let total_reconciliations = s0.reconciliations + s1.reconciliations;
+        assert!(
+            total_reconciliations >= 1,
+            "a conflicting write must have been discarded"
+        );
+    }
+
+    #[test]
+    fn both_clients_got_optimistic_commits_despite_conflict() {
+        // The dark side of lazy update everywhere: both clients were told
+        // "committed", but one update was silently reconciled away.
+        let (mut world, servers, clients) =
+            build(2, vec![vec![write(0, 111)], vec![write(0, 222)]], 2_000, 3);
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        for &c in &clients {
+            let client = world.actor_ref::<ClientActor<LazyUeMsg>>(c);
+            assert!(
+                client.records[0].committed(),
+                "lazy always answers committed"
+            );
+        }
+        let winner = world
+            .actor_ref::<LazyUeServer>(servers[0])
+            .base
+            .store
+            .read(Key(0))
+            .expect("e")
+            .value;
+        // Exactly one of the two committed values survived.
+        assert!(winner == Value(111) || winner == Value(222));
+    }
+
+    #[test]
+    fn reconciliation_count_grows_with_conflict_rate() {
+        // All clients hammer one key vs. spread keys: the hot-key run must
+        // reconcile strictly more.
+        let run = |spread: bool, seed: u64| -> u64 {
+            let txns: Vec<Vec<TxnTemplate>> = (0..4u64)
+                .map(|c| {
+                    (0..5)
+                        .map(|i| write(if spread { c * 8 + i } else { 0 }, (c * 100 + i) as i64))
+                        .collect()
+                })
+                .collect();
+            let (mut world, servers, _clients) = build(4, txns, 1_500, seed);
+            world.start();
+            world.run_until(SimTime::from_ticks(1_000_000));
+            servers
+                .iter()
+                .map(|&s| world.actor_ref::<LazyUeServer>(s).reconciliations)
+                .sum()
+        };
+        let hot = run(false, 4);
+        let cold = run(true, 5);
+        assert!(
+            hot > cold,
+            "hot-key workload should reconcile more (hot={hot}, cold={cold})"
+        );
+    }
+
+    #[test]
+    fn phase_skeleton_matches_figure_11() {
+        let (mut world, _s, _c) = build(3, vec![vec![write(0, 1)]], 1_000, 6);
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        assert_eq!(pt.canonical().expect("op done").to_string(), "RE EX END AC");
+    }
+}

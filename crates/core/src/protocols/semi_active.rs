@@ -1,0 +1,510 @@
+//! Semi-active replication (paper §3.4, Fig. 4).
+//!
+//! Like active replication, every replica receives the totally ordered
+//! request stream and executes it — but replicas need not be
+//! deterministic: at each non-deterministic choice point the *leader*
+//! makes the choice and imposes it on the followers with a
+//! view-synchronous broadcast. Skeleton: `RE SC EX AC END` (the EX/AC
+//! pair repeats per choice point; with deterministic execution the AC
+//! phase disappears and the technique degenerates to active replication).
+//!
+//! Here the non-deterministic choice is the effective value of each write
+//! (modelling scheduling-dependent results, see
+//! [`ExecutionMode::NonDeterministic`]); the leader resolves all of an
+//! operation's writes in one choice message.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use repl_db::{Key, Value};
+use repl_gcs::{Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+
+use crate::client::ProtocolMsg;
+use crate::op::{accesses, ClientOp, OpId, Response};
+use crate::phase::Phase;
+use crate::protocols::common::{
+    global_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+};
+
+/// The leader's resolution of an operation's non-deterministic choices.
+#[derive(Debug, Clone)]
+pub struct Choice {
+    /// The operation the choice belongs to.
+    pub op: OpId,
+    /// The resolved value for each written key.
+    pub writes: Vec<(Key, Value)>,
+}
+
+impl Message for Choice {
+    fn wire_size(&self) -> usize {
+        16 + self.writes.len() * 16
+    }
+}
+
+/// Timer-tag base for the embedded view group (the ABCAST endpoint owns
+/// the lower tag space).
+const VG_BASE: u64 = repl_gcs::TAG_SPACE;
+
+/// Wire messages of semi-active replication.
+#[derive(Debug, Clone)]
+pub enum SemiActiveMsg {
+    /// Client → contact replica.
+    Invoke(ClientOp),
+    /// Request ordering (ABCAST).
+    Ab(AbMsg<ClientOp>),
+    /// Leader choices (VSCAST).
+    Vs(VsMsg<Choice>),
+    /// Replica → client.
+    Reply(Response),
+}
+
+impl Message for SemiActiveMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            SemiActiveMsg::Invoke(op) => 8 + op.wire_size(),
+            SemiActiveMsg::Ab(m) => m.wire_size(),
+            SemiActiveMsg::Vs(m) => 8 + m.wire_size(),
+            SemiActiveMsg::Reply(r) => 8 + r.wire_size(),
+        }
+    }
+}
+
+impl ProtocolMsg for SemiActiveMsg {
+    fn invoke(op: ClientOp) -> Self {
+        SemiActiveMsg::Invoke(op)
+    }
+    fn response(&self) -> Option<&Response> {
+        match self {
+            SemiActiveMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A semi-active replication server.
+pub struct SemiActiveServer {
+    /// Shared database/server state (public for post-run inspection).
+    pub base: ServerBase,
+    me: NodeId,
+    ab: AbcastEndpoint<ClientOp>,
+    vg: ViewGroup<Choice>,
+    relayed: HashSet<OpId>,
+    /// Ordered-but-not-yet-applied operations, by global sequence.
+    waiting: BTreeMap<u64, ClientOp>,
+    next_apply: u64,
+    choices: HashMap<OpId, Vec<(Key, Value)>>,
+    issued: HashSet<OpId>,
+    marks: bool,
+}
+
+impl SemiActiveServer {
+    /// Creates server `site` of `group`.
+    pub fn new(
+        site: u32,
+        me: NodeId,
+        group: Vec<NodeId>,
+        items: u64,
+        exec: ExecutionMode,
+        abcast: AbcastImpl,
+        vs: VsConfig,
+    ) -> Self {
+        let cons = vs.consensus;
+        SemiActiveServer {
+            base: ServerBase::new(site, items, exec),
+            me,
+            ab: AbcastEndpoint::new(abcast, me, group.clone(), cons),
+            vg: ViewGroup::new(me, group, vs),
+            relayed: HashSet::new(),
+            waiting: BTreeMap::new(),
+            next_apply: 0,
+            choices: HashMap::new(),
+            issued: HashSet::new(),
+            marks: site == 0,
+        }
+    }
+
+    /// The current leader (lowest member of the installed view).
+    pub fn leader(&self) -> NodeId {
+        self.vg.view().primary()
+    }
+
+    fn is_leader(&self) -> bool {
+        self.leader() == self.me && !self.vg.is_excluded()
+    }
+
+    /// Whether `op` needs a leader choice at all.
+    fn needs_choice(&self, op: &ClientOp) -> bool {
+        self.base.exec == ExecutionMode::NonDeterministic && op.txn.ops.iter().any(|o| o.is_write())
+    }
+
+    fn resolve_choice(&self, op: &ClientOp) -> Choice {
+        let writes = accesses(&op.txn)
+            .filter_map(|(k, w)| w.map(|v| (k, self.base.effective_value(v))))
+            .collect();
+        Choice { op: op.id, writes }
+    }
+
+    fn drive_ab(
+        &mut self,
+        ctx: &mut Context<'_, SemiActiveMsg>,
+        out: Outbox<AbMsg<ClientOp>, repl_gcs::AbDeliver<ClientOp>>,
+    ) {
+        let deliveries = repl_gcs::apply_outbox(ctx, out, 0, SemiActiveMsg::Ab);
+        for d in deliveries {
+            if self.marks {
+                ctx.mark(Phase::ServerCoordination.tag(), d.payload.id.0, d.gseq);
+            }
+            self.waiting.insert(d.gseq, d.payload);
+        }
+        self.process(ctx);
+    }
+
+    fn drive_vs(
+        &mut self,
+        ctx: &mut Context<'_, SemiActiveMsg>,
+        out: Outbox<VsMsg<Choice>, VsEvent<Choice>>,
+    ) {
+        let events = repl_gcs::apply_outbox(ctx, out, VG_BASE, SemiActiveMsg::Vs);
+        for ev in events {
+            match ev {
+                VsEvent::Deliver { payload, .. } => {
+                    self.choices.entry(payload.op).or_insert(payload.writes);
+                }
+                VsEvent::ViewInstalled(_) => {
+                    // A new leader re-issues choices for everything stuck.
+                    self.issued.clear();
+                }
+                VsEvent::Excluded(_) => {}
+            }
+        }
+        self.process(ctx);
+    }
+
+    /// Applies ordered operations in sequence, pausing at operations whose
+    /// choice has not arrived yet.
+    fn process(&mut self, ctx: &mut Context<'_, SemiActiveMsg>) {
+        loop {
+            let Some(op) = self.waiting.get(&self.next_apply).cloned() else {
+                return;
+            };
+            if self.base.cached(op.id).is_some() {
+                self.waiting.remove(&self.next_apply);
+                self.next_apply += 1;
+                continue;
+            }
+            let needs = self.needs_choice(&op);
+            if needs && !self.choices.contains_key(&op.id) {
+                // Leader resolves; followers wait.
+                if self.is_leader() && !self.issued.contains(&op.id) {
+                    self.issued.insert(op.id);
+                    if self.marks {
+                        ctx.mark(Phase::Execution.tag(), op.id.0, 0);
+                    }
+                    let choice = self.resolve_choice(&op);
+                    let mut out = Outbox::new();
+                    self.vg.broadcast(choice, &mut out);
+                    self.drive_vs(ctx, out);
+                    // drive_vs re-enters process(); stop this iteration.
+                }
+                return;
+            }
+            self.waiting.remove(&self.next_apply);
+            self.next_apply += 1;
+            if self.marks {
+                if !needs {
+                    ctx.mark(Phase::Execution.tag(), op.id.0, 0);
+                } else {
+                    ctx.mark(Phase::AgreementCoordination.tag(), op.id.0, 0);
+                }
+            }
+            let resp = self.execute(&op);
+            self.base.remember(&resp);
+            ctx.send(op.client, SemiActiveMsg::Reply(resp));
+        }
+    }
+
+    /// Executes with the agreed choice (or deterministically).
+    fn execute(&mut self, op: &ClientOp) -> Response {
+        let txn = global_txn(op.id);
+        let choice: HashMap<Key, Value> = self
+            .choices
+            .remove(&op.id)
+            .map(|w| w.into_iter().collect())
+            .unwrap_or_default();
+        self.base.tm.begin(txn);
+        let mut reads = Vec::new();
+        for (key, write) in accesses(&op.txn) {
+            match write {
+                None => {
+                    let v = self
+                        .base
+                        .tm
+                        .read(&self.base.store, txn, key)
+                        .expect("txn active")
+                        .map_or(Value(0), |v| v.value);
+                    self.base
+                        .history
+                        .record(self.base.site, txn, key, repl_db::AccessKind::Read);
+                    reads.push((key, v));
+                }
+                Some(v) => {
+                    // The leader's choice overrides local non-determinism.
+                    let v = choice.get(&key).copied().unwrap_or(v);
+                    self.base
+                        .tm
+                        .write(&mut self.base.store, txn, key, v)
+                        .expect("txn active");
+                    self.base
+                        .history
+                        .record(self.base.site, txn, key, repl_db::AccessKind::Write);
+                }
+            }
+        }
+        self.base.tm.commit(txn).expect("txn active");
+        self.base.history.mark_committed(txn);
+        self.base.committed += 1;
+        Response {
+            op: op.id,
+            committed: true,
+            reads,
+        }
+    }
+}
+
+impl Actor<SemiActiveMsg> for SemiActiveServer {
+    fn on_start(&mut self, ctx: &mut Context<'_, SemiActiveMsg>) {
+        let mut out = Outbox::new();
+        repl_gcs::Component::on_start(&mut self.vg, &mut out);
+        self.drive_vs(ctx, out);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, SemiActiveMsg>,
+        from: NodeId,
+        msg: SemiActiveMsg,
+    ) {
+        match msg {
+            SemiActiveMsg::Invoke(op) => {
+                if let Some(resp) = self.base.cached(op.id) {
+                    ctx.send(op.client, SemiActiveMsg::Reply(resp));
+                    return;
+                }
+                if !self.relayed.insert(op.id) {
+                    return;
+                }
+                let mut out = Outbox::new();
+                self.ab.broadcast(op, &mut out);
+                self.drive_ab(ctx, out);
+            }
+            SemiActiveMsg::Ab(m) => {
+                let mut out = Outbox::new();
+                self.ab.on_message(from, m, &mut out);
+                self.drive_ab(ctx, out);
+            }
+            SemiActiveMsg::Vs(m) => {
+                let mut out = Outbox::new();
+                repl_gcs::Component::on_message(&mut self.vg, from, m, &mut out);
+                self.drive_vs(ctx, out);
+            }
+            SemiActiveMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SemiActiveMsg>, _timer: TimerId, tag: u64) {
+        if tag >= VG_BASE {
+            let mut out = Outbox::new();
+            repl_gcs::Component::on_timer(&mut self.vg, tag - VG_BASE, &mut out);
+            self.drive_vs(ctx, out);
+        } else {
+            let mut out = Outbox::new();
+            self.ab.on_timer(tag, &mut out);
+            self.drive_ab(ctx, out);
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientActor;
+    use repl_sim::{SimConfig, SimDuration, SimTime, World};
+    use repl_workload::{OpTemplate, TxnTemplate};
+
+    fn write(k: u64, v: i64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Write(Key(k), Value(v))],
+        }
+    }
+    fn read(k: u64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Read(Key(k))],
+        }
+    }
+
+    fn build(
+        n: u32,
+        txns: Vec<Vec<TxnTemplate>>,
+        exec: ExecutionMode,
+        abcast: AbcastImpl,
+        seed: u64,
+    ) -> (World<SemiActiveMsg>, Vec<NodeId>, Vec<NodeId>) {
+        let mut world = World::new(SimConfig::new(seed));
+        let servers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        for i in 0..n {
+            world.add_actor(Box::new(SemiActiveServer::new(
+                i,
+                NodeId::new(i),
+                servers.clone(),
+                16,
+                exec,
+                abcast,
+                VsConfig::default(),
+            )));
+        }
+        let mut clients = Vec::new();
+        for (c, t) in txns.into_iter().enumerate() {
+            let client = ClientActor::<SemiActiveMsg>::new(
+                c as u32,
+                servers.clone(),
+                c % n as usize,
+                t,
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(20_000),
+            );
+            clients.push(world.add_actor(Box::new(client)));
+        }
+        (world, servers, clients)
+    }
+
+    #[test]
+    fn nondeterministic_execution_converges_under_leader_choices() {
+        // The exact scenario that breaks active replication (see
+        // active::tests::nondeterminism_breaks_active_replication) is
+        // harmless here: the leader's choice is imposed on everyone.
+        let (mut world, servers, clients) = build(
+            3,
+            vec![vec![write(0, 1), write(1, 2)], vec![write(2, 3)]],
+            ExecutionMode::NonDeterministic,
+            AbcastImpl::Sequencer,
+            1,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        for &c in &clients {
+            assert!(world.actor_ref::<ClientActor<SemiActiveMsg>>(c).is_done());
+        }
+        let fp0 = world
+            .actor_ref::<SemiActiveServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world
+                    .actor_ref::<SemiActiveServer>(s)
+                    .base
+                    .store
+                    .fingerprint(),
+                fp0,
+                "replica {s} diverged despite leader choices"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_observe_leader_chosen_values() {
+        let (mut world, _servers, clients) = build(
+            3,
+            vec![vec![write(5, 7), read(5)]],
+            ExecutionMode::NonDeterministic,
+            AbcastImpl::Sequencer,
+            2,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        let client = world.actor_ref::<ClientActor<SemiActiveMsg>>(clients[0]);
+        let recs: Vec<_> = client.completed().collect();
+        assert_eq!(recs.len(), 2);
+        let observed = recs[1].response.as_ref().expect("responded").reads[0].1;
+        // The leader is site 0: its perturbation is v*1000 + 0.
+        assert_eq!(observed, Value(7_000), "read must see the leader's choice");
+    }
+
+    #[test]
+    fn deterministic_mode_degenerates_to_active() {
+        let (mut world, servers, _clients) = build(
+            3,
+            vec![vec![write(0, 1)]],
+            ExecutionMode::Deterministic,
+            AbcastImpl::Sequencer,
+            3,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        assert_eq!(pt.canonical().expect("op done").to_string(), "RE SC EX END");
+        let fp0 = world
+            .actor_ref::<SemiActiveServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world
+                    .actor_ref::<SemiActiveServer>(s)
+                    .base
+                    .store
+                    .fingerprint(),
+                fp0
+            );
+        }
+    }
+
+    #[test]
+    fn phase_skeleton_matches_figure_4() {
+        let (mut world, _s, _c) = build(
+            3,
+            vec![vec![write(0, 1)]],
+            ExecutionMode::NonDeterministic,
+            AbcastImpl::Sequencer,
+            4,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        assert_eq!(
+            pt.canonical().expect("op done").to_string(),
+            "RE SC EX AC END"
+        );
+    }
+
+    #[test]
+    fn leader_crash_new_leader_reissues_choices() {
+        let (mut world, servers, clients) = build(
+            3,
+            vec![vec![write(0, 1), write(1, 2), write(2, 3)]],
+            ExecutionMode::NonDeterministic,
+            AbcastImpl::Consensus,
+            5,
+        );
+        world.start();
+        world.schedule_crash(SimTime::from_ticks(2_500), servers[0]);
+        world.run_until(SimTime::from_ticks(2_000_000));
+        let client = world.actor_ref::<ClientActor<SemiActiveMsg>>(clients[0]);
+        assert!(client.is_done(), "client stuck after leader crash");
+        let fp1 = world
+            .actor_ref::<SemiActiveServer>(servers[1])
+            .base
+            .store
+            .fingerprint();
+        let fp2 = world
+            .actor_ref::<SemiActiveServer>(servers[2])
+            .base
+            .store
+            .fingerprint();
+        assert_eq!(fp1, fp2, "survivors diverged after leader failover");
+    }
+}

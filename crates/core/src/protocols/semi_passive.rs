@@ -1,0 +1,470 @@
+//! Semi-passive replication (paper §3.5).
+//!
+//! A variant of passive replication that needs no view machinery: server
+//! coordination and agreement coordination fold into a single run of
+//! *consensus with deferred initial values*. For each slot, the first-
+//! ranked server executes the pending request and proposes the resulting
+//! update; lower-ranked servers defer — they execute and propose only
+//! after a suspicion delay, so in the failure-free case exactly one
+//! server pays the execution (like passive replication) while crashes
+//! cost only an aggressive timeout, not a view change.
+//!
+//! Skeleton: `RE EX AC END`.
+
+use std::collections::BTreeMap;
+
+use repl_db::WriteSet;
+use repl_gcs::{
+    ConsEvent, ConsMsg, ConsensusConfig, ConsensusPool, FdConfig, FdEvent, FdMsg, HeartbeatFd,
+    Outbox,
+};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+
+use crate::client::ProtocolMsg;
+use crate::op::{ClientOp, OpId, Response};
+use crate::phase::Phase;
+use crate::protocols::common::{global_txn, ExecutionMode, ServerBase};
+
+/// What a deferred coordinator proposes for a slot: the operation it
+/// picked, the update its execution produced, and the client response.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// The chosen operation.
+    pub op: ClientOp,
+    /// The update to install everywhere.
+    pub ws: WriteSet,
+    /// The response to hand to the client.
+    pub resp: Response,
+}
+
+impl Message for Proposal {
+    fn wire_size(&self) -> usize {
+        op_size(&self.op) + self.ws.wire_size() + self.resp.wire_size()
+    }
+}
+
+fn op_size(op: &ClientOp) -> usize {
+    op.wire_size()
+}
+
+/// Timer-tag base of the embedded consensus pool; slot-deferral timers use
+/// tags below it.
+const CONS_BASE: u64 = 1 << 40;
+/// Timer-tag base of the embedded failure detector (the paper: semi-passive
+/// allows "aggressive time-outs … to suspect crashed processes" — the
+/// deferral rank adapts to suspicions instead of paying the delay forever).
+const FD_BASE: u64 = 2 << 40;
+
+/// Wire messages of semi-passive replication.
+#[derive(Debug, Clone)]
+pub enum SemiPassiveMsg {
+    /// Client → contact server.
+    Invoke(ClientOp),
+    /// Contact server → all servers (request dissemination).
+    Fwd(ClientOp),
+    /// Consensus traffic.
+    Cons(ConsMsg<Proposal>),
+    /// Failure-detector heartbeats.
+    Fd(FdMsg),
+    /// Server → client.
+    Reply(Response),
+}
+
+impl Message for SemiPassiveMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            SemiPassiveMsg::Invoke(op) | SemiPassiveMsg::Fwd(op) => 8 + op.wire_size(),
+            SemiPassiveMsg::Cons(c) => 8 + c.wire_size(),
+            SemiPassiveMsg::Fd(m) => m.wire_size(),
+            SemiPassiveMsg::Reply(r) => 8 + r.wire_size(),
+        }
+    }
+}
+
+impl ProtocolMsg for SemiPassiveMsg {
+    fn invoke(op: ClientOp) -> Self {
+        SemiPassiveMsg::Invoke(op)
+    }
+    fn response(&self) -> Option<&Response> {
+        match self {
+            SemiPassiveMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A semi-passive replication server.
+pub struct SemiPassiveServer {
+    /// Shared database/server state (public for post-run inspection).
+    pub base: ServerBase,
+    group: Vec<NodeId>,
+    rank: usize,
+    defer: SimDuration,
+    pool: ConsensusPool<Proposal>,
+    fd: HeartbeatFd,
+    pending: BTreeMap<OpId, ClientOp>,
+    decided: BTreeMap<u64, Proposal>,
+    next_slot: u64,
+    /// Slot we have armed a deferral timer or proposed for.
+    engaged_slot: Option<u64>,
+    marks: bool,
+}
+
+impl SemiPassiveServer {
+    /// Creates server `site` of `group`; `defer` is the per-rank deferral
+    /// step (rank r waits `r × defer` before executing a slot itself).
+    pub fn new(
+        site: u32,
+        me: NodeId,
+        group: Vec<NodeId>,
+        items: u64,
+        exec: ExecutionMode,
+        defer: SimDuration,
+        cons: ConsensusConfig,
+    ) -> Self {
+        let rank = group.iter().position(|&n| n == me).expect("member");
+        SemiPassiveServer {
+            base: ServerBase::new(site, items, exec),
+            group: group.clone(),
+            rank,
+            defer,
+            pool: ConsensusPool::new(me, group.clone(), cons),
+            fd: HeartbeatFd::new(me, group, FdConfig::default()),
+            pending: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            next_slot: 0,
+            engaged_slot: None,
+            marks: site == 0,
+        }
+    }
+
+    /// The effective deferral rank: servers suspected by our failure
+    /// detector no longer count ahead of us.
+    fn effective_rank(&self) -> usize {
+        self.group[..self.rank]
+            .iter()
+            .filter(|&&s| !self.fd.is_suspected(s))
+            .count()
+    }
+
+    fn engage(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
+        if self.pending.is_empty() || self.engaged_slot == Some(self.next_slot) {
+            return;
+        }
+        self.engaged_slot = Some(self.next_slot);
+        let rank = self.effective_rank();
+        if rank == 0 {
+            self.execute_and_propose(ctx);
+        } else {
+            // Deferred initial value: only execute if the slot is still
+            // undecided after our rank's suspicion delay.
+            ctx.set_timer(self.defer.times(rank as u64), self.next_slot);
+        }
+    }
+
+    fn drive_fd(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>, out: Outbox<FdMsg, FdEvent>) {
+        let events = repl_gcs::apply_outbox(ctx, out, FD_BASE, SemiPassiveMsg::Fd);
+        for ev in events {
+            if let FdEvent::Suspect(_) = ev {
+                // A predecessor died: if we are now first in line for the
+                // current slot, act immediately instead of waiting out the
+                // deferral timer.
+                if self.effective_rank() == 0
+                    && !self.pending.is_empty()
+                    && self.engaged_slot == Some(self.next_slot)
+                {
+                    self.execute_and_propose(ctx);
+                }
+            }
+        }
+    }
+
+    fn execute_and_propose(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
+        let Some((_, op)) = self.pending.iter().next() else {
+            return;
+        };
+        let op = op.clone();
+        if self.marks {
+            ctx.mark(Phase::Execution.tag(), op.id.0, 0);
+        }
+        let txn = global_txn(op.id);
+        let (_rs, ws, resp) = self.base.execute_shadow(&op, txn);
+        let mut out = Outbox::new();
+        self.pool
+            .propose(self.next_slot, Proposal { op, ws, resp }, &mut out);
+        let events = repl_gcs::apply_outbox(ctx, out, CONS_BASE, SemiPassiveMsg::Cons);
+        self.handle_decisions(ctx, events);
+    }
+
+    fn handle_decisions(
+        &mut self,
+        ctx: &mut Context<'_, SemiPassiveMsg>,
+        events: Vec<ConsEvent<Proposal>>,
+    ) {
+        for ev in events {
+            let ConsEvent::Decided { inst, value } = ev;
+            self.decided.insert(inst, value);
+        }
+        let mut progressed = false;
+        while let Some(p) = self.decided.remove(&self.next_slot) {
+            progressed = true;
+            self.next_slot += 1;
+            self.engaged_slot = None;
+            self.pending.remove(&p.op.id);
+            if self.base.cached(p.op.id).is_some() {
+                continue; // already installed (duplicate decision content)
+            }
+            if self.marks {
+                ctx.mark(Phase::AgreementCoordination.tag(), p.op.id.0, 0);
+            }
+            self.base.install_writeset(&p.ws);
+            self.base.remember(&p.resp);
+            ctx.send(p.op.client, SemiPassiveMsg::Reply(p.resp));
+        }
+        if progressed {
+            self.engage(ctx);
+        }
+    }
+}
+
+impl Actor<SemiPassiveMsg> for SemiPassiveServer {
+    fn on_start(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
+        let mut out = Outbox::new();
+        repl_gcs::Component::on_start(&mut self.fd, &mut out);
+        self.drive_fd(ctx, out);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, SemiPassiveMsg>,
+        from: NodeId,
+        msg: SemiPassiveMsg,
+    ) {
+        match msg {
+            SemiPassiveMsg::Invoke(op) => {
+                if let Some(resp) = self.base.cached(op.id) {
+                    ctx.send(op.client, SemiPassiveMsg::Reply(resp));
+                    return;
+                }
+                if self.pending.contains_key(&op.id) {
+                    return;
+                }
+                self.pending.insert(op.id, op.clone());
+                for &m in &self.group.clone() {
+                    if m != ctx.me() {
+                        ctx.send(m, SemiPassiveMsg::Fwd(op.clone()));
+                    }
+                }
+                self.engage(ctx);
+            }
+            SemiPassiveMsg::Fwd(op) => {
+                if self.base.cached(op.id).is_none() && !self.pending.contains_key(&op.id) {
+                    self.pending.insert(op.id, op);
+                    self.engage(ctx);
+                }
+            }
+            SemiPassiveMsg::Cons(c) => {
+                let mut out = Outbox::new();
+                repl_gcs::Component::on_message(&mut self.pool, from, c, &mut out);
+                let events = repl_gcs::apply_outbox(ctx, out, CONS_BASE, SemiPassiveMsg::Cons);
+                self.handle_decisions(ctx, events);
+            }
+            SemiPassiveMsg::Fd(m) => {
+                let mut out = Outbox::new();
+                repl_gcs::Component::on_message(&mut self.fd, from, m, &mut out);
+                self.drive_fd(ctx, out);
+            }
+            SemiPassiveMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>, _timer: TimerId, tag: u64) {
+        if tag >= FD_BASE {
+            let mut out = Outbox::new();
+            repl_gcs::Component::on_timer(&mut self.fd, tag - FD_BASE, &mut out);
+            self.drive_fd(ctx, out);
+        } else if tag >= CONS_BASE {
+            let mut out = Outbox::new();
+            repl_gcs::Component::on_timer(&mut self.pool, tag - CONS_BASE, &mut out);
+            let events = repl_gcs::apply_outbox(ctx, out, CONS_BASE, SemiPassiveMsg::Cons);
+            self.handle_decisions(ctx, events);
+        } else {
+            // Deferral timer for a slot: execute only if still undecided.
+            if tag == self.next_slot && !self.pending.is_empty() {
+                self.execute_and_propose(ctx);
+            }
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientActor;
+    use repl_db::{Key, Value};
+    use repl_sim::{SimConfig, SimTime, World};
+    use repl_workload::{OpTemplate, TxnTemplate};
+
+    fn write(k: u64, v: i64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Write(Key(k), Value(v))],
+        }
+    }
+    fn read(k: u64) -> TxnTemplate {
+        TxnTemplate {
+            ops: vec![OpTemplate::Read(Key(k))],
+        }
+    }
+
+    fn build(
+        n: u32,
+        txns: Vec<Vec<TxnTemplate>>,
+        exec: ExecutionMode,
+        seed: u64,
+    ) -> (World<SemiPassiveMsg>, Vec<NodeId>, Vec<NodeId>) {
+        let mut world = World::new(SimConfig::new(seed));
+        let servers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        for i in 0..n {
+            world.add_actor(Box::new(SemiPassiveServer::new(
+                i,
+                NodeId::new(i),
+                servers.clone(),
+                16,
+                exec,
+                SimDuration::from_ticks(3_000),
+                ConsensusConfig::default(),
+            )));
+        }
+        let mut clients = Vec::new();
+        for (c, t) in txns.into_iter().enumerate() {
+            let client = ClientActor::<SemiPassiveMsg>::new(
+                c as u32,
+                servers.clone(),
+                c % n as usize,
+                t,
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(25_000),
+            );
+            clients.push(world.add_actor(Box::new(client)));
+        }
+        (world, servers, clients)
+    }
+
+    #[test]
+    fn failure_free_only_rank_zero_executes() {
+        let (mut world, servers, clients) = build(
+            3,
+            vec![vec![write(0, 1), write(1, 2), read(0)]],
+            ExecutionMode::NonDeterministic,
+            1,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        assert!(world
+            .actor_ref::<ClientActor<SemiPassiveMsg>>(clients[0])
+            .is_done());
+        // Stores converge even with non-deterministic servers: only the
+        // coordinator's execution counts.
+        let fp0 = world
+            .actor_ref::<SemiPassiveServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world
+                    .actor_ref::<SemiPassiveServer>(s)
+                    .base
+                    .store
+                    .fingerprint(),
+                fp0
+            );
+        }
+    }
+
+    #[test]
+    fn coordinator_crash_deferred_backup_takes_over() {
+        let (mut world, servers, clients) = build(
+            3,
+            vec![vec![write(0, 1), write(1, 2)]],
+            ExecutionMode::Deterministic,
+            2,
+        );
+        world.schedule_crash(SimTime::from_ticks(200), servers[0]);
+        world.start();
+        world.run_until(SimTime::from_ticks(3_000_000));
+        let client = world.actor_ref::<ClientActor<SemiPassiveMsg>>(clients[0]);
+        assert!(client.is_done(), "client stuck after coordinator crash");
+        let fp1 = world
+            .actor_ref::<SemiPassiveServer>(servers[1])
+            .base
+            .store
+            .fingerprint();
+        let fp2 = world
+            .actor_ref::<SemiPassiveServer>(servers[2])
+            .base
+            .store
+            .fingerprint();
+        assert_eq!(fp1, fp2);
+        assert_eq!(
+            world
+                .actor_ref::<SemiPassiveServer>(servers[1])
+                .base
+                .store
+                .read(Key(1))
+                .expect("exists")
+                .value,
+            Value(2)
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_agree_on_one_order() {
+        let (mut world, servers, clients) = build(
+            3,
+            vec![
+                vec![write(0, 1), write(1, 2)],
+                vec![write(0, 10), write(1, 20)],
+            ],
+            ExecutionMode::Deterministic,
+            3,
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(1_000_000));
+        for &c in &clients {
+            assert!(world.actor_ref::<ClientActor<SemiPassiveMsg>>(c).is_done());
+        }
+        let fp0 = world
+            .actor_ref::<SemiPassiveServer>(servers[0])
+            .base
+            .store
+            .fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world
+                    .actor_ref::<SemiPassiveServer>(s)
+                    .base
+                    .store
+                    .fingerprint(),
+                fp0
+            );
+        }
+        let mut merged = repl_db::ReplicatedHistory::new();
+        for &s in &servers {
+            merged.merge(&world.actor_ref::<SemiPassiveServer>(s).base.history);
+        }
+        assert!(merged.check_one_copy_serializable().is_ok());
+    }
+
+    #[test]
+    fn phase_skeleton_is_re_ex_ac_end() {
+        let (mut world, _s, _c) =
+            build(3, vec![vec![write(0, 1)]], ExecutionMode::Deterministic, 4);
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        let pt = crate::phase::PhaseTrace::from_trace(world.trace());
+        assert_eq!(pt.canonical().expect("op done").to_string(), "RE EX AC END");
+    }
+}

@@ -1,0 +1,116 @@
+//! The result of one experiment run: everything the figures, tables and
+//! oracles need.
+
+use repl_db::{ReplicatedHistory, SerializabilityViolation, TxnId};
+use repl_sim::{LatencyStats, Metrics, SimTime};
+
+use crate::client::OpRecord;
+use crate::consistency::{count_stale_reads, StaleRead};
+use crate::phase::{PhaseSkeleton, PhaseTrace};
+use crate::technique::Technique;
+
+/// Aggregated outcome of a [`crate::run`] invocation.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The technique that ran.
+    pub technique: Technique,
+    /// Number of replica servers.
+    pub servers: u32,
+    /// Number of clients.
+    pub clients: u32,
+    /// Virtual time when the run ended.
+    pub duration: SimTime,
+    /// Response-time samples of completed operations.
+    pub latencies: LatencyStats,
+    /// Operations answered (committed or aborted).
+    pub ops_completed: u64,
+    /// Operations answered with a commit.
+    pub ops_committed: u64,
+    /// Operations answered with an abort.
+    pub ops_aborted: u64,
+    /// Operations never answered before the deadline.
+    pub ops_unanswered: u64,
+    /// Client-side re-submissions.
+    pub client_retries: u64,
+    /// Network counters.
+    pub messages: Metrics,
+    /// Final store fingerprints, one per server (site order).
+    pub fingerprints: Vec<u64>,
+    /// The merged multi-site execution history.
+    pub history: ReplicatedHistory,
+    /// Phase markers (empty when tracing was disabled).
+    pub phase_trace: PhaseTrace,
+    /// Raw client records `(client, record)`.
+    pub records: Vec<(u32, OpRecord)>,
+    /// Writes discarded by lazy reconciliation.
+    pub reconciliations: u64,
+    /// Wound-wait / detection victims across servers.
+    pub wounds: u64,
+    /// Server-side transaction aborts (wounds, certification failures).
+    pub server_aborts: u64,
+}
+
+impl RunReport {
+    /// True if every replica ended in the same state.
+    pub fn converged(&self) -> bool {
+        self.fingerprints.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Completed operations per million ticks (one tick ≈ 1 µs, so this
+    /// reads as operations per second).
+    pub fn throughput(&self) -> f64 {
+        let t = self.duration.ticks().max(1) as f64;
+        self.ops_completed as f64 * 1_000_000.0 / t
+    }
+
+    /// Messages per completed operation.
+    pub fn messages_per_op(&self) -> f64 {
+        if self.ops_completed == 0 {
+            return 0.0;
+        }
+        self.messages.messages_sent as f64 / self.ops_completed as f64
+    }
+
+    /// The most frequent phase skeleton observed (needs tracing).
+    pub fn canonical_skeleton(&self) -> Option<PhaseSkeleton> {
+        self.phase_trace.canonical()
+    }
+
+    /// Checks one-copy serializability of the merged history.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serialization-graph cycle if the history is not 1SR.
+    pub fn check_one_copy_serializable(&self) -> Result<Vec<TxnId>, SerializabilityViolation> {
+        self.history.check_one_copy_serializable()
+    }
+
+    /// The stale reads observed by clients (real-time criterion).
+    pub fn stale_reads(&self) -> Vec<StaleRead> {
+        count_stale_reads(&self.records)
+    }
+
+    /// Fraction of answered operations that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        if self.ops_completed == 0 {
+            return 0.0;
+        }
+        self.ops_aborted as f64 / self.ops_completed as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: n={} clients={} ops={} committed={} aborted={} mean={}t msgs/op={:.1} converged={}",
+            self.technique,
+            self.servers,
+            self.clients,
+            self.ops_completed,
+            self.ops_committed,
+            self.ops_aborted,
+            self.latencies.mean().ticks(),
+            self.messages_per_op(),
+            self.converged(),
+        )
+    }
+}

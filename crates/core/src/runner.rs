@@ -1,0 +1,659 @@
+//! The experiment runner: build a world for a technique, drive the
+//! workload to completion, and collect a [`RunReport`].
+
+use repl_db::DeadlockPolicy;
+use repl_gcs::{ConsensusConfig, FdConfig, VsConfig};
+use repl_sim::{
+    Actor, LatencyStats, Message, NetworkConfig, NodeId, SimConfig, SimDuration, SimTime, World,
+};
+use repl_workload::{CrashEvent, CrashSchedule, WorkloadGen, WorkloadSpec};
+
+use crate::client::{ClientActor, OpenLoopClient, ProtocolMsg};
+use crate::phase::PhaseTrace;
+use crate::protocols::common::{AbcastImpl, ExecutionMode};
+use crate::protocols::lazy_ue::ReconcileMode;
+use crate::protocols::{
+    active::{ActiveMsg, ActiveServer},
+    certification::{CertMsg, CertServer},
+    eager_primary::{EagerPrimaryMsg, EagerPrimaryServer},
+    eager_ue_abcast::{EuaMsg, EuaServer},
+    eager_ue_lock::{EulMsg, EulServer},
+    lazy_primary::{LazyPrimaryMsg, LazyPrimaryServer},
+    lazy_ue::{LazyUeMsg, LazyUeServer},
+    passive::{PassiveMsg, PassiveServer},
+    semi_active::{SemiActiveMsg, SemiActiveServer},
+    semi_passive::{SemiPassiveMsg, SemiPassiveServer},
+};
+use crate::report::RunReport;
+use crate::technique::{Technique, UpdateLocation};
+
+/// How clients generate load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arrival {
+    /// Closed loop: one outstanding operation per client, think time
+    /// between transactions, timeout-based re-submission.
+    #[default]
+    Closed,
+    /// Open loop: Poisson arrivals with the given mean inter-arrival time
+    /// (ticks); several operations may be outstanding, none are retried.
+    Open(u64),
+}
+
+/// Everything that parameterises one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The replication technique to run.
+    pub technique: Technique,
+    /// Number of replica servers.
+    pub servers: u32,
+    /// Number of closed-loop clients.
+    pub clients: u32,
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// Master seed (world RNG and workload generators derive from it).
+    pub seed: u64,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// Fault load.
+    pub crashes: CrashSchedule,
+    /// Which Atomic Broadcast implementation ABCAST-based techniques use.
+    pub abcast: AbcastImpl,
+    /// Whether server execution is deterministic.
+    pub exec: ExecutionMode,
+    /// Deadlock policy for the distributed-locking technique.
+    pub deadlock: DeadlockPolicy,
+    /// Read-one/write-all reads for the distributed-locking technique.
+    pub rowa: bool,
+    /// Reconciliation rule for lazy update everywhere.
+    pub reconcile: ReconcileMode,
+    /// Extra propagation delay for the lazy techniques.
+    pub propagation_delay: SimDuration,
+    /// Client retry timeout.
+    pub retry_after: SimDuration,
+    /// Hard deadline for the run.
+    pub max_time: SimTime,
+    /// Record a trace (needed for phase figures; disable in benches).
+    pub trace: bool,
+    /// Client arrival process.
+    pub arrival: Arrival,
+}
+
+impl RunConfig {
+    /// A reasonable default configuration for `technique`: 3 servers,
+    /// 2 clients, the default workload, LAN network, no failures.
+    pub fn new(technique: Technique) -> Self {
+        RunConfig {
+            technique,
+            servers: 3,
+            clients: 2,
+            workload: WorkloadSpec::default(),
+            seed: 1,
+            network: NetworkConfig::lan(),
+            crashes: CrashSchedule::new(),
+            abcast: AbcastImpl::Sequencer,
+            exec: ExecutionMode::Deterministic,
+            deadlock: DeadlockPolicy::WoundWait,
+            rowa: false,
+            reconcile: ReconcileMode::Lww,
+            propagation_delay: SimDuration::ZERO,
+            retry_after: SimDuration::from_ticks(25_000),
+            max_time: SimTime::from_ticks(30_000_000),
+            trace: true,
+            arrival: Arrival::Closed,
+        }
+    }
+
+    /// Sets the number of servers.
+    pub fn with_servers(mut self, n: u32) -> Self {
+        assert!(n > 0, "at least one server required");
+        self.servers = n;
+        self
+    }
+
+    /// Sets the number of clients.
+    pub fn with_clients(mut self, n: u32) -> Self {
+        self.clients = n;
+        self
+    }
+
+    /// Sets the workload.
+    pub fn with_workload(mut self, w: WorkloadSpec) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network model.
+    pub fn with_network(mut self, n: NetworkConfig) -> Self {
+        self.network = n;
+        self
+    }
+
+    /// Sets the fault load.
+    pub fn with_crashes(mut self, c: CrashSchedule) -> Self {
+        self.crashes = c;
+        self
+    }
+
+    /// Sets the ABCAST implementation.
+    pub fn with_abcast(mut self, a: AbcastImpl) -> Self {
+        self.abcast = a;
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn with_exec(mut self, e: ExecutionMode) -> Self {
+        self.exec = e;
+        self
+    }
+
+    /// Sets the deadlock policy (distributed locking only).
+    pub fn with_deadlock(mut self, d: DeadlockPolicy) -> Self {
+        self.deadlock = d;
+        self
+    }
+
+    /// Enables read-one/write-all reads (distributed locking only).
+    pub fn with_rowa(mut self, rowa: bool) -> Self {
+        self.rowa = rowa;
+        self
+    }
+
+    /// Sets the lazy reconciliation rule.
+    pub fn with_reconcile(mut self, r: ReconcileMode) -> Self {
+        self.reconcile = r;
+        self
+    }
+
+    /// Sets the lazy propagation delay.
+    pub fn with_propagation_delay(mut self, d: SimDuration) -> Self {
+        self.propagation_delay = d;
+        self
+    }
+
+    /// Enables or disables tracing.
+    pub fn with_trace(mut self, t: bool) -> Self {
+        self.trace = t;
+        self
+    }
+
+    /// Sets the run deadline.
+    pub fn with_max_time(mut self, t: SimTime) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Sets the client arrival process.
+    pub fn with_arrival(mut self, a: Arrival) -> Self {
+        self.arrival = a;
+        self
+    }
+}
+
+/// One-way worst-case network delay of a profile.
+fn max_delay(net: &NetworkConfig) -> u64 {
+    net.base_latency.ticks() + net.jitter.ticks()
+}
+
+/// Failure-detector parameters scaled to the network: heartbeats must
+/// outpace suspicion even at the profile's worst-case latency, or every
+/// member falsely suspects every other on a WAN.
+fn tuned_fd(net: &NetworkConfig) -> FdConfig {
+    let d = max_delay(net);
+    FdConfig {
+        interval: SimDuration::from_ticks((2 * d).max(500)),
+        miss_threshold: 3,
+    }
+}
+
+/// Consensus round timeout scaled to the network (a round needs ~3 one-way
+/// delays; time out only well after that).
+fn tuned_consensus(net: &NetworkConfig) -> ConsensusConfig {
+    let d = max_delay(net);
+    ConsensusConfig {
+        round_timeout: SimDuration::from_ticks((8 * d).max(2_000)),
+    }
+}
+
+/// View-synchrony parameters scaled to the network.
+fn tuned_vs(net: &NetworkConfig) -> VsConfig {
+    let d = max_delay(net);
+    VsConfig {
+        fd: tuned_fd(net),
+        consensus: tuned_consensus(net),
+        flush_retry: SimDuration::from_ticks((10 * d).max(3_000)),
+    }
+}
+
+/// Semi-passive deferral step scaled to the network.
+fn tuned_defer(net: &NetworkConfig) -> SimDuration {
+    SimDuration::from_ticks((6 * max_delay(net)).max(3_000))
+}
+
+/// Per-server statistics the collector extracts after a run.
+struct ServerStats {
+    history: repl_db::ReplicatedHistory,
+    fingerprint: u64,
+    aborted: u64,
+    reconciliations: u64,
+    wounds: u64,
+}
+
+/// Runs one experiment and collects the report.
+pub fn run(cfg: &RunConfig) -> RunReport {
+    match cfg.technique {
+        Technique::Active => drive::<ActiveMsg, ActiveServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(ActiveServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    c.abcast,
+                    tuned_consensus(&c.network),
+                ))
+            },
+            |s| base_stats(&s.base),
+        ),
+        Technique::Passive => drive::<PassiveMsg, PassiveServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(PassiveServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    tuned_vs(&c.network),
+                ))
+            },
+            |s| base_stats(&s.base),
+        ),
+        Technique::SemiActive => drive::<SemiActiveMsg, SemiActiveServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(SemiActiveServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    c.abcast,
+                    tuned_vs(&c.network),
+                ))
+            },
+            |s| base_stats(&s.base),
+        ),
+        Technique::SemiPassive => drive::<SemiPassiveMsg, SemiPassiveServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(SemiPassiveServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    tuned_defer(&c.network),
+                    tuned_consensus(&c.network),
+                ))
+            },
+            |s| base_stats(&s.base),
+        ),
+        Technique::EagerPrimary => drive::<EagerPrimaryMsg, EagerPrimaryServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(EagerPrimaryServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    tuned_fd(&c.network),
+                ))
+            },
+            |s| base_stats(&s.base),
+        ),
+        Technique::EagerUpdateEverywhereLocking => drive::<EulMsg, EulServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(
+                    EulServer::new(site, me, group, c.workload.items, c.exec, c.deadlock)
+                        .with_rowa(c.rowa),
+                )
+            },
+            |s| {
+                let mut stats = base_stats(&s.base);
+                stats.wounds = s.wounds;
+                stats
+            },
+        ),
+        Technique::EagerUpdateEverywhereAbcast => drive::<EuaMsg, EuaServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(EuaServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    c.abcast,
+                    tuned_consensus(&c.network),
+                ))
+            },
+            |s| base_stats(&s.base),
+        ),
+        Technique::LazyPrimary => drive::<LazyPrimaryMsg, LazyPrimaryServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(LazyPrimaryServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    c.propagation_delay,
+                ))
+            },
+            |s| base_stats(&s.base),
+        ),
+        Technique::LazyUpdateEverywhere => drive::<LazyUeMsg, LazyUeServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(
+                    LazyUeServer::new(
+                        site,
+                        me,
+                        group,
+                        c.workload.items,
+                        c.exec,
+                        c.propagation_delay,
+                    )
+                    .with_reconcile(c.reconcile),
+                )
+            },
+            |s| {
+                let mut stats = base_stats(&s.base);
+                stats.reconciliations = s.reconciliations;
+                stats
+            },
+        ),
+        Technique::Certification => drive::<CertMsg, CertServer>(
+            cfg,
+            |site, me, group, c| {
+                Box::new(CertServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    c.abcast,
+                    tuned_consensus(&c.network),
+                ))
+            },
+            |s| base_stats(&s.base),
+        ),
+    }
+}
+
+fn base_stats(base: &crate::protocols::common::ServerBase) -> ServerStats {
+    ServerStats {
+        history: base.history.clone(),
+        fingerprint: base.store.fingerprint(),
+        aborted: base.aborted,
+        reconciliations: 0,
+        wounds: 0,
+    }
+}
+
+/// The server a given client prefers: the primary for the primary-copy
+/// techniques where clients address the master, its "local" server
+/// otherwise (the paper's update-everywhere and lazy models).
+fn preferred_server(technique: Technique, client: u32, servers: u32) -> usize {
+    match technique {
+        Technique::Passive | Technique::EagerPrimary => 0,
+        _ => {
+            let _ = technique.info().location == UpdateLocation::Everywhere;
+            (client % servers) as usize
+        }
+    }
+}
+
+fn drive<M, S>(
+    cfg: &RunConfig,
+    build: impl Fn(u32, NodeId, Vec<NodeId>, &RunConfig) -> Box<dyn Actor<M>>,
+    collect: impl Fn(&S) -> ServerStats,
+) -> RunReport
+where
+    M: Message + ProtocolMsg,
+    S: 'static,
+{
+    let sim = SimConfig::new(cfg.seed)
+        .with_network(cfg.network.clone())
+        .with_trace(cfg.trace);
+    let mut world: World<M> = World::new(sim);
+    let servers: Vec<NodeId> = (0..cfg.servers).map(NodeId::new).collect();
+    for site in 0..cfg.servers {
+        let actor = build(site, NodeId::new(site), servers.clone(), cfg);
+        world.add_actor(actor);
+    }
+    let mut clients = Vec::new();
+    for c in 0..cfg.clients {
+        let mut gen = WorkloadGen::new(&cfg.workload, cfg.seed.wrapping_mul(1_000_003) + c as u64);
+        let txns = gen.take_txns(cfg.workload.txns_per_client as usize);
+        let preferred = preferred_server(cfg.technique, c, cfg.servers);
+        let actor: Box<dyn Actor<M>> = match cfg.arrival {
+            Arrival::Closed => Box::new(ClientActor::<M>::new(
+                c,
+                servers.clone(),
+                preferred,
+                txns,
+                cfg.workload.think_time,
+                cfg.retry_after,
+            )),
+            Arrival::Open(mean) => Box::new(OpenLoopClient::<M>::new(
+                c,
+                servers.clone(),
+                preferred,
+                txns,
+                SimDuration::from_ticks(mean),
+            )),
+        };
+        clients.push(world.add_actor(actor));
+    }
+    for ev in cfg.crashes.events() {
+        match *ev {
+            CrashEvent::Crash(at, node) => world.schedule_crash(at, node),
+            CrashEvent::Recover(at, node) => world.schedule_recover(at, node),
+        }
+    }
+    world.start();
+    let chunk = SimDuration::from_ticks(5_000);
+    let client_done = |world: &World<M>, c: NodeId| match cfg.arrival {
+        Arrival::Closed => world.actor_ref::<ClientActor<M>>(c).is_done(),
+        Arrival::Open(_) => world.actor_ref::<OpenLoopClient<M>>(c).is_done(),
+    };
+    loop {
+        let next = world.now() + chunk;
+        world.run_until(next);
+        let all_done = clients.iter().all(|&c| client_done(&world, c));
+        if all_done || world.now() >= cfg.max_time {
+            break;
+        }
+    }
+    // Message accounting stops here: the drain below only exists to let
+    // lazy propagation settle, and its background traffic (heartbeats)
+    // must not be charged to the workload.
+    let metrics_at_completion = world.metrics();
+    // Grace period: let lazy propagation, pending decisions and flush
+    // traffic drain so convergence is measured after quiescence.
+    let grace = cfg.propagation_delay + SimDuration::from_ticks(50_000);
+    world.run_until(world.now() + grace);
+
+    // Collect.
+    let mut latencies = LatencyStats::new();
+    let mut records = Vec::new();
+    let mut ops_completed = 0u64;
+    let mut ops_committed = 0u64;
+    let mut ops_aborted = 0u64;
+    let mut ops_unanswered = 0u64;
+    let mut client_retries = 0u64;
+    for (cno, &c) in clients.iter().enumerate() {
+        let recs: &[crate::client::OpRecord] = match cfg.arrival {
+            Arrival::Closed => &world.actor_ref::<ClientActor<M>>(c).records,
+            Arrival::Open(_) => &world.actor_ref::<OpenLoopClient<M>>(c).records,
+        };
+        for rec in recs {
+            client_retries += rec.retries as u64;
+            match (&rec.responded, rec.committed()) {
+                (Some(_), true) => {
+                    ops_completed += 1;
+                    ops_committed += 1;
+                    latencies.record(rec.latency().expect("responded"));
+                }
+                (Some(_), false) => {
+                    ops_completed += 1;
+                    ops_aborted += 1;
+                    latencies.record(rec.latency().expect("responded"));
+                }
+                (None, _) => ops_unanswered += 1,
+            }
+            records.push((cno as u32, rec.clone()));
+        }
+    }
+    let mut history = repl_db::ReplicatedHistory::new();
+    let mut fingerprints = Vec::new();
+    let mut server_aborts = 0u64;
+    let mut reconciliations = 0u64;
+    let mut wounds = 0u64;
+    for &s in &servers {
+        let stats = collect(world.actor_ref::<S>(s));
+        history.merge(&stats.history);
+        fingerprints.push(stats.fingerprint);
+        server_aborts += stats.aborted;
+        reconciliations += stats.reconciliations;
+        wounds += stats.wounds;
+    }
+    let phase_trace = PhaseTrace::from_trace(world.trace());
+    // Duration = completion of the workload (last client response), not
+    // the grace period: throughput must not be diluted by idle drain time.
+    let last_response = records
+        .iter()
+        .filter_map(|(_, r)| r.responded)
+        .max()
+        .unwrap_or_else(|| world.now());
+    RunReport {
+        technique: cfg.technique,
+        servers: cfg.servers,
+        clients: cfg.clients,
+        duration: last_response,
+        latencies,
+        ops_completed,
+        ops_committed,
+        ops_aborted,
+        ops_unanswered,
+        client_retries,
+        messages: metrics_at_completion,
+        fingerprints,
+        history,
+        phase_trace,
+        records,
+        reconciliations,
+        wounds,
+        server_aborts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(technique: Technique) -> RunConfig {
+        RunConfig::new(technique)
+            .with_clients(2)
+            .with_workload(
+                WorkloadSpec::default()
+                    .with_items(32)
+                    .with_txns_per_client(5)
+                    .with_read_ratio(0.5),
+            )
+            .with_seed(7)
+    }
+
+    #[test]
+    fn every_technique_completes_a_small_run() {
+        for technique in Technique::ALL {
+            let report = run(&small(technique));
+            assert_eq!(
+                report.ops_unanswered, 0,
+                "{technique}: unanswered ops ({report:?})"
+            );
+            assert!(report.ops_completed >= 10, "{technique}: too few ops");
+            assert!(
+                report.converged(),
+                "{technique}: replicas diverged: {:?}",
+                report.fingerprints
+            );
+        }
+    }
+
+    #[test]
+    fn every_technique_reproduces_its_claimed_skeleton() {
+        for technique in Technique::ALL {
+            // Use update-only single-op workloads so the canonical
+            // skeleton is the figure's update path; semi-active needs
+            // non-determinism for its AC phase to exist.
+            let mut cfg = small(technique).with_clients(1).with_workload(
+                WorkloadSpec::default()
+                    .with_items(16)
+                    .with_txns_per_client(4)
+                    .with_read_ratio(0.0),
+            );
+            if technique == Technique::SemiActive {
+                cfg = cfg.with_exec(ExecutionMode::NonDeterministic);
+            }
+            if technique.info().propagation == crate::Propagation::Lazy {
+                cfg = cfg.with_propagation_delay(SimDuration::from_ticks(2_000));
+            }
+            let report = run(&cfg);
+            let sk = report.canonical_skeleton().expect("ops completed");
+            assert_eq!(
+                sk.to_string(),
+                technique.claimed_skeleton(),
+                "{technique}: measured skeleton differs"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_techniques_are_one_copy_serializable() {
+        for technique in Technique::ALL {
+            if technique.info().guarantee == crate::Guarantee::Weak {
+                continue;
+            }
+            let report = run(&small(technique));
+            report
+                .check_one_copy_serializable()
+                .unwrap_or_else(|e| panic!("{technique}: {e}"));
+        }
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let report = run(&small(Technique::Active));
+        assert!(report.throughput() > 0.0);
+        assert!(report.messages_per_op() > 0.0);
+        assert_eq!(
+            report.ops_completed,
+            report.ops_committed + report.ops_aborted
+        );
+        assert!(report.summary().contains("Active"));
+        assert!(report.abort_rate() <= 1.0);
+    }
+}

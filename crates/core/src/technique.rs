@@ -1,0 +1,346 @@
+//! The technique taxonomy: the ten replication techniques the paper
+//! describes, with the classification metadata behind Figures 5, 6 and 16.
+
+use std::fmt;
+
+/// A replication technique from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Technique {
+    /// Active replication / state machine approach (§3.2, Fig. 2).
+    Active,
+    /// Passive replication / primary-backup with VSCAST (§3.3, Fig. 3).
+    Passive,
+    /// Semi-active replication: leader resolves non-determinism (§3.4, Fig. 4).
+    SemiActive,
+    /// Semi-passive replication: consensus with deferred initial values (§3.5).
+    SemiPassive,
+    /// Eager primary copy with 2PC (§4.3, Fig. 7; transactions: Fig. 12).
+    EagerPrimary,
+    /// Eager update everywhere with distributed locking (§4.4.1, Fig. 8; Fig. 13).
+    EagerUpdateEverywhereLocking,
+    /// Eager update everywhere over Atomic Broadcast (§4.4.2, Fig. 9).
+    EagerUpdateEverywhereAbcast,
+    /// Lazy primary copy (§4.5, Fig. 10).
+    LazyPrimary,
+    /// Lazy update everywhere with reconciliation (§4.6, Fig. 11).
+    LazyUpdateEverywhere,
+    /// Certification-based replication over ABCAST (§5.4.2, Fig. 14).
+    Certification,
+}
+
+/// Which community a technique comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Community {
+    /// Distributed systems (process replication).
+    DistributedSystems,
+    /// Databases (data replication).
+    Databases,
+}
+
+/// When updates propagate relative to the client response (Gray et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Propagation {
+    /// Within the transaction boundary: response after coordination.
+    Eager,
+    /// After commit: response first, coordination later.
+    Lazy,
+}
+
+/// Who may process updates (Gray et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateLocation {
+    /// One designated copy executes updates.
+    Primary,
+    /// Any copy may execute updates.
+    Everywhere,
+}
+
+/// The consistency guarantee a technique provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guarantee {
+    /// Linearisability (distributed-systems techniques).
+    Linearizable,
+    /// One-copy serializability (eager database techniques).
+    OneCopySerializable,
+    /// Weak / convergent: stale reads and reconciliation possible.
+    Weak,
+}
+
+/// Classification metadata for a technique (Figures 5, 6, 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TechniqueInfo {
+    /// The technique.
+    pub technique: Technique,
+    /// Paper community.
+    pub community: Community,
+    /// Eager or lazy.
+    pub propagation: Propagation,
+    /// Primary or update everywhere.
+    pub location: UpdateLocation,
+    /// Does correctness require deterministic servers? (Fig. 5 y-axis.)
+    pub needs_determinism: bool,
+    /// Are server failures transparent to clients? (Fig. 5 x-axis:
+    /// no reconnection/resubmission needed.)
+    pub failure_transparent: bool,
+    /// Declared consistency class (verified by the oracles in Fig. 16 runs).
+    pub guarantee: Guarantee,
+}
+
+impl Technique {
+    /// All techniques, in the paper's presentation order.
+    pub const ALL: [Technique; 10] = [
+        Technique::Active,
+        Technique::Passive,
+        Technique::SemiActive,
+        Technique::SemiPassive,
+        Technique::EagerPrimary,
+        Technique::EagerUpdateEverywhereLocking,
+        Technique::EagerUpdateEverywhereAbcast,
+        Technique::LazyPrimary,
+        Technique::LazyUpdateEverywhere,
+        Technique::Certification,
+    ];
+
+    /// Short display name (matches the paper's Figure 16 rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::Active => "Active",
+            Technique::Passive => "Passive",
+            Technique::SemiActive => "Semi-Active",
+            Technique::SemiPassive => "Semi-Passive",
+            Technique::EagerPrimary => "Eager Primary Copy",
+            Technique::EagerUpdateEverywhereLocking => "Eager UE (Distributed Locking)",
+            Technique::EagerUpdateEverywhereAbcast => "Eager UE (ABCAST)",
+            Technique::LazyPrimary => "Lazy Primary Copy",
+            Technique::LazyUpdateEverywhere => "Lazy Update Everywhere",
+            Technique::Certification => "Certification Based",
+        }
+    }
+
+    /// The classification metadata.
+    pub fn info(self) -> TechniqueInfo {
+        use Community::*;
+        use Guarantee::*;
+        use Propagation::*;
+        use UpdateLocation::*;
+        match self {
+            Technique::Active => TechniqueInfo {
+                technique: self,
+                community: DistributedSystems,
+                propagation: Eager,
+                location: Everywhere,
+                needs_determinism: true,
+                failure_transparent: true,
+                guarantee: Linearizable,
+            },
+            Technique::Passive => TechniqueInfo {
+                technique: self,
+                community: DistributedSystems,
+                propagation: Eager,
+                location: Primary,
+                needs_determinism: false,
+                failure_transparent: false,
+                guarantee: Linearizable,
+            },
+            Technique::SemiActive => TechniqueInfo {
+                technique: self,
+                community: DistributedSystems,
+                propagation: Eager,
+                location: Everywhere,
+                needs_determinism: false,
+                failure_transparent: true,
+                guarantee: Linearizable,
+            },
+            Technique::SemiPassive => TechniqueInfo {
+                technique: self,
+                community: DistributedSystems,
+                propagation: Eager,
+                location: Primary,
+                needs_determinism: false,
+                failure_transparent: true,
+                guarantee: Linearizable,
+            },
+            Technique::EagerPrimary => TechniqueInfo {
+                technique: self,
+                community: Databases,
+                propagation: Eager,
+                location: Primary,
+                needs_determinism: false,
+                failure_transparent: false,
+                guarantee: OneCopySerializable,
+            },
+            Technique::EagerUpdateEverywhereLocking => TechniqueInfo {
+                technique: self,
+                community: Databases,
+                propagation: Eager,
+                location: Everywhere,
+                needs_determinism: false,
+                failure_transparent: false,
+                guarantee: OneCopySerializable,
+            },
+            Technique::EagerUpdateEverywhereAbcast => TechniqueInfo {
+                technique: self,
+                community: Databases,
+                propagation: Eager,
+                location: Everywhere,
+                needs_determinism: true,
+                failure_transparent: false,
+                guarantee: OneCopySerializable,
+            },
+            Technique::LazyPrimary => TechniqueInfo {
+                technique: self,
+                community: Databases,
+                propagation: Lazy,
+                location: Primary,
+                needs_determinism: false,
+                failure_transparent: false,
+                guarantee: Weak,
+            },
+            Technique::LazyUpdateEverywhere => TechniqueInfo {
+                technique: self,
+                community: Databases,
+                propagation: Lazy,
+                location: Everywhere,
+                needs_determinism: false,
+                failure_transparent: false,
+                guarantee: Weak,
+            },
+            Technique::Certification => TechniqueInfo {
+                technique: self,
+                community: Databases,
+                propagation: Eager,
+                location: Everywhere,
+                needs_determinism: true,
+                failure_transparent: false,
+                guarantee: OneCopySerializable,
+            },
+        }
+    }
+
+    /// The paper figure that depicts this technique's phase diagram.
+    pub fn paper_figure(self) -> &'static str {
+        match self {
+            Technique::Active => "Fig. 2",
+            Technique::Passive => "Fig. 3",
+            Technique::SemiActive => "Fig. 4",
+            Technique::SemiPassive => "§3.5",
+            Technique::EagerPrimary => "Fig. 7 / Fig. 12",
+            Technique::EagerUpdateEverywhereLocking => "Fig. 8 / Fig. 13",
+            Technique::EagerUpdateEverywhereAbcast => "Fig. 9",
+            Technique::LazyPrimary => "Fig. 10",
+            Technique::LazyUpdateEverywhere => "Fig. 11",
+            Technique::Certification => "Fig. 14",
+        }
+    }
+
+    /// The phase skeleton the paper's Figure 16 claims for this technique
+    /// (single-operation transactions).
+    pub fn claimed_skeleton(self) -> &'static str {
+        match self {
+            Technique::Active => "RE SC EX END",
+            Technique::Passive => "RE EX AC END",
+            Technique::SemiActive => "RE SC EX AC END",
+            Technique::SemiPassive => "RE EX AC END",
+            Technique::EagerPrimary => "RE EX AC END",
+            Technique::EagerUpdateEverywhereLocking => "RE SC EX AC END",
+            Technique::EagerUpdateEverywhereAbcast => "RE SC EX END",
+            Technique::LazyPrimary => "RE EX END AC",
+            Technique::LazyUpdateEverywhere => "RE EX END AC",
+            Technique::Certification => "RE EX SC AC END",
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_ten_techniques() {
+        assert_eq!(Technique::ALL.len(), 10);
+        let mut names: Vec<&str> = Technique::ALL.iter().map(|t| t.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 10, "names must be distinct");
+    }
+
+    #[test]
+    fn figure5_quadrants_match_paper() {
+        // Fig. 5: Active = (transparent, determinism needed);
+        // Passive = (not transparent, no determinism);
+        // Semi-active & semi-passive = (transparent, no determinism).
+        let a = Technique::Active.info();
+        assert!(a.failure_transparent && a.needs_determinism);
+        let p = Technique::Passive.info();
+        assert!(!p.failure_transparent && !p.needs_determinism);
+        let sa = Technique::SemiActive.info();
+        assert!(sa.failure_transparent && !sa.needs_determinism);
+        let sp = Technique::SemiPassive.info();
+        assert!(sp.failure_transparent && !sp.needs_determinism);
+    }
+
+    #[test]
+    fn figure6_quadrants_match_gray_taxonomy() {
+        use Propagation::*;
+        use UpdateLocation::*;
+        assert_eq!(Technique::EagerPrimary.info().propagation, Eager);
+        assert_eq!(Technique::EagerPrimary.info().location, Primary);
+        assert_eq!(
+            Technique::EagerUpdateEverywhereLocking.info().location,
+            Everywhere
+        );
+        assert_eq!(Technique::LazyPrimary.info().propagation, Lazy);
+        assert_eq!(Technique::LazyUpdateEverywhere.info().location, Everywhere);
+    }
+
+    #[test]
+    fn lazy_techniques_are_exactly_the_weak_ones() {
+        for t in Technique::ALL {
+            let info = t.info();
+            assert_eq!(
+                info.propagation == Propagation::Lazy,
+                info.guarantee == Guarantee::Weak,
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn claimed_skeletons_parse_as_phases() {
+        use crate::phase::Phase;
+        for t in Technique::ALL {
+            for tag in t.claimed_skeleton().split_whitespace() {
+                assert!(Phase::from_tag(tag).is_some(), "{t}: bad tag {tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_skeletons_respond_before_agreement() {
+        use crate::phase::{Phase, PhaseSkeleton};
+        for t in Technique::ALL {
+            let phases: Vec<Phase> = t
+                .claimed_skeleton()
+                .split_whitespace()
+                .map(|s| Phase::from_tag(s).expect("valid"))
+                .collect();
+            let sk = PhaseSkeleton::new(phases);
+            assert_eq!(
+                sk.responds_before_agreement(),
+                t.info().propagation == Propagation::Lazy,
+                "{t}"
+            );
+            // Fig. 15's claim: strong consistency iff SC or AC before END.
+            assert_eq!(
+                sk.synchronises_before_response(),
+                t.info().guarantee != Guarantee::Weak,
+                "{t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Execution histories over replicated data, and the one-copy-
+//! serializability checker.
+//!
+//! Every site records the order in which it performed physical operations
+//! on its copies. The union of the per-site conflict orders (restricted to
+//! committed transactions) forms the *replicated-data serialization
+//! graph*; the history is one-copy serializable iff that graph is acyclic
+//! (Bernstein, Hadzilacos & Goodman 1987) — the paper's correctness
+//! criterion for database replication (Section 4.1).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::item::{AccessKind, Key, TxnId};
+
+/// One physical operation as recorded by a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistOp {
+    /// The recording site.
+    pub site: u32,
+    /// The transaction performing the access.
+    pub txn: TxnId,
+    /// The logical item accessed (this site's physical copy).
+    pub key: Key,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A multi-site execution history.
+///
+/// # Examples
+///
+/// ```
+/// use repl_db::{ReplicatedHistory, AccessKind, Key, TxnId};
+///
+/// let mut h = ReplicatedHistory::new();
+/// let (t1, t2) = (TxnId::new(1, 0), TxnId::new(2, 0));
+/// h.record(0, t1, Key(0), AccessKind::Write);
+/// h.record(0, t2, Key(0), AccessKind::Write);
+/// h.mark_committed(t1);
+/// h.mark_committed(t2);
+/// let order = h.check_one_copy_serializable().expect("1SR");
+/// assert_eq!(order, vec![t1, t2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReplicatedHistory {
+    /// Per-site operation streams, in execution order.
+    per_site: HashMap<u32, Vec<HistOp>>,
+    committed: HashSet<TxnId>,
+}
+
+/// A cycle in the serialization graph: evidence of a non-serializable
+/// execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializabilityViolation {
+    /// The transactions on the cycle, in edge order.
+    pub cycle: Vec<TxnId>,
+}
+
+impl std::fmt::Display for SerializabilityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serialization-graph cycle through {} transactions",
+            self.cycle.len()
+        )
+    }
+}
+
+impl std::error::Error for SerializabilityViolation {}
+
+impl ReplicatedHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        ReplicatedHistory::default()
+    }
+
+    /// Records a physical operation at `site` in execution order.
+    pub fn record(&mut self, site: u32, txn: TxnId, key: Key, kind: AccessKind) {
+        self.per_site.entry(site).or_default().push(HistOp {
+            site,
+            txn,
+            key,
+            kind,
+        });
+    }
+
+    /// Marks a transaction as committed; only committed transactions
+    /// participate in the serialization graph.
+    pub fn mark_committed(&mut self, txn: TxnId) {
+        self.committed.insert(txn);
+    }
+
+    /// Number of recorded operations across all sites.
+    pub fn len(&self) -> usize {
+        self.per_site.values().map(|v| v.len()).sum()
+    }
+
+    /// True if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The committed transactions.
+    pub fn committed(&self) -> &HashSet<TxnId> {
+        &self.committed
+    }
+
+    /// Removes every recorded operation of `txn` (used when an aborted
+    /// attempt is retried under the same transaction id: the dead
+    /// attempt's operations must not count once the retry commits).
+    pub fn purge(&mut self, txn: TxnId) {
+        for ops in self.per_site.values_mut() {
+            ops.retain(|op| op.txn != txn);
+        }
+        self.committed.remove(&txn);
+    }
+
+    /// Merges another history (e.g. collected from another site's actor).
+    pub fn merge(&mut self, other: &ReplicatedHistory) {
+        for (site, ops) in &other.per_site {
+            self.per_site
+                .entry(*site)
+                .or_default()
+                .extend(ops.iter().copied());
+        }
+        self.committed.extend(other.committed.iter().copied());
+    }
+
+    /// The edges of the replicated-data serialization graph.
+    pub fn conflict_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = HashSet::new();
+        for ops in self.per_site.values() {
+            // Per key, the committed ops in site order.
+            let mut per_key: HashMap<Key, Vec<(TxnId, AccessKind)>> = HashMap::new();
+            for op in ops {
+                if self.committed.contains(&op.txn) {
+                    per_key.entry(op.key).or_default().push((op.txn, op.kind));
+                }
+            }
+            for seq in per_key.values() {
+                for (i, &(t1, k1)) in seq.iter().enumerate() {
+                    for &(t2, k2) in &seq[i + 1..] {
+                        if t1 != t2 && k1.conflicts_with(k2) {
+                            edges.insert((t1, t2));
+                        }
+                    }
+                }
+            }
+        }
+        let mut v: Vec<(TxnId, TxnId)> = edges.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Checks one-copy serializability.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violating cycle if the serialization graph is cyclic;
+    /// otherwise returns a witness serial order (a topological sort).
+    pub fn check_one_copy_serializable(&self) -> Result<Vec<TxnId>, SerializabilityViolation> {
+        let edges = self.conflict_edges();
+        let mut nodes: Vec<TxnId> = self.committed.iter().copied().collect();
+        nodes.sort_unstable();
+        let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+        let mut indeg: HashMap<TxnId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        for &(a, b) in &edges {
+            adj.entry(a).or_default().push(b);
+            *indeg.entry(b).or_insert(0) += 1;
+            indeg.entry(a).or_insert(0);
+        }
+        // Kahn's algorithm with deterministic tie-breaking.
+        let mut ready: Vec<TxnId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(indeg.len());
+        while let Some(&n) = ready.first() {
+            ready.remove(0);
+            order.push(n);
+            if let Some(succ) = adj.get(&n) {
+                for &s in succ {
+                    let d = indeg.get_mut(&s).expect("known node");
+                    *d -= 1;
+                    if *d == 0 {
+                        let pos = ready.binary_search(&s).unwrap_or_else(|p| p);
+                        ready.insert(pos, s);
+                    }
+                }
+            }
+        }
+        if order.len() == indeg.len() {
+            Ok(order)
+        } else {
+            Err(SerializabilityViolation {
+                cycle: self.find_cycle(&edges),
+            })
+        }
+    }
+
+    fn find_cycle(&self, edges: &[(TxnId, TxnId)]) -> Vec<TxnId> {
+        let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+        let mut nodes: HashSet<TxnId> = HashSet::new();
+        for &(a, b) in edges {
+            adj.entry(a).or_default().push(b);
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        let mut sorted: Vec<TxnId> = nodes.iter().copied().collect();
+        sorted.sort_unstable();
+        #[derive(Clone, Copy, PartialEq)]
+        enum C {
+            W,
+            G,
+            B,
+        }
+        let mut color: HashMap<TxnId, C> = nodes.iter().map(|&n| (n, C::W)).collect();
+        for &start in &sorted {
+            if color[&start] != C::W {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            let mut path = vec![start];
+            color.insert(start, C::G);
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let next = adj.get(&node).and_then(|v| v.get(*idx).copied());
+                *idx += 1;
+                match next {
+                    Some(n) => match color[&n] {
+                        C::G => {
+                            let pos = path.iter().position(|&p| p == n).expect("on path");
+                            return path[pos..].to_vec();
+                        }
+                        C::W => {
+                            color.insert(n, C::G);
+                            stack.push((n, 0));
+                            path.push(n);
+                        }
+                        C::B => {}
+                    },
+                    None => {
+                        color.insert(node, C::B);
+                        stack.pop();
+                        path.pop();
+                    }
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessKind::{Read, Write};
+
+    fn t(ts: u64) -> TxnId {
+        TxnId::new(ts, 0)
+    }
+
+    #[test]
+    fn empty_history_is_serializable() {
+        let h = ReplicatedHistory::new();
+        assert!(h.is_empty());
+        assert_eq!(
+            h.check_one_copy_serializable().expect("trivially 1SR"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn reads_never_conflict() {
+        let mut h = ReplicatedHistory::new();
+        h.record(0, t(1), Key(0), Read);
+        h.record(0, t(2), Key(0), Read);
+        h.mark_committed(t(1));
+        h.mark_committed(t(2));
+        assert!(h.conflict_edges().is_empty());
+    }
+
+    #[test]
+    fn single_site_serial_order_follows_execution() {
+        let mut h = ReplicatedHistory::new();
+        h.record(0, t(2), Key(0), Write);
+        h.record(0, t(1), Key(0), Write);
+        h.mark_committed(t(1));
+        h.mark_committed(t(2));
+        // Execution order t2 then t1 — the witness must respect it.
+        assert_eq!(
+            h.check_one_copy_serializable().expect("1SR"),
+            vec![t(2), t(1)]
+        );
+    }
+
+    #[test]
+    fn cross_site_write_inversion_is_detected() {
+        // Site 0 applies t1's write before t2's; site 1 the reverse:
+        // classic replica divergence, not 1SR.
+        let mut h = ReplicatedHistory::new();
+        h.record(0, t(1), Key(0), Write);
+        h.record(0, t(2), Key(0), Write);
+        h.record(1, t(2), Key(0), Write);
+        h.record(1, t(1), Key(0), Write);
+        h.mark_committed(t(1));
+        h.mark_committed(t(2));
+        let err = h.check_one_copy_serializable().expect_err("must be cyclic");
+        assert_eq!(err.cycle.len(), 2);
+        assert_eq!(
+            err.to_string(),
+            "serialization-graph cycle through 2 transactions"
+        );
+    }
+
+    #[test]
+    fn read_write_inversion_across_items_is_detected() {
+        // t1 reads x then writes y; t2 reads y then writes x; interleaved
+        // so each reads the pre-image: r1(x) r2(y) w1(y) w2(x) — cyclic.
+        let mut h = ReplicatedHistory::new();
+        h.record(0, t(1), Key(0), Read);
+        h.record(0, t(2), Key(1), Read);
+        h.record(0, t(1), Key(1), Write);
+        h.record(0, t(2), Key(0), Write);
+        h.mark_committed(t(1));
+        h.mark_committed(t(2));
+        assert!(h.check_one_copy_serializable().is_err());
+    }
+
+    #[test]
+    fn uncommitted_transactions_are_ignored() {
+        let mut h = ReplicatedHistory::new();
+        h.record(0, t(1), Key(0), Write);
+        h.record(0, t(2), Key(0), Write);
+        h.record(0, t(1), Key(0), Write); // would be a w1 w2 w1 cycle if t2 counted
+        h.mark_committed(t(1));
+        assert!(h.check_one_copy_serializable().is_ok());
+    }
+
+    #[test]
+    fn purge_removes_aborted_attempts() {
+        let mut h = ReplicatedHistory::new();
+        h.record(0, t(1), Key(0), Write);
+        h.record(0, t(2), Key(0), Write);
+        h.record(0, t(1), Key(1), Write);
+        h.purge(t(1));
+        h.record(0, t(1), Key(0), Write); // the retry
+        h.mark_committed(t(1));
+        h.mark_committed(t(2));
+        // Without the purge this would be w1 w2 w1: cyclic.
+        assert!(h.check_one_copy_serializable().is_ok());
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn merge_combines_sites() {
+        let mut a = ReplicatedHistory::new();
+        a.record(0, t(1), Key(0), Write);
+        a.mark_committed(t(1));
+        let mut b = ReplicatedHistory::new();
+        b.record(1, t(2), Key(0), Write);
+        b.mark_committed(t(2));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.committed().len(), 2);
+    }
+
+    #[test]
+    fn consistent_cross_site_order_is_serializable() {
+        let mut h = ReplicatedHistory::new();
+        for site in 0..3 {
+            h.record(site, t(1), Key(0), Write);
+            h.record(site, t(2), Key(0), Write);
+            h.record(site, t(3), Key(0), Write);
+        }
+        for ts in 1..=3 {
+            h.mark_committed(t(ts));
+        }
+        assert_eq!(
+            h.check_one_copy_serializable().expect("1SR"),
+            vec![t(1), t(2), t(3)]
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Logical data items, values, and transaction identities.
+//!
+//! The paper's replication model (Section 4.1) distinguishes a *logical*
+//! data item `X` from its *physical* copies `Xi` on each site. In this
+//! kernel, a [`Key`] names the logical item; each site's
+//! [`crate::Store`] holds that site's physical copy.
+
+use std::fmt;
+
+/// Names a logical data item.
+///
+/// # Examples
+///
+/// ```
+/// use repl_db::Key;
+/// let k = Key(7);
+/// assert_eq!(k.to_string(), "x7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub u64);
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The value stored in a data item.
+///
+/// A plain integer: rich enough for register semantics (each write carries
+/// a distinguishable value, which the consistency oracles rely on) while
+/// keeping messages cheap to clone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub i64);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Globally unique transaction identity, ordered by `(timestamp, site)`.
+///
+/// The total order doubles as the age order for wound-wait deadlock
+/// prevention: smaller is older.
+///
+/// # Examples
+///
+/// ```
+/// use repl_db::TxnId;
+/// let older = TxnId::new(5, 0);
+/// let newer = TxnId::new(9, 0);
+/// assert!(older < newer);
+/// assert!(older.is_older_than(newer));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// Start timestamp (virtual time ticks or any monotone counter).
+    pub ts: u64,
+    /// Originating site, breaking timestamp ties.
+    pub site: u32,
+}
+
+impl TxnId {
+    /// Creates a transaction id.
+    pub fn new(ts: u64, site: u32) -> Self {
+        TxnId { ts, site }
+    }
+
+    /// True if `self` started before `other` in the global age order.
+    pub fn is_older_than(self, other: TxnId) -> bool {
+        self < other
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.ts, self.site)
+    }
+}
+
+/// Read or write access, the conflict-relevant half of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+impl AccessKind {
+    /// Two accesses conflict if they touch the same item and at least one
+    /// of them writes (Section 4.1 of the paper).
+    pub fn conflicts_with(self, other: AccessKind) -> bool {
+        matches!(
+            (self, other),
+            (AccessKind::Write, _) | (_, AccessKind::Write)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_age_order_breaks_ties_by_site() {
+        let a = TxnId::new(5, 0);
+        let b = TxnId::new(5, 1);
+        assert!(a.is_older_than(b));
+        assert!(!b.is_older_than(a));
+        assert!(!a.is_older_than(a));
+    }
+
+    #[test]
+    fn conflict_matrix() {
+        use AccessKind::*;
+        assert!(!Read.conflicts_with(Read));
+        assert!(Read.conflicts_with(Write));
+        assert!(Write.conflicts_with(Read));
+        assert!(Write.conflicts_with(Write));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Key(3).to_string(), "x3");
+        assert_eq!(Value(-4).to_string(), "-4");
+        assert_eq!(TxnId::new(8, 2).to_string(), "t8.2");
+    }
+}

@@ -1,0 +1,159 @@
+//! Redo log records: the "update" messages replication propagates.
+//!
+//! In the paper's passive and primary-copy techniques the executing site
+//! does not ship the operation but the *changes* it produced — log
+//! records. A [`WriteSet`] is exactly that: the after-images of one
+//! transaction's writes, applicable at any replica without re-execution.
+
+use crate::item::{Key, TxnId, Value};
+
+/// One write's after-image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// The written item.
+    pub key: Key,
+    /// The new value.
+    pub value: Value,
+    /// The version this write produced at the executing site.
+    pub version: u64,
+}
+
+/// A transaction's full redo information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteSet {
+    /// The writing transaction.
+    pub txn: TxnId,
+    /// After-images, sorted by key.
+    pub writes: Vec<WriteRecord>,
+}
+
+impl WriteSet {
+    /// An empty writeset (read-only transaction).
+    pub fn empty(txn: TxnId) -> Self {
+        WriteSet {
+            txn,
+            writes: Vec::new(),
+        }
+    }
+
+    /// True if the transaction wrote nothing.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// The written keys, in key order.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.writes.iter().map(|w| w.key)
+    }
+
+    /// True if this writeset writes any key in `keys`.
+    pub fn touches_any(&self, keys: &[Key]) -> bool {
+        self.writes.iter().any(|w| keys.contains(&w.key))
+    }
+
+    /// Approximate wire size in bytes, for message accounting.
+    pub fn wire_size(&self) -> usize {
+        16 + self.writes.len() * 24
+    }
+}
+
+/// An append-only redo log, as kept by each site for propagation and
+/// recovery.
+///
+/// # Examples
+///
+/// ```
+/// use repl_db::{RedoLog, WriteSet, TxnId};
+///
+/// let mut log = RedoLog::new();
+/// log.append(WriteSet::empty(TxnId::new(1, 0)));
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(log.since(0).count(), 1);
+/// assert_eq!(log.since(1).count(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RedoLog {
+    entries: Vec<WriteSet>,
+}
+
+impl RedoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RedoLog {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a committed transaction's writeset; returns its log index.
+    pub fn append(&mut self, ws: WriteSet) -> usize {
+        self.entries.push(ws);
+        self.entries.len() - 1
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries from log index `from` onwards (for catch-up transfer).
+    pub fn since(&self, from: usize) -> impl Iterator<Item = &WriteSet> {
+        self.entries[from.min(self.entries.len())..].iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touches_any_detects_overlap() {
+        let ws = WriteSet {
+            txn: TxnId::new(1, 0),
+            writes: vec![WriteRecord {
+                key: Key(3),
+                value: Value(1),
+                version: 1,
+            }],
+        };
+        assert!(ws.touches_any(&[Key(2), Key(3)]));
+        assert!(!ws.touches_any(&[Key(0)]));
+        assert!(!WriteSet::empty(TxnId::new(2, 0)).touches_any(&[Key(3)]));
+    }
+
+    #[test]
+    fn log_since_returns_suffix() {
+        let mut log = RedoLog::new();
+        for i in 0..5 {
+            log.append(WriteSet::empty(TxnId::new(i, 0)));
+        }
+        assert_eq!(log.since(2).count(), 3);
+        assert_eq!(log.since(99).count(), 0);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn keys_are_iterated_in_order() {
+        let ws = WriteSet {
+            txn: TxnId::new(1, 0),
+            writes: vec![
+                WriteRecord {
+                    key: Key(1),
+                    value: Value(0),
+                    version: 1,
+                },
+                WriteRecord {
+                    key: Key(4),
+                    value: Value(0),
+                    version: 1,
+                },
+            ],
+        };
+        assert_eq!(ws.keys().collect::<Vec<_>>(), vec![Key(1), Key(4)]);
+        assert_eq!(ws.wire_size(), 16 + 48);
+    }
+}

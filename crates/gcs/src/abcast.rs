@@ -1,0 +1,634 @@
+//! Atomic Broadcast (ABCAST): totally ordered, reliable dissemination.
+//!
+//! Two interchangeable implementations, compared by ablation A2:
+//!
+//! * [`SequencerAbcast`] — a fixed sequencer assigns global sequence
+//!   numbers. Cheapest in messages (one hop to the sequencer, one
+//!   dissemination round) but the sequencer is a single point of failure;
+//!   the replication experiments use it in failure-free runs.
+//! * [`ConsensusAbcast`] — batches of pending messages are agreed on with
+//!   [`ConsensusPool`] instances, in the style of Chandra–Toueg's atomic
+//!   broadcast reduction. Tolerates any minority of crashes.
+//!
+//! Both deliver [`AbDeliver`] events carrying a dense global sequence
+//! number; within a batch, messages are ordered by [`MsgId`].
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use repl_sim::{Message, NodeId, SimDuration};
+
+use crate::component::{Component, Outbox};
+use crate::consensus::{ConsEvent, ConsMsg, ConsensusConfig, ConsensusPool};
+use crate::rbcast::MsgId;
+
+/// A totally ordered delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbDeliver<P> {
+    /// Dense position in the group's total order, starting at 0.
+    pub gseq: u64,
+    /// Unique id of the broadcast.
+    pub id: MsgId,
+    /// Application payload.
+    pub payload: P,
+}
+
+// ---------------------------------------------------------------------------
+// Fixed sequencer
+// ---------------------------------------------------------------------------
+
+/// Wire message of [`SequencerAbcast`].
+#[derive(Debug, Clone)]
+pub enum SeqAbMsg<P> {
+    /// Sender → sequencer: please order this message.
+    Submit {
+        /// Unique id of the broadcast.
+        id: MsgId,
+        /// Application payload.
+        payload: P,
+    },
+    /// Sequencer → group (and non-member origins): ordered message.
+    Ordered {
+        /// Global sequence number.
+        gseq: u64,
+        /// Unique id of the broadcast.
+        id: MsgId,
+        /// Application payload.
+        payload: P,
+    },
+}
+
+impl<P: Message> Message for SeqAbMsg<P> {
+    fn wire_size(&self) -> usize {
+        match self {
+            SeqAbMsg::Submit { payload, .. } => 16 + payload.wire_size(),
+            SeqAbMsg::Ordered { payload, .. } => 24 + payload.wire_size(),
+        }
+    }
+}
+
+const RETRANSMIT_TAG: u64 = 0;
+
+/// Fixed-sequencer Atomic Broadcast.
+///
+/// The sequencer is the first group member. Senders retransmit unordered
+/// submissions periodically, which makes the primitive robust to message
+/// loss (but not to a sequencer crash — see [`ConsensusAbcast`]).
+///
+/// Non-members may broadcast *into* the group: the sequencer confirms the
+/// ordering back to them, but only members deliver.
+///
+/// # Examples
+///
+/// ```
+/// use repl_gcs::{SequencerAbcast, Outbox};
+/// use repl_sim::NodeId;
+///
+/// let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+/// let mut ab: SequencerAbcast<u32> = SequencerAbcast::new(group[1], group.clone());
+/// let mut out = Outbox::new();
+/// ab.broadcast(9, &mut out);
+/// ```
+#[derive(Debug)]
+pub struct SequencerAbcast<P> {
+    me: NodeId,
+    group: Vec<NodeId>,
+    member: bool,
+    retransmit_every: SimDuration,
+    next_local: u64,
+    pending: HashMap<MsgId, P>,
+    timer_armed: bool,
+    // Sequencer role.
+    ordered: HashMap<MsgId, u64>,
+    next_gseq: u64,
+    // Receiver role.
+    next_deliver: u64,
+    holdback: BTreeMap<u64, (MsgId, P)>,
+    delivered_ids: HashSet<MsgId>,
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
+    /// Creates an endpoint for `me`; the sequencer is `group[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is empty.
+    pub fn new(me: NodeId, group: Vec<NodeId>) -> Self {
+        assert!(!group.is_empty(), "group must not be empty");
+        let member = group.contains(&me);
+        SequencerAbcast {
+            me,
+            group,
+            member,
+            retransmit_every: SimDuration::from_ticks(2_000),
+            next_local: 0,
+            pending: HashMap::new(),
+            timer_armed: false,
+            ordered: HashMap::new(),
+            next_gseq: 0,
+            next_deliver: 0,
+            holdback: BTreeMap::new(),
+            delivered_ids: HashSet::new(),
+        }
+    }
+
+    /// The sequencer node.
+    pub fn sequencer(&self) -> NodeId {
+        self.group[0]
+    }
+
+    /// Number of own broadcasts not yet confirmed ordered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Broadcasts `payload`; returns its id.
+    pub fn broadcast(&mut self, payload: P, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) -> MsgId {
+        let id = MsgId::new(self.me, self.next_local);
+        self.next_local += 1;
+        self.pending.insert(id, payload.clone());
+        out.send(self.sequencer(), SeqAbMsg::Submit { id, payload });
+        if !self.timer_armed {
+            self.timer_armed = true;
+            out.timer(self.retransmit_every, RETRANSMIT_TAG);
+        }
+        id
+    }
+
+    fn order(&mut self, id: MsgId, payload: P, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
+        let gseq = match self.ordered.get(&id) {
+            Some(&g) => g,
+            None => {
+                let g = self.next_gseq;
+                self.next_gseq += 1;
+                self.ordered.insert(id, g);
+                g
+            }
+        };
+        for &m in &self.group {
+            if m != self.me {
+                out.send(
+                    m,
+                    SeqAbMsg::Ordered {
+                        gseq,
+                        id,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+        if !self.group.contains(&id.origin) && id.origin != self.me {
+            out.send(
+                id.origin,
+                SeqAbMsg::Ordered {
+                    gseq,
+                    id,
+                    payload: payload.clone(),
+                },
+            );
+        }
+        self.accept(gseq, id, payload, out);
+    }
+
+    fn accept(
+        &mut self,
+        gseq: u64,
+        id: MsgId,
+        payload: P,
+        out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>,
+    ) {
+        self.pending.remove(&id);
+        if !self.member || self.delivered_ids.contains(&id) {
+            return;
+        }
+        self.holdback.entry(gseq).or_insert((id, payload));
+        while let Some((id, payload)) = self.holdback.remove(&self.next_deliver) {
+            let gseq = self.next_deliver;
+            self.next_deliver += 1;
+            if self.delivered_ids.insert(id) {
+                out.event(AbDeliver { gseq, id, payload });
+            }
+        }
+    }
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> Component for SequencerAbcast<P> {
+    type Msg = SeqAbMsg<P>;
+    type Event = AbDeliver<P>;
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        msg: SeqAbMsg<P>,
+        out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>,
+    ) {
+        match msg {
+            SeqAbMsg::Submit { id, payload } => {
+                if self.me == self.sequencer() {
+                    self.order(id, payload, out);
+                }
+            }
+            SeqAbMsg::Ordered { gseq, id, payload } => {
+                self.accept(gseq, id, payload, out);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
+        if tag != RETRANSMIT_TAG {
+            return;
+        }
+        if self.pending.is_empty() {
+            self.timer_armed = false;
+            return;
+        }
+        let seq = self.sequencer();
+        for (&id, payload) in &self.pending {
+            out.send(
+                seq,
+                SeqAbMsg::Submit {
+                    id,
+                    payload: payload.clone(),
+                },
+            );
+        }
+        out.timer(self.retransmit_every, RETRANSMIT_TAG);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consensus-based
+// ---------------------------------------------------------------------------
+
+/// A batch of messages agreed on by one consensus instance.
+#[derive(Debug, Clone)]
+pub struct Batch<P>(pub Vec<(MsgId, P)>);
+
+impl<P: Message> Message for Batch<P> {
+    fn wire_size(&self) -> usize {
+        8 + self
+            .0
+            .iter()
+            .map(|(_, p)| 16 + p.wire_size())
+            .sum::<usize>()
+    }
+}
+
+/// Wire message of [`ConsensusAbcast`].
+#[derive(Debug, Clone)]
+pub enum CAbMsg<P> {
+    /// Gossip of a pending message to all members.
+    Submit {
+        /// Unique id of the broadcast.
+        id: MsgId,
+        /// Application payload.
+        payload: P,
+    },
+    /// Embedded consensus traffic.
+    Cons(ConsMsg<Batch<P>>),
+}
+
+impl<P: Message> Message for CAbMsg<P> {
+    fn wire_size(&self) -> usize {
+        match self {
+            CAbMsg::Submit { payload, .. } => 16 + payload.wire_size(),
+            CAbMsg::Cons(c) => 8 + c.wire_size(),
+        }
+    }
+}
+
+/// Timer-tag base of the embedded consensus pool.
+const CONS_BASE: u64 = 1 << 40;
+
+/// Consensus-based Atomic Broadcast (Chandra–Toueg reduction).
+///
+/// Pending messages are gossiped to all members; each member proposes its
+/// pending set for the next consensus instance; decided batches are
+/// delivered in instance order, messages within a batch ordered by id.
+/// Tolerates crashes of any minority of the group.
+///
+/// # Panics
+///
+/// [`ConsensusAbcast::new`] panics if `me` is not a group member.
+#[derive(Debug)]
+pub struct ConsensusAbcast<P> {
+    me: NodeId,
+    group: Vec<NodeId>,
+    pool: ConsensusPool<Batch<P>>,
+    next_local: u64,
+    pending: BTreeMap<MsgId, P>,
+    delivered: HashSet<MsgId>,
+    decided: BTreeMap<u64, Batch<P>>,
+    next_inst: u64,
+    proposed_for: Option<u64>,
+    next_gseq: u64,
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> ConsensusAbcast<P> {
+    /// Creates an endpoint for group member `me`.
+    pub fn new(me: NodeId, group: Vec<NodeId>, config: ConsensusConfig) -> Self {
+        let pool = ConsensusPool::new(me, group.clone(), config);
+        ConsensusAbcast {
+            me,
+            group,
+            pool,
+            next_local: 0,
+            pending: BTreeMap::new(),
+            delivered: HashSet::new(),
+            decided: BTreeMap::new(),
+            next_inst: 0,
+            proposed_for: None,
+            next_gseq: 0,
+        }
+    }
+
+    /// Number of own or gossiped messages not yet delivered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Broadcasts `payload`; returns its id.
+    pub fn broadcast(&mut self, payload: P, out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>) -> MsgId {
+        let id = MsgId::new(self.me, self.next_local);
+        self.next_local += 1;
+        self.pending.insert(id, payload.clone());
+        for &m in &self.group {
+            if m != self.me {
+                out.send(
+                    m,
+                    CAbMsg::Submit {
+                        id,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+        self.maybe_propose(out);
+        id
+    }
+
+    fn maybe_propose(&mut self, out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>) {
+        if self.pending.is_empty() || self.proposed_for == Some(self.next_inst) {
+            return;
+        }
+        let batch = Batch(
+            self.pending
+                .iter()
+                .map(|(id, p)| (*id, p.clone()))
+                .collect(),
+        );
+        self.proposed_for = Some(self.next_inst);
+        let mut sub = Outbox::new();
+        self.pool.propose(self.next_inst, batch, &mut sub);
+        let events = out.absorb(sub, CONS_BASE, CAbMsg::Cons);
+        self.handle_pool_events(events, out);
+    }
+
+    fn handle_pool_events(
+        &mut self,
+        events: Vec<ConsEvent<Batch<P>>>,
+        out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>,
+    ) {
+        for ev in events {
+            let ConsEvent::Decided { inst, value } = ev;
+            self.decided.insert(inst, value);
+        }
+        let mut progressed = false;
+        while let Some(batch) = self.decided.remove(&self.next_inst) {
+            for (id, payload) in batch.0 {
+                self.pending.remove(&id);
+                if self.delivered.insert(id) {
+                    let gseq = self.next_gseq;
+                    self.next_gseq += 1;
+                    out.event(AbDeliver { gseq, id, payload });
+                }
+            }
+            self.next_inst += 1;
+            progressed = true;
+        }
+        if progressed {
+            self.maybe_propose(out);
+        }
+    }
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> Component for ConsensusAbcast<P> {
+    type Msg = CAbMsg<P>;
+    type Event = AbDeliver<P>;
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: CAbMsg<P>,
+        out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>,
+    ) {
+        match msg {
+            CAbMsg::Submit { id, payload } => {
+                if !self.delivered.contains(&id) {
+                    self.pending.insert(id, payload);
+                    self.maybe_propose(out);
+                }
+            }
+            CAbMsg::Cons(c) => {
+                let mut sub = Outbox::new();
+                self.pool.on_message(from, c, &mut sub);
+                let events = out.absorb(sub, CONS_BASE, CAbMsg::Cons);
+                self.handle_pool_events(events, out);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>) {
+        if tag >= CONS_BASE {
+            let mut sub = Outbox::new();
+            self.pool.on_timer(tag - CONS_BASE, &mut sub);
+            let events = out.absorb(sub, CONS_BASE, CAbMsg::Cons);
+            self.handle_pool_events(events, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ComponentActor;
+    use repl_sim::{NetworkConfig, SimConfig, SimTime, World};
+
+    type SeqHost = ComponentActor<SequencerAbcast<u32>>;
+    type ConsHost = ComponentActor<ConsensusAbcast<u32>>;
+
+    fn deliveries_seq(world: &World<SeqAbMsg<u32>>, n: NodeId) -> Vec<(u64, u32)> {
+        world
+            .actor_ref::<SeqHost>(n)
+            .events
+            .iter()
+            .map(|(_, d)| (d.gseq, d.payload))
+            .collect()
+    }
+
+    fn deliveries_cons(world: &World<CAbMsg<u32>>, n: NodeId) -> Vec<(u64, u32)> {
+        world
+            .actor_ref::<ConsHost>(n)
+            .events
+            .iter()
+            .map(|(_, d)| (d.gseq, d.payload))
+            .collect()
+    }
+
+    #[test]
+    fn sequencer_total_order_across_concurrent_broadcasters() {
+        let mut world: World<SeqAbMsg<u32>> = World::new(SimConfig::new(5));
+        let group: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        for i in 0..4u32 {
+            let mut actor =
+                ComponentActor::new(SequencerAbcast::<u32>::new(NodeId::new(i), group.clone()));
+            // Every node broadcasts three messages at staggered times.
+            for k in 0..3u32 {
+                let value = i * 10 + k;
+                actor = actor.with_step(
+                    repl_sim::SimDuration::from_ticks(10 + (k as u64) * 7 + i as u64),
+                    move |ab, out| {
+                        ab.broadcast(value, out);
+                    },
+                );
+            }
+            world.add_actor(Box::new(actor));
+        }
+        world.start();
+        world.run_until(SimTime::from_ticks(100_000));
+        let reference = deliveries_seq(&world, group[0]);
+        assert_eq!(reference.len(), 12, "all messages delivered");
+        let gseqs: Vec<u64> = reference.iter().map(|(g, _)| *g).collect();
+        assert_eq!(gseqs, (0..12).collect::<Vec<u64>>(), "dense total order");
+        for &n in &group[1..] {
+            assert_eq!(deliveries_seq(&world, n), reference, "order differs at {n}");
+        }
+    }
+
+    #[test]
+    fn sequencer_survives_message_loss_via_retransmission() {
+        let cfg = SimConfig::new(7).with_network(NetworkConfig::lan().with_drop_prob(0.3));
+        let mut world: World<SeqAbMsg<u32>> = World::new(cfg);
+        let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3u32 {
+            let mut actor =
+                ComponentActor::new(SequencerAbcast::<u32>::new(NodeId::new(i), group.clone()));
+            if i == 2 {
+                actor = actor.with_step(repl_sim::SimDuration::from_ticks(10), |ab, out| {
+                    ab.broadcast(99, out);
+                });
+            }
+            world.add_actor(Box::new(actor));
+        }
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        // Retransmission cannot recover lost *Ordered* copies at other
+        // receivers, but the sender must eventually get through.
+        assert!(
+            deliveries_seq(&world, group[2]).contains(&(0, 99)),
+            "sender's own message never confirmed"
+        );
+    }
+
+    #[test]
+    fn non_member_broadcast_is_ordered_and_confirmed() {
+        let mut world: World<SeqAbMsg<u32>> = World::new(SimConfig::new(2));
+        let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3u32 {
+            world.add_actor(Box::new(ComponentActor::new(SequencerAbcast::<u32>::new(
+                NodeId::new(i),
+                group.clone(),
+            ))));
+        }
+        let outsider =
+            ComponentActor::new(SequencerAbcast::<u32>::new(NodeId::new(3), group.clone()))
+                .with_step(repl_sim::SimDuration::from_ticks(5), |ab, out| {
+                    ab.broadcast(77, out);
+                });
+        let o = world.add_actor(Box::new(outsider));
+        world.start();
+        world.run_until(SimTime::from_ticks(100_000));
+        for &n in &group {
+            assert_eq!(deliveries_seq(&world, n), vec![(0, 77)]);
+        }
+        // The outsider delivers nothing but its pending set drained.
+        assert!(deliveries_seq(&world, o).is_empty());
+        assert_eq!(world.actor_ref::<SeqHost>(o).inner.pending(), 0);
+    }
+
+    #[test]
+    fn consensus_abcast_total_order_no_failures() {
+        let mut world: World<CAbMsg<u32>> = World::new(SimConfig::new(3));
+        let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3u32 {
+            let mut actor = ComponentActor::new(ConsensusAbcast::<u32>::new(
+                NodeId::new(i),
+                group.clone(),
+                ConsensusConfig::default(),
+            ));
+            for k in 0..2u32 {
+                let value = i * 10 + k;
+                actor = actor.with_step(
+                    repl_sim::SimDuration::from_ticks(10 + (k as u64) * 500),
+                    move |ab, out| {
+                        ab.broadcast(value, out);
+                    },
+                );
+            }
+            world.add_actor(Box::new(actor));
+        }
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        let reference = deliveries_cons(&world, group[0]);
+        assert_eq!(
+            reference.len(),
+            6,
+            "all six messages delivered: {reference:?}"
+        );
+        for &n in &group[1..] {
+            assert_eq!(
+                deliveries_cons(&world, n),
+                reference,
+                "order differs at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn consensus_abcast_tolerates_member_crash() {
+        let mut world: World<CAbMsg<u32>> = World::new(SimConfig::new(11));
+        let group: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        for i in 0..5u32 {
+            let mut actor = ComponentActor::new(ConsensusAbcast::<u32>::new(
+                NodeId::new(i),
+                group.clone(),
+                ConsensusConfig::default(),
+            ));
+            if i == 1 {
+                actor = actor.with_step(repl_sim::SimDuration::from_ticks(10), |ab, out| {
+                    ab.broadcast(5, out);
+                });
+                actor = actor.with_step(repl_sim::SimDuration::from_ticks(5_000), |ab, out| {
+                    ab.broadcast(6, out);
+                });
+            }
+            world.add_actor(Box::new(actor));
+        }
+        // Crash node 0 (the round-0 coordinator) mid-stream.
+        world.schedule_crash(SimTime::from_ticks(300), group[0]);
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        let reference = deliveries_cons(&world, group[1]);
+        assert_eq!(
+            reference.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![5, 6],
+            "survivor missed messages"
+        );
+        for &n in &group[2..] {
+            assert_eq!(
+                deliveries_cons(&world, n),
+                reference,
+                "order differs at {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # repl-gcs — group communication for the replication reproduction
+//!
+//! The distributed-systems substrate of *Understanding Replication in
+//! Databases and Distributed Systems* (Wiesmann et al., ICDCS 2000):
+//! the paper's Section 3.1 abstractions, built from scratch on top of the
+//! [`repl_sim`] kernel.
+//!
+//! * [`ReliableBcast`], [`FifoBcast`], [`CausalBcast`] — the broadcast
+//!   hierarchy,
+//! * [`HeartbeatFd`] — eventually-perfect failure detector,
+//! * [`ConsensusPool`] — rotating-coordinator consensus (◇S style),
+//! * [`SequencerAbcast`], [`ConsensusAbcast`] — Atomic Broadcast (total
+//!   order), the primitive behind active replication and ABCAST-based
+//!   database replication,
+//! * [`ViewGroup`] — group membership with view-synchronous broadcast
+//!   (VSCAST), the primitive behind passive replication.
+//!
+//! All protocols are written as [`Component`]s: passive state machines a
+//! host actor drives, so a replication server can stack them freely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abcast;
+mod causal;
+mod component;
+mod consensus;
+mod fd;
+mod fifo;
+mod rbcast;
+pub mod testkit;
+mod vscast;
+
+pub use abcast::{AbDeliver, Batch, CAbMsg, ConsensusAbcast, SeqAbMsg, SequencerAbcast};
+pub use causal::{CausalBcast, CbDeliver, CbMsg};
+pub use component::{apply_outbox, Action, Component, Outbox, TAG_SPACE};
+pub use consensus::{ConsEvent, ConsMsg, ConsensusConfig, ConsensusPool};
+pub use fd::{FdConfig, FdEvent, FdMsg, HeartbeatFd};
+pub use fifo::FifoBcast;
+pub use rbcast::{MsgId, RbDeliver, RbMsg, RelayPolicy, ReliableBcast};
+pub use vscast::{View, ViewGroup, VsConfig, VsEvent, VsMsg};

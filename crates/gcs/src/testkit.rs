@@ -1,0 +1,108 @@
+//! Helpers for exercising a single [`Component`] inside a [`repl_sim::World`].
+//!
+//! Production code embeds components inside protocol actors; tests (and the
+//! ablation benchmarks) often want to run a component stand-alone. The
+//! [`ComponentActor`] wrapper turns any component into an actor, records
+//! every event it delivers (timestamped), and can run a *script* of API
+//! calls against the component at chosen times — e.g. "broadcast message 3
+//! at t=500".
+
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
+
+use crate::component::{apply_outbox, Component, Outbox, TAG_SPACE};
+
+/// A scripted call against the wrapped component.
+type Step<C> = Box<dyn FnMut(&mut C, &mut Outbox<<C as Component>::Msg, <C as Component>::Event>)>;
+
+/// An actor that hosts exactly one component, records its events, and
+/// replays a script of API calls.
+pub struct ComponentActor<C: Component> {
+    /// The wrapped component.
+    pub inner: C,
+    /// Every event the component delivered, with its virtual time.
+    pub events: Vec<(SimTime, C::Event)>,
+    script: Vec<(SimDuration, Option<Step<C>>)>,
+}
+
+impl<C: Component> ComponentActor<C> {
+    /// Wraps a component.
+    pub fn new(inner: C) -> Self {
+        ComponentActor {
+            inner,
+            events: Vec::new(),
+            script: Vec::new(),
+        }
+    }
+
+    /// Schedules `step` to run against the component at `at` (ticks after
+    /// start). Returns `self` for chaining.
+    pub fn with_step(
+        mut self,
+        at: SimDuration,
+        step: impl FnMut(&mut C, &mut Outbox<C::Msg, C::Event>) + 'static,
+    ) -> Self {
+        self.script.push((at, Some(Box::new(step))));
+        self
+    }
+
+    /// The recorded events, without timestamps.
+    pub fn event_values(&self) -> Vec<&C::Event> {
+        self.events.iter().map(|(_, e)| e).collect()
+    }
+
+    fn flush<W: Message>(
+        &mut self,
+        ctx: &mut Context<'_, W>,
+        out: Outbox<C::Msg, C::Event>,
+        wrap: impl FnMut(C::Msg) -> W,
+    ) {
+        let now = ctx.now();
+        for e in apply_outbox(ctx, out, 0, wrap) {
+            self.events.push((now, e));
+        }
+    }
+}
+
+impl<C> Actor<C::Msg> for ComponentActor<C>
+where
+    C: Component + 'static,
+    C::Msg: Message,
+    C::Event: 'static,
+{
+    fn on_start(&mut self, ctx: &mut Context<'_, C::Msg>) {
+        for (i, (at, _)) in self.script.iter().enumerate() {
+            ctx.set_timer(*at, TAG_SPACE + i as u64);
+        }
+        let mut out = Outbox::new();
+        self.inner.on_start(&mut out);
+        self.flush(ctx, out, |m| m);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, C::Msg>, from: NodeId, msg: C::Msg) {
+        let mut out = Outbox::new();
+        self.inner.on_message(from, msg, &mut out);
+        self.flush(ctx, out, |m| m);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, C::Msg>) {
+        // Restart the component's timers after a crash (state is retained).
+        let mut out = Outbox::new();
+        self.inner.on_start(&mut out);
+        self.flush(ctx, out, |m| m);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, C::Msg>, _timer: TimerId, tag: u64) {
+        let mut out = Outbox::new();
+        if tag >= TAG_SPACE {
+            let idx = (tag - TAG_SPACE) as usize;
+            if let Some(step) = self.script[idx].1.as_mut() {
+                step(&mut self.inner, &mut out);
+            }
+        } else {
+            self.inner.on_timer(tag, &mut out);
+        }
+        self.flush(ctx, out, |m| m);
+    }
+
+    impl_as_any!();
+}

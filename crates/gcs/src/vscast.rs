@@ -1,0 +1,756 @@
+//! View-synchronous broadcast (VSCAST) with group membership.
+//!
+//! This is the primitive the paper's passive replication rests on
+//! (Section 3.3): a sequence of *views* (agreed membership snapshots) with
+//! the guarantee that if some process delivers message `m` before
+//! installing view `v(i+1)`, then every process installs `v(i+1)` only
+//! after delivering `m` — updates from a crashed primary are applied by
+//! all survivors or by none.
+//!
+//! The implementation composes three pieces:
+//!
+//! 1. a [`HeartbeatFd`] monitoring the current members,
+//! 2. a [`ConsensusPool`] (over the *initial* group, the primary-partition
+//!    assumption) that agrees on each next membership, and
+//! 3. a flush protocol: once a new membership is decided, the surviving
+//!    members exchange everything they received in the dying view and
+//!    deliver the union before installing.
+//!
+//! Scope notes, recorded here and in DESIGN.md: there is no join protocol
+//! (a falsely excluded member halts with [`VsEvent::Excluded`]), and
+//! liveness requires a majority of the initial group to stay alive.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use repl_sim::{Message, NodeId, SimDuration};
+
+use crate::component::{Component, Outbox};
+use crate::consensus::{ConsEvent, ConsMsg, ConsensusConfig, ConsensusPool};
+use crate::fd::{FdConfig, FdEvent, FdMsg, HeartbeatFd};
+
+/// An agreed membership snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Dense view number, starting at 0.
+    pub id: u64,
+    /// Members, sorted by node id.
+    pub members: Vec<NodeId>,
+}
+
+impl View {
+    /// The lowest-id member, conventionally the primary/leader.
+    pub fn primary(&self) -> NodeId {
+        self.members[0]
+    }
+
+    /// True if `n` belongs to the view.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.members.contains(&n)
+    }
+}
+
+/// Membership value agreed by the embedded consensus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership(pub Vec<NodeId>);
+
+impl Message for Membership {
+    fn wire_size(&self) -> usize {
+        8 + 4 * self.0.len()
+    }
+}
+
+/// A flush entry: data received in a view, keyed `(view, origin, seq)`.
+type FlushEntry<P> = (u64, NodeId, u64, P);
+
+/// Wire message of [`ViewGroup`].
+#[derive(Debug, Clone)]
+pub enum VsMsg<P> {
+    /// View-stamped application data.
+    Data {
+        /// View the message was sent in.
+        view: u64,
+        /// Broadcasting member.
+        origin: NodeId,
+        /// Per-origin sequence number within the view.
+        seq: u64,
+        /// Application payload.
+        payload: P,
+    },
+    /// State exchange before installing `new_view`.
+    Flush {
+        /// The decided view being installed.
+        new_view: u64,
+        /// Everything the sender received in the dying view(s).
+        received: Vec<FlushEntry<P>>,
+    },
+    /// Embedded failure-detector traffic.
+    Fd(FdMsg),
+    /// Embedded consensus traffic (membership agreement).
+    Cons(ConsMsg<Membership>),
+}
+
+impl<P: Message> Message for VsMsg<P> {
+    fn wire_size(&self) -> usize {
+        match self {
+            VsMsg::Data { payload, .. } => 28 + payload.wire_size(),
+            VsMsg::Flush { received, .. } => {
+                16 + received
+                    .iter()
+                    .map(|(_, _, _, p)| 20 + p.wire_size())
+                    .sum::<usize>()
+            }
+            VsMsg::Fd(m) => m.wire_size(),
+            VsMsg::Cons(c) => 8 + c.wire_size(),
+        }
+    }
+}
+
+/// Event delivered by [`ViewGroup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VsEvent<P> {
+    /// View-synchronous delivery.
+    Deliver {
+        /// View the message was sent in.
+        view: u64,
+        /// Broadcasting member.
+        from: NodeId,
+        /// Application payload.
+        payload: P,
+    },
+    /// A new view was installed.
+    ViewInstalled(View),
+    /// The local process was excluded from the group (false suspicion);
+    /// it halts, as there is no join protocol.
+    Excluded(View),
+}
+
+/// Configuration of [`ViewGroup`].
+#[derive(Debug, Clone, Copy)]
+pub struct VsConfig {
+    /// Failure-detector parameters.
+    pub fd: FdConfig,
+    /// Consensus parameters for membership agreement.
+    pub consensus: ConsensusConfig,
+    /// Retry interval for the flush exchange.
+    pub flush_retry: SimDuration,
+}
+
+impl Default for VsConfig {
+    fn default() -> Self {
+        VsConfig {
+            fd: FdConfig::default(),
+            consensus: ConsensusConfig::default(),
+            flush_retry: SimDuration::from_ticks(3_000),
+        }
+    }
+}
+
+const FD_BASE: u64 = 0;
+const CONS_BASE: u64 = 1 << 40;
+const OWN_BASE: u64 = 2 << 40;
+
+/// View-synchronous process group.
+///
+/// # Examples
+///
+/// ```
+/// use repl_gcs::{ViewGroup, VsConfig, Outbox};
+/// use repl_sim::NodeId;
+///
+/// let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+/// let mut vg: ViewGroup<u32> = ViewGroup::new(group[0], group.clone(), VsConfig::default());
+/// assert_eq!(vg.view().id, 0);
+/// assert_eq!(vg.view().primary(), group[0]);
+/// let mut out = Outbox::new();
+/// vg.broadcast(1, &mut out);
+/// ```
+#[derive(Debug)]
+pub struct ViewGroup<P> {
+    me: NodeId,
+    view: View,
+    fd: HeartbeatFd,
+    pool: ConsensusPool<Membership>,
+    config: VsConfig,
+    excluded: bool,
+    // Data plane (current view).
+    next_seq: u64,
+    fifo_next: HashMap<NodeId, u64>,
+    holdback: HashMap<NodeId, BTreeMap<u64, P>>,
+    received: BTreeMap<(u64, NodeId, u64), P>,
+    delivered: HashSet<(u64, NodeId, u64)>,
+    // Data that arrived stamped with a future view.
+    future: BTreeMap<u64, Vec<(NodeId, u64, P)>>,
+    // View-change plane.
+    decided_views: BTreeMap<u64, Vec<NodeId>>,
+    flushes: BTreeMap<u64, HashMap<NodeId, Vec<FlushEntry<P>>>>,
+    proposed: HashSet<u64>,
+    out_buffer: Vec<P>,
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> ViewGroup<P> {
+    /// Creates a group endpoint for member `me`; view 0 holds all of
+    /// `group`, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not in `group`.
+    pub fn new(me: NodeId, mut group: Vec<NodeId>, config: VsConfig) -> Self {
+        group.sort();
+        assert!(
+            group.contains(&me),
+            "view-group member must belong to the group"
+        );
+        let fd = HeartbeatFd::new(me, group.clone(), config.fd);
+        let pool = ConsensusPool::new(me, group.clone(), config.consensus);
+        ViewGroup {
+            me,
+            view: View {
+                id: 0,
+                members: group,
+            },
+            fd,
+            pool,
+            config,
+            excluded: false,
+            next_seq: 0,
+            fifo_next: HashMap::new(),
+            holdback: HashMap::new(),
+            received: BTreeMap::new(),
+            delivered: HashSet::new(),
+            future: BTreeMap::new(),
+            decided_views: BTreeMap::new(),
+            flushes: BTreeMap::new(),
+            proposed: HashSet::new(),
+            out_buffer: Vec::new(),
+        }
+    }
+
+    /// The currently installed view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// True if the local process has been excluded.
+    pub fn is_excluded(&self) -> bool {
+        self.excluded
+    }
+
+    /// True while a view change is in progress.
+    pub fn is_changing(&self) -> bool {
+        !self.decided_views.is_empty() || !self.proposed.is_empty()
+    }
+
+    /// The membership the next change will be based on: the latest decided
+    /// membership, or the installed view's.
+    fn latest_membership(&self) -> (u64, Vec<NodeId>) {
+        match self.decided_views.iter().next_back() {
+            Some((&id, m)) => (id, m.clone()),
+            None => (self.view.id, self.view.members.clone()),
+        }
+    }
+
+    /// Broadcasts `payload` view-synchronously. During a view change the
+    /// message is buffered and sent in the next installed view.
+    pub fn broadcast(&mut self, payload: P, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        if self.excluded {
+            return;
+        }
+        if self.is_changing() {
+            self.out_buffer.push(payload);
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = (self.view.id, self.me, seq);
+        self.received.insert(key, payload.clone());
+        self.delivered.insert(key);
+        out.event(VsEvent::Deliver {
+            view: self.view.id,
+            from: self.me,
+            payload: payload.clone(),
+        });
+        for &m in &self.view.members {
+            if m != self.me {
+                out.send(
+                    m,
+                    VsMsg::Data {
+                        view: self.view.id,
+                        origin: self.me,
+                        seq,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_data(
+        &mut self,
+        view: u64,
+        origin: NodeId,
+        seq: u64,
+        payload: P,
+        out: &mut Outbox<VsMsg<P>, VsEvent<P>>,
+    ) {
+        if view < self.view.id {
+            return; // stale view; flush already covered it
+        }
+        if view > self.view.id {
+            self.future
+                .entry(view)
+                .or_default()
+                .push((origin, seq, payload));
+            return;
+        }
+        self.received.insert((view, origin, seq), payload.clone());
+        self.holdback
+            .entry(origin)
+            .or_default()
+            .insert(seq, payload);
+        if !self.is_changing() {
+            self.release_fifo(origin, out);
+        }
+    }
+
+    fn release_fifo(&mut self, origin: NodeId, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        let next = self.fifo_next.entry(origin).or_insert(0);
+        if let Some(buf) = self.holdback.get_mut(&origin) {
+            while let Some(payload) = buf.remove(next) {
+                let key = (self.view.id, origin, *next);
+                *next += 1;
+                if self.delivered.insert(key) {
+                    out.event(VsEvent::Deliver {
+                        view: self.view.id,
+                        from: origin,
+                        payload,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Starts a membership change if the latest membership still contains
+    /// suspected nodes.
+    fn maybe_change(&mut self, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        if self.excluded {
+            return;
+        }
+        let (latest_id, latest) = self.latest_membership();
+        let suspected = self.fd.suspected();
+        let next: Vec<NodeId> = latest
+            .iter()
+            .copied()
+            .filter(|n| !suspected.contains(n))
+            .collect();
+        if next.len() == latest.len() || next.is_empty() {
+            return;
+        }
+        let inst = latest_id + 1;
+        if self.proposed.contains(&inst) {
+            return;
+        }
+        self.proposed.insert(inst);
+        let mut sub = Outbox::new();
+        self.pool.propose(inst, Membership(next), &mut sub);
+        let events = out.absorb(sub, CONS_BASE, VsMsg::Cons);
+        self.handle_cons_events(events, out);
+    }
+
+    fn handle_cons_events(
+        &mut self,
+        events: Vec<ConsEvent<Membership>>,
+        out: &mut Outbox<VsMsg<P>, VsEvent<P>>,
+    ) {
+        for ev in events {
+            let ConsEvent::Decided { inst, value } = ev;
+            if inst <= self.view.id {
+                continue;
+            }
+            self.decided_views.insert(inst, value.0);
+            self.send_flush(inst, out);
+            out.timer(self.config.flush_retry, OWN_BASE + inst);
+        }
+        self.try_install(out);
+        self.maybe_change(out);
+    }
+
+    fn send_flush(&mut self, new_view: u64, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        let Some(members) = self.decided_views.get(&new_view) else {
+            return;
+        };
+        if !members.contains(&self.me) {
+            return; // we are being excluded; try_install will notice
+        }
+        let list: Vec<FlushEntry<P>> = self
+            .received
+            .iter()
+            .map(|(&(v, o, s), p)| (v, o, s, p.clone()))
+            .collect();
+        self.flushes
+            .entry(new_view)
+            .or_default()
+            .insert(self.me, list.clone());
+        let members = members.clone();
+        for &m in &members {
+            if m != self.me {
+                out.send(
+                    m,
+                    VsMsg::Flush {
+                        new_view,
+                        received: list.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn try_install(&mut self, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        if self.excluded {
+            return;
+        }
+        // Exclusion check against the highest decided membership.
+        if let Some((&nv, m)) = self.decided_views.iter().next_back() {
+            if !m.contains(&self.me) {
+                self.excluded = true;
+                out.event(VsEvent::Excluded(View {
+                    id: nv,
+                    members: m.clone(),
+                }));
+                return;
+            }
+        }
+        // Install the highest decided view whose flush set is complete.
+        let candidate = self
+            .decided_views
+            .iter()
+            .rev()
+            .find(|(nv, m)| {
+                let fl = self.flushes.get(nv);
+                m.iter().all(|q| fl.is_some_and(|f| f.contains_key(q)))
+            })
+            .map(|(&nv, m)| (nv, m.clone()));
+        let Some((nv, members)) = candidate else {
+            return;
+        };
+        // Deliver the union of everything any survivor received, in
+        // deterministic (view, origin, seq) order.
+        let mut union: BTreeMap<(u64, NodeId, u64), P> = self.received.clone();
+        if let Some(fl) = self.flushes.get(&nv) {
+            for list in fl.values() {
+                for (v, o, s, p) in list {
+                    union.entry((*v, *o, *s)).or_insert_with(|| p.clone());
+                }
+            }
+        }
+        for ((v, o, s), p) in union {
+            if self.delivered.insert((v, o, s)) {
+                out.event(VsEvent::Deliver {
+                    view: v,
+                    from: o,
+                    payload: p,
+                });
+            }
+        }
+        // Install.
+        self.view = View { id: nv, members };
+        self.next_seq = 0;
+        self.fifo_next.clear();
+        self.holdback.clear();
+        self.received.clear();
+        self.decided_views.retain(|&v, _| v > nv);
+        self.flushes.retain(|&v, _| v > nv);
+        self.proposed.retain(|&v| v > nv);
+        self.fd.set_peers(self.view.members.clone());
+        out.event(VsEvent::ViewInstalled(self.view.clone()));
+        // Replay data that was stamped with the new view.
+        let replay = self.future.remove(&nv).unwrap_or_default();
+        self.future.retain(|&v, _| v > nv);
+        for (origin, seq, payload) in replay {
+            self.on_data(nv, origin, seq, payload, out);
+        }
+        // Send buffered broadcasts in the new view.
+        if !self.is_changing() {
+            let buffered = std::mem::take(&mut self.out_buffer);
+            for p in buffered {
+                self.broadcast(p, out);
+            }
+        }
+    }
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> Component for ViewGroup<P> {
+    type Msg = VsMsg<P>;
+    type Event = VsEvent<P>;
+
+    fn on_start(&mut self, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        let mut sub = Outbox::new();
+        self.fd.on_start(&mut sub);
+        let events = out.absorb(sub, FD_BASE, VsMsg::Fd);
+        debug_assert!(events.is_empty());
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: VsMsg<P>, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        if self.excluded {
+            return;
+        }
+        match msg {
+            VsMsg::Data {
+                view,
+                origin,
+                seq,
+                payload,
+            } => {
+                self.on_data(view, origin, seq, payload, out);
+            }
+            VsMsg::Flush { new_view, received } => {
+                if new_view <= self.view.id {
+                    return;
+                }
+                self.flushes
+                    .entry(new_view)
+                    .or_default()
+                    .insert(from, received);
+                self.try_install(out);
+            }
+            VsMsg::Fd(m) => {
+                let mut sub = Outbox::new();
+                self.fd.on_message(from, m, &mut sub);
+                let events = out.absorb(sub, FD_BASE, VsMsg::Fd);
+                let mut need_change = false;
+                for e in events {
+                    if let FdEvent::Suspect(_) = e {
+                        need_change = true;
+                    }
+                }
+                if need_change {
+                    self.maybe_change(out);
+                }
+            }
+            VsMsg::Cons(c) => {
+                let mut sub = Outbox::new();
+                self.pool.on_message(from, c, &mut sub);
+                let events = out.absorb(sub, CONS_BASE, VsMsg::Cons);
+                self.handle_cons_events(events, out);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        if self.excluded {
+            return;
+        }
+        if tag >= OWN_BASE {
+            let nv = tag - OWN_BASE;
+            if self.decided_views.contains_key(&nv) {
+                self.send_flush(nv, out);
+                self.try_install(out);
+                self.maybe_change(out);
+                out.timer(self.config.flush_retry, OWN_BASE + nv);
+            }
+        } else if tag >= CONS_BASE {
+            let mut sub = Outbox::new();
+            self.pool.on_timer(tag - CONS_BASE, &mut sub);
+            let events = out.absorb(sub, CONS_BASE, VsMsg::Cons);
+            self.handle_cons_events(events, out);
+        } else {
+            let mut sub = Outbox::new();
+            self.fd.on_timer(tag - FD_BASE, &mut sub);
+            let events = out.absorb(sub, FD_BASE, VsMsg::Fd);
+            let mut need_change = false;
+            for e in events {
+                if let FdEvent::Suspect(_) = e {
+                    need_change = true;
+                }
+            }
+            if need_change {
+                self.maybe_change(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ComponentActor;
+    use repl_sim::{SimConfig, SimTime, World};
+
+    type Host = ComponentActor<ViewGroup<u32>>;
+
+    fn build(n: u32, seed: u64) -> (World<VsMsg<u32>>, Vec<NodeId>) {
+        let mut world = World::new(SimConfig::new(seed));
+        let group: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        for i in 0..n {
+            world.add_actor(Box::new(ComponentActor::new(ViewGroup::<u32>::new(
+                NodeId::new(i),
+                group.clone(),
+                VsConfig::default(),
+            ))));
+        }
+        (world, group)
+    }
+
+    fn deliveries(world: &World<VsMsg<u32>>, n: NodeId) -> Vec<(u64, u32)> {
+        world
+            .actor_ref::<Host>(n)
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                VsEvent::Deliver { view, payload, .. } => Some((*view, *payload)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn installed_views(world: &World<VsMsg<u32>>, n: NodeId) -> Vec<View> {
+        world
+            .actor_ref::<Host>(n)
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                VsEvent::ViewInstalled(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn broadcast_reaches_all_members_in_view_zero() {
+        let (mut world, group) = build(3, 1);
+        let host = world.actor_mut::<Host>(group[1]);
+        *host = ComponentActor::new(ViewGroup::<u32>::new(
+            group[1],
+            group.clone(),
+            VsConfig::default(),
+        ))
+        .with_step(repl_sim::SimDuration::from_ticks(50), |vg, out| {
+            vg.broadcast(42, out);
+        });
+        world.start();
+        world.run_until(SimTime::from_ticks(5_000));
+        for &n in &group {
+            assert_eq!(deliveries(&world, n), vec![(0, 42)], "node {n}");
+        }
+    }
+
+    #[test]
+    fn member_crash_installs_smaller_view_at_all_survivors() {
+        let (mut world, group) = build(4, 2);
+        world.start();
+        world.schedule_crash(SimTime::from_ticks(2_000), group[3]);
+        world.run_until(SimTime::from_ticks(60_000));
+        for &n in &group[..3] {
+            let views = installed_views(&world, n);
+            assert_eq!(views.len(), 1, "exactly one view change at {n}: {views:?}");
+            assert_eq!(views[0].id, 1);
+            assert_eq!(views[0].members, group[..3].to_vec());
+        }
+    }
+
+    #[test]
+    fn primary_crash_promotes_next_member() {
+        let (mut world, group) = build(3, 3);
+        world.start();
+        world.schedule_crash(SimTime::from_ticks(2_000), group[0]);
+        world.run_until(SimTime::from_ticks(60_000));
+        for &n in &group[1..] {
+            let views = installed_views(&world, n);
+            assert_eq!(views.len(), 1, "at {n}");
+            assert_eq!(views[0].primary(), group[1]);
+        }
+    }
+
+    #[test]
+    fn view_synchrony_messages_from_dying_view_reach_all_survivors() {
+        // Node 0 broadcasts and crashes immediately after: the copies are
+        // in flight when it dies. Survivors must agree: either all deliver
+        // before installing the new view, or none does. With eager flush
+        // they all deliver.
+        for seed in 0..10u64 {
+            let (mut world, group) = build(4, seed);
+            let host = world.actor_mut::<Host>(group[0]);
+            *host = ComponentActor::new(ViewGroup::<u32>::new(
+                group[0],
+                group.clone(),
+                VsConfig::default(),
+            ))
+            .with_step(repl_sim::SimDuration::from_ticks(1_999), |vg, out| {
+                vg.broadcast(7, out);
+            });
+            world.start();
+            world.schedule_crash(SimTime::from_ticks(2_000), group[0]);
+            world.run_until(SimTime::from_ticks(100_000));
+            let got: Vec<bool> = group[1..]
+                .iter()
+                .map(|&n| deliveries(&world, n).contains(&(0, 7)))
+                .collect();
+            assert!(
+                got.iter().all(|&b| b) || got.iter().all(|&b| !b),
+                "view synchrony violated at seed {seed}: {got:?}"
+            );
+            // With a LAN network and default FD the message always wins the
+            // race against detection, so survivors should have it.
+            assert!(
+                got.iter().all(|&b| b),
+                "flush lost the message, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn cascading_crashes_converge_to_survivor_view() {
+        let (mut world, group) = build(5, 4);
+        world.start();
+        world.schedule_crash(SimTime::from_ticks(2_000), group[4]);
+        world.schedule_crash(SimTime::from_ticks(2_500), group[3]);
+        world.run_until(SimTime::from_ticks(200_000));
+        for &n in &group[..3] {
+            let views = installed_views(&world, n);
+            let last = views.last().expect("at least one view installed");
+            assert_eq!(last.members, group[..3].to_vec(), "at {n}: {views:?}");
+        }
+    }
+
+    #[test]
+    fn broadcasts_during_view_change_are_buffered_and_sent_in_new_view() {
+        let (mut world, group) = build(3, 5);
+        // Node 1 broadcasts well after node 2's crash is detected but
+        // (likely) during/after the change; all survivors deliver it.
+        let host = world.actor_mut::<Host>(group[1]);
+        *host = ComponentActor::new(ViewGroup::<u32>::new(
+            group[1],
+            group.clone(),
+            VsConfig::default(),
+        ))
+        .with_step(repl_sim::SimDuration::from_ticks(2_600), |vg, out| {
+            vg.broadcast(55, out);
+        });
+        world.start();
+        world.schedule_crash(SimTime::from_ticks(2_000), group[2]);
+        world.run_until(SimTime::from_ticks(100_000));
+        for &n in &group[..2] {
+            let d = deliveries(&world, n);
+            assert!(d.iter().any(|&(_, p)| p == 55), "missing at {n}: {d:?}");
+        }
+        // Both survivors deliver it in the same view.
+        let v0 = deliveries(&world, group[0]);
+        let v1 = deliveries(&world, group[1]);
+        let in0 = v0.iter().find(|&&(_, p)| p == 55).expect("present");
+        let in1 = v1.iter().find(|&&(_, p)| p == 55).expect("present");
+        assert_eq!(in0.0, in1.0, "delivered in different views");
+    }
+
+    #[test]
+    fn no_spurious_view_changes_without_crashes() {
+        let (mut world, group) = build(4, 6);
+        world.start();
+        world.run_until(SimTime::from_ticks(50_000));
+        for &n in &group {
+            assert!(
+                installed_views(&world, n).is_empty(),
+                "spurious change at {n}"
+            );
+            assert!(!world.actor_ref::<Host>(n).inner.is_excluded());
+        }
+    }
+}

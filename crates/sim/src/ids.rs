@@ -1,0 +1,86 @@
+//! Identifiers for simulated entities.
+
+use std::fmt;
+
+/// Identifies an actor (a process) in a [`crate::World`].
+///
+/// Node ids are assigned densely, in insertion order, starting at zero.
+/// Both replica servers and clients are actors and therefore have node ids.
+///
+/// # Examples
+///
+/// ```
+/// use repl_sim::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as `u32`.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a timer registered with the scheduler.
+///
+/// Timer ids are unique for the lifetime of a [`crate::World`]; cancelling a
+/// timer prevents its callback from firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Returns the raw id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.raw(), 42);
+    }
+
+    #[test]
+    fn node_id_ordering() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn timer_id_display() {
+        assert_eq!(TimerId(9).to_string(), "timer9");
+        assert_eq!(TimerId(9).raw(), 9);
+    }
+}

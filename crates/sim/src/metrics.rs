@@ -1,0 +1,188 @@
+//! Aggregate run metrics: message counts, bytes, and latency statistics.
+
+use crate::time::SimDuration;
+
+/// Counters accumulated by the scheduler during a run.
+///
+/// # Examples
+///
+/// ```
+/// use repl_sim::Metrics;
+/// let m = Metrics::default();
+/// assert_eq!(m.messages_sent, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages offered to the network (including ones later dropped).
+    pub messages_sent: u64,
+    /// Messages actually handed to an actor.
+    pub messages_delivered: u64,
+    /// Messages lost to the network, partitions, or dead destinations.
+    pub messages_dropped: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Events processed in total.
+    pub events_processed: u64,
+}
+
+impl Metrics {
+    /// Messages sent per delivered message; a crude amplification measure.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+/// Latency sample accumulator with exact percentiles (stores all samples).
+///
+/// # Examples
+///
+/// ```
+/// use repl_sim::{LatencyStats, SimDuration};
+///
+/// let mut s = LatencyStats::new();
+/// for t in [10, 20, 30, 40, 50] {
+///     s.record(SimDuration::from_ticks(t));
+/// }
+/// assert_eq!(s.count(), 5);
+/// assert_eq!(s.mean().ticks(), 30);
+/// assert_eq!(s.percentile(0.5).ticks(), 30);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        LatencyStats {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.ticks());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimDuration::from_ticks((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Exact percentile by nearest-rank; `q` in `[0, 1]`. Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]");
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        SimDuration::from_ticks(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Largest sample; zero when empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_ticks(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest sample; zero when empty.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_ticks(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Merges the samples of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.percentile(0.99), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+        assert_eq!(s.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = LatencyStats::new();
+        for t in 1..=100u64 {
+            s.record(SimDuration::from_ticks(t));
+        }
+        assert_eq!(s.percentile(0.01).ticks(), 1);
+        assert_eq!(s.percentile(0.5).ticks(), 50);
+        assert_eq!(s.percentile(0.99).ticks(), 99);
+        assert_eq!(s.percentile(1.0).ticks(), 100);
+        assert_eq!(s.min().ticks(), 1);
+        assert_eq!(s.max().ticks(), 100);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record(SimDuration::from_ticks(10));
+        let mut b = LatencyStats::new();
+        b.record(SimDuration::from_ticks(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().ticks(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        let mut s = LatencyStats::new();
+        s.record(SimDuration::from_ticks(1));
+        let _ = s.percentile(1.5);
+    }
+
+    #[test]
+    fn delivery_ratio() {
+        let m = Metrics {
+            messages_sent: 10,
+            messages_delivered: 8,
+            ..Metrics::default()
+        };
+        assert!((m.delivery_ratio() - 0.8).abs() < 1e-9);
+        assert_eq!(Metrics::default().delivery_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Network model: latency, jitter, FIFO links, message loss and partitions.
+//!
+//! The model is deliberately simple — the taxonomy this simulator serves is
+//! about *message patterns*, not wire-level detail — but it captures the
+//! assumptions the replication literature leans on:
+//!
+//! * per-link latency = `base + U(0, jitter)` drawn from the seeded RNG,
+//! * optional FIFO links (delivery order per (src, dst) pair matches send
+//!   order), which primary-backup replication requires,
+//! * independent message loss with probability `drop_prob`,
+//! * dynamic partitions: messages crossing a partition boundary are dropped.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// Static configuration of the network model.
+///
+/// # Examples
+///
+/// ```
+/// use repl_sim::{NetworkConfig, SimDuration};
+///
+/// let net = NetworkConfig::lan();
+/// assert!(net.base_latency > SimDuration::ZERO);
+/// assert_eq!(net.drop_prob, 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Fixed one-way latency component applied to every message.
+    pub base_latency: SimDuration,
+    /// Upper bound of the uniformly distributed jitter added to each message.
+    pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_prob: f64,
+    /// When true, deliveries on each (src, dst) link never reorder.
+    pub fifo_links: bool,
+}
+
+impl NetworkConfig {
+    /// A local-area network profile: 100-tick base latency, 20-tick jitter,
+    /// no loss, FIFO links. This is the default profile used by the
+    /// replication experiments.
+    pub fn lan() -> Self {
+        NetworkConfig {
+            base_latency: SimDuration::from_ticks(100),
+            jitter: SimDuration::from_ticks(20),
+            drop_prob: 0.0,
+            fifo_links: true,
+        }
+    }
+
+    /// A wide-area profile: 5000-tick base latency and 1500-tick jitter.
+    pub fn wan() -> Self {
+        NetworkConfig {
+            base_latency: SimDuration::from_ticks(5_000),
+            jitter: SimDuration::from_ticks(1_500),
+            drop_prob: 0.0,
+            fifo_links: true,
+        }
+    }
+
+    /// A zero-latency, perfectly reliable network. Useful in unit tests
+    /// where message interleaving is irrelevant.
+    pub fn instant() -> Self {
+        NetworkConfig {
+            base_latency: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            drop_prob: 0.0,
+            fifo_links: true,
+        }
+    }
+
+    /// Returns a copy with a different base latency.
+    pub fn with_base_latency(mut self, latency: SimDuration) -> Self {
+        self.base_latency = latency;
+        self
+    }
+
+    /// Returns a copy with a different jitter bound.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Returns a copy with a message-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
+        self.drop_prob = p;
+        self
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::lan()
+    }
+}
+
+/// The outcome of offering a message to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message will be delivered at the given time.
+    At(SimTime),
+    /// The message was dropped (loss or partition).
+    Dropped,
+}
+
+/// Runtime network state: partition membership and FIFO bookkeeping.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    /// Partition group of each node; nodes in different groups cannot talk.
+    /// Empty map means fully connected.
+    groups: HashMap<NodeId, u32>,
+    /// Last scheduled delivery time per (src, dst), for FIFO enforcement.
+    last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+    /// Links that are forced down regardless of partition groups.
+    severed: HashSet<(NodeId, NodeId)>,
+}
+
+impl Network {
+    /// Creates a fully connected network with the given configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            groups: HashMap::new(),
+            last_delivery: HashMap::new(),
+            severed: HashSet::new(),
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Partitions the network into the given groups. Nodes not mentioned in
+    /// any group keep full connectivity with every group (they are treated
+    /// as being in all groups — useful for observers).
+    pub fn set_partition(&mut self, groups: &[&[NodeId]]) {
+        self.groups.clear();
+        for (gi, group) in groups.iter().enumerate() {
+            for &n in group.iter() {
+                self.groups.insert(n, gi as u32);
+            }
+        }
+    }
+
+    /// Removes all partitions, restoring full connectivity.
+    pub fn heal_partition(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Severs the directed link from `src` to `dst`.
+    pub fn sever_link(&mut self, src: NodeId, dst: NodeId) {
+        self.severed.insert((src, dst));
+    }
+
+    /// Restores a previously severed link.
+    pub fn restore_link(&mut self, src: NodeId, dst: NodeId) {
+        self.severed.remove(&(src, dst));
+    }
+
+    /// Returns true if a message from `src` can currently reach `dst`.
+    pub fn connected(&self, src: NodeId, dst: NodeId) -> bool {
+        if self.severed.contains(&(src, dst)) {
+            return false;
+        }
+        match (self.groups.get(&src), self.groups.get(&dst)) {
+            (Some(a), Some(b)) => a == b,
+            // Nodes outside every partition group talk to everyone.
+            _ => true,
+        }
+    }
+
+    /// Computes the delivery schedule for a message sent at `now`.
+    ///
+    /// Loopback messages (src == dst) are delivered after one tick and are
+    /// never lost: an actor can always talk to itself.
+    pub fn offer<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Delivery {
+        if src == dst {
+            return Delivery::At(now + SimDuration::from_ticks(1));
+        }
+        if !self.connected(src, dst) {
+            return Delivery::Dropped;
+        }
+        if self.config.drop_prob > 0.0 && rng.gen::<f64>() < self.config.drop_prob {
+            return Delivery::Dropped;
+        }
+        let jitter = if self.config.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_ticks(rng.gen_range(0..=self.config.jitter.ticks()))
+        };
+        let mut at = now + self.config.base_latency + jitter;
+        if self.config.fifo_links {
+            let last = self
+                .last_delivery
+                .entry((src, dst))
+                .or_insert(SimTime::ZERO);
+            if at <= *last {
+                at = *last + SimDuration::from_ticks(1);
+            }
+            *last = at;
+        }
+        Delivery::At(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let mut net = Network::new(NetworkConfig::lan());
+        let mut r = rng();
+        for _ in 0..100 {
+            match net.offer(&mut r, SimTime::ZERO, NodeId::new(0), NodeId::new(1)) {
+                Delivery::At(t) => {
+                    assert!(t.ticks() >= 100, "latency below base: {t}");
+                }
+                Delivery::Dropped => panic!("lossless network dropped a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_links_never_reorder() {
+        let mut net = Network::new(NetworkConfig::lan());
+        let mut r = rng();
+        let mut last = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        for i in 0..200 {
+            now = SimTime::from_ticks(i); // sends spaced 1 tick apart
+            match net.offer(&mut r, now, NodeId::new(0), NodeId::new(1)) {
+                Delivery::At(t) => {
+                    assert!(t > last, "FIFO violated: {t} after {last}");
+                    last = t;
+                }
+                Delivery::Dropped => panic!("unexpected drop"),
+            }
+        }
+        let _ = now;
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut net = Network::new(NetworkConfig::lan());
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        net.set_partition(&[&[a], &[b]]);
+        assert!(!net.connected(a, b));
+        assert!(net.connected(a, a));
+        // c is in no group: talks to both sides.
+        assert!(net.connected(a, c));
+        assert!(net.connected(c, b));
+        net.heal_partition();
+        assert!(net.connected(a, b));
+    }
+
+    #[test]
+    fn severed_link_is_directional() {
+        let mut net = Network::new(NetworkConfig::lan());
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        net.sever_link(a, b);
+        assert!(!net.connected(a, b));
+        assert!(net.connected(b, a));
+        net.restore_link(a, b);
+        assert!(net.connected(a, b));
+    }
+
+    #[test]
+    fn loopback_is_fast_and_reliable() {
+        let mut net = Network::new(NetworkConfig::lan().with_drop_prob(1.0));
+        let mut r = rng();
+        match net.offer(
+            &mut r,
+            SimTime::from_ticks(5),
+            NodeId::new(3),
+            NodeId::new(3),
+        ) {
+            Delivery::At(t) => assert_eq!(t.ticks(), 6),
+            Delivery::Dropped => panic!("loopback dropped"),
+        }
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut net = Network::new(NetworkConfig::lan().with_drop_prob(1.0));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                net.offer(&mut r, SimTime::ZERO, NodeId::new(0), NodeId::new(1)),
+                Delivery::Dropped
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_drop_prob_rejected() {
+        let _ = NetworkConfig::lan().with_drop_prob(1.5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Virtual time for the simulation.
+//!
+//! The simulator advances a logical clock measured in *ticks*; by convention
+//! one tick is one microsecond, which keeps the arithmetic exact while being
+//! fine-grained enough to model LAN latencies (hundreds of ticks) and
+//! execution costs (tens to thousands of ticks).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in ticks since the start of the run.
+///
+/// `SimTime` is totally ordered and starts at [`SimTime::ZERO`].
+///
+/// # Examples
+///
+/// ```
+/// use repl_sim::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use repl_sim::{SimTime, SimDuration};
+    /// let a = SimTime::from_ticks(10);
+    /// let b = SimTime::from_ticks(25);
+    /// assert_eq!(b.since(a), SimDuration::from_ticks(15));
+    /// assert_eq!(a.since(b), SimDuration::ZERO);
+    /// ```
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+/// A span of virtual time, in ticks.
+///
+/// # Examples
+///
+/// ```
+/// use repl_sim::SimDuration;
+/// let d = SimDuration::from_ticks(3) + SimDuration::from_ticks(4);
+/// assert_eq!(d.ticks(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn times(self, factor: u64) -> Self {
+        SimDuration(self.0 * factor)
+    }
+
+    /// Returns true if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering_and_arithmetic() {
+        let a = SimTime::from_ticks(100);
+        let b = a + SimDuration::from_ticks(50);
+        assert_eq!(b.ticks(), 150);
+        assert!(b > a);
+        assert_eq!(b - a, SimDuration::from_ticks(50));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_ticks(10);
+        let b = SimTime::from_ticks(5);
+        assert_eq!(b.since(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_times_and_zero() {
+        assert_eq!(SimDuration::from_ticks(4).times(3).ticks(), 12);
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!SimDuration::from_ticks(1).is_zero());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t7");
+        assert_eq!(SimDuration::from_ticks(7).to_string(), "7t");
+    }
+
+    #[test]
+    fn add_assign_works() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_ticks(9);
+        assert_eq!(t.ticks(), 9);
+        let mut d = SimDuration::ZERO;
+        d += SimDuration::from_ticks(2);
+        assert_eq!(d.ticks(), 2);
+    }
+}

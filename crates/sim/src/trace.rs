@@ -1,0 +1,216 @@
+//! Run traces: a chronological record of everything observable in a run.
+//!
+//! The trace is the raw material for regenerating the paper's figures:
+//! protocol implementations mark the five functional phases with
+//! [`TraceEvent::Mark`] records, and the harness reconstructs the phase
+//! diagrams (Figs. 2–4, 7–14) from them.
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// One observable event in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message left `node` towards `to`.
+    MsgSent {
+        /// Destination node.
+        to: NodeId,
+        /// Approximate payload size.
+        bytes: usize,
+    },
+    /// A message from `from` was handed to `node`'s actor.
+    MsgDelivered {
+        /// Originating node.
+        from: NodeId,
+        /// Approximate payload size.
+        bytes: usize,
+    },
+    /// A message was lost (network loss, partition, or dead destination).
+    MsgDropped {
+        /// Intended destination.
+        to: NodeId,
+    },
+    /// The node crashed.
+    Crashed,
+    /// The node recovered from a crash.
+    Recovered,
+    /// An application-level marker. Replication protocols use `tag` for the
+    /// functional-model phase name (`"RE"`, `"SC"`, `"EX"`, `"AC"`, `"END"`)
+    /// and `a` for the operation id; `b` is free-form per protocol.
+    Mark {
+        /// Marker kind, e.g. a phase name.
+        tag: &'static str,
+        /// First payload word (operation id by convention).
+        a: u64,
+        /// Second payload word (protocol-specific).
+        b: u64,
+    },
+}
+
+/// A trace record: when, where, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// The node at which the event happened.
+    pub node: NodeId,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// An append-only chronological log of [`TraceRecord`]s.
+///
+/// # Examples
+///
+/// ```
+/// use repl_sim::{TraceLog, TraceEvent, NodeId, SimTime};
+///
+/// let mut log = TraceLog::new();
+/// log.push(SimTime::ZERO, NodeId::new(0), TraceEvent::Mark { tag: "RE", a: 1, b: 0 });
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(log.marks("RE").count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates an empty, enabled trace log.
+    pub fn new() -> Self {
+        TraceLog {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables recording. Benchmarks disable tracing to keep
+    /// the measurement free of allocation noise.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Returns true if recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (no-op when disabled).
+    pub fn push(&mut self, time: SimTime, node: NodeId, event: TraceEvent) {
+        if self.enabled {
+            self.records.push(TraceRecord { time, node, event });
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true if the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over all records in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Iterates over the [`TraceEvent::Mark`] records with the given tag,
+    /// yielding `(record, a, b)`.
+    pub fn marks<'a>(
+        &'a self,
+        tag: &'static str,
+    ) -> impl Iterator<Item = (&'a TraceRecord, u64, u64)> + 'a {
+        self.records.iter().filter_map(move |r| match r.event {
+            TraceEvent::Mark { tag: t, a, b } if t == tag => Some((r, a, b)),
+            _ => None,
+        })
+    }
+
+    /// Clears all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceLog {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_filter_marks() {
+        let mut log = TraceLog::new();
+        log.push(
+            SimTime::from_ticks(1),
+            NodeId::new(0),
+            TraceEvent::Mark {
+                tag: "RE",
+                a: 7,
+                b: 0,
+            },
+        );
+        log.push(
+            SimTime::from_ticks(2),
+            NodeId::new(1),
+            TraceEvent::Mark {
+                tag: "EX",
+                a: 7,
+                b: 0,
+            },
+        );
+        log.push(
+            SimTime::from_ticks(3),
+            NodeId::new(1),
+            TraceEvent::MsgSent {
+                to: NodeId::new(0),
+                bytes: 10,
+            },
+        );
+        assert_eq!(log.len(), 3);
+        let re: Vec<_> = log.marks("RE").collect();
+        assert_eq!(re.len(), 1);
+        assert_eq!(re[0].1, 7);
+        assert_eq!(log.marks("EX").count(), 1);
+        assert_eq!(log.marks("AC").count(), 0);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new();
+        log.set_enabled(false);
+        assert!(!log.is_enabled());
+        log.push(SimTime::ZERO, NodeId::new(0), TraceEvent::Crashed);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_chronological_insertion_order() {
+        let mut log = TraceLog::new();
+        for i in 0..5 {
+            log.push(SimTime::from_ticks(i), NodeId::new(0), TraceEvent::Crashed);
+        }
+        let times: Vec<u64> = log.iter().map(|r| r.time.ticks()).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+        let times2: Vec<u64> = (&log).into_iter().map(|r| r.time.ticks()).collect();
+        assert_eq!(times, times2);
+    }
+
+    #[test]
+    fn clear_empties_log() {
+        let mut log = TraceLog::new();
+        log.push(SimTime::ZERO, NodeId::new(0), TraceEvent::Recovered);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

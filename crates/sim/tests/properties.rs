@@ -1,0 +1,184 @@
+//! Property-based tests for the simulation kernel: determinism, FIFO
+//! delivery, latency bounds, and statistics invariants.
+
+use proptest::prelude::*;
+
+use repl_sim::*;
+
+#[derive(Clone, Debug)]
+struct Burst(Vec<u32>);
+impl Message for Burst {
+    fn wire_size(&self) -> usize {
+        4 * self.0.len()
+    }
+}
+
+/// Sends scripted single-value bursts to a sink at scripted times.
+struct Sender {
+    to: NodeId,
+    script: Vec<(u64, u32)>, // (delay ticks, value)
+}
+impl Actor<Burst> for Sender {
+    fn on_start(&mut self, ctx: &mut Context<'_, Burst>) {
+        for (i, &(at, _)) in self.script.iter().enumerate() {
+            ctx.set_timer(SimDuration::from_ticks(at), i as u64);
+        }
+    }
+    fn on_message(&mut self, _: &mut Context<'_, Burst>, _: NodeId, _: Burst) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, Burst>, _: TimerId, tag: u64) {
+        let (_, value) = self.script[tag as usize];
+        ctx.send(self.to, Burst(vec![value]));
+    }
+    impl_as_any!();
+}
+
+struct Sink {
+    got: Vec<(NodeId, u32)>,
+}
+impl Actor<Burst> for Sink {
+    fn on_message(&mut self, _: &mut Context<'_, Burst>, from: NodeId, msg: Burst) {
+        for v in msg.0 {
+            self.got.push((from, v));
+        }
+    }
+    impl_as_any!();
+}
+
+fn run_world(
+    seed: u64,
+    scripts: &[Vec<(u64, u32)>],
+    net: NetworkConfig,
+) -> (Vec<(NodeId, u32)>, Metrics) {
+    let mut world: World<Burst> = World::new(SimConfig::new(seed).with_network(net));
+    let sink = world.add_actor(Box::new(Sink { got: Vec::new() }));
+    for script in scripts {
+        world.add_actor(Box::new(Sender {
+            to: sink,
+            script: script.clone(),
+        }));
+    }
+    world.start();
+    world.run_to_quiescence(SimTime::from_ticks(10_000_000));
+    let got = world.actor_ref::<Sink>(sink).got.clone();
+    (got, world.metrics())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed and script ⇒ identical observable outcome.
+    #[test]
+    fn determinism(
+        seed in any::<u64>(),
+        script in proptest::collection::vec((0u64..5_000, any::<u32>()), 1..20),
+    ) {
+        let net = NetworkConfig::lan();
+        let (a, ma) = run_world(seed, std::slice::from_ref(&script), net.clone());
+        let (b, mb) = run_world(seed, &[script], net);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ma, mb);
+    }
+
+    /// FIFO links: per-sender delivery order equals send order, for any
+    /// interleaving of senders and any jitter.
+    #[test]
+    fn fifo_per_sender(
+        seed in any::<u64>(),
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0u64..3_000, any::<u32>()), 1..15),
+            1..4,
+        ),
+        jitter in 0u64..500,
+    ) {
+        let net = NetworkConfig::lan().with_jitter(SimDuration::from_ticks(jitter));
+        // Tag each sender's values with its index so order is recoverable.
+        let scripts: Vec<Vec<(u64, u32)>> = scripts
+            .iter()
+            .enumerate()
+            .map(|(s, sc)| {
+                sc.iter()
+                    .enumerate()
+                    .map(|(i, &(at, _))| (at, (s as u32) << 16 | i as u32))
+                    .collect()
+            })
+            .collect();
+        // Sort each script by time: send order per sender = time order.
+        let mut sorted = scripts.clone();
+        for s in &mut sorted {
+            s.sort();
+        }
+        let (got, metrics) = run_world(seed, &sorted, net);
+        prop_assert_eq!(metrics.messages_dropped, 0);
+        for sender in 0..sorted.len() as u32 {
+            let seqs: Vec<u32> = got
+                .iter()
+                .filter(|(_, v)| v >> 16 == sender)
+                .map(|(_, v)| v & 0xFFFF)
+                .collect();
+            let sent: Vec<u32> = sorted[sender as usize]
+                .iter()
+                .map(|&(_, v)| v & 0xFFFF)
+                .collect();
+            prop_assert_eq!(seqs, sent, "sender {} reordered", sender);
+        }
+    }
+
+    /// Every delivery is within [base, base+jitter] of its send (plus the
+    /// FIFO push-back, which only ever delays).
+    #[test]
+    fn latency_bounds(
+        seed in any::<u64>(),
+        base in 1u64..2_000,
+        jitter in 0u64..500,
+    ) {
+        let net = NetworkConfig {
+            base_latency: SimDuration::from_ticks(base),
+            jitter: SimDuration::from_ticks(jitter),
+            drop_prob: 0.0,
+            fifo_links: false,
+        };
+        let mut network = Network::new(net);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let rng: &mut rand::rngs::SmallRng = &mut rng;
+        for i in 0..100u64 {
+            let now = SimTime::from_ticks(i * 10);
+            match network.offer(rng, now, NodeId::new(0), NodeId::new(1)) {
+                Delivery::At(t) => {
+                    let lat = (t - now).ticks();
+                    prop_assert!(lat >= base && lat <= base + jitter, "latency {} out of bounds", lat);
+                }
+                Delivery::Dropped => prop_assert!(false, "lossless network dropped"),
+            }
+        }
+    }
+
+    /// Percentiles are monotone in q and bounded by min/max.
+    #[test]
+    fn latency_stats_invariants(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut stats = LatencyStats::new();
+        for &s in &samples {
+            stats.record(SimDuration::from_ticks(s));
+        }
+        let mut last = SimDuration::ZERO;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let p = stats.percentile(q);
+            prop_assert!(p >= last, "percentile not monotone at q={}", q);
+            last = p;
+        }
+        prop_assert!(stats.min() <= stats.mean());
+        prop_assert!(stats.mean() <= stats.max());
+        prop_assert_eq!(stats.percentile(1.0), stats.max());
+    }
+
+    /// Dropped messages are exactly the complement of delivered ones.
+    #[test]
+    fn message_conservation(
+        seed in any::<u64>(),
+        drop in 0.0f64..1.0,
+        script in proptest::collection::vec((0u64..2_000, any::<u32>()), 1..30),
+    ) {
+        let net = NetworkConfig::lan().with_drop_prob(drop);
+        let (_, m) = run_world(seed, &[script], net);
+        prop_assert_eq!(m.messages_sent, m.messages_delivered + m.messages_dropped);
+    }
+}

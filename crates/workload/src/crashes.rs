@@ -1,0 +1,105 @@
+//! Declarative fault loads: crash (and optional recovery) schedules that
+//! the harness applies to a world before a run.
+
+use repl_sim::{NodeId, SimTime};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashEvent {
+    /// Crash the node at the given time.
+    Crash(SimTime, NodeId),
+    /// Recover the node at the given time.
+    Recover(SimTime, NodeId),
+}
+
+impl CrashEvent {
+    /// The event's time.
+    pub fn time(&self) -> SimTime {
+        match self {
+            CrashEvent::Crash(t, _) | CrashEvent::Recover(t, _) => *t,
+        }
+    }
+
+    /// The affected node.
+    pub fn node(&self) -> NodeId {
+        match self {
+            CrashEvent::Crash(_, n) | CrashEvent::Recover(_, n) => *n,
+        }
+    }
+}
+
+/// A fault schedule.
+///
+/// # Examples
+///
+/// ```
+/// use repl_workload::CrashSchedule;
+/// use repl_sim::{NodeId, SimTime};
+///
+/// let sched = CrashSchedule::new()
+///     .crash_at(SimTime::from_ticks(1_000), NodeId::new(0))
+///     .recover_at(SimTime::from_ticks(9_000), NodeId::new(0));
+/// assert_eq!(sched.events().len(), 2);
+/// assert!(sched.crashes(NodeId::new(0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashSchedule {
+    events: Vec<CrashEvent>,
+}
+
+impl CrashSchedule {
+    /// Creates an empty (failure-free) schedule.
+    pub fn new() -> Self {
+        CrashSchedule::default()
+    }
+
+    /// Adds a crash.
+    pub fn crash_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push(CrashEvent::Crash(at, node));
+        self
+    }
+
+    /// Adds a recovery.
+    pub fn recover_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push(CrashEvent::Recover(at, node));
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[CrashEvent] {
+        &self.events
+    }
+
+    /// True if the schedule ever crashes `node`.
+    pub fn crashes(&self, node: NodeId) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, CrashEvent::Crash(_, n) if *n == node))
+    }
+
+    /// True if the schedule is failure-free.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = CrashEvent::Crash(SimTime::from_ticks(5), NodeId::new(2));
+        assert_eq!(e.time(), SimTime::from_ticks(5));
+        assert_eq!(e.node(), NodeId::new(2));
+    }
+
+    #[test]
+    fn schedule_tracks_crashes_per_node() {
+        let s = CrashSchedule::new().crash_at(SimTime::from_ticks(1), NodeId::new(1));
+        assert!(s.crashes(NodeId::new(1)));
+        assert!(!s.crashes(NodeId::new(2)));
+        assert!(!s.is_empty());
+        assert!(CrashSchedule::new().is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! The seeded transaction generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use repl_db::{Key, Value};
+
+use crate::spec::WorkloadSpec;
+use crate::zipf::Zipf;
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTemplate {
+    /// Read a logical item.
+    Read(Key),
+    /// Write a (globally unique) value to a logical item.
+    Write(Key, Value),
+}
+
+impl OpTemplate {
+    /// The accessed key.
+    pub fn key(&self) -> Key {
+        match self {
+            OpTemplate::Read(k) | OpTemplate::Write(k, _) => *k,
+        }
+    }
+
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, OpTemplate::Write(..))
+    }
+}
+
+/// One generated transaction: an ordered list of operations.
+///
+/// Keys within a transaction are distinct and the write values are unique
+/// across the whole generator, which the consistency oracles rely on to
+/// identify which write a read observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnTemplate {
+    /// The operations, in program order.
+    pub ops: Vec<OpTemplate>,
+}
+
+impl TxnTemplate {
+    /// True if the transaction only reads.
+    pub fn is_read_only(&self) -> bool {
+        self.ops.iter().all(|o| !o.is_write())
+    }
+
+    /// The distinct keys accessed.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut v: Vec<Key> = self.ops.iter().map(|o| o.key()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Seeded workload generator.
+///
+/// # Examples
+///
+/// ```
+/// use repl_workload::{WorkloadGen, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::default().with_ops_per_txn(2);
+/// let mut gen = WorkloadGen::new(&spec, 42);
+/// let txn = gen.next_txn();
+/// assert_eq!(txn.ops.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    zipf: Zipf,
+    rng: SmallRng,
+    next_value: i64,
+}
+
+impl WorkloadGen {
+    /// Creates a generator for `spec` with the given seed.
+    pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        WorkloadGen {
+            spec: spec.clone(),
+            zipf: Zipf::new(spec.items, spec.skew),
+            rng: SmallRng::seed_from_u64(seed),
+            next_value: 1,
+        }
+    }
+
+    /// Generates the next transaction.
+    pub fn next_txn(&mut self) -> TxnTemplate {
+        let n = self.spec.ops_per_txn as usize;
+        let mut keys: Vec<Key> = Vec::with_capacity(n);
+        // Distinct keys per transaction (retry sampling; the domain is
+        // always at least as large as the transaction in practice).
+        let mut guard = 0;
+        while keys.len() < n && guard < 10_000 {
+            let k = Key(self.zipf.sample(&mut self.rng));
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+            guard += 1;
+        }
+        while keys.len() < n {
+            // Degenerate domains: fill sequentially.
+            let k = Key(keys.len() as u64 % self.spec.items);
+            keys.push(k);
+        }
+        let ops = keys
+            .into_iter()
+            .map(|k| {
+                if self.rng.gen::<f64>() < self.spec.read_ratio {
+                    OpTemplate::Read(k)
+                } else {
+                    let v = Value(self.next_value);
+                    self.next_value += 1;
+                    OpTemplate::Write(k, v)
+                }
+            })
+            .collect();
+        TxnTemplate { ops }
+    }
+
+    /// Generates a batch of transactions.
+    pub fn take_txns(&mut self, count: usize) -> Vec<TxnTemplate> {
+        (0..count).map(|_| self.next_txn()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let spec = WorkloadSpec::default().with_ops_per_txn(3).with_skew(0.9);
+        let a: Vec<TxnTemplate> = WorkloadGen::new(&spec, 5).take_txns(20);
+        let b: Vec<TxnTemplate> = WorkloadGen::new(&spec, 5).take_txns(20);
+        assert_eq!(a, b);
+        let c: Vec<TxnTemplate> = WorkloadGen::new(&spec, 6).take_txns(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keys_within_txn_are_distinct() {
+        let spec = WorkloadSpec::default().with_items(10).with_ops_per_txn(5);
+        let mut gen = WorkloadGen::new(&spec, 1);
+        for _ in 0..50 {
+            let txn = gen.next_txn();
+            let keys = txn.keys();
+            assert_eq!(keys.len(), 5, "duplicate keys in {txn:?}");
+        }
+    }
+
+    #[test]
+    fn write_values_are_globally_unique() {
+        let spec = WorkloadSpec::default()
+            .with_read_ratio(0.0)
+            .with_ops_per_txn(2);
+        let mut gen = WorkloadGen::new(&spec, 2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            for op in gen.next_txn().ops {
+                if let OpTemplate::Write(_, v) = op {
+                    assert!(seen.insert(v), "duplicate write value {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_ratio_extremes() {
+        let spec = WorkloadSpec::default().with_read_ratio(1.0);
+        let mut gen = WorkloadGen::new(&spec, 3);
+        assert!(gen.take_txns(50).iter().all(|t| t.is_read_only()));
+        let spec = WorkloadSpec::default().with_read_ratio(0.0);
+        let mut gen = WorkloadGen::new(&spec, 3);
+        assert!(gen
+            .take_txns(50)
+            .iter()
+            .all(|t| t.ops.iter().all(|o| o.is_write())));
+    }
+
+    #[test]
+    fn skew_prefers_hot_keys() {
+        let spec = WorkloadSpec::default().with_items(1000).with_skew(1.2);
+        let mut gen = WorkloadGen::new(&spec, 4);
+        let hot = gen
+            .take_txns(2000)
+            .iter()
+            .filter(|t| t.ops[0].key().0 < 10)
+            .count();
+        assert!(hot > 600, "only {hot} of 2000 hit the hot set");
+    }
+}

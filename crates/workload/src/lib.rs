@@ -1,0 +1,25 @@
+//! # repl-workload — workload and fault-load generation
+//!
+//! Generators for the performance study the paper promised ("taking into
+//! account different workloads and failures assumptions", Section 6):
+//!
+//! * [`WorkloadSpec`] — declarative workload description: item count,
+//!   read ratio, zipfian skew, operations per transaction, think time,
+//! * [`TxnTemplate`]/[`OpTemplate`] — generated (multi-operation)
+//!   transactions over logical items,
+//! * [`WorkloadGen`] — the seeded generator,
+//! * [`Zipf`] — zipfian key sampler (hotspot contention),
+//! * [`CrashSchedule`] — declarative fault loads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crashes;
+mod generator;
+mod spec;
+mod zipf;
+
+pub use crashes::{CrashEvent, CrashSchedule};
+pub use generator::{OpTemplate, TxnTemplate, WorkloadGen};
+pub use spec::WorkloadSpec;
+pub use zipf::Zipf;

@@ -1,0 +1,140 @@
+//! Declarative workload description.
+
+use repl_sim::SimDuration;
+
+/// Parameters of a synthetic workload.
+///
+/// # Examples
+///
+/// ```
+/// use repl_workload::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::default()
+///     .with_items(1_000)
+///     .with_read_ratio(0.8)
+///     .with_skew(0.99)
+///     .with_ops_per_txn(1);
+/// assert_eq!(spec.items, 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of logical data items.
+    pub items: u64,
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_ratio: f64,
+    /// Zipf exponent over items (0 = uniform).
+    pub skew: f64,
+    /// Operations per transaction (1 = the paper's single-operation model).
+    pub ops_per_txn: u32,
+    /// Transactions each client issues.
+    pub txns_per_client: u32,
+    /// Client think time between transactions (closed loop).
+    pub think_time: SimDuration,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            items: 100,
+            read_ratio: 0.5,
+            skew: 0.0,
+            ops_per_txn: 1,
+            txns_per_client: 20,
+            think_time: SimDuration::from_ticks(200),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Sets the item count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    pub fn with_items(mut self, items: u64) -> Self {
+        assert!(items > 0, "workload needs at least one item");
+        self.items = items;
+        self
+    }
+
+    /// Sets the read ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    pub fn with_read_ratio(mut self, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r), "read ratio must be in [0,1]");
+        self.read_ratio = r;
+        self
+    }
+
+    /// Sets the zipf skew.
+    pub fn with_skew(mut self, theta: f64) -> Self {
+        assert!(theta >= 0.0, "skew must be >= 0");
+        self.skew = theta;
+        self
+    }
+
+    /// Sets operations per transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn with_ops_per_txn(mut self, n: u32) -> Self {
+        assert!(n > 0, "transactions need at least one operation");
+        self.ops_per_txn = n;
+        self
+    }
+
+    /// Sets transactions per client.
+    pub fn with_txns_per_client(mut self, n: u32) -> Self {
+        self.txns_per_client = n;
+        self
+    }
+
+    /// Sets the think time.
+    pub fn with_think_time(mut self, t: SimDuration) -> Self {
+        self.think_time = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_all_fields() {
+        let s = WorkloadSpec::default()
+            .with_items(7)
+            .with_read_ratio(1.0)
+            .with_skew(2.0)
+            .with_ops_per_txn(3)
+            .with_txns_per_client(9)
+            .with_think_time(SimDuration::from_ticks(5));
+        assert_eq!(s.items, 7);
+        assert_eq!(s.read_ratio, 1.0);
+        assert_eq!(s.skew, 2.0);
+        assert_eq!(s.ops_per_txn, 3);
+        assert_eq!(s.txns_per_client, 9);
+        assert_eq!(s.think_time, SimDuration::from_ticks(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "read ratio")]
+    fn bad_read_ratio_rejected() {
+        let _ = WorkloadSpec::default().with_read_ratio(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        let _ = WorkloadSpec::default().with_items(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn zero_ops_rejected() {
+        let _ = WorkloadSpec::default().with_ops_per_txn(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Zipfian sampling for hotspot workloads.
+//!
+//! Database-replication conflict behaviour (abort rates, lock waits,
+//! reconciliations) is driven by access skew, so the performance study
+//! sweeps the zipf exponent. Implemented with a precomputed inverse CDF;
+//! exponent 0 degenerates to the uniform distribution.
+
+use rand::Rng;
+
+/// A zipfian distribution over `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use repl_workload::Zipf;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let z = Zipf::new(100, 0.99);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let k = z.sample(&mut rng);
+/// assert!(k < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a distribution over `0..n` with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or not finite.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "zipf exponent must be finite and >= 0"
+        );
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws a key in `0..n`; key 0 is the hottest.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.n() - 1),
+        }
+    }
+
+    /// Probability mass of key `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        let i = k as usize;
+        if i >= self.cdf.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12, "pmf({k}) = {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_keys() {
+        let z = Zipf::new(100, 1.2);
+        assert!(z.pmf(0) > 10.0 * z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(90));
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(10, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for k in 0..10 {
+            let expected = z.pmf(k) * trials as f64;
+            let got = counts[k as usize] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.15 + 30.0,
+                "key {k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(37, 0.7);
+        let total: f64 = (0..37).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn empty_domain_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

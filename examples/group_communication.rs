@@ -1,0 +1,132 @@
+//! Using the group-communication substrate directly — the paper's §3.1
+//! abstractions as a library: Atomic Broadcast, consensus, and
+//! view-synchronous broadcast with a crash.
+//!
+//! ```sh
+//! cargo run --example group_communication
+//! ```
+
+use replication::gcs::testkit::ComponentActor;
+use replication::gcs::{
+    ConsensusAbcast, ConsensusConfig, ConsensusPool, ViewGroup, VsConfig, VsEvent,
+};
+use replication::sim::{NodeId, SimConfig, SimDuration, SimTime, World};
+
+fn abcast_demo() {
+    println!("== Atomic Broadcast (consensus-based, coordinator crashes) ==");
+    let group: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+    let mut world = World::new(SimConfig::new(7));
+    for i in 0..4u32 {
+        let mut actor = ComponentActor::new(ConsensusAbcast::<u32>::new(
+            NodeId::new(i),
+            group.clone(),
+            ConsensusConfig::default(),
+        ));
+        // Every node broadcasts two values, interleaved in time.
+        for k in 0..2u32 {
+            let v = i * 10 + k;
+            actor = actor.with_step(
+                SimDuration::from_ticks(10 + 400 * k as u64 + i as u64),
+                move |ab, out| {
+                    ab.broadcast(v, out);
+                },
+            );
+        }
+        world.add_actor(Box::new(actor));
+    }
+    // Crash the round-0 coordinator mid-stream.
+    world.schedule_crash(SimTime::from_ticks(300), group[0]);
+    world.start();
+    world.run_until(SimTime::from_ticks(1_000_000));
+    for &g in &group[1..] {
+        let seq: Vec<u32> = world
+            .actor_ref::<ComponentActor<ConsensusAbcast<u32>>>(g)
+            .events
+            .iter()
+            .map(|(_, d)| d.payload)
+            .collect();
+        println!("  {g} delivered {seq:?}");
+    }
+    println!("  (identical order at every survivor, despite the crash)\n");
+}
+
+fn consensus_demo() {
+    println!("== Consensus (three conflicting proposals) ==");
+    let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+    let mut world = World::new(SimConfig::new(3));
+    for i in 0..3u32 {
+        let v = 100 * (i as u64 + 1);
+        let actor = ComponentActor::new(ConsensusPool::<u64>::new(
+            NodeId::new(i),
+            group.clone(),
+            ConsensusConfig::default(),
+        ))
+        .with_step(SimDuration::from_ticks(10 + i as u64), move |p, out| {
+            p.propose(0, v, out);
+        });
+        world.add_actor(Box::new(actor));
+    }
+    world.start();
+    world.run_until(SimTime::from_ticks(100_000));
+    for &g in &group {
+        let decided = world
+            .actor_ref::<ComponentActor<ConsensusPool<u64>>>(g)
+            .inner
+            .decided(0)
+            .copied();
+        println!("  {g} decided {decided:?}");
+    }
+    println!();
+}
+
+fn vscast_demo() {
+    println!("== View-synchronous broadcast (sender crashes mid-broadcast) ==");
+    let group: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+    let mut world = World::new(SimConfig::new(11));
+    for i in 0..4u32 {
+        let mut actor = ComponentActor::new(ViewGroup::<u32>::new(
+            NodeId::new(i),
+            group.clone(),
+            VsConfig::default(),
+        ));
+        if i == 0 {
+            actor = actor.with_step(SimDuration::from_ticks(1_999), |vg, out| {
+                vg.broadcast(42, out);
+            });
+        }
+        world.add_actor(Box::new(actor));
+    }
+    world.schedule_crash(SimTime::from_ticks(2_000), group[0]);
+    world.start();
+    world.run_until(SimTime::from_ticks(200_000));
+    for &g in &group[1..] {
+        let host = world.actor_ref::<ComponentActor<ViewGroup<u32>>>(g);
+        let delivered: Vec<u32> = host
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                VsEvent::Deliver { payload, .. } => Some(*payload),
+                _ => None,
+            })
+            .collect();
+        let views: Vec<u64> = host
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                VsEvent::ViewInstalled(v) => Some(v.id),
+                _ => None,
+            })
+            .collect();
+        println!("  {g}: delivered {delivered:?}, installed views {views:?}");
+    }
+    println!(
+        "  (the message broadcast 1 tick before the crash reaches all\n\
+         survivors via the flush — all-or-none — and view 1 excludes the corpse)"
+    );
+}
+
+fn main() {
+    abcast_demo();
+    consensus_demo();
+    vscast_demo();
+}

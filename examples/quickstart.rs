@@ -1,0 +1,46 @@
+//! Quickstart: run one replication technique and inspect what happened.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use replication::{figures, run, RunConfig, Technique, WorkloadSpec};
+
+fn main() {
+    // Active replication (the state-machine approach), 5 replicas, a
+    // read-heavy workload from 4 closed-loop clients.
+    let cfg = RunConfig::new(Technique::Active)
+        .with_servers(5)
+        .with_clients(4)
+        .with_seed(2026)
+        .with_workload(
+            WorkloadSpec::default()
+                .with_items(256)
+                .with_read_ratio(0.7)
+                .with_txns_per_client(25),
+        );
+    let report = run(&cfg);
+
+    println!("== {} ==", report.technique);
+    println!("{}", report.summary());
+    println!(
+        "latency: mean={}t p99={}t",
+        report.latencies.mean().ticks(),
+        {
+            let mut l = report.latencies.clone();
+            l.percentile(0.99).ticks()
+        }
+    );
+    println!("replicas converged: {}", report.converged());
+    println!(
+        "one-copy serializable: {}",
+        report.check_one_copy_serializable().is_ok()
+    );
+    println!(
+        "phase skeleton: {}",
+        report.canonical_skeleton().expect("ops completed")
+    );
+    println!();
+    // The paper's Figure 2, regenerated from a live run.
+    println!("{}", figures::phase_diagram(Technique::Active, 1));
+}

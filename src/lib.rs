@@ -1,0 +1,50 @@
+//! # replication — an executable reproduction of
+//! *Understanding Replication in Databases and Distributed Systems*
+//! (Wiesmann, Pedone, Schiper, Kemme, Alonso — ICDCS 2000)
+//!
+//! The paper contributes a five-phase functional model (Request, Server
+//! Coordination, Execution, Agreement Coordination, Response) and uses it
+//! to compare replication techniques across the distributed-systems and
+//! database communities. This workspace makes the framework executable:
+//! all ten techniques run as real message-passing protocols over
+//! from-scratch substrates, the paper's figures are regenerated from
+//! executed traces, and the performance study the paper *promised* is
+//! implemented as the benchmark suite.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sim`] | deterministic discrete-event simulator |
+//! | [`gcs`] | group communication: broadcasts, failure detector, consensus, ABCAST, VSCAST |
+//! | [`db`]  | database kernel: versioned store, 2PL, transactions, 2PC, 1SR checking |
+//! | [`workload`] | workload and fault-load generators |
+//! | [`core`] | the ten techniques, the functional model, oracles, runner, figures |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use replication::{run, RunConfig, Technique};
+//!
+//! let report = run(&RunConfig::new(Technique::Active).with_seed(7));
+//! assert!(report.converged());
+//! assert_eq!(
+//!     report.canonical_skeleton().expect("ops ran").to_string(),
+//!     "RE SC EX END",
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use repl_core as core;
+pub use repl_db as db;
+pub use repl_gcs as gcs;
+pub use repl_sim as sim;
+pub use repl_workload as workload;
+
+pub use repl_core::{
+    figures, run, Arrival, Guarantee, Phase, PhaseSkeleton, Propagation, RunConfig, RunReport,
+    Technique,
+};
+pub use repl_workload::WorkloadSpec;

@@ -1,0 +1,147 @@
+//! Tests for the paper's "orthogonal" extensions: read-one/write-all
+//! locking (§5.4.1's quorum note) and ABCAST-determined after-commit
+//! order for lazy reconciliation (§4.6's suggested alternative).
+
+use replication::core::protocols::lazy_ue::ReconcileMode;
+use replication::sim::SimDuration;
+use replication::{run, RunConfig, Technique, WorkloadSpec};
+
+fn read_heavy(txns: u32) -> WorkloadSpec {
+    WorkloadSpec::default()
+        .with_items(64)
+        .with_read_ratio(0.9)
+        .with_txns_per_client(txns)
+}
+
+#[test]
+fn rowa_cuts_read_cost_without_losing_serializability() {
+    let base = RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+        .with_servers(4)
+        .with_clients(3)
+        .with_seed(211)
+        .with_trace(false)
+        .with_workload(read_heavy(12));
+    let all_sites = run(&base.clone());
+    let rowa = run(&base.with_rowa(true));
+    assert_eq!(rowa.ops_unanswered, 0);
+    assert!(
+        rowa.messages_per_op() < all_sites.messages_per_op(),
+        "ROWA should save read messages: {} vs {}",
+        rowa.messages_per_op(),
+        all_sites.messages_per_op()
+    );
+    assert!(
+        rowa.latencies.mean() < all_sites.latencies.mean(),
+        "local read locks should answer faster: {} vs {}",
+        rowa.latencies.mean(),
+        all_sites.latencies.mean()
+    );
+    assert!(rowa.converged());
+    rowa.check_one_copy_serializable()
+        .expect("ROWA must preserve 1SR: reads lock the local copy, writes lock all copies");
+}
+
+#[test]
+fn rowa_under_write_contention_still_serializable() {
+    let cfg = RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+        .with_servers(3)
+        .with_clients(4)
+        .with_seed(223)
+        .with_rowa(true)
+        .with_trace(false)
+        .with_workload(
+            WorkloadSpec::default()
+                .with_items(8)
+                .with_read_ratio(0.5)
+                .with_ops_per_txn(2)
+                .with_skew(1.0)
+                .with_txns_per_client(8),
+        );
+    let report = run(&cfg);
+    assert_eq!(report.ops_unanswered, 0);
+    assert!(report.converged());
+    report
+        .check_one_copy_serializable()
+        .expect("1SR under contention");
+}
+
+#[test]
+fn abcast_reconciliation_converges_on_conflicts() {
+    // Hot-key writers from every site; the ABCAST after-commit order must
+    // drive all replicas to the same final state.
+    let cfg = RunConfig::new(Technique::LazyUpdateEverywhere)
+        .with_servers(4)
+        .with_clients(4)
+        .with_seed(227)
+        .with_reconcile(ReconcileMode::AbcastOrder)
+        .with_propagation_delay(SimDuration::from_ticks(2_000))
+        .with_trace(false)
+        .with_workload(
+            WorkloadSpec::default()
+                .with_items(4)
+                .with_read_ratio(0.0)
+                .with_skew(1.2)
+                .with_txns_per_client(8),
+        );
+    let report = run(&cfg);
+    assert_eq!(report.ops_unanswered, 0);
+    assert!(
+        report.converged(),
+        "total-order reconciliation must converge: {:?}",
+        report.fingerprints
+    );
+    assert!(
+        report.reconciliations > 0,
+        "conflicting optimistic updates should have been overridden"
+    );
+}
+
+#[test]
+fn both_reconcile_modes_agree_on_disjoint_workloads() {
+    // With no conflicts the reconciliation rule must not matter.
+    let workload = WorkloadSpec::default()
+        .with_items(256)
+        .with_read_ratio(0.0)
+        .with_txns_per_client(6);
+    let mk = |mode| {
+        run(&RunConfig::new(Technique::LazyUpdateEverywhere)
+            .with_servers(3)
+            .with_clients(3)
+            .with_seed(229)
+            .with_reconcile(mode)
+            .with_propagation_delay(SimDuration::from_ticks(1_000))
+            .with_trace(false)
+            .with_workload(workload.clone()))
+    };
+    let lww = mk(ReconcileMode::Lww);
+    let ab = mk(ReconcileMode::AbcastOrder);
+    assert!(lww.converged() && ab.converged());
+    assert_eq!(lww.reconciliations, 0);
+    assert_eq!(ab.reconciliations, 0);
+    // Same committed values at every site, independent of rule.
+    assert_eq!(lww.fingerprints[0], ab.fingerprints[0]);
+}
+
+#[test]
+fn abcast_reconciliation_is_lazy_in_phases_but_ordered_in_outcome() {
+    let cfg = RunConfig::new(Technique::LazyUpdateEverywhere)
+        .with_servers(3)
+        .with_clients(1)
+        .with_seed(233)
+        .with_reconcile(ReconcileMode::AbcastOrder)
+        .with_propagation_delay(SimDuration::from_ticks(2_000))
+        .with_workload(
+            WorkloadSpec::default()
+                .with_items(8)
+                .with_read_ratio(0.0)
+                .with_txns_per_client(4),
+        );
+    let report = run(&cfg);
+    // Still lazy: END before AC.
+    let sk = report.canonical_skeleton().expect("ops completed");
+    assert!(
+        sk.responds_before_agreement(),
+        "AbcastOrder must stay lazy: {sk}"
+    );
+    assert!(report.converged());
+}

@@ -1,0 +1,92 @@
+//! Open-loop (Poisson) workload tests: the arrival process the
+//! performance study's saturation experiment (P7) relies on.
+
+use replication::{run, Arrival, RunConfig, Technique, WorkloadSpec};
+
+fn updates(n: u32) -> WorkloadSpec {
+    WorkloadSpec::default()
+        .with_items(64)
+        .with_read_ratio(0.0)
+        .with_txns_per_client(n)
+}
+
+#[test]
+fn open_loop_completes_at_moderate_load() {
+    for technique in [Technique::Active, Technique::LazyUpdateEverywhere] {
+        let report = run(&RunConfig::new(technique)
+            .with_servers(3)
+            .with_clients(3)
+            .with_seed(401)
+            .with_arrival(Arrival::Open(1_000))
+            .with_workload(updates(15)));
+        assert_eq!(report.ops_unanswered, 0, "{technique}");
+        assert_eq!(report.ops_completed, 45, "{technique}");
+        assert!(report.converged(), "{technique}");
+    }
+}
+
+#[test]
+fn open_loop_allows_concurrent_outstanding_operations() {
+    // With a tiny inter-arrival and non-trivial latency, several ops must
+    // overlap: some operation is invoked before the previous response.
+    let report = run(&RunConfig::new(Technique::Active)
+        .with_servers(3)
+        .with_clients(1)
+        .with_seed(409)
+        .with_arrival(Arrival::Open(50))
+        .with_workload(updates(10)));
+    let mut overlapped = false;
+    let recs: Vec<_> = report.records.iter().map(|(_, r)| r).collect();
+    for w in recs.windows(2) {
+        if let (Some(resp0), invoked1) = (w[0].responded, w[1].invoked) {
+            if invoked1 < resp0 {
+                overlapped = true;
+            }
+        }
+    }
+    assert!(overlapped, "expected pipelined operations under open loop");
+    assert_eq!(report.ops_unanswered, 0);
+    report
+        .check_one_copy_serializable()
+        .expect("pipelining must stay 1SR");
+}
+
+#[test]
+fn saturation_raises_latency_for_pipeline_bound_techniques() {
+    let lat = |mean: u64| {
+        run(&RunConfig::new(Technique::SemiPassive)
+            .with_servers(3)
+            .with_clients(3)
+            .with_seed(419)
+            .with_arrival(Arrival::Open(mean))
+            .with_trace(false)
+            .with_workload(updates(20)))
+        .latencies
+        .mean()
+        .ticks()
+    };
+    let light = lat(5_000);
+    let heavy = lat(100);
+    assert!(
+        heavy > 2 * light,
+        "semi-passive should queue under open-loop overload (light={light}, heavy={heavy})"
+    );
+}
+
+#[test]
+fn open_loop_determinism() {
+    let go = || {
+        run(&RunConfig::new(Technique::Certification)
+            .with_servers(3)
+            .with_clients(2)
+            .with_seed(421)
+            .with_arrival(Arrival::Open(500))
+            .with_trace(false)
+            .with_workload(updates(12)))
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.ops_completed, b.ops_completed);
+    assert_eq!(a.latencies.mean(), b.latencies.mean());
+    assert_eq!(a.fingerprints, b.fingerprints);
+}

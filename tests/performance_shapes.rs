@@ -1,0 +1,235 @@
+//! Shape checks for the promised performance study: the *relative*
+//! results the taxonomy predicts must hold in measurement (who wins, in
+//! which direction the curves bend) — absolute numbers are simulator
+//! artifacts and are not asserted.
+
+use replication::core::protocols::common::AbcastImpl;
+use replication::db::DeadlockPolicy;
+use replication::sim::SimDuration;
+use replication::{run, RunConfig, Technique, WorkloadSpec};
+
+fn updates(txns: u32) -> WorkloadSpec {
+    WorkloadSpec::default()
+        .with_items(128)
+        .with_read_ratio(0.0)
+        .with_txns_per_client(txns)
+}
+
+fn mean_latency(technique: Technique, servers: u32) -> u64 {
+    let cfg = RunConfig::new(technique)
+        .with_servers(servers)
+        .with_clients(2)
+        .with_seed(61)
+        .with_trace(false)
+        .with_workload(updates(10));
+    run(&cfg).latencies.mean().ticks()
+}
+
+#[test]
+fn lazy_techniques_answer_faster_than_eager_ones() {
+    let lazy = mean_latency(Technique::LazyPrimary, 3);
+    for eager in [
+        Technique::EagerPrimary,
+        Technique::EagerUpdateEverywhereLocking,
+        Technique::EagerUpdateEverywhereAbcast,
+        Technique::Passive,
+    ] {
+        let e = mean_latency(eager, 3);
+        assert!(
+            lazy < e,
+            "lazy ({lazy}t) should beat {eager} ({e}t): it answers in one round trip"
+        );
+    }
+}
+
+#[test]
+fn distributed_locking_pays_more_rounds_than_abcast_ordering() {
+    // Fig. 8 vs Fig. 9: locking needs lock-request/grant plus 2PC; the
+    // ABCAST technique needs one ordering. Both latency and messages/op
+    // should favour ABCAST.
+    let lock = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+        .with_servers(3)
+        .with_clients(2)
+        .with_seed(67)
+        .with_trace(false)
+        .with_workload(updates(10)));
+    let ab = run(&RunConfig::new(Technique::EagerUpdateEverywhereAbcast)
+        .with_servers(3)
+        .with_clients(2)
+        .with_seed(67)
+        .with_trace(false)
+        .with_workload(updates(10)));
+    assert!(
+        lock.latencies.mean() > ab.latencies.mean(),
+        "locking {} vs abcast {}",
+        lock.latencies.mean(),
+        ab.latencies.mean()
+    );
+    assert!(
+        lock.messages_per_op() > ab.messages_per_op(),
+        "locking {} vs abcast {} msgs/op",
+        lock.messages_per_op(),
+        ab.messages_per_op()
+    );
+}
+
+#[test]
+fn message_cost_grows_with_replication_degree() {
+    for technique in [
+        Technique::Active,
+        Technique::Passive,
+        Technique::EagerPrimary,
+    ] {
+        let small = run(&RunConfig::new(technique)
+            .with_servers(2)
+            .with_clients(1)
+            .with_seed(71)
+            .with_trace(false)
+            .with_workload(updates(8)));
+        let large = run(&RunConfig::new(technique)
+            .with_servers(8)
+            .with_clients(1)
+            .with_seed(71)
+            .with_trace(false)
+            .with_workload(updates(8)));
+        assert!(
+            large.messages_per_op() > small.messages_per_op(),
+            "{technique}: messages/op must grow with n ({} vs {})",
+            small.messages_per_op(),
+            large.messages_per_op()
+        );
+    }
+}
+
+#[test]
+fn sequencer_abcast_is_cheaper_than_consensus_abcast() {
+    let seq = run(&RunConfig::new(Technique::Active)
+        .with_servers(4)
+        .with_clients(2)
+        .with_seed(73)
+        .with_abcast(AbcastImpl::Sequencer)
+        .with_trace(false)
+        .with_workload(updates(8)));
+    let cons = run(&RunConfig::new(Technique::Active)
+        .with_servers(4)
+        .with_clients(2)
+        .with_seed(73)
+        .with_abcast(AbcastImpl::Consensus)
+        .with_trace(false)
+        .with_workload(updates(8)));
+    assert!(
+        seq.messages_per_op() < cons.messages_per_op(),
+        "sequencer {} vs consensus {} msgs/op",
+        seq.messages_per_op(),
+        cons.messages_per_op()
+    );
+    assert!(seq.latencies.mean() <= cons.latencies.mean());
+}
+
+#[test]
+fn wound_wait_resolves_contention_faster_than_periodic_detection() {
+    // Under a deadlock-prone workload, prevention acts immediately while
+    // detection waits for the probe period — wall-clock (virtual) runtime
+    // should favour wound-wait.
+    let contended = WorkloadSpec::default()
+        .with_items(4)
+        .with_read_ratio(0.0)
+        .with_ops_per_txn(2)
+        .with_skew(1.0)
+        .with_txns_per_client(6);
+    let ww = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+        .with_servers(2)
+        .with_clients(3)
+        .with_seed(79)
+        .with_deadlock(DeadlockPolicy::WoundWait)
+        .with_trace(false)
+        .with_workload(contended.clone()));
+    let det = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+        .with_servers(2)
+        .with_clients(3)
+        .with_seed(79)
+        .with_deadlock(DeadlockPolicy::Detect)
+        .with_trace(false)
+        .with_workload(contended));
+    assert_eq!(ww.ops_unanswered, 0, "wound-wait run incomplete");
+    assert_eq!(det.ops_unanswered, 0, "detection run incomplete");
+    assert!(
+        ww.duration <= det.duration,
+        "wound-wait {} should finish no later than detection {}",
+        ww.duration,
+        det.duration
+    );
+}
+
+#[test]
+fn wider_staleness_window_means_more_stale_reads() {
+    let workload = WorkloadSpec::default()
+        .with_items(3)
+        .with_read_ratio(0.6)
+        .with_txns_per_client(12)
+        .with_think_time(SimDuration::from_ticks(500));
+    let narrow: usize = [1u64, 2, 3]
+        .iter()
+        .map(|&seed| {
+            run(&RunConfig::new(Technique::LazyPrimary)
+                .with_servers(3)
+                .with_clients(3)
+                .with_seed(seed)
+                .with_propagation_delay(SimDuration::from_ticks(500))
+                .with_workload(workload.clone()))
+            .stale_reads()
+            .len()
+        })
+        .sum();
+    let wide: usize = [1u64, 2, 3]
+        .iter()
+        .map(|&seed| {
+            run(&RunConfig::new(Technique::LazyPrimary)
+                .with_servers(3)
+                .with_clients(3)
+                .with_seed(seed)
+                .with_propagation_delay(SimDuration::from_ticks(40_000))
+                .with_workload(workload.clone()))
+            .stale_reads()
+            .len()
+        })
+        .sum();
+    assert!(
+        wide >= narrow,
+        "staleness must not shrink as the window widens ({narrow} -> {wide})"
+    );
+    assert!(wide > 0, "wide window produced no staleness at all");
+}
+
+#[test]
+fn certification_abort_rate_grows_with_skew() {
+    let abort_rate = |skew: f64| -> f64 {
+        let mut aborted = 0u64;
+        let mut completed = 0u64;
+        for seed in [1u64, 2, 3] {
+            let r = run(&RunConfig::new(Technique::Certification)
+                .with_servers(3)
+                .with_clients(4)
+                .with_seed(seed)
+                .with_trace(false)
+                .with_workload(
+                    WorkloadSpec::default()
+                        .with_items(64)
+                        .with_read_ratio(0.5)
+                        .with_ops_per_txn(2)
+                        .with_skew(skew)
+                        .with_txns_per_client(10)
+                        .with_think_time(SimDuration::from_ticks(50)),
+                ));
+            aborted += r.ops_aborted;
+            completed += r.ops_completed;
+        }
+        aborted as f64 / completed.max(1) as f64
+    };
+    let low = abort_rate(0.0);
+    let high = abort_rate(1.5);
+    assert!(
+        high > low,
+        "abort rate must grow with contention (uniform={low:.3}, zipf1.5={high:.3})"
+    );
+}

@@ -1,0 +1,94 @@
+//! Randomized soak tests: every technique, many seeds, mixed workloads.
+//! The invariants checked are the ones a downstream user relies on
+//! unconditionally: runs terminate, answered operations are exactly-once,
+//! replicas converge, and strong techniques stay one-copy serializable.
+
+use replication::{run, Guarantee, RunConfig, Technique, WorkloadSpec};
+
+fn mixed_workload(seed: u64) -> WorkloadSpec {
+    // Derive workload parameters from the seed, deterministically.
+    let read_ratio = [0.0, 0.3, 0.6, 0.9][(seed % 4) as usize];
+    let skew = [0.0, 0.8, 1.3][(seed % 3) as usize];
+    let ops = [1u32, 1, 2][(seed % 3) as usize];
+    WorkloadSpec::default()
+        .with_items(48)
+        .with_read_ratio(read_ratio)
+        .with_skew(skew)
+        .with_ops_per_txn(ops)
+        .with_txns_per_client(8)
+}
+
+#[test]
+fn soak_all_techniques_many_seeds() {
+    for technique in Technique::ALL {
+        for seed in 0..5u64 {
+            let cfg = RunConfig::new(technique)
+                .with_servers(3 + (seed % 2) as u32)
+                .with_clients(3)
+                .with_seed(1_000 + seed)
+                .with_trace(false)
+                .with_workload(mixed_workload(seed));
+            let report = run(&cfg);
+            // Termination.
+            assert_eq!(
+                report.ops_unanswered, 0,
+                "{technique} seed {seed}: unanswered operations"
+            );
+            // Exactly-once accounting.
+            assert_eq!(
+                report.ops_completed,
+                report.ops_committed + report.ops_aborted,
+                "{technique} seed {seed}"
+            );
+            assert_eq!(
+                report.ops_completed as usize,
+                report.records.len(),
+                "{technique} seed {seed}: record count mismatch"
+            );
+            // Convergence.
+            assert!(
+                report.converged(),
+                "{technique} seed {seed}: fingerprints {:?}",
+                report.fingerprints
+            );
+            // Strong techniques: 1SR, and no aborts except certification
+            // and locking (which abort under contention by design).
+            if technique.info().guarantee != Guarantee::Weak {
+                report
+                    .check_one_copy_serializable()
+                    .unwrap_or_else(|e| panic!("{technique} seed {seed}: {e}"));
+            }
+            if !matches!(
+                technique,
+                Technique::Certification | Technique::EagerUpdateEverywhereLocking
+            ) {
+                assert_eq!(
+                    report.ops_aborted, 0,
+                    "{technique} seed {seed}: unexpected aborts"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn soak_deterministic_replay() {
+    // Every technique's full report is a pure function of the config.
+    for technique in Technique::ALL {
+        let cfg = RunConfig::new(technique)
+            .with_servers(3)
+            .with_clients(2)
+            .with_seed(77)
+            .with_trace(false)
+            .with_workload(mixed_workload(2));
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.ops_completed, b.ops_completed, "{technique}");
+        assert_eq!(a.latencies.mean(), b.latencies.mean(), "{technique}");
+        assert_eq!(a.fingerprints, b.fingerprints, "{technique}");
+        assert_eq!(
+            a.messages.messages_sent, b.messages.messages_sent,
+            "{technique}"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the executable taxonomy: every technique's
+//! measured behaviour must match the paper's claims (Figures 5, 6, 15,
+//! 16), including the ablation that *removes* the paper's stated
+//! requirement and watches the guarantee break.
+
+use replication::core::protocols::common::ExecutionMode;
+use replication::sim::SimDuration;
+use replication::{run, Guarantee, Propagation, RunConfig, Technique, WorkloadSpec};
+
+fn update_only(txns: u32) -> WorkloadSpec {
+    WorkloadSpec::default()
+        .with_items(32)
+        .with_read_ratio(0.0)
+        .with_txns_per_client(txns)
+}
+
+fn figure_cfg(technique: Technique) -> RunConfig {
+    let mut cfg = RunConfig::new(technique)
+        .with_clients(1)
+        .with_seed(17)
+        .with_workload(update_only(4));
+    if technique == Technique::SemiActive {
+        cfg = cfg.with_exec(ExecutionMode::NonDeterministic);
+    }
+    if technique.info().propagation == Propagation::Lazy {
+        cfg = cfg.with_propagation_delay(SimDuration::from_ticks(2_000));
+    }
+    cfg
+}
+
+#[test]
+fn figure_16_every_technique_reproduces_its_phase_row() {
+    for technique in Technique::ALL {
+        let report = run(&figure_cfg(technique));
+        let measured = report.canonical_skeleton().expect("ops completed");
+        assert_eq!(
+            measured.to_string(),
+            technique.claimed_skeleton(),
+            "{technique}"
+        );
+    }
+}
+
+#[test]
+fn figure_15_sync_before_response_iff_strong_consistency() {
+    for technique in Technique::ALL {
+        let report = run(&figure_cfg(technique));
+        let sk = report.canonical_skeleton().expect("ops completed");
+        assert_eq!(
+            sk.synchronises_before_response(),
+            technique.info().guarantee != Guarantee::Weak,
+            "{technique}: Figure 15's claim violated"
+        );
+    }
+}
+
+#[test]
+fn eager_equals_agreement_before_response_lazy_equals_after() {
+    for technique in Technique::ALL {
+        let report = run(&figure_cfg(technique));
+        let sk = report.canonical_skeleton().expect("ops completed");
+        assert_eq!(
+            sk.responds_before_agreement(),
+            technique.info().propagation == Propagation::Lazy,
+            "{technique}"
+        );
+    }
+}
+
+#[test]
+fn strong_techniques_converge_and_serialize_under_contention() {
+    let workload = WorkloadSpec::default()
+        .with_items(8) // hot
+        .with_read_ratio(0.3)
+        .with_skew(0.9)
+        .with_txns_per_client(10);
+    for technique in Technique::ALL {
+        if technique.info().guarantee == Guarantee::Weak {
+            continue;
+        }
+        let cfg = RunConfig::new(technique)
+            .with_servers(3)
+            .with_clients(3)
+            .with_seed(23)
+            .with_workload(workload.clone());
+        let report = run(&cfg);
+        assert!(report.converged(), "{technique} diverged");
+        report
+            .check_one_copy_serializable()
+            .unwrap_or_else(|e| panic!("{technique}: {e}"));
+        assert_eq!(report.ops_unanswered, 0, "{technique} left clients hanging");
+    }
+}
+
+#[test]
+fn ablation_nondeterminism_breaks_active_but_not_its_refinements() {
+    // The paper's Figure 5 determinism axis, executed: the same
+    // non-deterministic servers diverge under active replication but stay
+    // consistent under semi-active (leader choice), passive (single
+    // executor) and semi-passive (single deferred executor).
+    let base = |t: Technique| {
+        RunConfig::new(t)
+            .with_clients(2)
+            .with_seed(31)
+            .with_exec(ExecutionMode::NonDeterministic)
+            .with_workload(update_only(6))
+    };
+    let active = run(&base(Technique::Active));
+    assert!(
+        !active.converged(),
+        "active replication should diverge without determinism"
+    );
+    for t in [
+        Technique::SemiActive,
+        Technique::Passive,
+        Technique::SemiPassive,
+    ] {
+        let report = run(&base(t));
+        assert!(report.converged(), "{t} must tolerate non-determinism");
+    }
+}
+
+#[test]
+fn ablation_lazy_update_everywhere_loses_conflicting_updates() {
+    // Weak consistency is not an abstract label: under a hot-key write
+    // workload, lazy UE reconciles (discards) committed updates, while
+    // its eager counterpart never does.
+    let workload = WorkloadSpec::default()
+        .with_items(4)
+        .with_read_ratio(0.0)
+        .with_skew(1.2)
+        .with_txns_per_client(10);
+    let lazy = run(&RunConfig::new(Technique::LazyUpdateEverywhere)
+        .with_servers(3)
+        .with_clients(3)
+        .with_seed(37)
+        .with_propagation_delay(SimDuration::from_ticks(3_000))
+        .with_workload(workload.clone()));
+    assert!(lazy.converged(), "reconciliation must still converge");
+    assert!(
+        lazy.reconciliations > 0,
+        "hot-key lazy UE should have discarded updates"
+    );
+    let eager = run(&RunConfig::new(Technique::EagerUpdateEverywhereAbcast)
+        .with_servers(3)
+        .with_clients(3)
+        .with_seed(37)
+        .with_workload(workload));
+    assert_eq!(eager.reconciliations, 0);
+    assert!(eager.converged());
+}
+
+#[test]
+fn classification_metadata_matches_measured_communities() {
+    // Primary-copy techniques must have exactly one executing site in
+    // failure-free runs; update-everywhere techniques execute at all
+    // sites. We verify through the response reads observed and the
+    // message patterns indirectly: primary techniques route every update
+    // through one node — their per-op message count grows linearly with
+    // n like everyone else, but their histories only contain executions
+    // at one site plus installs elsewhere. Here we check the simplest
+    // observable: they all converge and answer.
+    for technique in Technique::ALL {
+        let report = run(&figure_cfg(technique));
+        assert!(report.ops_completed > 0, "{technique}");
+        assert!(report.converged(), "{technique}");
+    }
+}
+
+#[test]
+fn multi_operation_transactions_loop_their_phases() {
+    // Section 5: the EX/AC (primary copy) and SC/EX (distributed locking)
+    // pairs repeat per operation.
+    let mut cfg = figure_cfg(Technique::EagerPrimary);
+    cfg.workload = cfg.workload.with_ops_per_txn(3);
+    let report = run(&cfg);
+    let sk = report.canonical_skeleton().expect("ops completed");
+    assert!(sk.has_loop(), "Fig. 12 loop missing: {sk}");
+
+    let mut cfg = figure_cfg(Technique::EagerUpdateEverywhereLocking);
+    cfg.workload = cfg.workload.with_ops_per_txn(3);
+    let report = run(&cfg);
+    let sk = report.canonical_skeleton().expect("ops completed");
+    assert!(sk.has_loop(), "Fig. 13 loop missing: {sk}");
+
+    // §5.3: lazy techniques are *unchanged* by multi-operation
+    // transactions — same skeleton as single-op.
+    let mut cfg = figure_cfg(Technique::LazyPrimary);
+    cfg.workload = cfg.workload.with_ops_per_txn(3);
+    let report = run(&cfg);
+    let sk = report.canonical_skeleton().expect("ops completed");
+    assert_eq!(sk.to_string(), Technique::LazyPrimary.claimed_skeleton());
+}
