@@ -1,7 +1,7 @@
 //! P5 — failover cost per fault-tolerance strategy.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use repl_bench::{failover_table, render, update_workload};
+use repl_bench::{availability_table, failover_table, render, update_workload};
 use repl_core::protocols::common::AbcastImpl;
 use repl_core::{run, RunConfig, Technique};
 use repl_sim::{NodeId, SimTime};
@@ -13,6 +13,13 @@ fn bench(c: &mut Criterion) {
         render(
             "P5 — failover: rank-0 server crashes mid-run (5 replicas)",
             &failover_table()
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "P5b — availability under a primary crash (failover latency, unavailability windows)",
+            &availability_table()
         )
     );
     let crash = CrashSchedule::new().crash_at(SimTime::from_ticks(12_000), NodeId::new(0));

@@ -4,8 +4,9 @@
 //! cargo run --release --bin perfstudy
 //! ```
 //!
-//! Prints every table (P1–P6, A2, A3); EXPERIMENTS.md records a reference
-//! output with the paper-predicted shapes annotated.
+//! Prints every table (P1–P7 including the P5b availability study,
+//! A2–A5); EXPERIMENTS.md records a reference output with the
+//! paper-predicted shapes annotated.
 
 use repl_bench::*;
 
@@ -49,6 +50,13 @@ fn main() {
         render(
             "P5 — failover: rank-0 server crashes mid-run (5 replicas)",
             &failover_table()
+        )
+    );
+    println!(
+        "{}",
+        render(
+            "P5b — availability under a primary crash (failover latency, unavailability windows)",
+            &availability_table()
         )
     );
     println!(

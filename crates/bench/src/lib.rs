@@ -20,7 +20,7 @@ use repl_core::protocols::common::{AbcastImpl, ExecutionMode};
 use repl_core::{run, RunConfig, RunReport, Technique};
 use repl_db::DeadlockPolicy;
 use repl_sim::{NodeId, SimDuration, SimTime};
-use repl_workload::{CrashSchedule, WorkloadSpec};
+use repl_workload::{CrashSchedule, FaultPlan, WorkloadSpec};
 
 /// One row of an experiment table: a label and named columns.
 #[derive(Debug, Clone)]
@@ -264,7 +264,7 @@ pub fn failover_table() -> Vec<Row> {
         let report = run(&cfg);
         let baseline = run(&{
             let mut c = cfg.clone();
-            c.crashes = CrashSchedule::new();
+            c.faults = FaultPlan::new();
             c
         });
         // Worst latency per client; the best-off client shows whether the
@@ -284,6 +284,47 @@ pub fn failover_table() -> Vec<Row> {
                 .cell("worst", format!("{}t", worst(&report)))
                 .cell("unaffected client", format!("{unaffected}t"))
                 .cell("worst (no crash)", format!("{}t", worst(&baseline)))
+                .cell("retries", report.client_retries)
+                .cell("unanswered", report.ops_unanswered),
+        );
+    }
+    rows
+}
+
+/// P5b — availability under a primary crash, via the [`FaultPlan`]
+/// nemesis and the runner's availability metrics: failover latency
+/// (first crash → next committed response anywhere), the worst
+/// request→response gap any client saw, and the best-off client's gap
+/// (the failure-transparency axis again, now including stalled
+/// operations rather than only answered ones).
+pub fn availability_table() -> Vec<Row> {
+    let plan = FaultPlan::new().crash_at(SimTime::from_ticks(3_000), NodeId::new(0));
+    let mut rows = Vec::new();
+    for technique in [
+        Technique::Passive,
+        Technique::SemiPassive,
+        Technique::EagerPrimary,
+    ] {
+        let cfg = RunConfig::new(technique)
+            .with_servers(5)
+            .with_clients(4)
+            .with_seed(113)
+            .with_trace(false)
+            .with_abcast(AbcastImpl::Consensus)
+            .with_faults(plan.clone())
+            .with_workload(update_workload(10));
+        let report = run(&cfg);
+        let a = &report.availability;
+        let failover = match a.failover_latency {
+            Some(d) => format!("{}t", d.ticks()),
+            None => "-".into(),
+        };
+        rows.push(
+            Row::new(technique.name())
+                .cell("failover", failover)
+                .cell("worst gap", format!("{}t", a.worst_gap().ticks()))
+                .cell("best client gap", format!("{}t", a.best_client_gap().ticks()))
+                .cell("faults", a.faults_injected)
                 .cell("retries", report.client_retries)
                 .cell("unanswered", report.ops_unanswered),
         );

@@ -34,6 +34,6 @@ mod technique;
 pub use client::{ClientActor, OpRecord, OpenLoopClient, ProtocolMsg};
 pub use op::{accesses, ClientOp, OpId, Response};
 pub use phase::{Phase, PhaseMark, PhaseSkeleton, PhaseTrace};
-pub use report::RunReport;
+pub use report::{Availability, RunReport};
 pub use runner::{run, Arrival, RunConfig};
 pub use technique::{Community, Guarantee, Propagation, Technique, TechniqueInfo, UpdateLocation};

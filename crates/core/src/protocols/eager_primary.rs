@@ -220,7 +220,8 @@ impl EagerPrimaryServer {
             return;
         }
         // Primary: stop waiting for the dead secondary.
-        let ids: Vec<TxnId> = self.inflight.keys().copied().collect();
+        let mut ids: Vec<TxnId> = self.inflight.keys().copied().collect();
+        ids.sort_unstable(); // map order is unspecified; resume deterministically
         for txn in ids {
             let advance = {
                 let t = self.inflight.get_mut(&txn).expect("present");
@@ -248,7 +249,8 @@ impl EagerPrimaryServer {
             .take_while(|&&s| s != dead)
             .all(|&s| self.fd.is_suspected(s));
         if was_primary {
-            let stale: Vec<TxnId> = self.tentative.keys().copied().collect();
+            let mut stale: Vec<TxnId> = self.tentative.keys().copied().collect();
+            stale.sort_unstable();
             for txn in stale {
                 self.abort_tentative(txn);
             }

@@ -24,16 +24,20 @@
 //! delegate while writes still lock everywhere — same phases, fewer
 //! messages for reads.
 //!
-//! The protocol is *blocking* under crashes (the paper, Section 2.1:
-//! databases accept blocking protocols); the failover experiments use the
-//! primary-copy and distributed-systems techniques instead.
+//! The protocol is *blocking* while a participant is down (the paper,
+//! Section 2.1: databases accept blocking protocols) — all-site locking
+//! cannot make progress without every replica. Crashes follow fail-stop
+//! semantics: volatile state (lock tables, delegate bookkeeping,
+//! tentative writes) is lost, so a recovered site grants locks afresh
+//! rather than blocking behind phantom holders, and client re-submission
+//! re-drives stalled transactions once the site is back.
 
 use std::collections::{HashMap, HashSet};
 
 use repl_db::{
     Acquire, DeadlockPolicy, Key, LockManager, LockMode, TpcCoordinator, TpcDecision, TxnId, Value,
 };
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 use repl_workload::OpTemplate;
 
 use crate::client::ProtocolMsg;
@@ -652,6 +656,43 @@ impl Actor<EulMsg> for EulServer {
         }
     }
 
+    fn on_crash(&mut self, _now: SimTime) {
+        // Fail-stop: volatile state dies with the process. Lock tables,
+        // delegate bookkeeping and tentative writes are lost; only the
+        // committed store survives. Without this amnesia a recovered site
+        // would still "hold" locks for transactions that finished while it
+        // was down — the 2PC decision that releases them was dropped — and
+        // every later conflicting transaction would queue behind them
+        // forever (wound-wait never wounds an older phantom holder).
+        let mut active: Vec<TxnId> = self
+            .tentative
+            .iter()
+            .copied()
+            .chain(self.delegated.keys().copied())
+            .collect();
+        active.sort_unstable(); // set iteration order is unspecified
+        for txn in active {
+            if self.base.tm.is_active(txn) {
+                let _ = self.base.tm.abort(&mut self.base.store, txn);
+            }
+            self.base.history.purge(txn);
+        }
+        self.tentative.clear();
+        self.delegated.clear();
+        self.requeue.clear();
+        self.lock_owner.clear();
+        self.lm = LockManager::new(self.policy);
+        self.probe_edges.clear();
+        self.probe_answers = 0;
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, EulMsg>) {
+        // Timers do not survive a crash: re-arm the deadlock detector.
+        if self.policy == DeadlockPolicy::Detect && self.base.site == 0 {
+            ctx.set_timer(self.detect_every, DETECT_TICK);
+        }
+    }
+
     impl_as_any!();
 }
 
@@ -883,6 +924,64 @@ mod tests {
         let sk = pt.canonical().expect("op done");
         assert_eq!(sk.to_string(), "RE SC EX SC EX AC END");
         assert!(sk.has_loop());
+    }
+
+    #[test]
+    fn crash_amnesia_releases_stale_locks() {
+        let mut s = EulServer::new(
+            0,
+            NodeId::new(0),
+            vec![NodeId::new(0)],
+            16,
+            ExecutionMode::Deterministic,
+            DeadlockPolicy::WoundWait,
+        );
+        let t1 = global_txn(crate::op::OpId(1));
+        assert!(matches!(
+            s.lm.acquire(t1, Key(0), LockMode::Exclusive),
+            Acquire::Granted
+        ));
+        s.lock_owner.insert(t1, (NodeId::new(0), 0));
+        s.on_crash(SimTime::from_ticks(100));
+        // A fresh transaction gets the lock immediately: no phantom holder.
+        let t2 = global_txn(crate::op::OpId(2));
+        assert!(matches!(
+            s.lm.acquire(t2, Key(0), LockMode::Exclusive),
+            Acquire::Granted
+        ));
+        assert!(s.lock_owner.is_empty());
+        assert!(s.delegated.is_empty());
+        assert!(s.tentative.is_empty());
+    }
+
+    #[test]
+    fn conflicting_writes_complete_across_a_participant_crash() {
+        // Server 2 crashes mid-run (possibly holding grants for an
+        // in-flight transaction that commits while it is down) and later
+        // recovers; the same hot key keeps being written. Every
+        // transaction must still be answered — a stale grant surviving
+        // the crash would wedge the key forever.
+        let txns: Vec<TxnTemplate> = (0..5).map(|i| write(0, 10 + i)).collect();
+        let (mut world, servers, clients) = build(3, vec![txns], DeadlockPolicy::WoundWait, 11);
+        world.schedule_crash(SimTime::from_ticks(300), servers[2]);
+        world.schedule_recover(SimTime::from_ticks(20_000), servers[2]);
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        let client = world.actor_ref::<ClientActor<EulMsg>>(clients[0]);
+        assert!(client.is_done(), "writes wedged behind a crashed participant");
+        // The survivors agree; the crashed site may have missed decisions.
+        assert_eq!(
+            world
+                .actor_ref::<EulServer>(servers[0])
+                .base
+                .store
+                .fingerprint(),
+            world
+                .actor_ref::<EulServer>(servers[1])
+                .base
+                .store
+                .fingerprint(),
+        );
     }
 
     #[test]

@@ -154,6 +154,9 @@ impl PassiveServer {
                             done.push(*op);
                         }
                     }
+                    // Map iteration order is unspecified; reply in op order
+                    // so runs stay deterministic.
+                    done.sort_unstable();
                     for op in done {
                         self.finish(ctx, op);
                     }

@@ -2,12 +2,55 @@
 //! oracles need.
 
 use repl_db::{ReplicatedHistory, SerializabilityViolation, TxnId};
-use repl_sim::{LatencyStats, Metrics, SimTime};
+use repl_sim::{LatencyStats, Metrics, SimDuration, SimTime};
 
 use crate::client::OpRecord;
 use crate::consistency::{count_stale_reads, StaleRead};
 use crate::phase::{PhaseSkeleton, PhaseTrace};
 use crate::technique::Technique;
+
+/// Availability metrics of one run, meaningful under a fault load.
+///
+/// All durations are virtual ticks. For operations still unanswered when
+/// the run ended, the gap is measured to the end of the run (deadline or
+/// last completion), so a stuck client shows a large — but finite —
+/// window rather than disappearing from the metric.
+#[derive(Debug, Clone, Default)]
+pub struct Availability {
+    /// Per-client worst unavailability window: the longest gap between
+    /// submitting a request and receiving its response (client order).
+    pub per_client_worst_gap: Vec<SimDuration>,
+    /// Failover latency: time from the plan's first crash to the next
+    /// committed response observed by any client. `None` when the plan
+    /// has no crash or nothing committed afterwards.
+    pub failover_latency: Option<SimDuration>,
+    /// Disruptive fault events actually applied by the world (crashes,
+    /// partitions, link faults).
+    pub faults_injected: u64,
+    /// Repair events actually applied (recoveries, heals, link repairs).
+    pub repairs_applied: u64,
+}
+
+impl Availability {
+    /// The worst unavailability window across all clients.
+    pub fn worst_gap(&self) -> SimDuration {
+        self.per_client_worst_gap
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The best-off client's worst gap: whether the technique kept
+    /// *anyone* fully unaffected (the paper's failure-transparency axis).
+    pub fn best_client_gap(&self) -> SimDuration {
+        self.per_client_worst_gap
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
 
 /// Aggregated outcome of a [`crate::run`] invocation.
 #[derive(Debug)]
@@ -48,6 +91,9 @@ pub struct RunReport {
     pub wounds: u64,
     /// Server-side transaction aborts (wounds, certification failures).
     pub server_aborts: u64,
+    /// Availability metrics (unavailability windows, failover latency,
+    /// fault counts).
+    pub availability: Availability,
 }
 
 impl RunReport {
@@ -88,6 +134,12 @@ impl RunReport {
     /// The stale reads observed by clients (real-time criterion).
     pub fn stale_reads(&self) -> Vec<StaleRead> {
         count_stale_reads(&self.records)
+    }
+
+    /// Disruptive fault events applied during the run (crashes,
+    /// partitions, link faults).
+    pub fn faults_injected(&self) -> u64 {
+        self.availability.faults_injected
     }
 
     /// Fraction of answered operations that aborted.

@@ -6,7 +6,7 @@ use repl_gcs::{ConsensusConfig, FdConfig, VsConfig};
 use repl_sim::{
     Actor, LatencyStats, Message, NetworkConfig, NodeId, SimConfig, SimDuration, SimTime, World,
 };
-use repl_workload::{CrashEvent, CrashSchedule, WorkloadGen, WorkloadSpec};
+use repl_workload::{CrashSchedule, FaultEvent, FaultPlan, WorkloadGen, WorkloadSpec};
 
 use crate::client::{ClientActor, OpenLoopClient, ProtocolMsg};
 use crate::phase::PhaseTrace;
@@ -54,8 +54,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Network model.
     pub network: NetworkConfig,
-    /// Fault load.
-    pub crashes: CrashSchedule,
+    /// Fault load: crashes/recoveries, partitions/heals, link faults.
+    /// Node ids in the plan refer to *servers* (`0..servers`).
+    pub faults: FaultPlan,
     /// Which Atomic Broadcast implementation ABCAST-based techniques use.
     pub abcast: AbcastImpl,
     /// Whether server execution is deterministic.
@@ -89,7 +90,7 @@ impl RunConfig {
             workload: WorkloadSpec::default(),
             seed: 1,
             network: NetworkConfig::lan(),
-            crashes: CrashSchedule::new(),
+            faults: FaultPlan::new(),
             abcast: AbcastImpl::Sequencer,
             exec: ExecutionMode::Deterministic,
             deadlock: DeadlockPolicy::WoundWait,
@@ -135,8 +136,15 @@ impl RunConfig {
     }
 
     /// Sets the fault load.
+    pub fn with_faults(mut self, f: FaultPlan) -> Self {
+        self.faults = f;
+        self
+    }
+
+    /// Sets a crash-only fault load (compatibility shim over
+    /// [`RunConfig::with_faults`]).
     pub fn with_crashes(mut self, c: CrashSchedule) -> Self {
-        self.crashes = c;
+        self.faults = FaultPlan::from(c);
         self
     }
 
@@ -245,6 +253,13 @@ struct ServerStats {
 }
 
 /// Runs one experiment and collects the report.
+///
+/// # Panics
+///
+/// Panics if `cfg.faults` is ill-formed for this configuration (see
+/// [`FaultPlan::validate`]): an event names a node outside the server
+/// set, recovers a node that is not down, crashes a node twice, or is
+/// scheduled past `cfg.max_time`.
 pub fn run(cfg: &RunConfig) -> RunReport {
     match cfg.technique {
         Technique::Active => drive::<ActiveMsg, ActiveServer>(
@@ -434,6 +449,9 @@ where
     M: Message + ProtocolMsg,
     S: 'static,
 {
+    if let Err(e) = cfg.faults.validate(cfg.servers, cfg.max_time) {
+        panic!("invalid fault plan: {e}");
+    }
     let sim = SimConfig::new(cfg.seed)
         .with_network(cfg.network.clone())
         .with_trace(cfg.trace);
@@ -467,10 +485,11 @@ where
         };
         clients.push(world.add_actor(actor));
     }
-    for ev in cfg.crashes.events() {
-        match *ev {
-            CrashEvent::Crash(at, node) => world.schedule_crash(at, node),
-            CrashEvent::Recover(at, node) => world.schedule_recover(at, node),
+    for ev in cfg.faults.events() {
+        match ev {
+            FaultEvent::Crash { at, node } => world.schedule_crash(*at, *node),
+            FaultEvent::Recover { at, node } => world.schedule_recover(*at, *node),
+            FaultEvent::Net { at, fault } => world.schedule_net_fault(*at, fault.clone()),
         }
     }
     world.start();
@@ -491,6 +510,9 @@ where
     // lazy propagation settle, and its background traffic (heartbeats)
     // must not be charged to the workload.
     let metrics_at_completion = world.metrics();
+    // Unanswered operations have their unavailability window measured to
+    // this instant (the deadline or the last client's completion).
+    let completed_at = world.now();
     // Grace period: let lazy propagation, pending decisions and flush
     // traffic drain so convergence is measured after quiescence.
     let grace = cfg.propagation_delay + SimDuration::from_ticks(50_000);
@@ -541,6 +563,38 @@ where
         wounds += stats.wounds;
     }
     let phase_trace = PhaseTrace::from_trace(world.trace());
+    // Availability: per-client worst request→response gap (unanswered ops
+    // count to the end of the run), and failover latency anchored at the
+    // plan's first crash. Fault counts come from the world's final
+    // metrics so faults applied during the drain are still visible.
+    let mut per_client_worst_gap = vec![SimDuration::ZERO; cfg.clients as usize];
+    for (cno, rec) in &records {
+        let gap = match rec.responded {
+            Some(at) => at - rec.invoked,
+            None => completed_at - rec.invoked,
+        };
+        let worst = &mut per_client_worst_gap[*cno as usize];
+        if gap > *worst {
+            *worst = gap;
+        }
+    }
+    let failover_latency = cfg.faults.first_crash_time().and_then(|crash| {
+        records
+            .iter()
+            .filter_map(|(_, r)| match (r.responded, r.committed()) {
+                (Some(at), true) if at >= crash => Some(at),
+                _ => None,
+            })
+            .min()
+            .map(|at| at - crash)
+    });
+    let final_metrics = world.metrics();
+    let availability = crate::report::Availability {
+        per_client_worst_gap,
+        failover_latency,
+        faults_injected: final_metrics.faults_injected(),
+        repairs_applied: final_metrics.repairs_applied(),
+    };
     // Duration = completion of the workload (last client response), not
     // the grace period: throughput must not be diluted by idle drain time.
     let last_response = records
@@ -567,6 +621,7 @@ where
         reconciliations,
         wounds,
         server_aborts,
+        availability,
     }
 }
 
@@ -655,5 +710,50 @@ mod tests {
         );
         assert!(report.summary().contains("Active"));
         assert!(report.abort_rate() <= 1.0);
+    }
+
+    #[test]
+    fn fault_free_run_has_trivial_availability() {
+        let report = run(&small(Technique::Active));
+        assert_eq!(report.faults_injected(), 0);
+        assert_eq!(report.availability.failover_latency, None);
+        assert_eq!(report.availability.per_client_worst_gap.len(), 2);
+        // The worst gap is just the worst response time.
+        let mut l = report.latencies.clone();
+        assert_eq!(report.availability.worst_gap(), l.percentile(1.0));
+    }
+
+    #[test]
+    fn with_crashes_shim_matches_explicit_fault_plan() {
+        let sched = CrashSchedule::new()
+            .crash_at(SimTime::from_ticks(2_000), NodeId::new(2))
+            .recover_at(SimTime::from_ticks(8_000), NodeId::new(2));
+        let a = small(Technique::Active).with_crashes(sched.clone());
+        let b = small(Technique::Active).with_faults(FaultPlan::from(sched));
+        assert_eq!(a.faults, b.faults);
+        let ra = run(&a);
+        let rb = run(&b);
+        assert_eq!(ra.fingerprints, rb.fingerprints);
+        assert_eq!(ra.messages, rb.messages);
+        assert_eq!(ra.faults_injected(), 1);
+        assert!(ra.availability.failover_latency.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn ill_formed_fault_plan_is_rejected() {
+        // Recover of a node that never crashed.
+        let cfg = small(Technique::Active)
+            .with_faults(FaultPlan::new().recover_at(SimTime::from_ticks(1_000), NodeId::new(1)));
+        let _ = run(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn fault_plan_outside_server_set_is_rejected() {
+        // Node 7 does not exist in a 3-server world.
+        let cfg = small(Technique::Active)
+            .with_faults(FaultPlan::new().crash_at(SimTime::from_ticks(1_000), NodeId::new(7)));
+        let _ = run(&cfg);
     }
 }

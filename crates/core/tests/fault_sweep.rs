@@ -1,0 +1,209 @@
+//! The cross-technique fault sweep: all ten replication techniques driven
+//! under seeded nemesis fault plans ([`FaultPlan::random`]).
+//!
+//! Contracts checked here, per the paper's failure assumptions (§2.1,
+//! §6 "different failure assumptions"):
+//!
+//! * **Liveness** — every plan the nemesis generates is fully healed, so
+//!   every client is eventually answered, for every technique.
+//! * **Safety** — techniques with a strong guarantee keep their merged
+//!   history one-copy serializable under faults, and replicas the plan
+//!   never disturbed end the run with identical store fingerprints.
+//! * **Reproducibility** — the same seed yields tick-for-tick identical
+//!   runs: fingerprints, message counts and availability metrics.
+//!
+//! The one documented exception is eager primary-copy under partitions:
+//! its failure detector implements the paper's fail-stop model, and a
+//! partitioned minority backup that suspects every lower rank promotes
+//! itself while clients can still reach it — classic split-brain. It is
+//! exercised for liveness but excluded from the 1SR claim.
+
+use repl_core::{run, Guarantee, Propagation, RunConfig, RunReport, Technique};
+use repl_sim::{NodeId, SimDuration, SimTime};
+use repl_workload::{FaultPlan, WorkloadSpec};
+
+const SERVERS: u32 = 5;
+const CLIENTS: u32 = 3;
+const HORIZON: u64 = 80_000;
+
+/// A run stretched so the nemesis window overlaps execution: update-only
+/// transactions with think time, five servers so the victim pool holds
+/// two nodes and a majority stays untouched.
+fn sweep_cfg(technique: Technique, seed: u64, intensity: f64) -> (RunConfig, FaultPlan) {
+    let plan = FaultPlan::random(seed, intensity, SERVERS, SimTime::from_ticks(HORIZON));
+    let mut cfg = RunConfig::new(technique)
+        .with_servers(SERVERS)
+        .with_clients(CLIENTS)
+        .with_seed(seed)
+        .with_trace(false)
+        .with_workload(
+            WorkloadSpec::default()
+                .with_items(64)
+                .with_read_ratio(0.0)
+                .with_txns_per_client(10)
+                .with_think_time(SimDuration::from_ticks(2_000)),
+        )
+        .with_faults(plan.clone());
+    if technique.info().propagation == Propagation::Lazy {
+        cfg = cfg.with_propagation_delay(SimDuration::from_ticks(2_000));
+    }
+    (cfg, plan)
+}
+
+/// Fingerprints of the replicas the plan never disturbed (site, fp).
+fn untouched_fingerprints(report: &RunReport, plan: &FaultPlan) -> Vec<(u32, u64)> {
+    let disturbed = plan.disturbed_nodes();
+    (0..SERVERS)
+        .filter(|&s| !disturbed.contains(&NodeId::new(s)))
+        .map(|s| (s, report.fingerprints[s as usize]))
+        .collect()
+}
+
+fn assert_untouched_converged(technique: Technique, seed: u64, report: &RunReport, plan: &FaultPlan) {
+    let untouched = untouched_fingerprints(report, plan);
+    assert!(
+        untouched.len() >= 2,
+        "{technique} seed {seed}: nemesis disturbed too many replicas: {:?}",
+        plan.disturbed_nodes()
+    );
+    assert!(
+        untouched.windows(2).all(|w| w[0].1 == w[1].1),
+        "{technique} seed {seed}: untouched replicas diverged: {untouched:?}"
+    );
+}
+
+/// The acceptance scenario: one seeded plan composing a crash, a
+/// partition + heal and a link latency spike completes for all ten
+/// techniques with non-zero fault counts and finite availability metrics.
+#[test]
+fn composed_nemesis_run_completes_for_every_technique() {
+    let (_, plan) = sweep_cfg(Technique::Active, 42, 0.6);
+    assert!(plan.events().iter().any(|e| e.kind() == "crash"));
+    assert!(plan.events().iter().any(|e| e.kind() == "partition"));
+    assert!(plan.events().iter().any(|e| e.kind() == "degrade"));
+    assert!(plan.fully_healed());
+
+    for technique in Technique::ALL {
+        let (cfg, plan) = sweep_cfg(technique, 42, 0.6);
+        let report = run(&cfg);
+        assert_eq!(
+            report.ops_unanswered, 0,
+            "{technique}: clients left unanswered under a fully healed plan"
+        );
+        assert!(
+            report.faults_injected() > 0,
+            "{technique}: nemesis injected nothing"
+        );
+        assert_eq!(
+            report.faults_injected(),
+            plan.fault_count() as u64,
+            "{technique}: not every scheduled fault was applied"
+        );
+        assert_eq!(
+            report.availability.repairs_applied,
+            (plan.len() - plan.fault_count()) as u64,
+            "{technique}: not every scheduled repair was applied"
+        );
+        assert_eq!(
+            report.availability.per_client_worst_gap.len(),
+            CLIENTS as usize
+        );
+        assert!(
+            report.availability.worst_gap() > SimDuration::ZERO,
+            "{technique}: zero unavailability window under faults"
+        );
+        assert!(
+            report.availability.failover_latency.is_some(),
+            "{technique}: no committed response observed after the first crash"
+        );
+    }
+}
+
+/// Strong techniques stay one-copy serializable and their undisturbed
+/// replicas converge, across a small grid of seeded plans.
+#[test]
+fn strong_techniques_stay_serializable_and_converge_under_faults() {
+    for technique in Technique::ALL {
+        if technique.info().guarantee == Guarantee::Weak {
+            continue;
+        }
+        // Eager primary-copy assumes fail-stop faults (paper §4.3.2): its
+        // failure detector cannot tell a partitioned minority backup from
+        // a dead primary, the backup promotes itself, and both sides of
+        // the cut commit — split-brain. Liveness for it is covered by the
+        // composition test; the 1SR claim is out of its failure model.
+        if technique == Technique::EagerPrimary {
+            continue;
+        }
+        for &(seed, intensity) in &[(7u64, 0.4), (42u64, 0.8)] {
+            let (cfg, plan) = sweep_cfg(technique, seed, intensity);
+            let report = run(&cfg);
+            assert_eq!(
+                report.ops_unanswered, 0,
+                "{technique} seed {seed}: clients left unanswered"
+            );
+            report.check_one_copy_serializable().unwrap_or_else(|e| {
+                panic!("{technique} seed {seed}: 1SR violated under faults: {e}")
+            });
+            assert_untouched_converged(technique, seed, &report, &plan);
+        }
+    }
+}
+
+/// Lazy techniques answer everything and their undisturbed replicas
+/// converge once propagation drains after the heal.
+#[test]
+fn lazy_techniques_untouched_replicas_converge_after_heal() {
+    for &technique in &[Technique::LazyPrimary, Technique::LazyUpdateEverywhere] {
+        for seed in [7u64, 42] {
+            let (cfg, plan) = sweep_cfg(technique, seed, 0.5);
+            let report = run(&cfg);
+            assert_eq!(
+                report.ops_unanswered, 0,
+                "{technique} seed {seed}: clients left unanswered"
+            );
+            assert_untouched_converged(technique, seed, &report, &plan);
+        }
+    }
+}
+
+/// Satellite: same seed ⇒ identical runs, under faults, across techniques
+/// from three different families (active replication, primary-backup via
+/// view synchrony, distributed locking).
+#[test]
+fn seeded_fault_runs_are_deterministic() {
+    let techniques = [
+        Technique::Active,
+        Technique::Passive,
+        Technique::EagerUpdateEverywhereLocking,
+    ];
+    for &technique in &techniques {
+        for seed in [3u64, 5] {
+            let (cfg, _) = sweep_cfg(technique, seed, 0.7);
+            let a = run(&cfg);
+            let b = run(&cfg);
+            assert_eq!(
+                a.fingerprints, b.fingerprints,
+                "{technique} seed {seed}: fingerprints differ across identical runs"
+            );
+            assert_eq!(
+                a.messages, b.messages,
+                "{technique} seed {seed}: message metrics differ"
+            );
+            assert_eq!(a.ops_committed, b.ops_committed, "{technique} seed {seed}");
+            assert_eq!(a.ops_aborted, b.ops_aborted, "{technique} seed {seed}");
+            assert_eq!(a.ops_unanswered, b.ops_unanswered, "{technique} seed {seed}");
+            assert_eq!(a.client_retries, b.client_retries, "{technique} seed {seed}");
+            assert_eq!(a.duration, b.duration, "{technique} seed {seed}");
+            assert_eq!(
+                a.availability.per_client_worst_gap, b.availability.per_client_worst_gap,
+                "{technique} seed {seed}: unavailability windows differ"
+            );
+            assert_eq!(
+                a.availability.failover_latency, b.availability.failover_latency,
+                "{technique} seed {seed}: failover latency differs"
+            );
+            assert_eq!(a.faults_injected(), b.faults_injected());
+        }
+    }
+}

@@ -95,7 +95,8 @@ pub struct SequencerAbcast<P> {
     member: bool,
     retransmit_every: SimDuration,
     next_local: u64,
-    pending: HashMap<MsgId, P>,
+    // BTreeMap so retransmission iterates in MsgId order (deterministic).
+    pending: BTreeMap<MsgId, P>,
     timer_armed: bool,
     // Sequencer role.
     ordered: HashMap<MsgId, u64>,
@@ -121,7 +122,7 @@ impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
             member,
             retransmit_every: SimDuration::from_ticks(2_000),
             next_local: 0,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             timer_armed: false,
             ordered: HashMap::new(),
             next_gseq: 0,

@@ -9,7 +9,9 @@
 //! * an [`Actor`] model for simulated processes,
 //! * a [`Network`] model with latency, jitter, FIFO links, loss and
 //!   partitions,
-//! * crash/recovery injection,
+//! * scheduled fault injection: crashes, recoveries and [`NetFault`]s
+//!   (partitions/heals, directional link drops, latency spikes) at
+//!   arbitrary virtual times,
 //! * a [`TraceLog`] from which the paper's phase diagrams are regenerated,
 //! * [`Metrics`] and [`LatencyStats`] for the performance study.
 //!
@@ -63,7 +65,7 @@ mod world;
 pub use actor::{Actor, Message};
 pub use ids::{NodeId, TimerId};
 pub use metrics::{LatencyStats, Metrics};
-pub use network::{Delivery, Network, NetworkConfig};
+pub use network::{Delivery, LinkQuality, NetFault, Network, NetworkConfig};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog, TraceRecord};
 pub use world::{Context, SimConfig, World};

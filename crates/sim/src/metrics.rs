@@ -25,6 +25,19 @@ pub struct Metrics {
     pub timers_fired: u64,
     /// Events processed in total.
     pub events_processed: u64,
+    /// Node crashes applied (scheduled crashes of live nodes).
+    pub crashes_injected: u64,
+    /// Node recoveries applied (scheduled recoveries of crashed nodes).
+    pub recoveries_injected: u64,
+    /// Partitions installed (each `Partition` fault event, including
+    /// re-partitions while one is already active).
+    pub partitions_started: u64,
+    /// Partition heals applied.
+    pub partitions_healed: u64,
+    /// Link faults applied (severed or degraded links).
+    pub link_faults_injected: u64,
+    /// Link repairs applied (restored links or link quality).
+    pub link_faults_repaired: u64,
 }
 
 impl Metrics {
@@ -35,6 +48,17 @@ impl Metrics {
         } else {
             self.messages_delivered as f64 / self.messages_sent as f64
         }
+    }
+
+    /// Total disruptive fault events applied: crashes, partitions and
+    /// link faults (repairs and recoveries are not counted).
+    pub fn faults_injected(&self) -> u64 {
+        self.crashes_injected + self.partitions_started + self.link_faults_injected
+    }
+
+    /// Total repair events applied: recoveries, heals and link repairs.
+    pub fn repairs_applied(&self) -> u64 {
+        self.recoveries_injected + self.partitions_healed + self.link_faults_repaired
     }
 }
 
@@ -184,5 +208,21 @@ mod tests {
         };
         assert!((m.delivery_ratio() - 0.8).abs() < 1e-9);
         assert_eq!(Metrics::default().delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fault_counters_sum() {
+        let m = Metrics {
+            crashes_injected: 2,
+            recoveries_injected: 1,
+            partitions_started: 1,
+            partitions_healed: 1,
+            link_faults_injected: 3,
+            link_faults_repaired: 2,
+            ..Metrics::default()
+        };
+        assert_eq!(m.faults_injected(), 6);
+        assert_eq!(m.repairs_applied(), 4);
+        assert_eq!(Metrics::default().faults_injected(), 0);
     }
 }

@@ -116,6 +116,120 @@ pub enum Delivery {
     Dropped,
 }
 
+/// Quality degradation of one directed link: a latency spike, extra
+/// loss, or both.
+///
+/// # Examples
+///
+/// ```
+/// use repl_sim::{LinkQuality, SimDuration};
+///
+/// let q = LinkQuality::latency_spike(SimDuration::from_ticks(5_000));
+/// assert_eq!(q.extra_latency.ticks(), 5_000);
+/// assert_eq!(q.drop_prob, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Extra one-way latency added on top of the profile latency.
+    pub extra_latency: SimDuration,
+    /// Extra loss probability in `[0, 1]` applied per message on this link,
+    /// independent of the profile's `drop_prob`.
+    pub drop_prob: f64,
+}
+
+impl LinkQuality {
+    /// A pure latency spike: slow but lossless.
+    pub fn latency_spike(extra: SimDuration) -> Self {
+        LinkQuality {
+            extra_latency: extra,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// A lossy link with no extra latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn lossy(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
+        LinkQuality {
+            extra_latency: SimDuration::ZERO,
+            drop_prob: p,
+        }
+    }
+}
+
+/// A network fault (or repair), applicable immediately via
+/// [`Network::apply`] or scheduled at a `SimTime` through the world.
+///
+/// Link faults are *directional*: `LinkDown { src, dst }` kills traffic
+/// from `src` to `dst` only, modelling asymmetric failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFault {
+    /// Partition the network into the given groups (nodes in no group
+    /// keep full connectivity, see [`Network::set_partition`]).
+    Partition(Vec<Vec<NodeId>>),
+    /// Remove all partitions.
+    Heal,
+    /// Sever the directed link `src → dst`.
+    LinkDown {
+        /// Source of the severed link.
+        src: NodeId,
+        /// Destination of the severed link.
+        dst: NodeId,
+    },
+    /// Restore a severed directed link.
+    LinkUp {
+        /// Source of the restored link.
+        src: NodeId,
+        /// Destination of the restored link.
+        dst: NodeId,
+    },
+    /// Degrade the directed link `src → dst` (latency spike and/or loss).
+    Degrade {
+        /// Source of the degraded link.
+        src: NodeId,
+        /// Destination of the degraded link.
+        dst: NodeId,
+        /// The degradation applied.
+        quality: LinkQuality,
+    },
+    /// Remove any degradation from the directed link `src → dst`.
+    Restore {
+        /// Source of the link.
+        src: NodeId,
+        /// Destination of the link.
+        dst: NodeId,
+    },
+}
+
+impl NetFault {
+    /// Short label for traces and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetFault::Partition(_) => "partition",
+            NetFault::Heal => "heal",
+            NetFault::LinkDown { .. } => "link-down",
+            NetFault::LinkUp { .. } => "link-up",
+            NetFault::Degrade { .. } => "degrade",
+            NetFault::Restore { .. } => "restore",
+        }
+    }
+
+    /// True for disruptive faults; false for repairs (heal, link-up,
+    /// restore).
+    pub fn is_disruptive(&self) -> bool {
+        matches!(
+            self,
+            NetFault::Partition(_) | NetFault::LinkDown { .. } | NetFault::Degrade { .. }
+        )
+    }
+}
+
 /// Runtime network state: partition membership and FIFO bookkeeping.
 #[derive(Debug)]
 pub struct Network {
@@ -127,6 +241,8 @@ pub struct Network {
     last_delivery: HashMap<(NodeId, NodeId), SimTime>,
     /// Links that are forced down regardless of partition groups.
     severed: HashSet<(NodeId, NodeId)>,
+    /// Per-link quality degradations (latency spikes, extra loss).
+    degraded: HashMap<(NodeId, NodeId), LinkQuality>,
 }
 
 impl Network {
@@ -137,6 +253,7 @@ impl Network {
             groups: HashMap::new(),
             last_delivery: HashMap::new(),
             severed: HashSet::new(),
+            degraded: HashMap::new(),
         }
     }
 
@@ -172,6 +289,54 @@ impl Network {
         self.severed.remove(&(src, dst));
     }
 
+    /// [`Network::set_partition`] over owned groups, as produced by fault
+    /// plans.
+    pub fn set_partition_groups(&mut self, groups: &[Vec<NodeId>]) {
+        self.groups.clear();
+        for (gi, group) in groups.iter().enumerate() {
+            for &n in group.iter() {
+                self.groups.insert(n, gi as u32);
+            }
+        }
+    }
+
+    /// Degrades the directed link `src → dst`: subsequent messages pay
+    /// `quality.extra_latency` and face `quality.drop_prob` extra loss.
+    /// Replaces any previous degradation of the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality.drop_prob` is not within `[0, 1]`.
+    pub fn degrade_link(&mut self, src: NodeId, dst: NodeId, quality: LinkQuality) {
+        assert!(
+            (0.0..=1.0).contains(&quality.drop_prob),
+            "drop probability must be in [0,1]"
+        );
+        self.degraded.insert((src, dst), quality);
+    }
+
+    /// Removes any degradation from the directed link `src → dst`.
+    pub fn restore_link_quality(&mut self, src: NodeId, dst: NodeId) {
+        self.degraded.remove(&(src, dst));
+    }
+
+    /// The current degradation of the directed link, if any.
+    pub fn link_quality(&self, src: NodeId, dst: NodeId) -> Option<LinkQuality> {
+        self.degraded.get(&(src, dst)).copied()
+    }
+
+    /// Applies a [`NetFault`] to the runtime state.
+    pub fn apply(&mut self, fault: &NetFault) {
+        match fault {
+            NetFault::Partition(groups) => self.set_partition_groups(groups),
+            NetFault::Heal => self.heal_partition(),
+            NetFault::LinkDown { src, dst } => self.sever_link(*src, *dst),
+            NetFault::LinkUp { src, dst } => self.restore_link(*src, *dst),
+            NetFault::Degrade { src, dst, quality } => self.degrade_link(*src, *dst, *quality),
+            NetFault::Restore { src, dst } => self.restore_link_quality(*src, *dst),
+        }
+    }
+
     /// Returns true if a message from `src` can currently reach `dst`.
     pub fn connected(&self, src: NodeId, dst: NodeId) -> bool {
         if self.severed.contains(&(src, dst)) {
@@ -188,6 +353,10 @@ impl Network {
     ///
     /// Loopback messages (src == dst) are delivered after one tick and are
     /// never lost: an actor can always talk to itself.
+    ///
+    /// Dropped messages (loss, partition, severed link) never touch the
+    /// FIFO bookkeeping, so a drop cannot wedge or delay later deliveries
+    /// on the same link — traffic resumes normally after a heal.
     pub fn offer<R: Rng>(
         &mut self,
         rng: &mut R,
@@ -204,12 +373,19 @@ impl Network {
         if self.config.drop_prob > 0.0 && rng.gen::<f64>() < self.config.drop_prob {
             return Delivery::Dropped;
         }
+        let degraded = self.degraded.get(&(src, dst)).copied();
+        if let Some(q) = degraded {
+            if q.drop_prob > 0.0 && rng.gen::<f64>() < q.drop_prob {
+                return Delivery::Dropped;
+            }
+        }
         let jitter = if self.config.jitter.is_zero() {
             SimDuration::ZERO
         } else {
             SimDuration::from_ticks(rng.gen_range(0..=self.config.jitter.ticks()))
         };
-        let mut at = now + self.config.base_latency + jitter;
+        let spike = degraded.map_or(SimDuration::ZERO, |q| q.extra_latency);
+        let mut at = now + self.config.base_latency + jitter + spike;
         if self.config.fifo_links {
             let last = self
                 .last_delivery
@@ -323,5 +499,138 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn invalid_drop_prob_rejected() {
         let _ = NetworkConfig::lan().with_drop_prob(1.5);
+    }
+
+    #[test]
+    fn fifo_state_survives_drops_and_partitions() {
+        // Regression: a dropped or partition-blocked message must not wedge
+        // later deliveries on the same (src, dst) link.
+        let mut net = Network::new(NetworkConfig::lan());
+        let mut r = rng();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        // Establish FIFO state, then partition and send into the void.
+        assert!(matches!(
+            net.offer(&mut r, SimTime::ZERO, a, b),
+            Delivery::At(_)
+        ));
+        net.set_partition(&[&[a], &[b]]);
+        for t in 0..50 {
+            assert_eq!(
+                net.offer(&mut r, SimTime::from_ticks(t), a, b),
+                Delivery::Dropped
+            );
+        }
+        // Heal at t=1000: the next message must go through with normal
+        // latency, unaffected by the 50 drops.
+        net.heal_partition();
+        let sent = SimTime::from_ticks(1_000);
+        match net.offer(&mut r, sent, a, b) {
+            Delivery::At(t) => {
+                assert!(t >= sent + SimDuration::from_ticks(100), "latency too low");
+                assert!(
+                    t <= sent + SimDuration::from_ticks(120),
+                    "drop during partition delayed post-heal delivery: {t}"
+                );
+            }
+            Delivery::Dropped => panic!("healed link dropped a message"),
+        }
+        // Same through a severed link.
+        net.sever_link(a, b);
+        assert_eq!(
+            net.offer(&mut r, SimTime::from_ticks(1_001), a, b),
+            Delivery::Dropped
+        );
+        net.restore_link(a, b);
+        assert!(matches!(
+            net.offer(&mut r, SimTime::from_ticks(2_000), a, b),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn degraded_link_adds_latency_one_direction_only() {
+        let mut net = Network::new(NetworkConfig::lan());
+        let mut r = rng();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        net.degrade_link(a, b, LinkQuality::latency_spike(SimDuration::from_ticks(5_000)));
+        match net.offer(&mut r, SimTime::ZERO, a, b) {
+            Delivery::At(t) => assert!(t.ticks() >= 5_100, "spike not applied: {t}"),
+            Delivery::Dropped => panic!("lossless degraded link dropped"),
+        }
+        // Reverse direction unaffected.
+        match net.offer(&mut r, SimTime::ZERO, b, a) {
+            Delivery::At(t) => assert!(t.ticks() <= 120, "reverse direction slowed: {t}"),
+            Delivery::Dropped => panic!("unexpected drop"),
+        }
+        net.restore_link_quality(a, b);
+        assert!(net.link_quality(a, b).is_none());
+        match net.offer(&mut r, SimTime::from_ticks(6_000), a, b) {
+            Delivery::At(t) => assert!(t.ticks() <= 6_120, "restore did not take: {t}"),
+            Delivery::Dropped => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn fully_lossy_degraded_link_drops_everything() {
+        let mut net = Network::new(NetworkConfig::lan());
+        let mut r = rng();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        net.degrade_link(a, b, LinkQuality::lossy(1.0));
+        for _ in 0..10 {
+            assert_eq!(
+                net.offer(&mut r, SimTime::ZERO, a, b),
+                Delivery::Dropped
+            );
+        }
+    }
+
+    #[test]
+    fn apply_covers_every_fault_kind() {
+        let mut net = Network::new(NetworkConfig::lan());
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        net.apply(&NetFault::Partition(vec![vec![a, b], vec![c]]));
+        assert!(!net.connected(a, c));
+        assert!(net.connected(a, b));
+        net.apply(&NetFault::Heal);
+        assert!(net.connected(a, c));
+        net.apply(&NetFault::LinkDown { src: a, dst: b });
+        assert!(!net.connected(a, b));
+        net.apply(&NetFault::LinkUp { src: a, dst: b });
+        assert!(net.connected(a, b));
+        let q = LinkQuality::latency_spike(SimDuration::from_ticks(9));
+        net.apply(&NetFault::Degrade {
+            src: b,
+            dst: c,
+            quality: q,
+        });
+        assert_eq!(net.link_quality(b, c), Some(q));
+        net.apply(&NetFault::Restore { src: b, dst: c });
+        assert_eq!(net.link_quality(b, c), None);
+    }
+
+    #[test]
+    fn fault_kinds_and_disruptiveness() {
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let down = NetFault::LinkDown { src: a, dst: b };
+        assert_eq!(down.kind(), "link-down");
+        assert!(down.is_disruptive());
+        assert!(NetFault::Partition(vec![vec![a]]).is_disruptive());
+        assert!(!NetFault::Heal.is_disruptive());
+        assert!(!NetFault::LinkUp { src: a, dst: b }.is_disruptive());
+        assert!(!NetFault::Restore { src: a, dst: b }.is_disruptive());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_link_quality_rejected() {
+        let mut net = Network::new(NetworkConfig::lan());
+        net.degrade_link(
+            NodeId::new(0),
+            NodeId::new(1),
+            LinkQuality {
+                extra_latency: SimDuration::ZERO,
+                drop_prob: 2.0,
+            },
+        );
     }
 }

@@ -34,6 +34,14 @@ pub enum TraceEvent {
     Crashed,
     /// The node recovered from a crash.
     Recovered,
+    /// A scheduled network fault was applied. Global faults (partitions,
+    /// heals) are recorded against node 0; link faults against the link's
+    /// source node.
+    NetFault {
+        /// Fault kind: `"partition"`, `"heal"`, `"link-down"`, `"link-up"`,
+        /// `"degrade"` or `"restore"`.
+        kind: &'static str,
+    },
     /// An application-level marker. Replication protocols use `tag` for the
     /// functional-model phase name (`"RE"`, `"SC"`, `"EX"`, `"AC"`, `"END"`)
     /// and `a` for the operation id; `b` is free-form per protocol.

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use crate::actor::{Actor, Message};
 use crate::ids::{NodeId, TimerId};
 use crate::metrics::Metrics;
-use crate::network::{Delivery, Network, NetworkConfig};
+use crate::network::{Delivery, NetFault, Network, NetworkConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceLog};
 
@@ -66,6 +66,7 @@ enum Event<M> {
     Timer { node: NodeId, id: TimerId, tag: u64 },
     Crash { node: NodeId },
     Recover { node: NodeId },
+    Net { fault: NetFault },
 }
 
 struct Scheduled<M> {
@@ -359,6 +360,7 @@ impl<M: Message> World<M> {
             Event::Crash { node } => {
                 if self.core.alive[node.index()] {
                     self.core.alive[node.index()] = false;
+                    self.core.metrics.crashes_injected += 1;
                     let now = self.core.now;
                     self.core.trace.push(now, node, TraceEvent::Crashed);
                     let actor = self.actors[node.index()].as_mut().expect("actor present");
@@ -368,10 +370,35 @@ impl<M: Message> World<M> {
             Event::Recover { node } => {
                 if !self.core.alive[node.index()] {
                     self.core.alive[node.index()] = true;
+                    self.core.metrics.recoveries_injected += 1;
                     let now = self.core.now;
                     self.core.trace.push(now, node, TraceEvent::Recovered);
                     self.with_actor(node, |actor, ctx| actor.on_recover(ctx));
                 }
+            }
+            Event::Net { fault } => {
+                match &fault {
+                    NetFault::Partition(_) => self.core.metrics.partitions_started += 1,
+                    NetFault::Heal => self.core.metrics.partitions_healed += 1,
+                    NetFault::LinkDown { .. } | NetFault::Degrade { .. } => {
+                        self.core.metrics.link_faults_injected += 1
+                    }
+                    NetFault::LinkUp { .. } | NetFault::Restore { .. } => {
+                        self.core.metrics.link_faults_repaired += 1
+                    }
+                }
+                let at_node = match &fault {
+                    NetFault::LinkDown { src, .. }
+                    | NetFault::LinkUp { src, .. }
+                    | NetFault::Degrade { src, .. }
+                    | NetFault::Restore { src, .. } => *src,
+                    _ => NodeId::new(0),
+                };
+                let now = self.core.now;
+                self.core
+                    .trace
+                    .push(now, at_node, TraceEvent::NetFault { kind: fault.kind() });
+                self.core.network.apply(&fault);
             }
         }
         true
@@ -411,6 +438,13 @@ impl<M: Message> World<M> {
     /// Schedules a recovery of `node` at time `at`.
     pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
         self.core.push(at, Event::Recover { node });
+    }
+
+    /// Schedules a network fault (partition, heal, link fault or repair)
+    /// to be applied at time `at`, without hand-editing the network
+    /// between [`World::run_until`] calls.
+    pub fn schedule_net_fault(&mut self, at: SimTime, fault: NetFault) {
+        self.core.push(at, Event::Net { fault });
     }
 
     /// Returns true if `node` is currently alive.
@@ -472,6 +506,7 @@ impl<M: Message> World<M> {
 mod tests {
     use super::*;
     use crate::impl_as_any;
+    use crate::network::LinkQuality;
 
     #[derive(Clone, Debug)]
     enum TestMsg {
@@ -684,5 +719,113 @@ mod tests {
         assert!(!world.network_mut().connected(a, b));
         world.network_mut().heal_partition();
         assert!(world.network_mut().connected(a, b));
+    }
+
+    #[test]
+    fn scheduled_net_faults_apply_at_their_time() {
+        let mut world: World<TestMsg> = World::new(SimConfig::new(8));
+        let b = world.add_actor(Box::new(Ponger { seen: Vec::new() }));
+        let a = world.add_actor(Box::new(Pinger {
+            peer: b,
+            count: 0,
+            pongs: 0,
+            fired: Vec::new(),
+        }));
+        world.schedule_net_fault(
+            SimTime::from_ticks(100),
+            NetFault::Partition(vec![vec![a], vec![b]]),
+        );
+        world.schedule_net_fault(SimTime::from_ticks(500), NetFault::Heal);
+        world.start();
+        world.run_until(SimTime::from_ticks(50));
+        assert!(world.network_mut().connected(a, b), "fault applied early");
+        world.run_until(SimTime::from_ticks(200));
+        assert!(!world.network_mut().connected(a, b), "partition not applied");
+        world.run_until(SimTime::from_ticks(600));
+        assert!(world.network_mut().connected(a, b), "heal not applied");
+        let m = world.metrics();
+        assert_eq!(m.partitions_started, 1);
+        assert_eq!(m.partitions_healed, 1);
+        assert_eq!(m.faults_injected(), 1);
+        assert_eq!(m.repairs_applied(), 1);
+        // The trace records both fault applications.
+        let kinds: Vec<&str> = world
+            .trace()
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::NetFault { kind } => Some(kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec!["partition", "heal"]);
+    }
+
+    #[test]
+    fn crash_and_recovery_counters_count_state_changes_only() {
+        let (mut world, _a, b) = ping_pong_world(5);
+        // Double crash and double recover: only the first of each changes
+        // state and only those are counted.
+        world.schedule_crash(SimTime::from_ticks(10), b);
+        world.schedule_crash(SimTime::from_ticks(20), b);
+        world.schedule_recover(SimTime::from_ticks(30), b);
+        world.schedule_recover(SimTime::from_ticks(40), b);
+        world.start();
+        world.run_to_quiescence(SimTime::from_ticks(100_000));
+        let m = world.metrics();
+        assert_eq!(m.crashes_injected, 1);
+        assert_eq!(m.recoveries_injected, 1);
+    }
+
+    /// Pings its peer once, from a timer (so scheduled faults can land
+    /// before the send).
+    struct LatePinger {
+        peer: NodeId,
+        pongs: u64,
+    }
+    impl Actor<TestMsg> for LatePinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, TestMsg>) {
+            ctx.set_timer(SimDuration::from_ticks(1_000), 0);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, TestMsg>, _: NodeId, msg: TestMsg) {
+            if let TestMsg::Pong(_) = msg {
+                self.pongs += 1;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, TestMsg>, _: TimerId, _: u64) {
+            ctx.send(self.peer, TestMsg::Ping(0));
+        }
+        impl_as_any!();
+    }
+
+    #[test]
+    fn scheduled_link_degrade_delays_messages() {
+        let mut world: World<TestMsg> = World::new(SimConfig::new(13));
+        let b = world.add_actor(Box::new(Ponger { seen: Vec::new() }));
+        let a = world.add_actor(Box::new(LatePinger { peer: b, pongs: 0 }));
+        // Degrade a→b before the timed ping at t=1000: the ping pays the
+        // spike, the pong (b→a) does not.
+        world.schedule_net_fault(
+            SimTime::from_ticks(500),
+            NetFault::Degrade {
+                src: a,
+                dst: b,
+                quality: LinkQuality::latency_spike(SimDuration::from_ticks(10_000)),
+            },
+        );
+        world.start();
+        world.run_to_quiescence(SimTime::from_ticks(100_000));
+        assert_eq!(world.actor_ref::<LatePinger>(a).pongs, 1);
+        assert_eq!(world.metrics().link_faults_injected, 1);
+        // Delivery of the ping happened after the spike.
+        let delivered_at = world
+            .trace()
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::MsgDelivered { .. }) && r.node == b)
+            .map(|r| r.time)
+            .expect("ping delivered");
+        assert!(
+            delivered_at.ticks() >= 11_100,
+            "spike skipped: {delivered_at}"
+        );
     }
 }

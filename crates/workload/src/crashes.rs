@@ -81,6 +81,23 @@ impl CrashSchedule {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Validates the schedule against a server count and run deadline,
+    /// via the [`FaultPlan`](crate::FaultPlan) rules: no recover of a
+    /// live node, no crash of an already-crashed node, no events past
+    /// `max_time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`](crate::FaultPlanError)
+    /// encountered.
+    pub fn validate(
+        &self,
+        nodes: u32,
+        max_time: SimTime,
+    ) -> Result<(), crate::FaultPlanError> {
+        crate::FaultPlan::from(self).validate(nodes, max_time)
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +118,25 @@ mod tests {
         assert!(!s.crashes(NodeId::new(2)));
         assert!(!s.is_empty());
         assert!(CrashSchedule::new().is_empty());
+    }
+
+    #[test]
+    fn schedule_validation_uses_fault_plan_rules() {
+        let ok = CrashSchedule::new()
+            .crash_at(SimTime::from_ticks(1_000), NodeId::new(2))
+            .recover_at(SimTime::from_ticks(2_000), NodeId::new(2));
+        assert!(ok.validate(3, SimTime::from_ticks(10_000)).is_ok());
+        let backwards = CrashSchedule::new()
+            .recover_at(SimTime::from_ticks(1_000), NodeId::new(2))
+            .crash_at(SimTime::from_ticks(2_000), NodeId::new(2));
+        assert!(matches!(
+            backwards.validate(3, SimTime::from_ticks(10_000)),
+            Err(crate::FaultPlanError::RecoverWithoutCrash { .. })
+        ));
+        let late = CrashSchedule::new().crash_at(SimTime::from_ticks(99_999), NodeId::new(0));
+        assert!(matches!(
+            late.validate(3, SimTime::from_ticks(10_000)),
+            Err(crate::FaultPlanError::PastMaxTime { .. })
+        ));
     }
 }

@@ -9,17 +9,22 @@
 //!   transactions over logical items,
 //! * [`WorkloadGen`] — the seeded generator,
 //! * [`Zipf`] — zipfian key sampler (hotspot contention),
-//! * [`CrashSchedule`] — declarative fault loads.
+//! * [`FaultPlan`] — declarative fault loads: crashes/recoveries,
+//!   partitions/heals, link drops and latency spikes, plus the seeded
+//!   nemesis generator [`FaultPlan::random`],
+//! * [`CrashSchedule`] — the crash-only subset, kept for compatibility.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod crashes;
+mod faults;
 mod generator;
 mod spec;
 mod zipf;
 
 pub use crashes::{CrashEvent, CrashSchedule};
+pub use faults::{FaultEvent, FaultPlan, FaultPlanError};
 pub use generator::{OpTemplate, TxnTemplate, WorkloadGen};
 pub use spec::WorkloadSpec;
 pub use zipf::Zipf;

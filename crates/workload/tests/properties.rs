@@ -1,0 +1,66 @@
+//! Property-based tests for the fault-load generators: nemesis plans are
+//! reproducible, valid by construction, fully healed, and survivable
+//! (rank 0 and a majority of replicas stay untouched) for arbitrary
+//! seeds, intensities and group sizes.
+
+use proptest::prelude::*;
+use repl_sim::{NodeId, SimTime};
+use repl_workload::{CrashSchedule, FaultPlan};
+
+proptest! {
+    /// The same (seed, intensity, nodes, horizon) always yields the same
+    /// plan — the reproducibility contract fault sweeps rely on.
+    #[test]
+    fn nemesis_plans_are_reproducible(
+        seed in any::<u64>(),
+        intensity in 0.0f64..=1.0,
+        nodes in 2u32..=9,
+        horizon in 0u64..=200_000,
+    ) {
+        let h = SimTime::from_ticks(horizon);
+        let a = FaultPlan::random(seed, intensity, nodes, h);
+        let b = FaultPlan::random(seed, intensity, nodes, h);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Generated plans always validate against their own parameters, heal
+    /// every fault they inject, and confine the blast radius to the tail
+    /// victim pool — rank 0 and a majority are never disturbed.
+    #[test]
+    fn nemesis_plans_are_valid_survivable_and_healed(
+        seed in any::<u64>(),
+        intensity in 0.0f64..=1.0,
+        nodes in 2u32..=9,
+    ) {
+        let h = SimTime::from_ticks(120_000);
+        let plan = FaultPlan::random(seed, intensity, nodes, h);
+        prop_assert!(plan.validate(nodes, h).is_ok());
+        prop_assert!(plan.fully_healed());
+        let pool = ((nodes - 1) / 2).max(1);
+        let disturbed = plan.disturbed_nodes();
+        prop_assert!(!disturbed.contains(&NodeId::new(0)));
+        for d in &disturbed {
+            prop_assert!(d.index() >= (nodes - pool) as usize);
+        }
+        prop_assert!(disturbed.len() <= pool as usize);
+    }
+
+    /// Crash-only schedules and their FaultPlan conversion agree on
+    /// validity, whatever the event times — the compatibility shim must
+    /// not change what is accepted.
+    #[test]
+    fn crash_schedule_and_fault_plan_validation_agree(
+        crash in 0u64..=50_000,
+        recover in 0u64..=50_000,
+        node in 0u32..=4,
+        servers in 1u32..=4,
+    ) {
+        let sched = CrashSchedule::new()
+            .crash_at(SimTime::from_ticks(crash), NodeId::new(node))
+            .recover_at(SimTime::from_ticks(recover), NodeId::new(node));
+        let deadline = SimTime::from_ticks(60_000);
+        let direct = sched.validate(servers, deadline);
+        let via_plan = FaultPlan::from(&sched).validate(servers, deadline);
+        prop_assert_eq!(direct, via_plan);
+    }
+}
