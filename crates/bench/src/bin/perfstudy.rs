@@ -1,101 +1,259 @@
 //! The performance study the paper promised, in one command:
 //!
 //! ```sh
-//! cargo run --release --bin perfstudy
+//! cargo run --release --bin perfstudy -- [--threads N] [--json PATH] [--json-only]
 //! ```
 //!
 //! Prints every table (P1–P7 including the P5b availability study,
 //! A2–A5); EXPERIMENTS.md records a reference output with the
-//! paper-predicted shapes annotated.
+//! paper-predicted shapes annotated. Tables are computed through the
+//! parallel sweep engine (`repl_bench::sweep`), so `--threads N` (or
+//! the `REPL_SWEEP_THREADS` environment variable) fans the run matrix
+//! across cores without changing a single printed number — each cell
+//! is an isolated, seed-keyed, single-threaded simulation.
+//!
+//! `--json PATH` additionally writes a machine-readable benchmark
+//! summary (the `BENCH_PR2.json` artifact): for every technique, the
+//! P1/P2/P3 study cells are re-swept with per-cell wall clocks, and
+//! throughput / p50 / p99 / messages-per-txn are reported from the
+//! canonical 3-replica, 4-client cell. `--json-only` skips the tables
+//! (CI smoke mode).
 
+use std::time::Instant;
+
+use repl_bench::sweep::{run_sweep, CellResult, SweepCell};
 use repl_bench::*;
+use repl_core::{RunConfig, Technique};
+
+struct Args {
+    threads: Option<usize>,
+    json: Option<String>,
+    json_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: None,
+        json: None,
+        json_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage("--threads needs a value"));
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+                args.threads = Some(n);
+            }
+            "--json" => {
+                args.json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            "--json-only" => args.json_only = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: perfstudy [--threads N] [--json PATH] [--json-only]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn timed_table(title: &str, f: impl FnOnce() -> Vec<Row>) {
+    let start = Instant::now();
+    let rows = f();
+    let wall = start.elapsed();
+    println!("{}[{:.2}s]\n", render(title, &rows), wall.as_secs_f64());
+}
+
+/// The per-technique slice of the P1/P2/P3 study matrices, with the
+/// exact seeds and workloads the printed tables use.
+fn technique_cells(technique: Technique) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for n in [2u32, 4, 8, 16] {
+        cells.push(SweepCell::new(
+            format!("{}/p1/n={n}", technique.name()),
+            RunConfig::new(technique)
+                .with_servers(n)
+                .with_clients(2)
+                .with_seed(101)
+                .with_trace(false)
+                .with_workload(update_workload(12)),
+        ));
+    }
+    for c in [1u32, 2, 4, 8, 16] {
+        cells.push(SweepCell::new(
+            format!("{}/p2/c={c}", technique.name()),
+            RunConfig::new(technique)
+                .with_servers(3)
+                .with_clients(c)
+                .with_seed(103)
+                .with_trace(false)
+                .with_workload(update_workload(10)),
+        ));
+    }
+    for n in [2u32, 4, 8, 16] {
+        cells.push(SweepCell::new(
+            format!("{}/p3/n={n}", technique.name()),
+            RunConfig::new(technique)
+                .with_servers(n)
+                .with_clients(2)
+                .with_seed(107)
+                .with_trace(false)
+                .with_workload(update_workload(80)),
+        ));
+    }
+    cells
+}
+
+/// Runs the benchmark matrix and renders `BENCH_PR2.json`.
+fn bench_json(threads: usize) -> String {
+    use std::fmt::Write as _;
+    let techniques = study_techniques();
+    let mut cells = Vec::new();
+    let mut spans = Vec::new(); // (technique, start, len) into `cells`
+    for &technique in &techniques {
+        let mine = technique_cells(technique);
+        spans.push((technique, cells.len(), mine.len()));
+        cells.extend(mine);
+    }
+    let start = Instant::now();
+    let results = run_sweep(&cells, threads);
+    let total_wall = start.elapsed();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"bench_pr2/v1\",");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(
+        s,
+        "  \"total_wall_ms\": {:.1},",
+        total_wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(s, "  \"cells_per_technique\": {},", spans[0].2);
+    let _ = writeln!(s, "  \"techniques\": [");
+    for (i, &(technique, start, len)) in spans.iter().enumerate() {
+        let slice: &[CellResult] = &results[start..start + len];
+        let study_wall_ms: f64 = slice.iter().map(|c| c.wall.as_secs_f64() * 1e3).sum();
+        // Canonical metrics cell: P2 at 3 replicas / 4 clients.
+        let canonical = slice
+            .iter()
+            .find(|c| c.label.ends_with("/p2/c=4"))
+            .expect("canonical cell present");
+        let report = canonical
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("cell `{}` failed: {e}", canonical.label));
+        let mut lat = report.latencies.clone();
+        let p50 = lat.percentile(0.5).ticks();
+        let p99 = lat.percentile(0.99).ticks();
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"technique\": \"{}\",", technique.name());
+        let _ = writeln!(
+            s,
+            "      \"throughput_ops_per_s\": {:.1},",
+            report.throughput()
+        );
+        let _ = writeln!(s, "      \"p50_response_ticks\": {p50},");
+        let _ = writeln!(s, "      \"p99_response_ticks\": {p99},");
+        let _ = writeln!(
+            s,
+            "      \"messages_per_txn\": {:.2},",
+            report.messages_per_op()
+        );
+        let _ = writeln!(s, "      \"study_wall_ms\": {study_wall_ms:.1}");
+        let _ = writeln!(
+            s,
+            "    }}{}",
+            if i + 1 < spans.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
 
 fn main() {
-    println!(
-        "Performance study of the replication techniques of Wiesmann et al. \
-         (ICDCS 2000)\nunits: t = virtual ticks (≈ µs at the LAN profile); \
-         deterministic, seed-fixed runs\n"
-    );
-    let degrees = [2, 4, 8, 16];
-    println!(
-        "{}",
-        render(
-            "P1 — mean response time vs replication degree",
-            &response_time_table(&degrees)
-        )
-    );
-    println!(
-        "{}",
-        render(
-            "P2 — throughput vs clients (3 replicas)",
-            &throughput_table(&[1, 2, 4, 8, 16])
-        )
-    );
-    println!(
-        "{}",
-        render(
-            "P3 — messages per operation vs replication degree",
-            &message_cost_table(&degrees)
-        )
-    );
-    println!(
-        "{}",
-        render(
+    let args = parse_args();
+    let threads = match args.threads {
+        Some(n) => {
+            // Route the table sweeps (which consult the environment)
+            // through the same knob.
+            std::env::set_var("REPL_SWEEP_THREADS", n.to_string());
+            n
+        }
+        None => repl_bench::sweep::default_threads(),
+    };
+
+    if !args.json_only {
+        println!(
+            "Performance study of the replication techniques of Wiesmann et al. \
+             (ICDCS 2000)\nunits: t = virtual ticks (≈ µs at the LAN profile); \
+             deterministic, seed-fixed runs\nsweep threads: {threads}\n"
+        );
+        let total = Instant::now();
+        let degrees = [2, 4, 8, 16];
+        timed_table("P1 — mean response time vs replication degree", || {
+            response_time_table(&degrees)
+        });
+        timed_table("P2 — throughput vs clients (3 replicas)", || {
+            throughput_table(&[1, 2, 4, 8, 16])
+        });
+        timed_table("P3 — messages per operation vs replication degree", || {
+            message_cost_table(&degrees)
+        });
+        timed_table(
             "P4 — conflicts vs access skew (4 clients, 32 items, rmw txns)",
-            &conflicts_table(&[0.0, 0.5, 1.0, 1.5]),
-        )
-    );
-    println!(
-        "{}",
-        render(
+            || conflicts_table(&[0.0, 0.5, 1.0, 1.5]),
+        );
+        timed_table(
             "P5 — failover: rank-0 server crashes mid-run (5 replicas)",
-            &failover_table()
-        )
-    );
-    println!(
-        "{}",
-        render(
+            failover_table,
+        );
+        timed_table(
             "P5b — availability under a primary crash (failover latency, unavailability windows)",
-            &availability_table()
-        )
-    );
-    println!(
-        "{}",
-        render(
-            "P6 — eager vs lazy: latency against staleness",
-            &eager_vs_lazy_table(&[1_000, 10_000, 50_000]),
-        )
-    );
-    println!(
-        "{}",
-        render(
+            availability_table,
+        );
+        timed_table("P6 — eager vs lazy: latency against staleness", || {
+            eager_vs_lazy_table(&[1_000, 10_000, 50_000])
+        });
+        timed_table(
             "P7 — open-loop saturation (4 Poisson clients, 3 replicas)",
-            &open_loop_table(&[2_000, 500, 120, 40]),
-        )
-    );
-    println!(
-        "{}",
-        render("A2 — ABCAST implementations", &abcast_impls_table())
-    );
-    println!(
-        "{}",
-        render(
-            "A3 — deadlock handling under contention",
-            &deadlock_table(&[0.5, 1.0, 1.5])
-        )
-    );
-    println!(
-        "{}",
-        render(
+            || open_loop_table(&[2_000, 500, 120, 40]),
+        );
+        timed_table("A2 — ABCAST implementations", abcast_impls_table);
+        timed_table("A3 — deadlock handling under contention", || {
+            deadlock_table(&[0.5, 1.0, 1.5])
+        });
+        timed_table(
             "A4 — lock scope: all-site reads vs read-one/write-all (§5.4.1)",
-            &lock_scope_table(&[0.2, 0.5, 0.9]),
-        )
-    );
-    println!(
-        "{}",
-        render(
+            || lock_scope_table(&[0.2, 0.5, 0.9]),
+        );
+        timed_table(
             "A5 — lazy reconciliation: LWW vs ABCAST order (§4.6)",
-            &reconcile_table()
-        )
-    );
+            reconcile_table,
+        );
+        println!(
+            "full study wall clock: {:.2}s ({threads} sweep threads)",
+            total.elapsed().as_secs_f64()
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let json = bench_json(threads);
+        std::fs::write(path, &json)
+            .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote benchmark summary to {path}");
+    } else if args.json_only {
+        usage("--json-only requires --json PATH");
+    }
 }

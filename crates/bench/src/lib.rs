@@ -17,10 +17,14 @@
 //! reproduction targets.
 
 use repl_core::protocols::common::{AbcastImpl, ExecutionMode};
-use repl_core::{run, RunConfig, RunReport, Technique};
+use repl_core::{RunConfig, RunReport, Technique};
 use repl_db::DeadlockPolicy;
 use repl_sim::{NodeId, SimDuration, SimTime};
 use repl_workload::{CrashSchedule, FaultPlan, WorkloadSpec};
+
+pub mod sweep;
+
+use sweep::sweep_reports;
 
 /// One row of an experiment table: a label and named columns.
 #[derive(Debug, Clone)]
@@ -107,16 +111,26 @@ pub fn study_techniques() -> Vec<Technique> {
 
 /// P1 — response time per technique vs replication degree.
 pub fn response_time_table(degrees: &[u32]) -> Vec<Row> {
+    let techniques = study_techniques();
+    let mut cfgs = Vec::new();
+    for &technique in &techniques {
+        for &n in degrees {
+            cfgs.push(
+                RunConfig::new(technique)
+                    .with_servers(n)
+                    .with_clients(2)
+                    .with_seed(101)
+                    .with_trace(false)
+                    .with_workload(update_workload(12)),
+            );
+        }
+    }
+    let mut reports = sweep_reports(cfgs).into_iter();
     let mut rows = Vec::new();
-    for technique in study_techniques() {
+    for technique in techniques {
         let mut row = Row::new(technique.name());
         for &n in degrees {
-            let report = run(&RunConfig::new(technique)
-                .with_servers(n)
-                .with_clients(2)
-                .with_seed(101)
-                .with_trace(false)
-                .with_workload(update_workload(12)));
+            let report = reports.next().expect("one report per sweep cell");
             let name: &'static str = degree_label(n);
             row = row.cell(name, format!("{}t", report.latencies.mean().ticks()));
         }
@@ -149,16 +163,26 @@ fn clients_label(n: u32) -> &'static str {
 
 /// P2 — closed-loop throughput per technique vs client count.
 pub fn throughput_table(client_counts: &[u32]) -> Vec<Row> {
+    let techniques = study_techniques();
+    let mut cfgs = Vec::new();
+    for &technique in &techniques {
+        for &c in client_counts {
+            cfgs.push(
+                RunConfig::new(technique)
+                    .with_servers(3)
+                    .with_clients(c)
+                    .with_seed(103)
+                    .with_trace(false)
+                    .with_workload(update_workload(10)),
+            );
+        }
+    }
+    let mut reports = sweep_reports(cfgs).into_iter();
     let mut rows = Vec::new();
-    for technique in study_techniques() {
+    for technique in techniques {
         let mut row = Row::new(technique.name());
         for &c in client_counts {
-            let report = run(&RunConfig::new(technique)
-                .with_servers(3)
-                .with_clients(c)
-                .with_seed(103)
-                .with_trace(false)
-                .with_workload(update_workload(10)));
+            let report = reports.next().expect("one report per sweep cell");
             row = row.cell(clients_label(c), format!("{:.0}/s", report.throughput()));
         }
         rows.push(row);
@@ -173,16 +197,26 @@ pub fn throughput_table(client_counts: &[u32]) -> Vec<Row> {
 /// per-op cost of FD-based techniques still grows faster with n than the
 /// pure protocol cost — an honest finding, recorded in EXPERIMENTS.md.
 pub fn message_cost_table(degrees: &[u32]) -> Vec<Row> {
+    let techniques = study_techniques();
+    let mut cfgs = Vec::new();
+    for &technique in &techniques {
+        for &n in degrees {
+            cfgs.push(
+                RunConfig::new(technique)
+                    .with_servers(n)
+                    .with_clients(2)
+                    .with_seed(107)
+                    .with_trace(false)
+                    .with_workload(update_workload(80)),
+            );
+        }
+    }
+    let mut reports = sweep_reports(cfgs).into_iter();
     let mut rows = Vec::new();
-    for technique in study_techniques() {
+    for technique in techniques {
         let mut row = Row::new(technique.name());
         for &n in degrees {
-            let report = run(&RunConfig::new(technique)
-                .with_servers(n)
-                .with_clients(2)
-                .with_seed(107)
-                .with_trace(false)
-                .with_workload(update_workload(80)));
+            let report = reports.next().expect("one report per sweep cell");
             row = row.cell(degree_label(n), format!("{:.1}", report.messages_per_op()));
         }
         rows.push(row);
@@ -202,27 +236,40 @@ pub fn conflicts_table(skews: &[f64]) -> Vec<Row> {
             .with_txns_per_client(10)
             .with_think_time(SimDuration::from_ticks(50))
     };
+    let mut cfgs = Vec::new();
+    for &skew in skews {
+        cfgs.push(
+            RunConfig::new(Technique::Certification)
+                .with_servers(3)
+                .with_clients(4)
+                .with_seed(109)
+                .with_trace(false)
+                .with_workload(contended(skew)),
+        );
+        cfgs.push(
+            RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+                .with_servers(3)
+                .with_clients(4)
+                .with_seed(109)
+                .with_trace(false)
+                .with_workload(contended(skew)),
+        );
+        cfgs.push(
+            RunConfig::new(Technique::LazyUpdateEverywhere)
+                .with_servers(3)
+                .with_clients(4)
+                .with_seed(109)
+                .with_trace(false)
+                .with_propagation_delay(SimDuration::from_ticks(2_000))
+                .with_workload(contended(skew)),
+        );
+    }
+    let mut reports = sweep_reports(cfgs).into_iter();
     let mut rows = Vec::new();
     for &skew in skews {
-        let cert = run(&RunConfig::new(Technique::Certification)
-            .with_servers(3)
-            .with_clients(4)
-            .with_seed(109)
-            .with_trace(false)
-            .with_workload(contended(skew)));
-        let lock = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
-            .with_servers(3)
-            .with_clients(4)
-            .with_seed(109)
-            .with_trace(false)
-            .with_workload(contended(skew)));
-        let lazy = run(&RunConfig::new(Technique::LazyUpdateEverywhere)
-            .with_servers(3)
-            .with_clients(4)
-            .with_seed(109)
-            .with_trace(false)
-            .with_propagation_delay(SimDuration::from_ticks(2_000))
-            .with_workload(contended(skew)));
+        let cert = reports.next().expect("one report per sweep cell");
+        let lock = reports.next().expect("one report per sweep cell");
+        let lazy = reports.next().expect("one report per sweep cell");
         rows.push(
             Row::new(format!("zipf {skew:.1}"))
                 .cell("cert abort%", format!("{:.1}", cert.abort_rate() * 100.0))
@@ -242,14 +289,15 @@ pub fn conflicts_table(skews: &[f64]) -> Vec<Row> {
 /// techniques stall every client (they all depend on the dead primary).
 pub fn failover_table() -> Vec<Row> {
     let crash = CrashSchedule::new().crash_at(SimTime::from_ticks(3_000), NodeId::new(0));
-    let mut rows = Vec::new();
-    for technique in [
+    let techniques = [
         Technique::Active,
         Technique::SemiActive,
         Technique::SemiPassive,
         Technique::Passive,
         Technique::EagerPrimary,
-    ] {
+    ];
+    let mut cfgs = Vec::new();
+    for technique in techniques {
         let mut cfg = RunConfig::new(technique)
             .with_servers(5)
             .with_clients(4)
@@ -261,12 +309,16 @@ pub fn failover_table() -> Vec<Row> {
         if technique == Technique::SemiActive {
             cfg = cfg.with_exec(ExecutionMode::NonDeterministic);
         }
-        let report = run(&cfg);
-        let baseline = run(&{
-            let mut c = cfg.clone();
-            c.faults = FaultPlan::new();
-            c
-        });
+        let mut baseline = cfg.clone();
+        baseline.faults = FaultPlan::new();
+        cfgs.push(cfg);
+        cfgs.push(baseline);
+    }
+    let mut reports = sweep_reports(cfgs).into_iter();
+    let mut rows = Vec::new();
+    for technique in techniques {
+        let report = reports.next().expect("one report per sweep cell");
+        let baseline = reports.next().expect("one report per sweep cell");
         // Worst latency per client; the best-off client shows whether the
         // technique kept *anyone* fully unaffected.
         let mut per_client_worst: std::collections::HashMap<u32, u64> =
@@ -299,21 +351,26 @@ pub fn failover_table() -> Vec<Row> {
 /// operations rather than only answered ones).
 pub fn availability_table() -> Vec<Row> {
     let plan = FaultPlan::new().crash_at(SimTime::from_ticks(3_000), NodeId::new(0));
-    let mut rows = Vec::new();
-    for technique in [
+    let techniques = [
         Technique::Passive,
         Technique::SemiPassive,
         Technique::EagerPrimary,
-    ] {
-        let cfg = RunConfig::new(technique)
-            .with_servers(5)
-            .with_clients(4)
-            .with_seed(113)
-            .with_trace(false)
-            .with_abcast(AbcastImpl::Consensus)
-            .with_faults(plan.clone())
-            .with_workload(update_workload(10));
-        let report = run(&cfg);
+    ];
+    let cfgs = techniques
+        .iter()
+        .map(|&technique| {
+            RunConfig::new(technique)
+                .with_servers(5)
+                .with_clients(4)
+                .with_seed(113)
+                .with_trace(false)
+                .with_abcast(AbcastImpl::Consensus)
+                .with_faults(plan.clone())
+                .with_workload(update_workload(10))
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (technique, report) in techniques.iter().zip(sweep_reports(cfgs)) {
         let a = &report.availability;
         let failover = match a.failover_latency {
             Some(d) => format!("{}t", d.ticks()),
@@ -341,50 +398,56 @@ pub fn eager_vs_lazy_table(delays: &[u64]) -> Vec<Row> {
         .with_skew(0.5)
         .with_txns_per_client(12)
         .with_think_time(SimDuration::from_ticks(500));
-    let mut rows = Vec::new();
-    for technique in [
+    let eager = [
         Technique::EagerPrimary,
         Technique::EagerUpdateEverywhereAbcast,
-    ] {
-        let report = run(&RunConfig::new(technique)
-            .with_servers(3)
-            .with_clients(3)
-            .with_seed(127)
-            .with_trace(false)
-            .with_workload(workload.clone()));
-        rows.push(
-            Row::new(technique.name())
-                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
-                .cell("p99", format!("{}t", p99(&report)))
-                .cell("stale reads", report.stale_reads().len())
-                .cell("reconciled", report.reconciliations),
-        );
-    }
-    for &delay in delays {
-        for technique in [Technique::LazyPrimary, Technique::LazyUpdateEverywhere] {
-            let report = run(&RunConfig::new(technique)
+    ];
+    let lazy = [Technique::LazyPrimary, Technique::LazyUpdateEverywhere];
+    let mut cfgs = Vec::new();
+    let mut labels = Vec::new();
+    for technique in eager {
+        cfgs.push(
+            RunConfig::new(technique)
                 .with_servers(3)
                 .with_clients(3)
                 .with_seed(127)
                 .with_trace(false)
-                .with_propagation_delay(SimDuration::from_ticks(delay))
-                .with_workload(workload.clone()));
-            rows.push(
-                Row::new(format!("{} (delay {delay}t)", technique.name()))
-                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
-                    .cell("p99", format!("{}t", p99(&report)))
-                    .cell("stale reads", report.stale_reads().len())
-                    .cell("reconciled", report.reconciliations),
+                .with_workload(workload.clone()),
+        );
+        labels.push(technique.name().to_string());
+    }
+    for &delay in delays {
+        for technique in lazy {
+            cfgs.push(
+                RunConfig::new(technique)
+                    .with_servers(3)
+                    .with_clients(3)
+                    .with_seed(127)
+                    .with_trace(false)
+                    .with_propagation_delay(SimDuration::from_ticks(delay))
+                    .with_workload(workload.clone()),
             );
+            labels.push(format!("{} (delay {delay}t)", technique.name()));
         }
     }
-    rows
+    labels
+        .into_iter()
+        .zip(sweep_reports(cfgs))
+        .map(|(label, report)| {
+            Row::new(label)
+                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                .cell("p99", format!("{}t", p99(&report)))
+                .cell("stale reads", report.stale_reads().len())
+                .cell("reconciled", report.reconciliations)
+        })
+        .collect()
 }
 
 /// A2 — sequencer- vs consensus-based ABCAST underneath the same
 /// technique.
 pub fn abcast_impls_table() -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
+    let mut labels = Vec::new();
     for technique in [
         Technique::Active,
         Technique::EagerUpdateEverywhereAbcast,
@@ -394,26 +457,32 @@ pub fn abcast_impls_table() -> Vec<Row> {
             ("sequencer", AbcastImpl::Sequencer),
             ("consensus", AbcastImpl::Consensus),
         ] {
-            let report = run(&RunConfig::new(technique)
-                .with_servers(4)
-                .with_clients(2)
-                .with_seed(131)
-                .with_trace(false)
-                .with_abcast(which)
-                .with_workload(update_workload(10)));
-            rows.push(
-                Row::new(format!("{} / {label}", technique.name()))
-                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
-                    .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
-                    .cell(
-                        "bytes/op",
-                        format!(
-                            "{:.0}",
-                            report.messages.bytes_sent as f64 / report.ops_completed.max(1) as f64
-                        ),
-                    ),
+            cfgs.push(
+                RunConfig::new(technique)
+                    .with_servers(4)
+                    .with_clients(2)
+                    .with_seed(131)
+                    .with_trace(false)
+                    .with_abcast(which)
+                    .with_workload(update_workload(10)),
             );
+            labels.push(format!("{} / {label}", technique.name()));
         }
+    }
+    let mut rows = Vec::new();
+    for (label, report) in labels.into_iter().zip(sweep_reports(cfgs)) {
+        rows.push(
+            Row::new(label)
+                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
+                .cell(
+                    "bytes/op",
+                    format!(
+                        "{:.0}",
+                        report.messages.bytes_sent as f64 / report.ops_completed.max(1) as f64
+                    ),
+                ),
+        );
     }
     rows
 }
@@ -430,30 +499,37 @@ pub fn deadlock_table(skews: &[f64]) -> Vec<Row> {
             .with_txns_per_client(6)
             .with_think_time(SimDuration::from_ticks(100))
     };
-    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
+    let mut labels = Vec::new();
     for &skew in skews {
         for (label, policy) in [
             ("wound-wait", DeadlockPolicy::WoundWait),
             ("detection", DeadlockPolicy::Detect),
         ] {
-            let report = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
-                .with_servers(3)
-                .with_clients(3)
-                .with_seed(137)
-                .with_trace(false)
-                .with_deadlock(policy)
-                .with_workload(contended(skew)));
-            rows.push(
-                Row::new(format!("zipf {skew:.1} / {label}"))
-                    .cell("duration", format!("{}t", report.duration.ticks()))
-                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
-                    .cell("wounds", report.wounds)
-                    .cell("server aborts", report.server_aborts)
-                    .cell("unanswered", report.ops_unanswered),
+            cfgs.push(
+                RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+                    .with_servers(3)
+                    .with_clients(3)
+                    .with_seed(137)
+                    .with_trace(false)
+                    .with_deadlock(policy)
+                    .with_workload(contended(skew)),
             );
+            labels.push(format!("zipf {skew:.1} / {label}"));
         }
     }
-    rows
+    labels
+        .into_iter()
+        .zip(sweep_reports(cfgs))
+        .map(|(label, report)| {
+            Row::new(label)
+                .cell("duration", format!("{}t", report.duration.ticks()))
+                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                .cell("wounds", report.wounds)
+                .cell("server aborts", report.server_aborts)
+                .cell("unanswered", report.ops_unanswered)
+        })
+        .collect()
 }
 
 /// P7 — open-loop saturation: Poisson arrivals at increasing offered
@@ -462,7 +538,8 @@ pub fn deadlock_table(skews: &[f64]) -> Vec<Row> {
 /// left unanswered at the deadline, latency blow-up).
 pub fn open_loop_table(mean_interarrivals: &[u64]) -> Vec<Row> {
     use repl_core::Arrival;
-    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
+    let mut labels = Vec::new();
     for technique in [
         Technique::Active,
         Technique::SemiPassive,
@@ -470,54 +547,67 @@ pub fn open_loop_table(mean_interarrivals: &[u64]) -> Vec<Row> {
         Technique::LazyUpdateEverywhere,
     ] {
         for &mean in mean_interarrivals {
-            let report = run(&RunConfig::new(technique)
-                .with_servers(3)
-                .with_clients(4)
-                .with_seed(151)
-                .with_arrival(Arrival::Open(mean))
-                .with_trace(false)
-                .with_max_time(SimTime::from_ticks(400_000))
-                .with_workload(update_workload(40)));
-            let offered = 1_000_000.0 * 4.0 / mean as f64; // ops/s across clients
-            rows.push(
-                Row::new(format!("{} @ {:.0}/s", technique.name(), offered))
-                    .cell("completed", report.ops_completed)
-                    .cell("unanswered", report.ops_unanswered)
-                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
-                    .cell("p99", format!("{}t", p99(&report))),
+            cfgs.push(
+                RunConfig::new(technique)
+                    .with_servers(3)
+                    .with_clients(4)
+                    .with_seed(151)
+                    .with_arrival(Arrival::Open(mean))
+                    .with_trace(false)
+                    .with_max_time(SimTime::from_ticks(400_000))
+                    .with_workload(update_workload(40)),
             );
+            let offered = 1_000_000.0 * 4.0 / mean as f64; // ops/s across clients
+            labels.push(format!("{} @ {:.0}/s", technique.name(), offered));
         }
     }
-    rows
+    labels
+        .into_iter()
+        .zip(sweep_reports(cfgs))
+        .map(|(label, report)| {
+            Row::new(label)
+                .cell("completed", report.ops_completed)
+                .cell("unanswered", report.ops_unanswered)
+                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                .cell("p99", format!("{}t", p99(&report)))
+        })
+        .collect()
 }
 
 /// A4 — read-one/write-all vs all-site read locks (paper §5.4.1's quorum
 /// note), across read ratios.
 pub fn lock_scope_table(read_ratios: &[f64]) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
+    let mut labels = Vec::new();
     for &ratio in read_ratios {
         for (label, rowa) in [("all-site", false), ("read-one/write-all", true)] {
-            let report = run(&RunConfig::new(Technique::EagerUpdateEverywhereLocking)
-                .with_servers(4)
-                .with_clients(3)
-                .with_seed(139)
-                .with_rowa(rowa)
-                .with_trace(false)
-                .with_workload(
-                    WorkloadSpec::default()
-                        .with_items(64)
-                        .with_read_ratio(ratio)
-                        .with_txns_per_client(12),
-                ));
-            rows.push(
-                Row::new(format!("{:.0}% reads / {label}", ratio * 100.0))
-                    .cell("mean", format!("{}t", report.latencies.mean().ticks()))
-                    .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
-                    .cell("1SR", report.check_one_copy_serializable().is_ok()),
+            cfgs.push(
+                RunConfig::new(Technique::EagerUpdateEverywhereLocking)
+                    .with_servers(4)
+                    .with_clients(3)
+                    .with_seed(139)
+                    .with_rowa(rowa)
+                    .with_trace(false)
+                    .with_workload(
+                        WorkloadSpec::default()
+                            .with_items(64)
+                            .with_read_ratio(ratio)
+                            .with_txns_per_client(12),
+                    ),
             );
+            labels.push(format!("{:.0}% reads / {label}", ratio * 100.0));
         }
     }
-    rows
+    labels
+        .into_iter()
+        .zip(sweep_reports(cfgs))
+        .map(|(label, report)| {
+            Row::new(label)
+                .cell("mean", format!("{}t", report.latencies.mean().ticks()))
+                .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
+                .cell("1SR", report.check_one_copy_serializable().is_ok())
+        })
+        .collect()
 }
 
 /// A5 — lazy reconciliation rules: per-object LWW vs ABCAST-determined
@@ -529,28 +619,34 @@ pub fn reconcile_table() -> Vec<Row> {
         .with_read_ratio(0.0)
         .with_skew(1.2)
         .with_txns_per_client(8);
-    let mut rows = Vec::new();
-    for (label, mode) in [
+    let modes = [
         ("last-writer-wins", ReconcileMode::Lww),
         ("abcast order", ReconcileMode::AbcastOrder),
-    ] {
-        let report = run(&RunConfig::new(Technique::LazyUpdateEverywhere)
-            .with_servers(4)
-            .with_clients(4)
-            .with_seed(149)
-            .with_reconcile(mode)
-            .with_propagation_delay(SimDuration::from_ticks(2_000))
-            .with_trace(false)
-            .with_workload(hot.clone()));
-        rows.push(
+    ];
+    let cfgs = modes
+        .iter()
+        .map(|&(_, mode)| {
+            RunConfig::new(Technique::LazyUpdateEverywhere)
+                .with_servers(4)
+                .with_clients(4)
+                .with_seed(149)
+                .with_reconcile(mode)
+                .with_propagation_delay(SimDuration::from_ticks(2_000))
+                .with_trace(false)
+                .with_workload(hot.clone())
+        })
+        .collect();
+    modes
+        .iter()
+        .zip(sweep_reports(cfgs))
+        .map(|(&(label, _), report)| {
             Row::new(label)
                 .cell("mean", format!("{}t", report.latencies.mean().ticks()))
                 .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
                 .cell("reconciled", report.reconciliations)
-                .cell("converged", report.converged()),
-        );
-    }
-    rows
+                .cell("converged", report.converged())
+        })
+        .collect()
 }
 
 /// The run used by the phase-trace benchmark and Figures 2–4/7–14.

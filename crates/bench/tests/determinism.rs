@@ -1,0 +1,105 @@
+//! Serial-vs-parallel determinism: the sweep engine must be a pure
+//! scheduler.
+//!
+//! Every replication technique is run at two seeds, once on the serial
+//! reference path (`threads = 1`) and once fanned across worker
+//! threads. For every cell the two sweeps must produce *identical*
+//! reports — compared by the full [`RunReport::digest`] (latency
+//! samples, message counters, per-op records, availability) and by the
+//! event-level trace hash. Any cross-run state leak (a shared RNG, a
+//! global, unordered iteration feeding event order) shows up here as a
+//! digest mismatch naming the exact technique/seed cell.
+
+use repl_bench::sweep::{run_sweep, SweepCell};
+use repl_bench::update_workload;
+use repl_core::{RunConfig, Technique};
+
+fn study_cells() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for technique in Technique::ALL {
+        for seed in [11u64, 8_675_309] {
+            cells.push(SweepCell::new(
+                format!("{}/seed={seed}", technique.name()),
+                RunConfig::new(technique)
+                    .with_servers(3)
+                    .with_clients(2)
+                    .with_seed(seed)
+                    .with_trace(true)
+                    .with_workload(update_workload(6)),
+            ));
+        }
+    }
+    cells
+}
+
+#[test]
+fn serial_and_parallel_sweeps_agree_exactly() {
+    let cells = study_cells();
+    let serial = run_sweep(&cells, 1);
+    let parallel = run_sweep(&cells, 4);
+    assert_eq!(serial.len(), cells.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.label, p.label, "sweep results out of order");
+        let sr = s
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("serial cell `{}` failed: {e}", s.label));
+        let pr = p
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("parallel cell `{}` failed: {e}", p.label));
+        assert_ne!(sr.trace_hash, 0, "cell `{}` produced no trace", s.label);
+        assert_eq!(
+            sr.trace_hash, pr.trace_hash,
+            "event trace diverged between serial and parallel for `{}`",
+            s.label
+        );
+        assert_eq!(
+            sr.digest(),
+            pr.digest(),
+            "report digest diverged between serial and parallel for `{}`",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn sweep_smoke_two_techniques_two_seeds() {
+    // The cheap CI gate: a 2×2 matrix through the parallel path must
+    // succeed and agree with the serial reference.
+    let mut cells = Vec::new();
+    for technique in [Technique::Active, Technique::EagerPrimary] {
+        for seed in [1u64, 2] {
+            cells.push(SweepCell::new(
+                format!("{}/seed={seed}", technique.name()),
+                RunConfig::new(technique)
+                    .with_servers(3)
+                    .with_clients(2)
+                    .with_seed(seed)
+                    .with_trace(true)
+                    .with_workload(update_workload(4)),
+            ));
+        }
+    }
+    let serial = run_sweep(&cells, 1);
+    let parallel = run_sweep(&cells, 2);
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (sr, pr) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+        assert!(sr.ops_completed > 0, "cell `{}` did no work", s.label);
+        assert_eq!(sr.digest(), pr.digest(), "cell `{}` diverged", s.label);
+    }
+}
+
+#[test]
+fn thread_count_is_not_observable() {
+    // Different worker counts (and therefore different cell-to-thread
+    // assignments) must still agree cell-for-cell.
+    let cells: Vec<SweepCell> = study_cells().into_iter().take(8).collect();
+    let a = run_sweep(&cells, 2);
+    let b = run_sweep(&cells, 5);
+    for (x, y) in a.iter().zip(&b) {
+        let (xr, yr) = (x.result.as_ref().unwrap(), y.result.as_ref().unwrap());
+        assert_eq!(xr.digest(), yr.digest(), "cell `{}` diverged", x.label);
+        assert_eq!(xr.trace_hash, yr.trace_hash, "cell `{}` diverged", x.label);
+    }
+}

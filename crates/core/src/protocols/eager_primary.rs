@@ -220,7 +220,7 @@ impl EagerPrimaryServer {
             return;
         }
         // Primary: stop waiting for the dead secondary.
-        let mut ids: Vec<TxnId> = self.inflight.keys().copied().collect();
+        let mut ids: Vec<TxnId> = self.inflight.keys().copied().collect(); // sorted-below
         ids.sort_unstable(); // map order is unspecified; resume deterministically
         for txn in ids {
             let advance = {
@@ -249,7 +249,7 @@ impl EagerPrimaryServer {
             .take_while(|&&s| s != dead)
             .all(|&s| self.fd.is_suspected(s));
         if was_primary {
-            let mut stale: Vec<TxnId> = self.tentative.keys().copied().collect();
+            let mut stale: Vec<TxnId> = self.tentative.keys().copied().collect(); // sorted-below
             stale.sort_unstable();
             for txn in stale {
                 self.abort_tentative(txn);

@@ -668,7 +668,7 @@ impl Actor<EulMsg> for EulServer {
             .tentative
             .iter()
             .copied()
-            .chain(self.delegated.keys().copied())
+            .chain(self.delegated.keys().copied()) // sorted-below
             .collect();
         active.sort_unstable(); // set iteration order is unspecified
         for txn in active {

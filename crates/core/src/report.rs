@@ -94,6 +94,11 @@ pub struct RunReport {
     /// Availability metrics (unavailability windows, failover latency,
     /// fault counts).
     pub availability: Availability,
+    /// FNV-1a hash of the world's full trace log (constant for the empty
+    /// log when tracing was disabled). Same seed ⇒ same hash; the
+    /// determinism oracle compares these across serial and parallel
+    /// sweeps.
+    pub trace_hash: u64,
 }
 
 impl RunReport {
@@ -148,6 +153,79 @@ impl RunReport {
             return 0.0;
         }
         self.ops_aborted as f64 / self.ops_completed as f64
+    }
+
+    /// A 64-bit FNV-1a digest of everything observable in the report:
+    /// counters, latency samples (order-insensitive), per-server
+    /// fingerprints, raw client records and the trace hash. Two runs of
+    /// the same configuration and seed must produce equal digests
+    /// regardless of which thread executed them — the determinism tests
+    /// assert exactly that.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.technique as u64);
+        mix(self.servers as u64);
+        mix(self.clients as u64);
+        mix(self.duration.ticks());
+        // Latency samples are hashed sorted so the digest is insensitive
+        // to whether a percentile (which sorts in place) was taken first.
+        let mut samples = self.latencies.samples().to_vec();
+        samples.sort_unstable();
+        mix(samples.len() as u64);
+        for s in samples {
+            mix(s);
+        }
+        mix(self.ops_completed);
+        mix(self.ops_committed);
+        mix(self.ops_aborted);
+        mix(self.ops_unanswered);
+        mix(self.client_retries);
+        mix(self.messages.messages_sent);
+        mix(self.messages.messages_delivered);
+        mix(self.messages.messages_dropped);
+        mix(self.messages.bytes_sent);
+        mix(self.messages.timers_fired);
+        mix(self.messages.events_processed);
+        for &f in &self.fingerprints {
+            mix(f);
+        }
+        for (client, rec) in &self.records {
+            mix(*client as u64);
+            mix(rec.op.0);
+            mix(rec.invoked.ticks());
+            mix(rec.responded.map_or(u64::MAX, |t| t.ticks()));
+            mix(rec.retries as u64);
+            match &rec.response {
+                None => mix(0),
+                Some(resp) => {
+                    mix(1 + resp.committed as u64);
+                    for (k, v) in &resp.reads {
+                        mix(k.0);
+                        mix(v.0 as u64);
+                    }
+                }
+            }
+        }
+        mix(self.reconciliations);
+        mix(self.wounds);
+        mix(self.server_aborts);
+        mix(self.availability.faults_injected);
+        mix(self.availability.repairs_applied);
+        for &gap in &self.availability.per_client_worst_gap {
+            mix(gap.ticks());
+        }
+        mix(self
+            .availability
+            .failover_latency
+            .map_or(u64::MAX, |d| d.ticks()));
+        mix(self.trace_hash);
+        h
     }
 
     /// One-line human-readable summary.

@@ -6,7 +6,7 @@ use repl_gcs::{ConsensusConfig, FdConfig, VsConfig};
 use repl_sim::{
     Actor, LatencyStats, Message, NetworkConfig, NodeId, SimConfig, SimDuration, SimTime, World,
 };
-use repl_workload::{CrashSchedule, FaultEvent, FaultPlan, WorkloadGen, WorkloadSpec};
+use repl_workload::{CrashSchedule, FaultEvent, FaultPlan, FaultPlanError, WorkloadGen, WorkloadSpec};
 
 use crate::client::{ClientActor, OpenLoopClient, ProtocolMsg};
 use crate::phase::PhaseTrace;
@@ -252,15 +252,94 @@ struct ServerStats {
     wounds: u64,
 }
 
+/// Why an experiment run could not be performed.
+///
+/// Configuration problems are reported as typed variants so sweep
+/// drivers can surface them per cell instead of tearing down the whole
+/// study; [`RunError::Internal`] wraps a panic from inside the
+/// simulation (a bug, not a configuration error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// `cfg.faults` is ill-formed for this configuration (see
+    /// [`FaultPlan::validate`]): an event names a node outside the
+    /// server set, recovers a node that is not down, crashes a node
+    /// twice, or is scheduled past `cfg.max_time`.
+    InvalidFaultPlan(FaultPlanError),
+    /// The configuration asks for zero servers.
+    NoServers,
+    /// The simulation itself panicked; the payload is the panic message.
+    Internal(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            RunError::NoServers => write!(f, "configuration has zero servers"),
+            RunError::Internal(msg) => write!(f, "run failed internally: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::InvalidFaultPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultPlanError> for RunError {
+    fn from(e: FaultPlanError) -> Self {
+        RunError::InvalidFaultPlan(e)
+    }
+}
+
+/// Runs one experiment and collects the report, reporting configuration
+/// problems as a typed [`RunError`] instead of panicking.
+///
+/// This is the entry point sweep drivers use: the closure
+/// `move || try_run(&cfg)` is `Send`, so cells can be fanned out across
+/// worker threads, and a bad cell yields an `Err` for that cell only. A
+/// panic from inside the simulation is caught and reported as
+/// [`RunError::Internal`].
+///
+/// # Errors
+///
+/// [`RunError::InvalidFaultPlan`] when `cfg.faults` fails validation
+/// against `cfg.servers`/`cfg.max_time`; [`RunError::NoServers`] when
+/// `cfg.servers == 0`; [`RunError::Internal`] when the run panicked.
+pub fn try_run(cfg: &RunConfig) -> Result<RunReport, RunError> {
+    if cfg.servers == 0 {
+        return Err(RunError::NoServers);
+    }
+    cfg.faults.validate(cfg.servers, cfg.max_time)?;
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(cfg))).map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".to_string());
+        RunError::Internal(msg)
+    })
+}
+
 /// Runs one experiment and collects the report.
 ///
 /// # Panics
 ///
-/// Panics if `cfg.faults` is ill-formed for this configuration (see
-/// [`FaultPlan::validate`]): an event names a node outside the server
-/// set, recovers a node that is not down, crashes a node twice, or is
-/// scheduled past `cfg.max_time`.
+/// Panics if the configuration is rejected by [`try_run`] — most
+/// commonly an ill-formed `cfg.faults` (the message starts with
+/// `"invalid fault plan"`). Binaries that want a nonzero exit instead
+/// of a panic should call [`try_run`] and handle the error.
 pub fn run(cfg: &RunConfig) -> RunReport {
+    try_run(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Technique dispatch: monomorphises [`drive`] for the technique's
+/// message and server types. Assumes `cfg` was already validated.
+fn dispatch(cfg: &RunConfig) -> RunReport {
     match cfg.technique {
         Technique::Active => drive::<ActiveMsg, ActiveServer>(
             cfg,
@@ -449,9 +528,6 @@ where
     M: Message + ProtocolMsg,
     S: 'static,
 {
-    if let Err(e) = cfg.faults.validate(cfg.servers, cfg.max_time) {
-        panic!("invalid fault plan: {e}");
-    }
     let sim = SimConfig::new(cfg.seed)
         .with_network(cfg.network.clone())
         .with_trace(cfg.trace);
@@ -563,6 +639,7 @@ where
         wounds += stats.wounds;
     }
     let phase_trace = PhaseTrace::from_trace(world.trace());
+    let trace_hash = world.trace().hash();
     // Availability: per-client worst request→response gap (unanswered ops
     // count to the end of the run), and failover latency anchored at the
     // plan's first crash. Fault counts come from the world's final
@@ -622,6 +699,7 @@ where
         wounds,
         server_aborts,
         availability,
+        trace_hash,
     }
 }
 
@@ -740,20 +818,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid fault plan")]
     fn ill_formed_fault_plan_is_rejected() {
         // Recover of a node that never crashed.
         let cfg = small(Technique::Active)
             .with_faults(FaultPlan::new().recover_at(SimTime::from_ticks(1_000), NodeId::new(1)));
-        let _ = run(&cfg);
+        let err = try_run(&cfg).expect_err("plan must be rejected");
+        assert!(matches!(err, RunError::InvalidFaultPlan(_)), "{err:?}");
+        assert!(err.to_string().starts_with("invalid fault plan"));
     }
 
     #[test]
-    #[should_panic(expected = "invalid fault plan")]
     fn fault_plan_outside_server_set_is_rejected() {
         // Node 7 does not exist in a 3-server world.
         let cfg = small(Technique::Active)
             .with_faults(FaultPlan::new().crash_at(SimTime::from_ticks(1_000), NodeId::new(7)));
+        let err = try_run(&cfg).expect_err("plan must be rejected");
+        assert!(matches!(
+            err,
+            RunError::InvalidFaultPlan(repl_workload::FaultPlanError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn run_still_panics_on_invalid_config_for_compat() {
+        let cfg = small(Technique::Active)
+            .with_faults(FaultPlan::new().crash_at(SimTime::from_ticks(1_000), NodeId::new(7)));
         let _ = run(&cfg);
+    }
+
+    #[test]
+    fn zero_servers_is_a_typed_error() {
+        let mut cfg = small(Technique::Active);
+        cfg.servers = 0; // bypasses with_servers' assert, as struct literals can
+        let err = try_run(&cfg).expect_err("zero servers must be rejected");
+        assert_eq!(err, RunError::NoServers);
+    }
+
+    #[test]
+    fn try_run_succeeds_and_matches_run() {
+        let cfg = small(Technique::Active);
+        let a = try_run(&cfg).expect("valid config");
+        let b = run(&cfg);
+        assert_eq!(a.digest(), b.digest(), "same seed, same digest");
+        assert_ne!(a.trace_hash, 0);
+    }
+
+    #[test]
+    fn run_closure_is_send() {
+        // The sweep engine moves `try_run` closures across threads; this
+        // is a compile-time check that they stay Send.
+        fn assert_send<T: Send>(_: T) {}
+        let cfg = small(Technique::Active);
+        assert_send(move || try_run(&cfg));
+        fn assert_send_ty<T: Send>() {}
+        assert_send_ty::<RunConfig>();
+        assert_send_ty::<RunReport>();
+        assert_send_ty::<RunError>();
     }
 }

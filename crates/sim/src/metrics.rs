@@ -150,6 +150,13 @@ impl LatencyStats {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
+
+    /// The raw samples in recording order (or sorted order if a
+    /// percentile was taken). Exposed so report digests can hash the
+    /// full sample set rather than summary statistics.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
 }
 
 #[cfg(test)]

@@ -230,15 +230,32 @@ impl NetFault {
     }
 }
 
+/// Sentinel partition tag for nodes outside every group.
+const NO_GROUP: u32 = u32::MAX;
+
 /// Runtime network state: partition membership and FIFO bookkeeping.
+///
+/// `offer` sits on the per-message hot path of every simulation, so the
+/// per-node and per-link state lives in dense index tables instead of
+/// hash maps: partition membership is a `Vec<u32>` indexed by node, FIFO
+/// bookkeeping a `stride × stride` matrix indexed by `(src, dst)`. The
+/// rarely-populated fault state (severed and degraded links) stays in
+/// hash containers but is gated behind `is_empty` checks so the
+/// fault-free fast path never touches them.
 #[derive(Debug)]
 pub struct Network {
     config: NetworkConfig,
-    /// Partition group of each node; nodes in different groups cannot talk.
-    /// Empty map means fully connected.
-    groups: HashMap<NodeId, u32>,
-    /// Last scheduled delivery time per (src, dst), for FIFO enforcement.
-    last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+    /// Partition group tag per node (dense); [`NO_GROUP`] means the node
+    /// is in no group and talks to everyone. Nodes beyond the vector's
+    /// length are implicitly [`NO_GROUP`].
+    group_of: Vec<u32>,
+    /// Fast flag: true while any partition is installed.
+    partitioned: bool,
+    /// Row stride of `fifo_last` (max node index + 1, grown on demand).
+    fifo_stride: usize,
+    /// Last scheduled delivery time per (src, dst), dense
+    /// `src * fifo_stride + dst`, for FIFO enforcement.
+    fifo_last: Vec<SimTime>,
     /// Links that are forced down regardless of partition groups.
     severed: HashSet<(NodeId, NodeId)>,
     /// Per-link quality degradations (latency spikes, extra loss).
@@ -250,8 +267,10 @@ impl Network {
     pub fn new(config: NetworkConfig) -> Self {
         Network {
             config,
-            groups: HashMap::new(),
-            last_delivery: HashMap::new(),
+            group_of: Vec::new(),
+            partitioned: false,
+            fifo_stride: 0,
+            fifo_last: Vec::new(),
             severed: HashSet::new(),
             degraded: HashMap::new(),
         }
@@ -262,21 +281,53 @@ impl Network {
         &self.config
     }
 
+    /// Pre-sizes the dense per-node tables for `nodes` nodes, so the hot
+    /// path never grows them mid-run. Called by the world on start;
+    /// harmless to skip (tables grow on demand).
+    pub fn reserve_nodes(&mut self, nodes: usize) {
+        if nodes > self.fifo_stride {
+            self.grow_fifo(nodes);
+        }
+        if nodes > self.group_of.len() {
+            self.group_of.resize(nodes, NO_GROUP);
+        }
+    }
+
+    /// Grows the FIFO matrix to at least `need × need`, preserving
+    /// existing link state.
+    fn grow_fifo(&mut self, need: usize) {
+        let new_stride = need.next_power_of_two().max(8);
+        let mut new = vec![SimTime::ZERO; new_stride * new_stride];
+        for s in 0..self.fifo_stride {
+            for d in 0..self.fifo_stride {
+                new[s * new_stride + d] = self.fifo_last[s * self.fifo_stride + d];
+            }
+        }
+        self.fifo_stride = new_stride;
+        self.fifo_last = new;
+    }
+
     /// Partitions the network into the given groups. Nodes not mentioned in
     /// any group keep full connectivity with every group (they are treated
     /// as being in all groups — useful for observers).
     pub fn set_partition(&mut self, groups: &[&[NodeId]]) {
-        self.groups.clear();
+        self.group_of.fill(NO_GROUP);
+        self.partitioned = false;
         for (gi, group) in groups.iter().enumerate() {
             for &n in group.iter() {
-                self.groups.insert(n, gi as u32);
+                if n.index() >= self.group_of.len() {
+                    self.group_of.resize(n.index() + 1, NO_GROUP);
+                }
+                self.group_of[n.index()] = gi as u32;
+                self.partitioned = true;
             }
         }
     }
 
     /// Removes all partitions, restoring full connectivity.
     pub fn heal_partition(&mut self) {
-        self.groups.clear();
+        self.group_of.fill(NO_GROUP);
+        self.partitioned = false;
     }
 
     /// Severs the directed link from `src` to `dst`.
@@ -292,10 +343,15 @@ impl Network {
     /// [`Network::set_partition`] over owned groups, as produced by fault
     /// plans.
     pub fn set_partition_groups(&mut self, groups: &[Vec<NodeId>]) {
-        self.groups.clear();
+        self.group_of.fill(NO_GROUP);
+        self.partitioned = false;
         for (gi, group) in groups.iter().enumerate() {
             for &n in group.iter() {
-                self.groups.insert(n, gi as u32);
+                if n.index() >= self.group_of.len() {
+                    self.group_of.resize(n.index() + 1, NO_GROUP);
+                }
+                self.group_of[n.index()] = gi as u32;
+                self.partitioned = true;
             }
         }
     }
@@ -339,14 +395,16 @@ impl Network {
 
     /// Returns true if a message from `src` can currently reach `dst`.
     pub fn connected(&self, src: NodeId, dst: NodeId) -> bool {
-        if self.severed.contains(&(src, dst)) {
+        if !self.severed.is_empty() && self.severed.contains(&(src, dst)) {
             return false;
         }
-        match (self.groups.get(&src), self.groups.get(&dst)) {
-            (Some(a), Some(b)) => a == b,
-            // Nodes outside every partition group talk to everyone.
-            _ => true,
+        if !self.partitioned {
+            return true;
         }
+        let tag = |n: NodeId| self.group_of.get(n.index()).copied().unwrap_or(NO_GROUP);
+        let (a, b) = (tag(src), tag(dst));
+        // Nodes outside every partition group talk to everyone.
+        a == NO_GROUP || b == NO_GROUP || a == b
     }
 
     /// Computes the delivery schedule for a message sent at `now`.
@@ -367,16 +425,21 @@ impl Network {
         if src == dst {
             return Delivery::At(now + SimDuration::from_ticks(1));
         }
-        if !self.connected(src, dst) {
+        // Fault checks are gated so the fault-free fast path (the common
+        // case for the whole performance study) touches no hash containers.
+        if (self.partitioned || !self.severed.is_empty()) && !self.connected(src, dst) {
             return Delivery::Dropped;
         }
         if self.config.drop_prob > 0.0 && rng.gen::<f64>() < self.config.drop_prob {
             return Delivery::Dropped;
         }
-        let degraded = self.degraded.get(&(src, dst)).copied();
-        if let Some(q) = degraded {
-            if q.drop_prob > 0.0 && rng.gen::<f64>() < q.drop_prob {
-                return Delivery::Dropped;
+        let mut spike = SimDuration::ZERO;
+        if !self.degraded.is_empty() {
+            if let Some(q) = self.degraded.get(&(src, dst)).copied() {
+                if q.drop_prob > 0.0 && rng.gen::<f64>() < q.drop_prob {
+                    return Delivery::Dropped;
+                }
+                spike = q.extra_latency;
             }
         }
         let jitter = if self.config.jitter.is_zero() {
@@ -384,13 +447,13 @@ impl Network {
         } else {
             SimDuration::from_ticks(rng.gen_range(0..=self.config.jitter.ticks()))
         };
-        let spike = degraded.map_or(SimDuration::ZERO, |q| q.extra_latency);
         let mut at = now + self.config.base_latency + jitter + spike;
         if self.config.fifo_links {
-            let last = self
-                .last_delivery
-                .entry((src, dst))
-                .or_insert(SimTime::ZERO);
+            let need = src.index().max(dst.index()) + 1;
+            if need > self.fifo_stride {
+                self.grow_fifo(need);
+            }
+            let last = &mut self.fifo_last[src.index() * self.fifo_stride + dst.index()];
             if at <= *last {
                 at = *last + SimDuration::from_ticks(1);
             }

@@ -142,6 +142,59 @@ impl TraceLog {
     pub fn clear(&mut self) {
         self.records.clear();
     }
+
+    /// A 64-bit FNV-1a digest of the full log: every record's time, node
+    /// and event, in order. Two runs with the same seed must produce the
+    /// same hash — the determinism oracle compares these across serial
+    /// and parallel execution.
+    pub fn hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for r in &self.records {
+            mix(r.time.ticks());
+            mix(r.node.raw() as u64);
+            match &r.event {
+                TraceEvent::MsgSent { to, bytes } => {
+                    mix(1);
+                    mix(to.raw() as u64);
+                    mix(*bytes as u64);
+                }
+                TraceEvent::MsgDelivered { from, bytes } => {
+                    mix(2);
+                    mix(from.raw() as u64);
+                    mix(*bytes as u64);
+                }
+                TraceEvent::MsgDropped { to } => {
+                    mix(3);
+                    mix(to.raw() as u64);
+                }
+                TraceEvent::Crashed => mix(4),
+                TraceEvent::Recovered => mix(5),
+                TraceEvent::NetFault { kind } => {
+                    mix(6);
+                    for b in kind.bytes() {
+                        mix(b as u64);
+                    }
+                }
+                TraceEvent::Mark { tag, a, b } => {
+                    mix(7);
+                    for byte in tag.bytes() {
+                        mix(byte as u64);
+                    }
+                    mix(*a);
+                    mix(*b);
+                }
+            }
+        }
+        h
+    }
 }
 
 impl<'a> IntoIterator for &'a TraceLog {
@@ -212,6 +265,33 @@ mod tests {
         assert_eq!(times, vec![0, 1, 2, 3, 4]);
         let times2: Vec<u64> = (&log).into_iter().map(|r| r.time.ticks()).collect();
         assert_eq!(times, times2);
+    }
+
+    #[test]
+    fn hash_distinguishes_logs_and_is_stable() {
+        let mut a = TraceLog::new();
+        let mut b = TraceLog::new();
+        assert_eq!(a.hash(), b.hash(), "empty logs hash alike");
+        for log in [&mut a, &mut b] {
+            log.push(
+                SimTime::from_ticks(5),
+                NodeId::new(1),
+                TraceEvent::MsgSent {
+                    to: NodeId::new(2),
+                    bytes: 64,
+                },
+            );
+        }
+        assert_eq!(a.hash(), b.hash(), "identical logs hash alike");
+        b.push(SimTime::from_ticks(6), NodeId::new(1), TraceEvent::Crashed);
+        assert_ne!(a.hash(), b.hash(), "extra record changes the hash");
+        let mut c = TraceLog::new();
+        c.push(
+            SimTime::from_ticks(5),
+            NodeId::new(1),
+            TraceEvent::MsgDropped { to: NodeId::new(2) },
+        );
+        assert_ne!(a.hash(), c.hash(), "different event kinds hash apart");
     }
 
     #[test]

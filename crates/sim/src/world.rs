@@ -165,13 +165,22 @@ impl<'a, M: Message> Context<'a, M> {
         self.core.send_from(self.me, to, msg);
     }
 
-    /// Sends a clone of `msg` to every node in `targets`.
+    /// Sends `msg` to every node in `targets`. The last target receives
+    /// the original message; earlier targets receive clones, so an
+    /// `n`-way multicast costs `n - 1` clones instead of `n`.
     pub fn multicast<I>(&mut self, targets: I, msg: M)
     where
         I: IntoIterator<Item = NodeId>,
     {
-        for t in targets {
-            self.send(t, msg.clone());
+        let mut it = targets.into_iter().peekable();
+        let mut msg = Some(msg);
+        while let Some(t) = it.next() {
+            let m = if it.peek().is_some() {
+                msg.clone().expect("multicast payload present")
+            } else {
+                msg.take().expect("multicast payload present")
+            };
+            self.send(t, m);
         }
     }
 
@@ -259,7 +268,10 @@ impl<M: Message> World<M> {
             core: Core {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                // Pre-sized: a study run keeps thousands of in-flight
+                // events; growing the heap mid-run costs reallocation and
+                // copying on the hot path.
+                queue: BinaryHeap::with_capacity(4_096),
                 network: Network::new(config.network),
                 rng: SmallRng::seed_from_u64(config.seed),
                 trace,
@@ -300,6 +312,7 @@ impl<M: Message> World<M> {
     pub fn start(&mut self) {
         assert!(!self.started, "world already started");
         self.started = true;
+        self.core.network.reserve_nodes(self.actors.len());
         for i in 0..self.actors.len() {
             let node = NodeId::new(i as u32);
             self.with_actor(node, |actor, ctx| actor.on_start(ctx));
@@ -351,7 +364,9 @@ impl<M: Message> World<M> {
                 }
             }
             Event::Timer { node, id, tag } => {
-                if self.core.cancelled.remove(&id.0) || !self.core.alive[node.index()] {
+                let cancelled =
+                    !self.core.cancelled.is_empty() && self.core.cancelled.remove(&id.0);
+                if cancelled || !self.core.alive[node.index()] {
                     return true;
                 }
                 self.core.metrics.timers_fired += 1;

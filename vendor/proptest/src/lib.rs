@@ -1,0 +1,469 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the subset of proptest's API that its property
+//! tests actually use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * [`strategy::Strategy`] with [`strategy::Strategy::prop_map`],
+//! * range strategies (`0u64..100`, `0.0f64..=1.0`, …) and [`any`],
+//! * tuple strategies up to arity 4,
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`].
+//!
+//! Semantics: each test body runs `cases` times with independently drawn
+//! random inputs from a deterministic per-test seed, so failures are
+//! reproducible run-to-run. There is **no shrinking** — a failing case
+//! panics with the standard assertion message. That is a deliberate
+//! trade-off to keep the vendored crate small; determinism of the inputs
+//! makes failures debuggable without it.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-block test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A rejected or failed test case, as produced by `TestCaseError::fail`
+/// or the `?` operator inside a [`proptest!`] body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// Marks the current case as failed with the given reason.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Marks the current case as rejected. The stand-in has no retry
+    /// budget, so rejection is treated like failure.
+    pub fn reject(reason: impl std::fmt::Display) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias used by generated test bodies; lets `?` work inside
+/// [`proptest!`] blocks just like the real crate.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `body` for each random case. Used by the [`proptest!`] expansion;
+/// not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases<F: FnMut(&mut SmallRng)>(config: ProptestConfig, test_name: &str, mut body: F) {
+    // Deterministic per-test seed: same inputs every run, distinct
+    // streams per test.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..config.cases {
+        let mut rng = SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        body(&mut rng);
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Generates random values of an associated type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Boxes the strategy (for heterogeneous collections such as
+        /// [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut SmallRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct OneOf<V> {
+        /// The candidate strategies (chosen uniformly).
+        pub options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut SmallRng) -> V {
+            assert!(!self.options.is_empty(), "prop_oneof! needs options");
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut SmallRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategies!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+    /// Full-domain strategy returned by [`any`](crate::any).
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_any!(bool, u8, u16, u32, u64, usize, i32, i64, f64);
+
+    macro_rules! impl_tuple_strategies {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategies! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+}
+
+/// Returns a strategy producing any value of `T`.
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Element-count specification: an exact count or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set below target; bound the retries so
+            // narrow domains (e.g. 0..2 with target 5) still terminate.
+            let mut attempts = 0;
+            while set.len() < target && attempts < 20 * (target + 1) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// Generates ordered sets of `element` values aiming for `size`
+    /// elements (possibly fewer when the element domain is narrow).
+    pub fn btree_set<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestCaseError, TestCaseResult};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                // The body runs in a Result-returning closure so `?` and
+                // `TestCaseError` work exactly as in the real crate.
+                let __outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("test case failed: {e}");
+                }
+            });
+        }
+    )*};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf {
+            options: vec![$($crate::strategy::Strategy::boxed($strat)),+],
+        }
+    };
+}
+
+/// `assert!` under a name the real proptest uses inside generated tests.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u8..4, any::<bool>()).prop_map(|(a, b)| (a as u32, b)),
+            v in crate::collection::vec(0u32..100, 1..8),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn oneof_picks_each_arm(choice in prop_oneof![
+            (0u8..1).prop_map(|_| "left"),
+            (0u8..1).prop_map(|_| "right"),
+        ]) {
+            prop_assert!(choice == "left" || choice == "right");
+        }
+
+        #[test]
+        fn btree_sets_respect_domain(s in crate::collection::btree_set(0u32..5, 1..5)) {
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases(ProptestConfig::with_cases(10), "det", |rng| {
+            first.push(rand::Rng::gen_range(rng, 0u64..1_000_000));
+        });
+        let mut second = Vec::new();
+        crate::run_cases(ProptestConfig::with_cases(10), "det", |rng| {
+            second.push(rand::Rng::gen_range(rng, 0u64..1_000_000));
+        });
+        assert_eq!(first, second);
+        assert!(first.windows(2).any(|w| w[0] != w[1]), "degenerate stream");
+    }
+}
