@@ -23,12 +23,14 @@ use std::time::Instant;
 
 use repl_bench::sweep::{run_sweep, CellResult, SweepCell};
 use repl_bench::*;
+use repl_core::protocols::common::AbcastImpl;
 use repl_core::{RunConfig, Technique};
 
 struct Args {
     threads: Option<usize>,
     json: Option<String>,
     json_only: bool,
+    p8_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +38,7 @@ fn parse_args() -> Args {
         threads: None,
         json: None,
         json_only: false,
+        p8_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,6 +56,7 @@ fn parse_args() -> Args {
                 args.json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
             }
             "--json-only" => args.json_only = true,
+            "--p8-only" => args.p8_only = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -64,9 +68,19 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: perfstudy [--threads N] [--json PATH] [--json-only]");
+    eprintln!("usage: perfstudy [--threads N] [--json PATH] [--json-only] [--p8-only]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
+
+/// The batching windows (in ticks) swept by the P8 study and the JSON
+/// artifact. 0 is the unbatched baseline; 250 is sub-round-trip; 1000
+/// spans several LAN round trips.
+const P8_WINDOWS: [u64; 3] = [0, 250, 1_000];
+
+/// The closed-loop client counts swept by the P8 study: window
+/// amortization scales with how many submissions share a window, so the
+/// same window is measured from light load to high concurrency.
+const P8_CLIENTS: [u32; 3] = [4, 16, 48];
 
 fn timed_table(title: &str, f: impl FnOnce() -> Vec<Row>) {
     let start = Instant::now();
@@ -115,7 +129,155 @@ fn technique_cells(technique: Technique) -> Vec<SweepCell> {
     cells
 }
 
-/// Runs the benchmark matrix and renders `BENCH_PR2.json`.
+/// Renders the P8 batching section of the JSON artifact: per
+/// (technique, abcast, clients) series over the window axis, with the
+/// total-message and coordination-message reduction each series achieves
+/// against its own window-0 baseline. Total messages carry the fixed
+/// client traffic (one invoke + one reply per answering replica), so the
+/// headline amortization claim is made on coordination (server↔server)
+/// messages — the share an ordering layer can actually batch.
+fn batching_json(threads: usize) -> String {
+    use std::fmt::Write as _;
+    let cells = batching_cells(&P8_CLIENTS, &P8_WINDOWS);
+    let sweep: Vec<SweepCell> = cells
+        .iter()
+        .map(|c| {
+            let impl_name = match c.abcast {
+                Some(AbcastImpl::Sequencer) => "seq",
+                Some(AbcastImpl::Consensus) => "cons",
+                None => "none",
+            };
+            SweepCell::new(
+                format!(
+                    "{}/p8/{impl_name}/c={}/w={}",
+                    c.technique.name(),
+                    c.clients,
+                    c.window
+                ),
+                c.cfg.clone(),
+            )
+        })
+        .collect();
+    let results = run_sweep(&sweep, threads);
+    let high_clients = *P8_CLIENTS.iter().max().expect("client axis nonempty");
+
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"batching\": {{");
+    let _ = writeln!(s, "    \"servers\": 3,");
+    let _ = writeln!(
+        s,
+        "    \"clients\": [{}],",
+        P8_CLIENTS
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "    \"high_concurrency_clients\": {high_clients},");
+    let _ = writeln!(
+        s,
+        "    \"windows_ticks\": [{}],",
+        P8_WINDOWS
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "    \"series\": [");
+    // Cells arrive grouped: windows.len() consecutive cells per
+    // (technique, abcast, clients) series, the window axis innermost.
+    let per_series = P8_WINDOWS.len();
+    let n_series = cells.len() / per_series;
+    let mut msg_2x_series = 0u32;
+    // Techniques with a >=2x coordination-message reduction at the
+    // high-concurrency client count (any abcast implementation).
+    let mut coord_2x_techniques: Vec<&'static str> = Vec::new();
+    for i in 0..n_series {
+        let group = &cells[i * per_series..(i + 1) * per_series];
+        let reports: Vec<_> = results[i * per_series..(i + 1) * per_series]
+            .iter()
+            .map(|c| {
+                c.result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("cell `{}` failed: {e}", c.label))
+            })
+            .collect();
+        let head = &group[0];
+        let impl_json = match head.abcast {
+            Some(AbcastImpl::Sequencer) => "\"sequencer\"",
+            Some(AbcastImpl::Consensus) => "\"consensus\"",
+            None => "null",
+        };
+        let base_msgs = reports[0].messages_per_op();
+        let base_coord = reports[0].coordination_messages_per_op();
+        let best = |f: &dyn Fn(&repl_core::RunReport) -> f64, base: f64| {
+            reports
+                .iter()
+                .skip(1)
+                .map(|r| base / f(r).max(f64::MIN_POSITIVE))
+                .fold(0.0f64, f64::max)
+        };
+        let msg_reduction = best(&|r| r.messages_per_op(), base_msgs);
+        let coord_reduction = best(&|r| r.coordination_messages_per_op(), base_coord);
+        if head.abcast.is_some() && msg_reduction >= 2.0 {
+            msg_2x_series += 1;
+        }
+        if head.abcast.is_some()
+            && head.clients == high_clients
+            && coord_reduction >= 2.0
+            && !coord_2x_techniques.contains(&head.technique.name())
+        {
+            coord_2x_techniques.push(head.technique.name());
+        }
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"technique\": \"{}\",", head.technique.name());
+        let _ = writeln!(s, "        \"abcast\": {impl_json},");
+        let _ = writeln!(s, "        \"clients\": {},", head.clients);
+        let _ = writeln!(s, "        \"points\": [");
+        for (j, (cell, report)) in group.iter().zip(&reports).enumerate() {
+            let mut lat = report.latencies.clone();
+            let p50 = lat.percentile(0.5).ticks();
+            let p99 = lat.percentile(0.99).ticks();
+            let _ = writeln!(
+                s,
+                "          {{\"window\": {}, \"throughput_ops_per_s\": {:.1}, \
+                 \"p50_response_ticks\": {p50}, \"p99_response_ticks\": {p99}, \
+                 \"messages_per_txn\": {:.2}, \"coord_messages_per_txn\": {:.2}}}{}",
+                cell.window,
+                report.throughput(),
+                report.messages_per_op(),
+                report.coordination_messages_per_op(),
+                if j + 1 < group.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "        ],");
+        let _ = writeln!(s, "        \"msg_reduction_best\": {msg_reduction:.2},");
+        let _ = writeln!(s, "        \"coord_reduction_best\": {coord_reduction:.2}");
+        let _ = writeln!(
+            s,
+            "      }}{}",
+            if i + 1 < n_series { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"abcast_series_with_2x_msg_reduction\": {msg_2x_series},"
+    );
+    let _ = writeln!(
+        s,
+        "    \"abcast_techniques_with_2x_coord_reduction\": [{}]",
+        coord_2x_techniques
+            .iter()
+            .map(|t| format!("\"{t}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "  }}");
+    s
+}
+
+/// Runs the benchmark matrix and renders `BENCH_PR3.json`.
 fn bench_json(threads: usize) -> String {
     use std::fmt::Write as _;
     let techniques = study_techniques();
@@ -132,7 +294,7 @@ fn bench_json(threads: usize) -> String {
 
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"bench_pr2/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_pr3/v1\",");
     let _ = writeln!(s, "  \"threads\": {threads},");
     let _ = writeln!(
         s,
@@ -177,7 +339,8 @@ fn bench_json(threads: usize) -> String {
             if i + 1 < spans.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "  ],");
+    s.push_str(&batching_json(threads));
     let _ = writeln!(s, "}}");
     s
 }
@@ -193,6 +356,20 @@ fn main() {
         }
         None => repl_bench::sweep::default_threads(),
     };
+
+    if args.p8_only {
+        timed_table(
+            "P8 — end-to-end batching (3 replicas, clients × window in ticks)",
+            || batching_table(&P8_CLIENTS, &P8_WINDOWS),
+        );
+        if let Some(path) = &args.json {
+            let json = bench_json(threads);
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            println!("wrote benchmark summary to {path}");
+        }
+        return;
+    }
 
     if !args.json_only {
         println!(
@@ -241,6 +418,10 @@ fn main() {
         timed_table(
             "A5 — lazy reconciliation: LWW vs ABCAST order (§4.6)",
             reconcile_table,
+        );
+        timed_table(
+            "P8 — end-to-end batching (3 replicas, clients × window in ticks)",
+            || batching_table(&P8_CLIENTS, &P8_WINDOWS),
         );
         println!(
             "full study wall clock: {:.2}s ({threads} sweep threads)",

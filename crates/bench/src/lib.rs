@@ -17,7 +17,7 @@
 //! reproduction targets.
 
 use repl_core::protocols::common::{AbcastImpl, ExecutionMode};
-use repl_core::{RunConfig, RunReport, Technique};
+use repl_core::{BatchConfig, RunConfig, RunReport, Technique};
 use repl_db::DeadlockPolicy;
 use repl_sim::{NodeId, SimDuration, SimTime};
 use repl_workload::{CrashSchedule, FaultPlan, WorkloadSpec};
@@ -645,6 +645,128 @@ pub fn reconcile_table() -> Vec<Row> {
                 .cell("msgs/op", format!("{:.1}", report.messages_per_op()))
                 .cell("reconciled", report.reconciliations)
                 .cell("converged", report.converged())
+        })
+        .collect()
+}
+
+/// One cell of the P8 batching study: a technique at a batching window
+/// and a closed-loop client count, under one ABCAST implementation
+/// (`None` for the eager primary, whose batched round is its own
+/// decision multicast, not an ordering layer).
+pub struct BatchingCell {
+    /// The technique under test.
+    pub technique: Technique,
+    /// Which ABCAST carries the technique (None = no ordering layer).
+    pub abcast: Option<AbcastImpl>,
+    /// Closed-loop client count.
+    pub clients: u32,
+    /// The batching window in ticks (0 = batching off).
+    pub window: u64,
+    /// The fully built run configuration.
+    pub cfg: RunConfig,
+}
+
+/// The abcast-based techniques swept by the batching study.
+pub fn batching_study_techniques() -> Vec<Technique> {
+    vec![
+        Technique::Active,
+        Technique::SemiActive,
+        Technique::EagerUpdateEverywhereAbcast,
+        Technique::Certification,
+    ]
+}
+
+/// Builds the P8 cell matrix: every abcast-based technique × both ABCAST
+/// implementations × each closed-loop client count × each window, plus
+/// the eager primary's batched decision round, all on 3 replicas. Window
+/// amortization scales with the number of submissions that share a
+/// window, which is why the client count is the second sweep axis.
+pub fn batching_cells(clients: &[u32], windows: &[u64]) -> Vec<BatchingCell> {
+    let base = |technique: Technique, clients: u32, window: u64| {
+        let batch = if window == 0 {
+            BatchConfig::disabled()
+        } else {
+            BatchConfig::window(window)
+        };
+        RunConfig::new(technique)
+            .with_servers(3)
+            .with_clients(clients)
+            .with_seed(157)
+            .with_trace(false)
+            .with_batching(batch)
+            .with_workload(update_workload(8))
+    };
+    let mut cells = Vec::new();
+    for technique in batching_study_techniques() {
+        for which in [AbcastImpl::Sequencer, AbcastImpl::Consensus] {
+            for &c in clients {
+                for &w in windows {
+                    cells.push(BatchingCell {
+                        technique,
+                        abcast: Some(which),
+                        clients: c,
+                        window: w,
+                        cfg: base(technique, c, w).with_abcast(which),
+                    });
+                }
+            }
+        }
+    }
+    for &c in clients {
+        for &w in windows {
+            cells.push(BatchingCell {
+                technique: Technique::EagerPrimary,
+                abcast: None,
+                clients: c,
+                window: w,
+                cfg: base(Technique::EagerPrimary, c, w),
+            });
+        }
+    }
+    cells
+}
+
+/// The display label of a P8 cell (shared by the table and the JSON).
+pub fn batching_cell_label(cell: &BatchingCell) -> String {
+    let ab = match cell.abcast {
+        Some(AbcastImpl::Sequencer) => " / seq",
+        Some(AbcastImpl::Consensus) => " / cons",
+        None => "",
+    };
+    format!(
+        "{}{} / c={} / w={}",
+        cell.technique.name(),
+        ab,
+        cell.clients,
+        cell.window
+    )
+}
+
+/// P8 — end-to-end batching: throughput, latency and message cost as the
+/// batching window widens (0 = the unbatched baseline; same seeds, same
+/// workload, so window 0 reproduces the P2-style numbers exactly).
+/// `coord/txn` counts server↔server ordering/agreement messages — the
+/// share batching can actually amortize; `msgs/txn` additionally carries
+/// the fixed client traffic (one invoke plus one reply per answering
+/// replica), which no ordering-layer change can remove.
+pub fn batching_table(clients: &[u32], windows: &[u64]) -> Vec<Row> {
+    let cells = batching_cells(clients, windows);
+    let cfgs = cells.iter().map(|c| c.cfg.clone()).collect();
+    cells
+        .iter()
+        .zip(sweep_reports(cfgs))
+        .map(|(cell, report)| {
+            let mut lat = report.latencies.clone();
+            let p50 = lat.percentile(0.5).ticks();
+            Row::new(batching_cell_label(cell))
+                .cell("thru", format!("{:.0}/s", report.throughput()))
+                .cell("p50", format!("{p50}t"))
+                .cell("p99", format!("{}t", p99(&report)))
+                .cell("msgs/txn", format!("{:.1}", report.messages_per_op()))
+                .cell(
+                    "coord/txn",
+                    format!("{:.2}", report.coordination_messages_per_op()),
+                )
         })
         .collect()
 }

@@ -91,6 +91,32 @@ fn sweep_smoke_two_techniques_two_seeds() {
 }
 
 #[test]
+fn batching_cells_are_deterministic() {
+    // Batching adds flush timers and staged state to the hot path; none
+    // of it may leak across cells or threads. Every ABCAST technique ×
+    // implementation × window must agree digest-for-digest and
+    // trace-for-trace between the serial reference and a parallel sweep.
+    use repl_bench::{batching_cell_label, batching_cells};
+    let cells: Vec<SweepCell> = batching_cells(&[2], &[250, 1_000])
+        .into_iter()
+        .map(|cell| {
+            let label = batching_cell_label(&cell);
+            SweepCell::new(label, cell.cfg.with_trace(true))
+        })
+        .collect();
+    assert!(!cells.is_empty());
+    let serial = run_sweep(&cells, 1);
+    let parallel = run_sweep(&cells, 3);
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (sr, pr) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+        assert!(sr.ops_completed > 0, "cell `{}` did no work", s.label);
+        assert_ne!(sr.trace_hash, 0, "cell `{}` produced no trace", s.label);
+        assert_eq!(sr.digest(), pr.digest(), "cell `{}` diverged", s.label);
+        assert_eq!(sr.trace_hash, pr.trace_hash, "cell `{}` diverged", s.label);
+    }
+}
+
+#[test]
 fn thread_count_is_not_observable() {
     // Different worker counts (and therefore different cell-to-thread
     // assignments) must still agree cell-for-cell.

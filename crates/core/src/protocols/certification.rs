@@ -17,9 +17,10 @@
 //! experiment sweeps the abort rate).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use repl_db::{Certifier, Key, WriteSet};
-use repl_gcs::Outbox;
+use repl_gcs::{BatchConfig, Outbox};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 use repl_workload::OpTemplate;
 
@@ -38,8 +39,8 @@ pub struct CertRequest {
     pub op: ClientOp,
     /// Versions read during shadow execution.
     pub read_set: Vec<(Key, u64)>,
-    /// Buffered writes.
-    pub ws: WriteSet,
+    /// Buffered writes (shared: broadcast clones are pointer copies).
+    pub ws: Arc<WriteSet>,
     /// The response computed during shadow execution.
     pub resp: Response,
     /// The delegate (answers the client).
@@ -116,6 +117,12 @@ impl CertServer {
             relayed: HashSet::new(),
             marks: site == 0,
         }
+    }
+
+    /// Sets the ordering-layer batching window (builder form).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.ab.set_batching(batch);
+        self
     }
 
     fn drain(
@@ -213,7 +220,7 @@ impl Actor<CertMsg> for CertServer {
                 let req = CertRequest {
                     op,
                     read_set,
-                    ws,
+                    ws: Arc::new(ws),
                     resp,
                     delegate: self.me,
                 };

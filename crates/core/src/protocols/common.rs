@@ -8,7 +8,8 @@ use repl_db::{
     AccessKind, Key, ReplicatedHistory, ShadowStore, Store, TxnId, TxnManager, Value, WriteSet,
 };
 use repl_gcs::{
-    AbDeliver, CAbMsg, ConsensusAbcast, ConsensusConfig, MsgId, Outbox, SeqAbMsg, SequencerAbcast,
+    AbDeliver, BatchConfig, CAbMsg, ConsensusAbcast, ConsensusConfig, MsgId, Outbox, SeqAbMsg,
+    SequencerAbcast,
 };
 use repl_sim::{Message, NodeId};
 
@@ -68,13 +69,21 @@ pub enum AbcastEndpoint<P> {
     Cons(ConsensusAbcast<P>),
 }
 
-impl<P: Clone + std::fmt::Debug + 'static> AbcastEndpoint<P> {
+impl<P: Message> AbcastEndpoint<P> {
     /// Creates an endpoint of the requested flavour. `cons` configures the
     /// consensus variant (its round timeout must exceed the network RTT).
     pub fn new(which: AbcastImpl, me: NodeId, group: Vec<NodeId>, cons: ConsensusConfig) -> Self {
         match which {
             AbcastImpl::Sequencer => AbcastEndpoint::Seq(SequencerAbcast::new(me, group)),
             AbcastImpl::Consensus => AbcastEndpoint::Cons(ConsensusAbcast::new(me, group, cons)),
+        }
+    }
+
+    /// Sets the batching window on the underlying implementation.
+    pub fn set_batching(&mut self, batch: BatchConfig) {
+        match self {
+            AbcastEndpoint::Seq(a) => a.set_batching(batch),
+            AbcastEndpoint::Cons(a) => a.set_batching(batch),
         }
     }
 

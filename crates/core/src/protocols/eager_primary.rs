@@ -16,13 +16,14 @@
 //! Active transactions at the failed primary abort; clients re-submit.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use repl_db::{
-    Acquire, DeadlockPolicy, Key, LockManager, LockMode, TpcCoordinator, TpcDecision, TxnId, Value,
-    WriteSet,
+    Acquire, DeadlockPolicy, Key, LockManager, LockMode, RedoLog, TpcCoordinator, TpcDecision,
+    TxnId, Value, WriteSet,
 };
-use repl_gcs::{Component, FdConfig, FdEvent, FdMsg, HeartbeatFd, Outbox};
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+use repl_gcs::{BatchConfig, Component, FdConfig, FdEvent, FdMsg, HeartbeatFd, Outbox};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
 use repl_workload::OpTemplate;
 
 use crate::client::ProtocolMsg;
@@ -41,8 +42,8 @@ pub enum EagerPrimaryMsg {
         txn: TxnId,
         /// Which operation of the transaction this is.
         step: u32,
-        /// The log records of this step.
-        ws: WriteSet,
+        /// The log records of this step (shared across the fan-out).
+        ws: Arc<WriteSet>,
     },
     /// Secondary → primary: step applied.
     PropAck {
@@ -56,8 +57,9 @@ pub enum EagerPrimaryMsg {
     Prepare {
         /// The transaction.
         txn: TxnId,
-        /// The full writeset (empty if already propagated step-wise).
-        ws: WriteSet,
+        /// The full writeset (empty if already propagated step-wise;
+        /// shared across the fan-out).
+        ws: Arc<WriteSet>,
         /// The response, cached by secondaries for retried clients.
         resp: Response,
     },
@@ -75,6 +77,13 @@ pub enum EagerPrimaryMsg {
         /// Commit or abort.
         commit: bool,
     },
+    /// Primary → secondaries: one batching window's worth of commit
+    /// decisions, flushed together with a single group-committed log
+    /// force at the primary.
+    DecisionBatch {
+        /// (transaction, commit?) in decision order.
+        entries: Arc<Vec<(TxnId, bool)>>,
+    },
     /// Failure-detector heartbeats among servers.
     Fd(FdMsg),
     /// Server → client.
@@ -90,6 +99,7 @@ impl Message for EagerPrimaryMsg {
             EagerPrimaryMsg::Prepare { ws, resp, .. } => 16 + ws.wire_size() + resp.wire_size(),
             EagerPrimaryMsg::Vote { .. } => 24,
             EagerPrimaryMsg::Decision { .. } => 24,
+            EagerPrimaryMsg::DecisionBatch { entries } => 8 + 24 * entries.len(),
             EagerPrimaryMsg::Fd(m) => m.wire_size(),
             EagerPrimaryMsg::Reply(r) => 8 + r.wire_size(),
         }
@@ -133,6 +143,7 @@ struct PrimaryTxn {
 
 const MAX_WOUND_RETRIES: u32 = 25;
 const FD_BASE: u64 = 1 << 40;
+const DECISION_FLUSH_TAG: u64 = 0;
 
 /// An eager-primary-copy server.
 pub struct EagerPrimaryServer {
@@ -149,6 +160,15 @@ pub struct EagerPrimaryServer {
     requeue: VecDeque<(ClientOp, u32)>,
     /// Secondary-side tentative transactions (undo-able until decision).
     tentative: HashMap<TxnId, (OpId, Option<Response>)>,
+    /// Primary-side redo log (public for post-run inspection); with
+    /// batching on, a window's commits share one group-commit force.
+    pub wal: RedoLog,
+    batching: BatchConfig,
+    /// Commit decisions staged during the current batching window.
+    staged_decisions: Vec<(TxnId, bool)>,
+    /// Client acks deferred until the window's log force.
+    staged_replies: Vec<(NodeId, Response)>,
+    flush_armed: bool,
     marks: bool,
 }
 
@@ -172,8 +192,19 @@ impl EagerPrimaryServer {
             inflight: HashMap::new(),
             requeue: VecDeque::new(),
             tentative: HashMap::new(),
+            wal: RedoLog::new(),
+            batching: BatchConfig::disabled(),
+            staged_decisions: Vec::new(),
+            staged_replies: Vec::new(),
+            flush_armed: false,
             marks: site == 0,
         }
+    }
+
+    /// Sets the decision-round batching window (builder form).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batching = batch;
+        self
     }
 
     /// The current primary: the lowest-ranked unsuspected server.
@@ -350,14 +381,14 @@ impl EagerPrimaryServer {
                     // piggyback the writeset on Prepare (Fig. 7).
                     if total > 1 {
                         let step_no = (t.step - 1) as u32;
-                        let ws = WriteSet {
+                        let ws = Arc::new(WriteSet {
                             txn,
                             writes: vec![repl_db::WriteRecord {
                                 key: k,
                                 value: v,
                                 version: after.version,
                             }],
-                        };
+                        });
                         if !secondaries.is_empty() {
                             if self.marks {
                                 ctx.mark(
@@ -451,7 +482,7 @@ impl EagerPrimaryServer {
         t.phase = TxnPhase::Committing(coord);
         // We commit locally at decision time; to ship the writeset for the
         // single-op case we reconstruct it from the store's pending state.
-        let full_ws = self.pending_writeset(txn);
+        let full_ws = Arc::new(self.pending_writeset(txn));
         let t = self.inflight.get(&txn).expect("present");
         for s in secondaries {
             ctx.send(
@@ -499,16 +530,44 @@ impl EagerPrimaryServer {
             committed: commit,
             reads: t.reads.clone(),
         };
-        for s in self.secondaries() {
-            ctx.send(s, EagerPrimaryMsg::Decision { txn, commit });
-        }
         if commit {
-            let _ = self.base.tm.commit(txn);
+            let ws = self
+                .base
+                .tm
+                .commit(txn)
+                .unwrap_or_else(|_| WriteSet::empty(txn));
             self.base.history.mark_committed(txn);
             self.base.committed += 1;
             self.base.remember(&resp);
-            ctx.send(t.op.client, EagerPrimaryMsg::Reply(resp));
+            if self.batching.enabled() {
+                // Group commit: stage the redo record and defer both the
+                // decision round and the client ack to the window's
+                // single shared log force.
+                self.wal.stage(ws);
+                self.staged_decisions.push((txn, commit));
+                self.staged_replies.push((t.op.client, resp));
+                if self.staged_decisions.len() >= self.batching.max_batch {
+                    self.flush_decisions(ctx);
+                } else if !self.flush_armed {
+                    self.flush_armed = true;
+                    ctx.set_timer(
+                        SimDuration::from_ticks(self.batching.max_delay_ticks),
+                        DECISION_FLUSH_TAG,
+                    );
+                }
+            } else {
+                self.wal.append(ws);
+                for s in self.secondaries() {
+                    ctx.send(s, EagerPrimaryMsg::Decision { txn, commit });
+                }
+                ctx.send(t.op.client, EagerPrimaryMsg::Reply(resp));
+            }
         } else {
+            // Aborts are never batched: the sooner secondaries undo a
+            // doomed tentative transaction, the sooner its locks clear.
+            for s in self.secondaries() {
+                ctx.send(s, EagerPrimaryMsg::Decision { txn, commit });
+            }
             let _ = self.base.tm.abort(&mut self.base.store, txn);
             self.base.history.purge(txn);
             self.base.aborted += 1;
@@ -520,6 +579,46 @@ impl EagerPrimaryServer {
         // Retry wounded ops.
         while let Some((op, retries)) = self.requeue.pop_front() {
             self.begin_txn(ctx, op, retries);
+        }
+    }
+
+    /// Flushes the staged decision window: one shared log force, one
+    /// batched decision message per secondary, then the deferred acks.
+    fn flush_decisions(&mut self, ctx: &mut Context<'_, EagerPrimaryMsg>) {
+        if self.staged_decisions.is_empty() {
+            return;
+        }
+        let _ = self.wal.flush_group();
+        let entries = Arc::new(std::mem::take(&mut self.staged_decisions));
+        for s in self.secondaries() {
+            ctx.send(
+                s,
+                EagerPrimaryMsg::DecisionBatch {
+                    entries: entries.clone(),
+                },
+            );
+        }
+        for (client, resp) in std::mem::take(&mut self.staged_replies) {
+            ctx.send(client, EagerPrimaryMsg::Reply(resp));
+        }
+    }
+
+    /// Secondary side: applies one primary decision to a tentative
+    /// transaction (shared by `Decision` and `DecisionBatch`).
+    fn apply_decision(&mut self, txn: TxnId, commit: bool) {
+        if let Some((_, resp)) = self.tentative.remove(&txn) {
+            if commit {
+                let _ = self.base.tm.commit(txn);
+                self.base.history.mark_committed(txn);
+                self.base.committed += 1;
+                if let Some(r) = resp {
+                    self.base.remember(&r);
+                }
+            } else {
+                let _ = self.base.tm.abort(&mut self.base.store, txn);
+                self.base.history.purge(txn);
+                self.base.aborted += 1;
+            }
         }
     }
 
@@ -685,20 +784,10 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
                     None => {}
                 }
             }
-            EagerPrimaryMsg::Decision { txn, commit } => {
-                if let Some((_, resp)) = self.tentative.remove(&txn) {
-                    if commit {
-                        let _ = self.base.tm.commit(txn);
-                        self.base.history.mark_committed(txn);
-                        self.base.committed += 1;
-                        if let Some(r) = resp {
-                            self.base.remember(&r);
-                        }
-                    } else {
-                        let _ = self.base.tm.abort(&mut self.base.store, txn);
-                        self.base.history.purge(txn);
-                        self.base.aborted += 1;
-                    }
+            EagerPrimaryMsg::Decision { txn, commit } => self.apply_decision(txn, commit),
+            EagerPrimaryMsg::DecisionBatch { entries } => {
+                for &(txn, commit) in entries.iter() {
+                    self.apply_decision(txn, commit);
                 }
             }
             EagerPrimaryMsg::Fd(m) => {
@@ -715,6 +804,9 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
             let mut out = Outbox::new();
             self.fd.on_timer(tag - FD_BASE, &mut out);
             self.drive_fd(ctx, out);
+        } else if tag == DECISION_FLUSH_TAG {
+            self.flush_armed = false;
+            self.flush_decisions(ctx);
         }
     }
 
@@ -934,6 +1026,59 @@ mod tests {
         let fp1 = s1.base.store.fingerprint();
         let s2 = world.actor_ref::<EagerPrimaryServer>(servers[2]);
         assert_eq!(s2.base.store.fingerprint(), fp1, "survivors diverged");
+    }
+
+    #[test]
+    fn batched_decisions_group_commit_and_converge() {
+        // Three concurrent writers land in one decision window: the
+        // primary logs every commit but shares the log force, and every
+        // replica converges after the batched decision round.
+        let mut world = World::new(SimConfig::new(11));
+        let servers: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3 {
+            world.add_actor(Box::new(
+                EagerPrimaryServer::new(
+                    i,
+                    NodeId::new(i),
+                    servers.clone(),
+                    16,
+                    ExecutionMode::Deterministic,
+                    FdConfig::default(),
+                )
+                .with_batching(BatchConfig::window(2_000)),
+            ));
+        }
+        let mut clients = Vec::new();
+        for c in 0..3u32 {
+            let client = ClientActor::<EagerPrimaryMsg>::new(
+                c,
+                servers.clone(),
+                0,
+                vec![write(u64::from(c), i64::from(c) + 1)],
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(20_000),
+            );
+            clients.push(world.add_actor(Box::new(client)));
+        }
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        for &c in &clients {
+            assert!(world.actor_ref::<ClientActor<EagerPrimaryMsg>>(c).is_done());
+        }
+        let primary = world.actor_ref::<EagerPrimaryServer>(servers[0]);
+        assert_eq!(primary.wal.len(), 3, "every commit must be logged");
+        assert!(primary.wal.fsyncs() < 3, "group commit must share forces");
+        let fp0 = primary.base.store.fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world
+                    .actor_ref::<EagerPrimaryServer>(s)
+                    .base
+                    .store
+                    .fingerprint(),
+                fp0
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::HashSet;
 
-use repl_gcs::Outbox;
+use repl_gcs::{BatchConfig, Outbox};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 
 use crate::client::ProtocolMsg;
@@ -85,6 +85,12 @@ impl EuaServer {
             delegated: HashSet::new(),
             marks: site == 0,
         }
+    }
+
+    /// Sets the ordering-layer batching window (builder form).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.ab.set_batching(batch);
+        self
     }
 
     fn drain(

@@ -21,7 +21,10 @@
 //! for the suffix it missed and replays it in order — the classic
 //! log-shipping standby pattern.
 
+use std::sync::Arc;
+
 use repl_db::{RedoLog, WriteSet};
+use repl_gcs::BatchConfig;
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
 use repl_workload::OpTemplate;
 
@@ -36,11 +39,23 @@ pub enum LazyPrimaryMsg {
     /// Client → server (updates forwarded to the primary, reads local).
     Invoke(ClientOp),
     /// Primary → secondaries: committed writesets, in commit order.
+    /// The writeset is `Arc`-shared so the per-secondary fan-out clones
+    /// a pointer, not the records; `wire_size` still charges the full
+    /// logical size.
     Propagate {
         /// Position in the primary's redo log.
         idx: u64,
         /// The committed redo records.
-        ws: WriteSet,
+        ws: Arc<WriteSet>,
+    },
+    /// Primary → secondaries: one batching window's worth of committed
+    /// writesets, group-committed to the WAL with one force and shipped
+    /// as one message per secondary.
+    PropagateBatch {
+        /// Log index of the first entry.
+        start: u64,
+        /// The committed redo records, in commit order.
+        entries: Arc<Vec<WriteSet>>,
     },
     /// Recovering/gapped secondary → primary: send me the log from `have`.
     CatchUpReq {
@@ -63,6 +78,9 @@ impl Message for LazyPrimaryMsg {
         match self {
             LazyPrimaryMsg::Invoke(op) => 8 + op.wire_size(),
             LazyPrimaryMsg::Propagate { ws, .. } => 16 + ws.wire_size(),
+            LazyPrimaryMsg::PropagateBatch { entries, .. } => {
+                16 + entries.iter().map(|w| 8 + w.wire_size()).sum::<usize>()
+            }
             LazyPrimaryMsg::CatchUpReq { .. } => 16,
             LazyPrimaryMsg::CatchUpData { entries, .. } => {
                 16 + entries.iter().map(|w| w.wire_size()).sum::<usize>()
@@ -99,6 +117,10 @@ pub struct LazyPrimaryServer {
     /// Committed writesets awaiting propagation.
     outbound: Vec<WriteSet>,
     flush_armed: bool,
+    /// Batching window for the propagation stream: writesets committed
+    /// within one window ship as a single [`LazyPrimaryMsg::PropagateBatch`]
+    /// per secondary, and the WAL group-commits them under one force.
+    batching: BatchConfig,
     /// The primary's redo log (numbering the propagation stream).
     pub log: RedoLog,
     /// Secondary: how many log entries have been applied.
@@ -123,10 +145,17 @@ impl LazyPrimaryServer {
             propagation_delay,
             outbound: Vec::new(),
             flush_armed: false,
+            batching: BatchConfig::disabled(),
             log: RedoLog::new(),
             applied: 0,
             marks: site == 0,
         }
+    }
+
+    /// Sets the propagation batching window (builder form).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batching = batch;
+        self
     }
 
     /// The static primary.
@@ -137,6 +166,37 @@ impl LazyPrimaryServer {
     fn flush(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>) {
         let pending = std::mem::take(&mut self.outbound);
         self.flush_armed = false;
+        if pending.is_empty() {
+            return;
+        }
+        if self.batching.enabled() {
+            // Group commit: every writeset of the window reaches the
+            // redo log under a single force, then one PropagateBatch
+            // per secondary carries the whole window.
+            let start = self.log.len() as u64;
+            for ws in &pending {
+                if self.marks {
+                    // AC happens *after* END: the lazy signature.
+                    let op = crate::protocols::common::op_of_txn(ws.txn);
+                    ctx.mark(Phase::AgreementCoordination.tag(), op.0, 0);
+                }
+                self.log.stage(ws.clone());
+            }
+            self.log.flush_group();
+            let entries = Arc::new(pending);
+            for &s in &self.servers {
+                if s != self.me {
+                    ctx.send(
+                        s,
+                        LazyPrimaryMsg::PropagateBatch {
+                            start,
+                            entries: Arc::clone(&entries),
+                        },
+                    );
+                }
+            }
+            return;
+        }
         for ws in pending {
             if self.marks {
                 // AC happens *after* END: the lazy signature.
@@ -144,13 +204,14 @@ impl LazyPrimaryServer {
                 ctx.mark(Phase::AgreementCoordination.tag(), op.0, 0);
             }
             let idx = self.log.append(ws.clone()) as u64;
+            let ws = Arc::new(ws);
             for &s in &self.servers {
                 if s != self.me {
                     ctx.send(
                         s,
                         LazyPrimaryMsg::Propagate {
                             idx,
-                            ws: ws.clone(),
+                            ws: Arc::clone(&ws),
                         },
                     );
                 }
@@ -224,11 +285,23 @@ impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
                 ctx.send(op.client, LazyPrimaryMsg::Reply(resp));
                 if !ws.is_empty() {
                     self.outbound.push(ws);
-                    if self.propagation_delay.is_zero() {
+                    // With batching on, the flush waits for the wider of
+                    // the staleness delay and the batching window (or
+                    // goes out early on a full batch).
+                    let delay_ticks = if self.batching.enabled() {
+                        self.propagation_delay
+                            .ticks()
+                            .max(self.batching.max_delay_ticks)
+                    } else {
+                        self.propagation_delay.ticks()
+                    };
+                    if self.batching.enabled() && self.outbound.len() >= self.batching.max_batch {
+                        self.flush(ctx);
+                    } else if delay_ticks == 0 {
                         self.flush(ctx);
                     } else if !self.flush_armed {
                         self.flush_armed = true;
-                        ctx.set_timer(self.propagation_delay, FLUSH_TAG);
+                        ctx.set_timer(SimDuration::from_ticks(delay_ticks), FLUSH_TAG);
                     }
                 }
             }
@@ -236,6 +309,19 @@ impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
                 // Secondary: install in log order; on a gap (messages sent
                 // while this secondary was crashed), ask for the suffix.
                 if !self.apply_entry(idx, &ws) && idx > self.applied {
+                    let primary = self.primary();
+                    ctx.send(primary, LazyPrimaryMsg::CatchUpReq { have: self.applied });
+                }
+            }
+            LazyPrimaryMsg::PropagateBatch { start, entries } => {
+                let mut gap = false;
+                for (i, ws) in entries.iter().enumerate() {
+                    let idx = start + i as u64;
+                    if !self.apply_entry(idx, ws) && idx > self.applied {
+                        gap = true;
+                    }
+                }
+                if gap {
                     let primary = self.primary();
                     ctx.send(primary, LazyPrimaryMsg::CatchUpReq { have: self.applied });
                 }
@@ -394,6 +480,58 @@ mod tests {
         assert!(reader.is_done());
         let observed = reader.records[0].response.as_ref().expect("r").reads[0].1;
         assert_eq!(observed, Value(0), "read should be stale in the window");
+    }
+
+    #[test]
+    fn batched_propagation_group_commits_and_converges() {
+        // Three writes land inside one batching window: the primary must
+        // ship ONE PropagateBatch per secondary, group-commit the WAL
+        // with one force, and still converge every replica.
+        let mut world = World::new(SimConfig::new(21));
+        let servers: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3 {
+            world.add_actor(Box::new(
+                LazyPrimaryServer::new(
+                    i,
+                    NodeId::new(i),
+                    servers.clone(),
+                    16,
+                    ExecutionMode::Deterministic,
+                    SimDuration::ZERO,
+                )
+                .with_batching(repl_gcs::BatchConfig::window(5_000)),
+            ));
+        }
+        let client = ClientActor::<LazyPrimaryMsg>::new(
+            0,
+            servers.clone(),
+            0,
+            vec![write(0, 1), write(1, 2), write(0, 3)],
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(20_000),
+        );
+        let c = world.add_actor(Box::new(client));
+        world.start();
+        world.run_until(SimTime::from_ticks(300_000));
+        assert!(world.actor_ref::<ClientActor<LazyPrimaryMsg>>(c).is_done());
+        let primary = world.actor_ref::<LazyPrimaryServer>(servers[0]);
+        assert_eq!(primary.log.len(), 3, "all three writesets logged");
+        assert!(
+            primary.log.fsyncs() < 3,
+            "group commit must share forces: {} forces for 3 records",
+            primary.log.fsyncs()
+        );
+        let fp0 = primary.base.store.fingerprint();
+        for &s in &servers[1..] {
+            assert_eq!(
+                world
+                    .actor_ref::<LazyPrimaryServer>(s)
+                    .base
+                    .store
+                    .fingerprint(),
+                fp0
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use repl_db::{Key, Value};
-use repl_gcs::{Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
+use repl_gcs::{BatchConfig, Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 
 use crate::client::ProtocolMsg;
@@ -121,6 +121,12 @@ impl SemiActiveServer {
             issued: HashSet::new(),
             marks: site == 0,
         }
+    }
+
+    /// Sets the ordering-layer batching window (builder form).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.ab.set_batching(batch);
+        self
     }
 
     /// The current leader (lowest member of the installed view).

@@ -122,6 +122,18 @@ impl RunReport {
         self.messages.messages_sent as f64 / self.ops_completed as f64
     }
 
+    /// Server↔server coordination messages per completed operation —
+    /// the ordering/agreement share of [`RunReport::messages_per_op`].
+    /// Client request/response traffic (one invoke plus one reply per
+    /// replica that answers) is excluded: it is fixed per transaction
+    /// and no ordering-layer optimization can amortize it.
+    pub fn coordination_messages_per_op(&self) -> f64 {
+        if self.ops_completed == 0 {
+            return 0.0;
+        }
+        self.messages.coordination_messages as f64 / self.ops_completed as f64
+    }
+
     /// The most frequent phase skeleton observed (needs tracing).
     pub fn canonical_skeleton(&self) -> Option<PhaseSkeleton> {
         self.phase_trace.canonical()

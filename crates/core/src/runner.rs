@@ -2,7 +2,7 @@
 //! workload to completion, and collect a [`RunReport`].
 
 use repl_db::DeadlockPolicy;
-use repl_gcs::{ConsensusConfig, FdConfig, VsConfig};
+use repl_gcs::{BatchConfig, ConsensusConfig, FdConfig, VsConfig};
 use repl_sim::{
     Actor, LatencyStats, Message, NetworkConfig, NodeId, SimConfig, SimDuration, SimTime, World,
 };
@@ -59,6 +59,11 @@ pub struct RunConfig {
     pub faults: FaultPlan,
     /// Which Atomic Broadcast implementation ABCAST-based techniques use.
     pub abcast: AbcastImpl,
+    /// Batching window for the ordering/propagation rounds of the
+    /// ABCAST-based and primary-copy techniques (and for WAL group
+    /// commit at the primaries). `BatchConfig::disabled()` (the
+    /// default) reproduces the unbatched behaviour bit-for-bit.
+    pub batching: BatchConfig,
     /// Whether server execution is deterministic.
     pub exec: ExecutionMode,
     /// Deadlock policy for the distributed-locking technique.
@@ -92,6 +97,7 @@ impl RunConfig {
             network: NetworkConfig::lan(),
             faults: FaultPlan::new(),
             abcast: AbcastImpl::Sequencer,
+            batching: BatchConfig::disabled(),
             exec: ExecutionMode::Deterministic,
             deadlock: DeadlockPolicy::WoundWait,
             rowa: false,
@@ -151,6 +157,12 @@ impl RunConfig {
     /// Sets the ABCAST implementation.
     pub fn with_abcast(mut self, a: AbcastImpl) -> Self {
         self.abcast = a;
+        self
+    }
+
+    /// Sets the batching window (ordering rounds + WAL group commit).
+    pub fn with_batching(mut self, b: BatchConfig) -> Self {
+        self.batching = b;
         self
     }
 
@@ -344,15 +356,18 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::Active => drive::<ActiveMsg, ActiveServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(ActiveServer::new(
-                    site,
-                    me,
-                    group,
-                    c.workload.items,
-                    c.exec,
-                    c.abcast,
-                    tuned_consensus(&c.network),
-                ))
+                Box::new(
+                    ActiveServer::new(
+                        site,
+                        me,
+                        group,
+                        c.workload.items,
+                        c.exec,
+                        c.abcast,
+                        tuned_consensus(&c.network),
+                    )
+                    .with_batching(c.batching),
+                )
             },
             |s| base_stats(&s.base),
         ),
@@ -373,15 +388,18 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::SemiActive => drive::<SemiActiveMsg, SemiActiveServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(SemiActiveServer::new(
-                    site,
-                    me,
-                    group,
-                    c.workload.items,
-                    c.exec,
-                    c.abcast,
-                    tuned_vs(&c.network),
-                ))
+                Box::new(
+                    SemiActiveServer::new(
+                        site,
+                        me,
+                        group,
+                        c.workload.items,
+                        c.exec,
+                        c.abcast,
+                        tuned_vs(&c.network),
+                    )
+                    .with_batching(c.batching),
+                )
             },
             |s| base_stats(&s.base),
         ),
@@ -403,14 +421,17 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::EagerPrimary => drive::<EagerPrimaryMsg, EagerPrimaryServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(EagerPrimaryServer::new(
-                    site,
-                    me,
-                    group,
-                    c.workload.items,
-                    c.exec,
-                    tuned_fd(&c.network),
-                ))
+                Box::new(
+                    EagerPrimaryServer::new(
+                        site,
+                        me,
+                        group,
+                        c.workload.items,
+                        c.exec,
+                        tuned_fd(&c.network),
+                    )
+                    .with_batching(c.batching),
+                )
             },
             |s| base_stats(&s.base),
         ),
@@ -431,29 +452,35 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::EagerUpdateEverywhereAbcast => drive::<EuaMsg, EuaServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(EuaServer::new(
-                    site,
-                    me,
-                    group,
-                    c.workload.items,
-                    c.exec,
-                    c.abcast,
-                    tuned_consensus(&c.network),
-                ))
+                Box::new(
+                    EuaServer::new(
+                        site,
+                        me,
+                        group,
+                        c.workload.items,
+                        c.exec,
+                        c.abcast,
+                        tuned_consensus(&c.network),
+                    )
+                    .with_batching(c.batching),
+                )
             },
             |s| base_stats(&s.base),
         ),
         Technique::LazyPrimary => drive::<LazyPrimaryMsg, LazyPrimaryServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(LazyPrimaryServer::new(
-                    site,
-                    me,
-                    group,
-                    c.workload.items,
-                    c.exec,
-                    c.propagation_delay,
-                ))
+                Box::new(
+                    LazyPrimaryServer::new(
+                        site,
+                        me,
+                        group,
+                        c.workload.items,
+                        c.exec,
+                        c.propagation_delay,
+                    )
+                    .with_batching(c.batching),
+                )
             },
             |s| base_stats(&s.base),
         ),
@@ -481,15 +508,18 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::Certification => drive::<CertMsg, CertServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(CertServer::new(
-                    site,
-                    me,
-                    group,
-                    c.workload.items,
-                    c.exec,
-                    c.abcast,
-                    tuned_consensus(&c.network),
-                ))
+                Box::new(
+                    CertServer::new(
+                        site,
+                        me,
+                        group,
+                        c.workload.items,
+                        c.exec,
+                        c.abcast,
+                        tuned_consensus(&c.network),
+                    )
+                    .with_batching(c.batching),
+                )
             },
             |s| base_stats(&s.base),
         ),
@@ -528,9 +558,18 @@ where
     M: Message + ProtocolMsg,
     S: 'static,
 {
+    // Pre-size the trace from the workload: each transaction costs a few
+    // messages per server (send + deliver records) plus phase marks. The
+    // cap bounds the up-front buy for huge sweeps.
+    let txns = u64::from(cfg.clients) * u64::from(cfg.workload.txns_per_client);
+    let est = txns
+        .saturating_mul(8 * u64::from(cfg.servers) + 8)
+        .min(1 << 22) as usize;
     let sim = SimConfig::new(cfg.seed)
         .with_network(cfg.network.clone())
-        .with_trace(cfg.trace);
+        .with_trace(cfg.trace)
+        .with_trace_capacity(est)
+        .with_coordination_nodes(cfg.servers);
     let mut world: World<M> = World::new(sim);
     let servers: Vec<NodeId> = (0..cfg.servers).map(NodeId::new).collect();
     for site in 0..cfg.servers {

@@ -167,6 +167,47 @@ fn lazy_techniques_untouched_replicas_converge_after_heal() {
     }
 }
 
+/// The composed-fault scenario again, with a nonzero batching window:
+/// crashes, a partition + heal and a latency spike hit runs whose
+/// ordering layer is staging transactions into batches. Liveness must
+/// hold (no client stranded by a batch whose flush raced a failover),
+/// and batch delivery must stay all-or-nothing: a partially applied
+/// batch would split the stores of replicas the plan never disturbed
+/// (convergence check) or commit a torn prefix (1SR check).
+#[test]
+fn composed_faults_with_batching_window() {
+    use repl_core::protocols::common::AbcastImpl;
+    use repl_core::BatchConfig;
+
+    let abcast_based = [
+        Technique::Active,
+        Technique::SemiActive,
+        Technique::EagerUpdateEverywhereAbcast,
+        Technique::Certification,
+    ];
+    for technique in abcast_based {
+        for ab in [AbcastImpl::Sequencer, AbcastImpl::Consensus] {
+            let (cfg, plan) = sweep_cfg(technique, 42, 0.6);
+            let cfg = cfg
+                .with_abcast(ab)
+                .with_batching(BatchConfig::window(500));
+            let report = run(&cfg);
+            assert_eq!(
+                report.ops_unanswered, 0,
+                "{technique}/{ab:?}: client stranded — a staged batch was lost in failover"
+            );
+            assert!(
+                report.faults_injected() > 0,
+                "{technique}/{ab:?}: nemesis injected nothing"
+            );
+            report.check_one_copy_serializable().unwrap_or_else(|e| {
+                panic!("{technique}/{ab:?}: 1SR violated with batching under faults: {e}")
+            });
+            assert_untouched_converged(technique, 42, &report, &plan);
+        }
+    }
+}
+
 /// Satellite: same seed ⇒ identical runs, under faults, across techniques
 /// from three different families (active replication, primary-backup via
 /// view synchrony, distributed locking).

@@ -33,7 +33,7 @@ pub use certify::{Certification, Certifier};
 pub use history::{HistOp, ReplicatedHistory, SerializabilityViolation};
 pub use item::{AccessKind, Key, TxnId, Value};
 pub use locks::{Acquire, DeadlockPolicy, LockManager, LockMode};
-pub use log::{RedoLog, WriteRecord, WriteSet};
+pub use log::{RedoLog, WriteRecord, WriteSet, FSYNC_TICKS};
 pub use store::{ShadowStore, Store, Versioned};
 pub use twopc::{TpcCoordState, TpcCoordinator, TpcDecision, TpcMsg, TpcPartState, TpcParticipant};
 pub use txn::{TxnManager, UnknownTxn};

@@ -57,8 +57,22 @@ impl WriteSet {
     }
 }
 
+/// Simulated latency of one stable-storage force (fsync), in virtual
+/// ticks. Group commit's whole point is that a window of transactions
+/// shares a single such charge.
+pub const FSYNC_TICKS: u64 = 120;
+
 /// An append-only redo log, as kept by each site for propagation and
-/// recovery.
+/// recovery — with **group commit**.
+///
+/// [`RedoLog::append`] durably commits one record and pays one force
+/// ([`RedoLog::fsyncs`] counts them). Under group commit the caller
+/// stages records with [`RedoLog::stage`] and later calls
+/// [`RedoLog::flush_group`]: every staged record reaches the log in
+/// stage order, but the whole group shares a *single* fsync charge —
+/// the classic WAL group-commit amortization. The log contents are
+/// identical either way; only the force count (and the latency the
+/// caller models with [`FSYNC_TICKS`]) differ.
 ///
 /// # Examples
 ///
@@ -70,10 +84,21 @@ impl WriteSet {
 /// assert_eq!(log.len(), 1);
 /// assert_eq!(log.since(0).count(), 1);
 /// assert_eq!(log.since(1).count(), 0);
+/// assert_eq!(log.fsyncs(), 1);
+///
+/// // Group commit: three records, one force.
+/// for i in 2..5 {
+///     log.stage(WriteSet::empty(TxnId::new(i, 0)));
+/// }
+/// assert_eq!(log.flush_group(), Some((1, 3)));
+/// assert_eq!(log.len(), 4);
+/// assert_eq!(log.fsyncs(), 2);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RedoLog {
     entries: Vec<WriteSet>,
+    staged: Vec<WriteSet>,
+    fsyncs: u64,
 }
 
 impl RedoLog {
@@ -81,13 +106,48 @@ impl RedoLog {
     pub fn new() -> Self {
         RedoLog {
             entries: Vec::new(),
+            staged: Vec::new(),
+            fsyncs: 0,
         }
     }
 
     /// Appends a committed transaction's writeset; returns its log index.
+    /// Pays one stable-storage force.
     pub fn append(&mut self, ws: WriteSet) -> usize {
         self.entries.push(ws);
+        self.fsyncs += 1;
         self.entries.len() - 1
+    }
+
+    /// Stages a record for the next group commit (no force yet; the
+    /// record is not durable and not visible to [`RedoLog::since`]
+    /// until [`RedoLog::flush_group`]).
+    pub fn stage(&mut self, ws: WriteSet) {
+        self.staged.push(ws);
+    }
+
+    /// Number of records staged for the next group commit.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Commits every staged record with a single force. Returns the
+    /// log index of the first record and the group size, or `None` if
+    /// nothing was staged (no force is paid then).
+    pub fn flush_group(&mut self) -> Option<(usize, usize)> {
+        if self.staged.is_empty() {
+            return None;
+        }
+        let start = self.entries.len();
+        let count = self.staged.len();
+        self.entries.append(&mut self.staged);
+        self.fsyncs += 1;
+        Some((start, count))
+    }
+
+    /// Number of stable-storage forces paid so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Number of entries.
@@ -123,6 +183,30 @@ mod tests {
         assert!(ws.touches_any(&[Key(2), Key(3)]));
         assert!(!ws.touches_any(&[Key(0)]));
         assert!(!WriteSet::empty(TxnId::new(2, 0)).touches_any(&[Key(3)]));
+    }
+
+    #[test]
+    fn group_commit_shares_one_fsync() {
+        let mut log = RedoLog::new();
+        log.append(WriteSet::empty(TxnId::new(0, 0)));
+        assert_eq!(log.fsyncs(), 1);
+        for i in 1..6 {
+            log.stage(WriteSet::empty(TxnId::new(i, 0)));
+        }
+        assert_eq!(log.staged_len(), 5);
+        // Staged records are not yet durable.
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.since(0).count(), 1);
+        assert_eq!(log.flush_group(), Some((1, 5)));
+        assert_eq!(log.staged_len(), 0);
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.fsyncs(), 2, "five records, one shared force");
+        // Order preserved: entries appear in stage order.
+        let txns: Vec<u64> = log.since(0).map(|w| w.txn.ts).collect();
+        assert_eq!(txns, vec![0, 1, 2, 3, 4, 5]);
+        // Empty flush pays nothing.
+        assert_eq!(log.flush_group(), None);
+        assert_eq!(log.fsyncs(), 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! number; within a batch, messages are ordered by [`MsgId`].
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 use repl_sim::{Message, NodeId, SimDuration};
 
@@ -30,6 +31,59 @@ pub struct AbDeliver<P> {
     pub id: MsgId,
     /// Application payload.
     pub payload: P,
+}
+
+/// Batching window shared by both ABCAST implementations.
+///
+/// With a nonzero window, concurrent `broadcast()` calls at one endpoint
+/// are staged for up to `max_delay_ticks` and submitted as one
+/// [`Batch`], so a group of messages pays for a single ordering round.
+/// The sequencer additionally coalesces submissions that arrive within
+/// one window into a single dissemination round. `max_batch` /
+/// `max_bytes` bound a batch and force an early flush.
+///
+/// `BatchConfig::disabled()` (window 0) is the default and keeps the
+/// unbatched code paths byte-for-byte: no staging, no extra timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum staging delay before a batch is flushed (0 = batching off).
+    pub max_delay_ticks: u64,
+    /// Flush early once this many messages are staged.
+    pub max_batch: usize,
+    /// Flush early once the staged payloads reach this many wire bytes.
+    pub max_bytes: usize,
+}
+
+impl BatchConfig {
+    /// Batching off: every broadcast pays its own ordering round.
+    pub const fn disabled() -> Self {
+        BatchConfig {
+            max_delay_ticks: 0,
+            max_batch: usize::MAX,
+            max_bytes: usize::MAX,
+        }
+    }
+
+    /// A batching window of `ticks` with the default size bounds
+    /// (64 messages / 64 KiB per batch).
+    pub const fn window(ticks: u64) -> Self {
+        BatchConfig {
+            max_delay_ticks: ticks,
+            max_batch: 64,
+            max_bytes: 64 << 10,
+        }
+    }
+
+    /// Whether batching is on.
+    pub fn enabled(&self) -> bool {
+        self.max_delay_ticks > 0
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::disabled()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -55,6 +109,14 @@ pub enum SeqAbMsg<P> {
         /// Application payload.
         payload: P,
     },
+    /// Sender → sequencer: please order this whole batch (batching on).
+    SubmitBatch(Batch<P>),
+    /// Sequencer → group (and non-member origins): one dissemination
+    /// round carrying every message ordered in the window.
+    OrderedBatch {
+        /// `(gseq, id, payload)` in assignment order.
+        entries: Arc<Vec<(u64, MsgId, P)>>,
+    },
 }
 
 impl<P: Message> Message for SeqAbMsg<P> {
@@ -62,11 +124,25 @@ impl<P: Message> Message for SeqAbMsg<P> {
         match self {
             SeqAbMsg::Submit { payload, .. } => 16 + payload.wire_size(),
             SeqAbMsg::Ordered { payload, .. } => 24 + payload.wire_size(),
+            SeqAbMsg::SubmitBatch(b) => b.wire_size(),
+            // Honest accounting: a batch still serializes every entry's
+            // gseq + id + payload; only the per-message framing (8 bytes
+            // here) is amortized across the batch.
+            SeqAbMsg::OrderedBatch { entries } => {
+                8 + entries
+                    .iter()
+                    .map(|(_, _, p)| 24 + p.wire_size())
+                    .sum::<usize>()
+            }
         }
     }
 }
 
 const RETRANSMIT_TAG: u64 = 0;
+/// Sender role: flush the staged batch to the sequencer.
+const FLUSH_TAG: u64 = 1;
+/// Sequencer role: close the accumulation window and disseminate.
+const ORDER_FLUSH_TAG: u64 = 2;
 
 /// Fixed-sequencer Atomic Broadcast.
 ///
@@ -94,20 +170,28 @@ pub struct SequencerAbcast<P> {
     group: Vec<NodeId>,
     member: bool,
     retransmit_every: SimDuration,
+    batch: BatchConfig,
     next_local: u64,
     // BTreeMap so retransmission iterates in MsgId order (deterministic).
     pending: BTreeMap<MsgId, P>,
     timer_armed: bool,
+    // Sender role, batching: own broadcasts staged for the next flush.
+    staged: Vec<(MsgId, P)>,
+    staged_bytes: usize,
+    flush_armed: bool,
     // Sequencer role.
     ordered: HashMap<MsgId, u64>,
     next_gseq: u64,
+    // Sequencer role, batching: submissions accumulated in the window.
+    order_staged: Vec<(u64, MsgId, P)>,
+    order_flush_armed: bool,
     // Receiver role.
     next_deliver: u64,
     holdback: BTreeMap<u64, (MsgId, P)>,
     delivered_ids: HashSet<MsgId>,
 }
 
-impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
+impl<P: Message> SequencerAbcast<P> {
     /// Creates an endpoint for `me`; the sequencer is `group[0]`.
     ///
     /// # Panics
@@ -121,15 +205,32 @@ impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
             group,
             member,
             retransmit_every: SimDuration::from_ticks(2_000),
+            batch: BatchConfig::disabled(),
             next_local: 0,
             pending: BTreeMap::new(),
             timer_armed: false,
+            staged: Vec::new(),
+            staged_bytes: 0,
+            flush_armed: false,
             ordered: HashMap::new(),
             next_gseq: 0,
+            order_staged: Vec::new(),
+            order_flush_armed: false,
             next_deliver: 0,
             holdback: BTreeMap::new(),
             delivered_ids: HashSet::new(),
         }
+    }
+
+    /// Sets the batching window (builder form).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the batching window in place.
+    pub fn set_batching(&mut self, batch: BatchConfig) {
+        self.batch = batch;
     }
 
     /// The sequencer node.
@@ -147,7 +248,23 @@ impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
         let id = MsgId::new(self.me, self.next_local);
         self.next_local += 1;
         self.pending.insert(id, payload.clone());
-        out.send(self.sequencer(), SeqAbMsg::Submit { id, payload });
+        if self.batch.enabled() {
+            self.staged_bytes += payload.wire_size();
+            self.staged.push((id, payload));
+            if self.staged.len() >= self.batch.max_batch
+                || self.staged_bytes >= self.batch.max_bytes
+            {
+                self.flush_submit(out);
+            } else if !self.flush_armed {
+                self.flush_armed = true;
+                out.timer(
+                    SimDuration::from_ticks(self.batch.max_delay_ticks),
+                    FLUSH_TAG,
+                );
+            }
+        } else {
+            out.send(self.sequencer(), SeqAbMsg::Submit { id, payload });
+        }
         if !self.timer_armed {
             self.timer_armed = true;
             out.timer(self.retransmit_every, RETRANSMIT_TAG);
@@ -155,8 +272,20 @@ impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
         id
     }
 
-    fn order(&mut self, id: MsgId, payload: P, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
-        let gseq = match self.ordered.get(&id) {
+    /// Sender role: ship the staged batch to the sequencer in one message.
+    fn flush_submit(&mut self, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
+        self.flush_armed = false;
+        if self.staged.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.staged);
+        self.staged_bytes = 0;
+        out.send(self.sequencer(), SeqAbMsg::SubmitBatch(Batch::new(entries)));
+    }
+
+    /// Assigns `id` its global sequence number (idempotent).
+    fn assign_gseq(&mut self, id: MsgId) -> u64 {
+        match self.ordered.get(&id) {
             Some(&g) => g,
             None => {
                 let g = self.next_gseq;
@@ -164,7 +293,11 @@ impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
                 self.ordered.insert(id, g);
                 g
             }
-        };
+        }
+    }
+
+    fn order(&mut self, id: MsgId, payload: P, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
+        let gseq = self.assign_gseq(id);
         for &m in &self.group {
             if m != self.me {
                 out.send(
@@ -190,6 +323,77 @@ impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
         self.accept(gseq, id, payload, out);
     }
 
+    /// Sequencer role, batching: stage ordered submissions and
+    /// disseminate everything accumulated in one window together.
+    fn order_batched(
+        &mut self,
+        entries: Vec<(MsgId, P)>,
+        out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>,
+    ) {
+        for (id, payload) in entries {
+            // A message already staged for the next flush must not be
+            // staged twice; a retransmission of an already-disseminated
+            // message keeps its first gseq but is re-disseminated (the
+            // earlier round may have been lost — receivers dedup).
+            if self.order_staged.iter().any(|(_, staged, _)| *staged == id) {
+                continue;
+            }
+            let gseq = self.assign_gseq(id);
+            self.order_staged.push((gseq, id, payload));
+        }
+        if self.order_staged.len() >= self.batch.max_batch {
+            self.flush_order(out);
+        } else if !self.order_staged.is_empty() && !self.order_flush_armed {
+            self.order_flush_armed = true;
+            out.timer(
+                SimDuration::from_ticks(self.batch.max_delay_ticks),
+                ORDER_FLUSH_TAG,
+            );
+        }
+    }
+
+    /// Sequencer role, batching: one dissemination round for the window.
+    fn flush_order(&mut self, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
+        self.order_flush_armed = false;
+        if self.order_staged.is_empty() {
+            return;
+        }
+        let entries = Arc::new(std::mem::take(&mut self.order_staged));
+        for &m in &self.group {
+            if m != self.me {
+                out.send(
+                    m,
+                    SeqAbMsg::OrderedBatch {
+                        entries: Arc::clone(&entries),
+                    },
+                );
+            }
+        }
+        // Non-member origins get one confirmation batch each, holding
+        // just their own entries.
+        let mut outsiders: Vec<(NodeId, Vec<(u64, MsgId, P)>)> = Vec::new();
+        for e in entries.iter() {
+            let origin = e.1.origin;
+            if origin != self.me && !self.group.contains(&origin) {
+                match outsiders.iter_mut().find(|(o, _)| *o == origin) {
+                    Some((_, v)) => v.push(e.clone()),
+                    None => outsiders.push((origin, vec![e.clone()])),
+                }
+            }
+        }
+        for (origin, mine) in outsiders {
+            out.send(
+                origin,
+                SeqAbMsg::OrderedBatch {
+                    entries: Arc::new(mine),
+                },
+            );
+        }
+        for (gseq, id, payload) in entries.iter() {
+            self.accept(*gseq, *id, payload.clone(), out);
+        }
+    }
+
     fn accept(
         &mut self,
         gseq: u64,
@@ -212,7 +416,7 @@ impl<P: Clone + std::fmt::Debug + 'static> SequencerAbcast<P> {
     }
 }
 
-impl<P: Clone + std::fmt::Debug + 'static> Component for SequencerAbcast<P> {
+impl<P: Message> Component for SequencerAbcast<P> {
     type Msg = SeqAbMsg<P>;
     type Event = AbDeliver<P>;
 
@@ -225,34 +429,69 @@ impl<P: Clone + std::fmt::Debug + 'static> Component for SequencerAbcast<P> {
         match msg {
             SeqAbMsg::Submit { id, payload } => {
                 if self.me == self.sequencer() {
-                    self.order(id, payload, out);
+                    if self.batch.enabled() {
+                        self.order_batched(vec![(id, payload)], out);
+                    } else {
+                        self.order(id, payload, out);
+                    }
+                }
+            }
+            SeqAbMsg::SubmitBatch(batch) => {
+                if self.me == self.sequencer() {
+                    let entries = batch.into_entries();
+                    if self.batch.enabled() {
+                        self.order_batched(entries, out);
+                    } else {
+                        for (id, payload) in entries {
+                            self.order(id, payload, out);
+                        }
+                    }
                 }
             }
             SeqAbMsg::Ordered { gseq, id, payload } => {
                 self.accept(gseq, id, payload, out);
             }
+            SeqAbMsg::OrderedBatch { entries } => {
+                for (gseq, id, payload) in entries.iter() {
+                    self.accept(*gseq, *id, payload.clone(), out);
+                }
+            }
         }
     }
 
     fn on_timer(&mut self, tag: u64, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
-        if tag != RETRANSMIT_TAG {
-            return;
+        match tag {
+            FLUSH_TAG => self.flush_submit(out),
+            ORDER_FLUSH_TAG => self.flush_order(out),
+            RETRANSMIT_TAG => {
+                if self.pending.is_empty() {
+                    self.timer_armed = false;
+                    return;
+                }
+                let seq = self.sequencer();
+                if self.batch.enabled() {
+                    // Retransmit everything unconfirmed as one batch.
+                    let entries: Vec<(MsgId, P)> = self
+                        .pending
+                        .iter()
+                        .map(|(&id, p)| (id, p.clone()))
+                        .collect();
+                    out.send(seq, SeqAbMsg::SubmitBatch(Batch::new(entries)));
+                } else {
+                    for (&id, payload) in &self.pending {
+                        out.send(
+                            seq,
+                            SeqAbMsg::Submit {
+                                id,
+                                payload: payload.clone(),
+                            },
+                        );
+                    }
+                }
+                out.timer(self.retransmit_every, RETRANSMIT_TAG);
+            }
+            _ => {}
         }
-        if self.pending.is_empty() {
-            self.timer_armed = false;
-            return;
-        }
-        let seq = self.sequencer();
-        for (&id, payload) in &self.pending {
-            out.send(
-                seq,
-                SeqAbMsg::Submit {
-                    id,
-                    payload: payload.clone(),
-                },
-            );
-        }
-        out.timer(self.retransmit_every, RETRANSMIT_TAG);
     }
 }
 
@@ -260,9 +499,37 @@ impl<P: Clone + std::fmt::Debug + 'static> Component for SequencerAbcast<P> {
 // Consensus-based
 // ---------------------------------------------------------------------------
 
-/// A batch of messages agreed on by one consensus instance.
+/// A batch of messages submitted or agreed on together.
+///
+/// The entry list is behind an [`Arc`]: multicasting a batch to n−1
+/// group members (and the round-based consensus re-broadcasts) clones a
+/// pointer, not the payloads. [`Batch::wire_size`] keeps reporting the
+/// logical serialized size of every entry, so byte accounting is
+/// unaffected by the sharing.
 #[derive(Debug, Clone)]
-pub struct Batch<P>(pub Vec<(MsgId, P)>);
+pub struct Batch<P>(pub Arc<Vec<(MsgId, P)>>);
+
+impl<P> Batch<P> {
+    /// Wraps `entries` into a shareable batch.
+    pub fn new(entries: Vec<(MsgId, P)>) -> Self {
+        Batch(Arc::new(entries))
+    }
+
+    /// The entries, in submission order.
+    pub fn entries(&self) -> &[(MsgId, P)] {
+        &self.0
+    }
+}
+
+impl<P: Clone> Batch<P> {
+    /// Extracts the entries, cloning only if the batch is still shared.
+    pub fn into_entries(self) -> Vec<(MsgId, P)> {
+        match Arc::try_unwrap(self.0) {
+            Ok(v) => v,
+            Err(shared) => (*shared).clone(),
+        }
+    }
+}
 
 impl<P: Message> Message for Batch<P> {
     fn wire_size(&self) -> usize {
@@ -284,6 +551,8 @@ pub enum CAbMsg<P> {
         /// Application payload.
         payload: P,
     },
+    /// Gossip of a whole staged batch to all members (batching on).
+    SubmitBatch(Batch<P>),
     /// Embedded consensus traffic.
     Cons(ConsMsg<Batch<P>>),
 }
@@ -292,6 +561,7 @@ impl<P: Message> Message for CAbMsg<P> {
     fn wire_size(&self) -> usize {
         match self {
             CAbMsg::Submit { payload, .. } => 16 + payload.wire_size(),
+            CAbMsg::SubmitBatch(b) => b.wire_size(),
             CAbMsg::Cons(c) => 8 + c.wire_size(),
         }
     }
@@ -299,6 +569,8 @@ impl<P: Message> Message for CAbMsg<P> {
 
 /// Timer-tag base of the embedded consensus pool.
 const CONS_BASE: u64 = 1 << 40;
+/// Flush the staged batch (batching on); must stay below `CONS_BASE`.
+const CONS_FLUSH_TAG: u64 = 0;
 
 /// Consensus-based Atomic Broadcast (Chandra–Toueg reduction).
 ///
@@ -315,8 +587,14 @@ pub struct ConsensusAbcast<P> {
     me: NodeId,
     group: Vec<NodeId>,
     pool: ConsensusPool<Batch<P>>,
+    batch: BatchConfig,
     next_local: u64,
     pending: BTreeMap<MsgId, P>,
+    // Batching: own broadcasts staged until the window flushes; they
+    // enter `pending` (and the gossip/proposal machinery) at the flush.
+    staged: Vec<(MsgId, P)>,
+    staged_bytes: usize,
+    flush_armed: bool,
     delivered: HashSet<MsgId>,
     decided: BTreeMap<u64, Batch<P>>,
     next_inst: u64,
@@ -324,7 +602,7 @@ pub struct ConsensusAbcast<P> {
     next_gseq: u64,
 }
 
-impl<P: Clone + std::fmt::Debug + 'static> ConsensusAbcast<P> {
+impl<P: Message> ConsensusAbcast<P> {
     /// Creates an endpoint for group member `me`.
     pub fn new(me: NodeId, group: Vec<NodeId>, config: ConsensusConfig) -> Self {
         let pool = ConsensusPool::new(me, group.clone(), config);
@@ -332,8 +610,12 @@ impl<P: Clone + std::fmt::Debug + 'static> ConsensusAbcast<P> {
             me,
             group,
             pool,
+            batch: BatchConfig::disabled(),
             next_local: 0,
             pending: BTreeMap::new(),
+            staged: Vec::new(),
+            staged_bytes: 0,
+            flush_armed: false,
             delivered: HashSet::new(),
             decided: BTreeMap::new(),
             next_inst: 0,
@@ -342,15 +624,42 @@ impl<P: Clone + std::fmt::Debug + 'static> ConsensusAbcast<P> {
         }
     }
 
+    /// Sets the batching window (builder form).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the batching window in place.
+    pub fn set_batching(&mut self, batch: BatchConfig) {
+        self.batch = batch;
+    }
+
     /// Number of own or gossiped messages not yet delivered.
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.staged.len()
     }
 
     /// Broadcasts `payload`; returns its id.
     pub fn broadcast(&mut self, payload: P, out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>) -> MsgId {
         let id = MsgId::new(self.me, self.next_local);
         self.next_local += 1;
+        if self.batch.enabled() {
+            self.staged_bytes += payload.wire_size();
+            self.staged.push((id, payload));
+            if self.staged.len() >= self.batch.max_batch
+                || self.staged_bytes >= self.batch.max_bytes
+            {
+                self.flush(out);
+            } else if !self.flush_armed {
+                self.flush_armed = true;
+                out.timer(
+                    SimDuration::from_ticks(self.batch.max_delay_ticks),
+                    CONS_FLUSH_TAG,
+                );
+            }
+            return id;
+        }
         self.pending.insert(id, payload.clone());
         for &m in &self.group {
             if m != self.me {
@@ -367,11 +676,55 @@ impl<P: Clone + std::fmt::Debug + 'static> ConsensusAbcast<P> {
         id
     }
 
+    /// Batching: gossip the staged window as one batch and propose. Also
+    /// the window-paced proposal point — gossiped-but-undecided messages
+    /// (empty stage) still trigger a proposal here, so deferral never
+    /// strands a batch.
+    fn flush(&mut self, out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>) {
+        self.flush_armed = false;
+        if !self.staged.is_empty() {
+            let entries = std::mem::take(&mut self.staged);
+            self.staged_bytes = 0;
+            for (id, p) in &entries {
+                self.pending.insert(*id, p.clone());
+            }
+            let batch = Batch::new(entries);
+            for &m in &self.group {
+                if m != self.me {
+                    out.send(m, CAbMsg::SubmitBatch(batch.clone()));
+                }
+            }
+        }
+        self.maybe_propose(out);
+    }
+
+    /// Schedules the next proposal: immediately when batching is off (the
+    /// legacy path), at the next window boundary when it is on. Deferring
+    /// keeps the instance rate at one per window instead of one per
+    /// network round-trip, so a whole window's traffic is agreed on in a
+    /// single instance.
+    fn schedule_propose(&mut self, out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>) {
+        if !self.batch.enabled() {
+            self.maybe_propose(out);
+            return;
+        }
+        if self.pending.is_empty() || self.proposed_for == Some(self.next_inst) {
+            return;
+        }
+        if !self.flush_armed {
+            self.flush_armed = true;
+            out.timer(
+                SimDuration::from_ticks(self.batch.max_delay_ticks),
+                CONS_FLUSH_TAG,
+            );
+        }
+    }
+
     fn maybe_propose(&mut self, out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>) {
         if self.pending.is_empty() || self.proposed_for == Some(self.next_inst) {
             return;
         }
-        let batch = Batch(
+        let batch = Batch::new(
             self.pending
                 .iter()
                 .map(|(id, p)| (*id, p.clone()))
@@ -395,7 +748,7 @@ impl<P: Clone + std::fmt::Debug + 'static> ConsensusAbcast<P> {
         }
         let mut progressed = false;
         while let Some(batch) = self.decided.remove(&self.next_inst) {
-            for (id, payload) in batch.0 {
+            for (id, payload) in batch.into_entries() {
                 self.pending.remove(&id);
                 if self.delivered.insert(id) {
                     let gseq = self.next_gseq;
@@ -407,12 +760,12 @@ impl<P: Clone + std::fmt::Debug + 'static> ConsensusAbcast<P> {
             progressed = true;
         }
         if progressed {
-            self.maybe_propose(out);
+            self.schedule_propose(out);
         }
     }
 }
 
-impl<P: Clone + std::fmt::Debug + 'static> Component for ConsensusAbcast<P> {
+impl<P: Message> Component for ConsensusAbcast<P> {
     type Msg = CAbMsg<P>;
     type Event = AbDeliver<P>;
 
@@ -426,7 +779,19 @@ impl<P: Clone + std::fmt::Debug + 'static> Component for ConsensusAbcast<P> {
             CAbMsg::Submit { id, payload } => {
                 if !self.delivered.contains(&id) {
                     self.pending.insert(id, payload);
-                    self.maybe_propose(out);
+                    self.schedule_propose(out);
+                }
+            }
+            CAbMsg::SubmitBatch(batch) => {
+                let mut grew = false;
+                for (id, payload) in batch.into_entries() {
+                    if !self.delivered.contains(&id) {
+                        self.pending.insert(id, payload);
+                        grew = true;
+                    }
+                }
+                if grew {
+                    self.schedule_propose(out);
                 }
             }
             CAbMsg::Cons(c) => {
@@ -444,6 +809,8 @@ impl<P: Clone + std::fmt::Debug + 'static> Component for ConsensusAbcast<P> {
             self.pool.on_timer(tag - CONS_BASE, &mut sub);
             let events = out.absorb(sub, CONS_BASE, CAbMsg::Cons);
             self.handle_pool_events(events, out);
+        } else if tag == CONS_FLUSH_TAG {
+            self.flush(out);
         }
     }
 }
@@ -586,6 +953,205 @@ mod tests {
             "all six messages delivered: {reference:?}"
         );
         for &n in &group[1..] {
+            assert_eq!(
+                deliveries_cons(&world, n),
+                reference,
+                "order differs at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_sequencer_total_order_and_fewer_messages() {
+        // Same scenario as the unbatched total-order test, once with
+        // window 0 and once with a wide window: identical deliveries,
+        // strictly fewer network messages.
+        fn run(window: u64) -> (Vec<Vec<(u64, u32)>>, u64) {
+            let mut world: World<SeqAbMsg<u32>> = World::new(SimConfig::new(5));
+            let group: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+            for i in 0..4u32 {
+                let ab = SequencerAbcast::<u32>::new(NodeId::new(i), group.clone())
+                    .with_batching(if window == 0 {
+                        BatchConfig::disabled()
+                    } else {
+                        BatchConfig::window(window)
+                    });
+                let mut actor = ComponentActor::new(ab);
+                for k in 0..3u32 {
+                    let value = i * 10 + k;
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(10 + (k as u64) * 7 + i as u64),
+                        move |ab, out| {
+                            ab.broadcast(value, out);
+                        },
+                    );
+                }
+                world.add_actor(Box::new(actor));
+            }
+            world.start();
+            world.run_until(SimTime::from_ticks(100_000));
+            let delivered = group
+                .iter()
+                .map(|&n| deliveries_seq(&world, n))
+                .collect::<Vec<_>>();
+            (delivered, world.metrics().messages_sent)
+        }
+        let (unbatched, msgs_unbatched) = run(0);
+        let (batched, msgs_batched) = run(200);
+        for d in &batched {
+            assert_eq!(d.len(), 12, "all messages delivered under batching");
+            assert_eq!(d, &batched[0], "total order violated under batching");
+        }
+        let values: HashSet<u32> = batched[0].iter().map(|&(_, v)| v).collect();
+        let expected: HashSet<u32> = unbatched[0].iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, expected, "batching lost or invented messages");
+        assert!(
+            msgs_batched * 2 <= msgs_unbatched,
+            "batching should at least halve message count: {msgs_batched} vs {msgs_unbatched}"
+        );
+    }
+
+    #[test]
+    fn batched_sequencer_window_zero_is_identical() {
+        // BatchConfig::disabled() must take the legacy code path: the
+        // same world with and without `.with_batching(disabled)` yields
+        // identical message counts and deliveries.
+        fn run(with_cfg: bool) -> (Vec<(u64, u32)>, u64) {
+            let mut world: World<SeqAbMsg<u32>> = World::new(SimConfig::new(9));
+            let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+            for i in 0..3u32 {
+                let mut ab = SequencerAbcast::<u32>::new(NodeId::new(i), group.clone());
+                if with_cfg {
+                    ab = ab.with_batching(BatchConfig::disabled());
+                }
+                let mut actor = ComponentActor::new(ab);
+                for k in 0..2u32 {
+                    let value = i * 10 + k;
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(10 + (k as u64) * 13 + i as u64),
+                        move |ab, out| {
+                            ab.broadcast(value, out);
+                        },
+                    );
+                }
+                world.add_actor(Box::new(actor));
+            }
+            world.start();
+            world.run_until(SimTime::from_ticks(100_000));
+            (
+                deliveries_seq(&world, NodeId::new(0)),
+                world.metrics().messages_sent,
+            )
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn batched_consensus_total_order_and_fewer_messages() {
+        fn run(window: u64) -> (Vec<Vec<(u64, u32)>>, u64) {
+            let mut world: World<CAbMsg<u32>> = World::new(SimConfig::new(3));
+            let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+            for i in 0..3u32 {
+                let ab = ConsensusAbcast::<u32>::new(
+                    NodeId::new(i),
+                    group.clone(),
+                    ConsensusConfig::default(),
+                )
+                .with_batching(if window == 0 {
+                    BatchConfig::disabled()
+                } else {
+                    BatchConfig::window(window)
+                });
+                let mut actor = ComponentActor::new(ab);
+                for k in 0..2u32 {
+                    let value = i * 10 + k;
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(10 + (k as u64) * 40),
+                        move |ab, out| {
+                            ab.broadcast(value, out);
+                        },
+                    );
+                }
+                world.add_actor(Box::new(actor));
+            }
+            world.start();
+            world.run_until(SimTime::from_ticks(300_000));
+            let delivered = group
+                .iter()
+                .map(|&n| deliveries_cons(&world, n))
+                .collect::<Vec<_>>();
+            (delivered, world.metrics().messages_sent)
+        }
+        let (unbatched, msgs_unbatched) = run(0);
+        let (batched, msgs_batched) = run(300);
+        for d in &batched {
+            assert_eq!(d.len(), 6, "all six messages delivered under batching");
+            assert_eq!(d, &batched[0], "total order violated under batching");
+        }
+        let values: HashSet<u32> = batched[0].iter().map(|&(_, v)| v).collect();
+        let expected: HashSet<u32> = unbatched[0].iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, expected, "batching lost or invented messages");
+        assert!(
+            msgs_batched < msgs_unbatched,
+            "batching the consensus abcast should save messages: \
+             {msgs_batched} vs {msgs_unbatched}"
+        );
+    }
+
+    #[test]
+    fn batched_consensus_no_partial_batch_after_crash() {
+        // A member crashes right after flushing a multi-message batch;
+        // the survivors must deliver either the whole batch or none of
+        // it, in the same order everywhere — never a partial prefix
+        // interleaved differently at different members.
+        let mut world: World<CAbMsg<u32>> = World::new(SimConfig::new(11));
+        let group: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        for i in 0..5u32 {
+            let ab = ConsensusAbcast::<u32>::new(
+                NodeId::new(i),
+                group.clone(),
+                ConsensusConfig::default(),
+            )
+            .with_batching(BatchConfig::window(100));
+            let mut actor = ComponentActor::new(ab);
+            if i == 0 {
+                // The round-0 coordinator broadcasts a 3-message batch
+                // (staged together inside one window), then crashes.
+                for k in 0..3u32 {
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(10 + k as u64),
+                        move |ab, out| {
+                            ab.broadcast(100 + k, out);
+                        },
+                    );
+                }
+            }
+            if i == 1 {
+                actor = actor.with_step(repl_sim::SimDuration::from_ticks(400), |ab, out| {
+                    ab.broadcast(7, out);
+                });
+            }
+            world.add_actor(Box::new(actor));
+        }
+        // Crash right after the batch flush (window 100, staged at ~10).
+        world.schedule_crash(SimTime::from_ticks(150), group[0]);
+        world.start();
+        world.run_until(SimTime::from_ticks(500_000));
+        let reference = deliveries_cons(&world, group[1]);
+        let batch_vals: Vec<u32> = reference
+            .iter()
+            .map(|&(_, v)| v)
+            .filter(|&v| v >= 100)
+            .collect();
+        assert!(
+            batch_vals == vec![100, 101, 102] || batch_vals.is_empty(),
+            "partial batch delivered: {batch_vals:?}"
+        );
+        assert!(
+            reference.iter().any(|&(_, v)| v == 7),
+            "survivor broadcast lost"
+        );
+        for &n in &group[2..] {
             assert_eq!(
                 deliveries_cons(&world, n),
                 reference,

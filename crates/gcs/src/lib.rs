@@ -31,7 +31,9 @@ mod rbcast;
 pub mod testkit;
 mod vscast;
 
-pub use abcast::{AbDeliver, Batch, CAbMsg, ConsensusAbcast, SeqAbMsg, SequencerAbcast};
+pub use abcast::{
+    AbDeliver, Batch, BatchConfig, CAbMsg, ConsensusAbcast, SeqAbMsg, SequencerAbcast,
+};
 pub use causal::{CausalBcast, CbDeliver, CbMsg};
 pub use component::{apply_outbox, Action, Component, Outbox, TAG_SPACE};
 pub use consensus::{ConsEvent, ConsMsg, ConsensusConfig, ConsensusPool};

@@ -71,6 +71,48 @@ impl Actor<Payload> for Storm {
     impl_as_any!();
 }
 
+/// A 1 KiB writeset-shaped payload cloned deeply on every multicast leg.
+#[derive(Clone, Debug)]
+struct FatPayload(Vec<u64>);
+impl Message for FatPayload {
+    fn wire_size(&self) -> usize {
+        8 * self.0.len()
+    }
+}
+
+/// The same payload behind an `Arc`: multicast clones are pointer bumps,
+/// wire size (and thus byte accounting) unchanged.
+#[derive(Clone, Debug)]
+struct SharedPayload(std::sync::Arc<Vec<u64>>);
+impl Message for SharedPayload {
+    fn wire_size(&self) -> usize {
+        8 * self.0.len()
+    }
+}
+
+/// Multicasts a payload built by `make` to the group every round —
+/// the shape of an ABCAST dissemination fan-out.
+struct FanOut<M: Message> {
+    group: Vec<NodeId>,
+    rounds: u64,
+    make: fn() -> M,
+}
+impl<M: Message> Actor<M> for FanOut<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let targets: Vec<NodeId> = self.group.iter().copied().filter(|&n| n != ctx.me()).collect();
+        ctx.multicast(targets, (self.make)());
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, _from: NodeId, _msg: M) {
+        if self.rounds == 0 {
+            return;
+        }
+        self.rounds -= 1;
+        let targets: Vec<NodeId> = self.group.iter().copied().filter(|&n| n != ctx.me()).collect();
+        ctx.multicast(targets, (self.make)());
+    }
+    impl_as_any!();
+}
+
 /// Re-arms a short timer until `ticks` runs out.
 struct Wheel {
     ticks: u64,
@@ -119,6 +161,21 @@ fn run_storm(nodes: u32, rounds: u64) -> u64 {
     world.metrics().events_processed
 }
 
+fn run_fanout<M: Message>(nodes: u32, rounds: u64, make: fn() -> M) -> u64 {
+    let mut world = World::new(SimConfig::new(42).with_trace(false));
+    let group: Vec<NodeId> = (0..nodes).map(NodeId::new).collect();
+    for _ in 0..nodes {
+        world.add_actor(Box::new(FanOut {
+            group: group.clone(),
+            rounds,
+            make,
+        }));
+    }
+    world.start();
+    world.run_to_quiescence(SimTime::from_ticks(u64::MAX / 2));
+    world.metrics().events_processed
+}
+
 fn run_timer_wheel(actors: u32, ticks: u64) -> u64 {
     let mut world: World<Payload> =
         World::new(SimConfig::new(42).with_network(NetworkConfig::instant()).with_trace(false));
@@ -141,6 +198,18 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("timer_wheel/16x1000", |b| {
         b.iter(|| std::hint::black_box(run_timer_wheel(16, 1_000)))
+    });
+    // The host-side cost of sharing multicast payloads: same wire bytes,
+    // deep Vec clones vs Arc pointer bumps on every fan-out leg.
+    g.bench_function("fanout_deep_clone/8x100x1KiB", |b| {
+        b.iter(|| std::hint::black_box(run_fanout(8, 100, || FatPayload(vec![7; 128]))))
+    });
+    g.bench_function("fanout_arc_shared/8x100x1KiB", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_fanout(8, 100, || {
+                SharedPayload(std::sync::Arc::new(vec![7; 128]))
+            }))
+        })
     });
     g.finish();
 }

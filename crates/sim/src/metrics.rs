@@ -15,6 +15,12 @@ use crate::time::SimDuration;
 pub struct Metrics {
     /// Messages offered to the network (including ones later dropped).
     pub messages_sent: u64,
+    /// Messages sent between coordination nodes (both endpoints below
+    /// [`crate::SimConfig::coordination_nodes`]) — the server↔server
+    /// share of `messages_sent`, i.e. ordering/agreement traffic as
+    /// opposed to client request/response traffic. Zero unless the
+    /// config names a coordination set.
+    pub coordination_messages: u64,
     /// Messages actually handed to an actor.
     pub messages_delivered: u64,
     /// Messages lost to the network, partitions, or dead destinations.

@@ -93,6 +93,15 @@ impl TraceLog {
         }
     }
 
+    /// Creates an enabled trace log with room for `capacity` records, so
+    /// steady-state recording never reallocates mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            records: Vec::with_capacity(capacity),
+            enabled: true,
+        }
+    }
+
     /// Enables or disables recording. Benchmarks disable tracing to keep
     /// the measurement free of allocation noise.
     pub fn set_enabled(&mut self, enabled: bool) {
@@ -100,15 +109,31 @@ impl TraceLog {
     }
 
     /// Returns true if recording is enabled.
+    #[inline(always)]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     /// Appends a record (no-op when disabled).
+    #[inline]
     pub fn push(&mut self, time: SimTime, node: NodeId, event: TraceEvent) {
         if self.enabled {
             self.records.push(TraceRecord { time, node, event });
         }
+    }
+
+    /// Appends a record without checking [`is_enabled`](Self::is_enabled).
+    ///
+    /// Hot paths guard on `is_enabled()` themselves so a disabled log
+    /// costs one predictable branch and the event is never even built.
+    #[inline]
+    pub fn record(&mut self, time: SimTime, node: NodeId, event: TraceEvent) {
+        self.records.push(TraceRecord { time, node, event });
+    }
+
+    /// Records currently allocatable without reallocation.
+    pub fn capacity(&self) -> usize {
+        self.records.capacity()
     }
 
     /// Number of records.
@@ -253,6 +278,28 @@ mod tests {
         assert!(!log.is_enabled());
         log.push(SimTime::ZERO, NodeId::new(0), TraceEvent::Crashed);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn disabled_log_allocates_no_memory() {
+        let mut log = TraceLog::new();
+        log.set_enabled(false);
+        for i in 0..1000 {
+            log.push(SimTime::from_ticks(i), NodeId::new(0), TraceEvent::Crashed);
+        }
+        assert_eq!(log.capacity(), 0, "disabled runs must not buy trace memory");
+    }
+
+    #[test]
+    fn with_capacity_presizes_the_record_buffer() {
+        let mut log = TraceLog::with_capacity(256);
+        let cap = log.capacity();
+        assert!(cap >= 256);
+        for i in 0..256 {
+            log.push(SimTime::from_ticks(i), NodeId::new(0), TraceEvent::Recovered);
+        }
+        assert_eq!(log.capacity(), cap, "pre-sized pushes must not reallocate");
+        assert_eq!(log.len(), 256);
     }
 
     #[test]

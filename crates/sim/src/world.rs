@@ -30,6 +30,14 @@ pub struct SimConfig {
     pub network: NetworkConfig,
     /// Whether to record a [`TraceLog`] (disable in benchmarks).
     pub trace: bool,
+    /// Expected number of trace records: the log pre-sizes its buffer so
+    /// steady-state recording never reallocates (0 = no hint).
+    pub trace_capacity: usize,
+    /// Nodes `0..coordination_nodes` form the coordination set (typically
+    /// the replica servers): messages with both endpoints inside it are
+    /// additionally counted in [`Metrics::coordination_messages`]. Zero
+    /// (the default) disables the classification.
+    pub coordination_nodes: u32,
 }
 
 impl SimConfig {
@@ -39,6 +47,8 @@ impl SimConfig {
             seed,
             network: NetworkConfig::lan(),
             trace: true,
+            trace_capacity: 0,
+            coordination_nodes: 0,
         }
     }
 
@@ -51,6 +61,19 @@ impl SimConfig {
     /// Enables or disables trace recording.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the expected trace record count (pre-sizing hint).
+    pub fn with_trace_capacity(mut self, records: usize) -> Self {
+        self.trace_capacity = records;
+        self
+    }
+
+    /// Declares nodes `0..n` as the coordination set (see
+    /// [`Metrics::coordination_messages`]).
+    pub fn with_coordination_nodes(mut self, n: u32) -> Self {
+        self.coordination_nodes = n;
         self
     }
 }
@@ -105,6 +128,7 @@ struct Core<M> {
     rng: SmallRng,
     trace: TraceLog,
     metrics: Metrics,
+    coordination_nodes: u32,
     next_timer: u64,
     cancelled: HashSet<u64>,
     alive: Vec<bool>,
@@ -120,9 +144,14 @@ impl<M: Message> Core<M> {
     fn send_from(&mut self, src: NodeId, dst: NodeId, msg: M) {
         let bytes = msg.wire_size();
         self.metrics.messages_sent += 1;
+        if src.raw() < self.coordination_nodes && dst.raw() < self.coordination_nodes {
+            self.metrics.coordination_messages += 1;
+        }
         self.metrics.bytes_sent += bytes as u64;
-        self.trace
-            .push(self.now, src, TraceEvent::MsgSent { to: dst, bytes });
+        if self.trace.is_enabled() {
+            self.trace
+                .record(self.now, src, TraceEvent::MsgSent { to: dst, bytes });
+        }
         match self.network.offer(&mut self.rng, self.now, src, dst) {
             Delivery::At(t) => self.push(
                 t,
@@ -134,8 +163,10 @@ impl<M: Message> Core<M> {
             ),
             Delivery::Dropped => {
                 self.metrics.messages_dropped += 1;
-                self.trace
-                    .push(self.now, src, TraceEvent::MsgDropped { to: dst });
+                if self.trace.is_enabled() {
+                    self.trace
+                        .record(self.now, src, TraceEvent::MsgDropped { to: dst });
+                }
             }
         }
     }
@@ -214,10 +245,12 @@ impl<'a, M: Message> Context<'a, M> {
 
     /// Records an application-level trace marker (see [`TraceEvent::Mark`]).
     pub fn mark(&mut self, tag: &'static str, a: u64, b: u64) {
-        let now = self.core.now;
-        self.core
-            .trace
-            .push(now, self.me, TraceEvent::Mark { tag, a, b });
+        if self.core.trace.is_enabled() {
+            let now = self.core.now;
+            self.core
+                .trace
+                .record(now, self.me, TraceEvent::Mark { tag, a, b });
+        }
     }
 }
 
@@ -262,7 +295,13 @@ pub struct World<M: Message> {
 impl<M: Message> World<M> {
     /// Creates an empty world.
     pub fn new(config: SimConfig) -> Self {
-        let mut trace = TraceLog::new();
+        // A disabled log stays at capacity 0 — benchmark runs must not
+        // pay for trace memory they will never fill.
+        let mut trace = if config.trace {
+            TraceLog::with_capacity(config.trace_capacity)
+        } else {
+            TraceLog::new()
+        };
         trace.set_enabled(config.trace);
         World {
             core: Core {
@@ -276,6 +315,7 @@ impl<M: Message> World<M> {
                 rng: SmallRng::seed_from_u64(config.seed),
                 trace,
                 metrics: Metrics::default(),
+                coordination_nodes: config.coordination_nodes,
                 next_timer: 0,
                 cancelled: HashSet::new(),
                 alive: Vec::new(),
@@ -349,17 +389,21 @@ impl<M: Message> World<M> {
             Event::Deliver { to, from, msg } => {
                 if !self.core.alive[to.index()] {
                     self.core.metrics.messages_dropped += 1;
-                    let now = self.core.now;
-                    self.core
-                        .trace
-                        .push(now, from, TraceEvent::MsgDropped { to });
+                    if self.core.trace.is_enabled() {
+                        let now = self.core.now;
+                        self.core
+                            .trace
+                            .record(now, from, TraceEvent::MsgDropped { to });
+                    }
                 } else {
-                    let bytes = msg.wire_size();
                     self.core.metrics.messages_delivered += 1;
-                    let now = self.core.now;
-                    self.core
-                        .trace
-                        .push(now, to, TraceEvent::MsgDelivered { from, bytes });
+                    if self.core.trace.is_enabled() {
+                        let bytes = msg.wire_size();
+                        let now = self.core.now;
+                        self.core
+                            .trace
+                            .record(now, to, TraceEvent::MsgDelivered { from, bytes });
+                    }
                     self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
                 }
             }
@@ -605,6 +649,30 @@ mod tests {
         world.run_to_quiescence(SimTime::from_ticks(100_000));
         let seen = &world.actor_ref::<Ponger>(b).seen;
         assert_eq!(*seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disabled_trace_run_allocates_no_trace_memory() {
+        let mut world = World::new(SimConfig::new(9).with_trace(false));
+        let b = world.add_actor(Box::new(Ponger { seen: Vec::new() }));
+        let _a = world.add_actor(Box::new(Pinger {
+            peer: b,
+            count: 10,
+            pongs: 0,
+            fired: Vec::new(),
+        }));
+        world.start();
+        world.run_to_quiescence(SimTime::from_ticks(100_000));
+        assert_eq!(world.metrics().messages_delivered, 20);
+        assert!(world.trace().is_empty());
+        assert_eq!(world.trace().capacity(), 0, "disabled trace bought memory");
+    }
+
+    #[test]
+    fn trace_capacity_hint_presizes_the_log() {
+        let mut world = World::<TestMsg>::new(SimConfig::new(9).with_trace_capacity(1_000));
+        let _ = world.add_actor(Box::new(Ponger { seen: Vec::new() }));
+        assert!(world.trace().capacity() >= 1_000);
     }
 
     #[test]
