@@ -13,11 +13,12 @@
 //! is an isolated, seed-keyed, single-threaded simulation.
 //!
 //! `--json PATH` additionally writes a machine-readable benchmark
-//! summary (the `BENCH_PR2.json` artifact): for every technique, the
+//! summary (the `BENCH_PR4.json` artifact): for every technique, the
 //! P1/P2/P3 study cells are re-swept with per-cell wall clocks, and
 //! throughput / p50 / p99 / messages-per-txn are reported from the
-//! canonical 3-replica, 4-client cell. `--json-only` skips the tables
-//! (CI smoke mode).
+//! canonical 3-replica, 4-client cell, followed by the P8 batching and
+//! P9 recovery sections. `--json-only` skips the tables (CI smoke
+//! mode); `--p8-only` / `--p9-only` print just that study's table.
 
 use std::time::Instant;
 
@@ -31,6 +32,7 @@ struct Args {
     json: Option<String>,
     json_only: bool,
     p8_only: bool,
+    p9_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +41,7 @@ fn parse_args() -> Args {
         json: None,
         json_only: false,
         p8_only: false,
+        p9_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,6 +60,7 @@ fn parse_args() -> Args {
             }
             "--json-only" => args.json_only = true,
             "--p8-only" => args.p8_only = true,
+            "--p9-only" => args.p9_only = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -68,7 +72,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: perfstudy [--threads N] [--json PATH] [--json-only] [--p8-only]");
+    eprintln!("usage: perfstudy [--threads N] [--json PATH] [--json-only] [--p8-only] [--p9-only]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -81,6 +85,17 @@ const P8_WINDOWS: [u64; 3] = [0, 250, 1_000];
 /// amortization scales with how many submissions share a window, so the
 /// same window is measured from light load to high concurrency.
 const P8_CLIENTS: [u32; 3] = [4, 16, 48];
+
+/// The outage lengths (in ticks) swept by the P9 recovery study. Both
+/// land while clients are still active, so the rejoined replica always
+/// sees post-recovery traffic; the long outage misses roughly a third
+/// of the run.
+const P9_DOWNTIMES: [u64; 2] = [15_000, 40_000];
+
+/// The update fractions swept by the P9 study: catch-up volume (and so
+/// MTTR and the transfer strategy) scales with how much state churned
+/// while the victim was down.
+const P9_WRITE_RATIOS: [f64; 2] = [0.2, 1.0];
 
 fn timed_table(title: &str, f: impl FnOnce() -> Vec<Row>) {
     let start = Instant::now();
@@ -277,7 +292,113 @@ fn batching_json(threads: usize) -> String {
     s
 }
 
-/// Runs the benchmark matrix and renders `BENCH_PR3.json`.
+/// Renders the P9 recovery section of the JSON artifact: per
+/// (technique, outage, write ratio) cell, the faulted run's MTTR,
+/// catch-up bytes, transfer-strategy counts and the throughput dip
+/// against the fault-free baseline, plus two summary keys the artifact
+/// check gates on: every technique recovered (finite MTTR everywhere)
+/// and both transfer strategies were actually selected somewhere.
+fn recovery_json(threads: usize) -> String {
+    use std::fmt::Write as _;
+    let cells = recovery_cells(&P9_DOWNTIMES, &P9_WRITE_RATIOS);
+    let mut sweep = Vec::with_capacity(cells.len() * 2);
+    for c in &cells {
+        let stem = format!(
+            "{}/p9/d={}/wr={:.1}",
+            c.technique.name(),
+            c.downtime,
+            c.write_ratio
+        );
+        sweep.push(SweepCell::new(stem.clone(), c.faulted.clone()));
+        sweep.push(SweepCell::new(format!("{stem}/base"), c.baseline.clone()));
+    }
+    let results = run_sweep(&sweep, threads);
+    let report_of = |i: usize| {
+        results[i]
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("cell `{}` failed: {e}", results[i].label))
+    };
+
+    let mut techniques_without_mttr: Vec<&'static str> = Vec::new();
+    let mut suffix_cells = 0u32;
+    let mut snapshot_cells = 0u32;
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"recovery\": {{");
+    let _ = writeln!(s, "    \"servers\": 3,");
+    let _ = writeln!(s, "    \"victim\": {RECOVERY_VICTIM},");
+    let _ = writeln!(s, "    \"crash_at_ticks\": {RECOVERY_CRASH_AT},");
+    let _ = writeln!(
+        s,
+        "    \"downtimes_ticks\": [{}],",
+        P9_DOWNTIMES
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        s,
+        "    \"write_ratios\": [{}],",
+        P9_WRITE_RATIOS
+            .iter()
+            .map(|w| format!("{w:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "    \"cells\": [");
+    for (i, cell) in cells.iter().enumerate() {
+        let faulted = report_of(2 * i);
+        let baseline = report_of(2 * i + 1);
+        let a = &faulted.availability;
+        let mttr = match a.mttr_ticks() {
+            Some(t) => t.to_string(),
+            None => "null".into(),
+        };
+        if a.mttr_ticks().is_none() && !techniques_without_mttr.contains(&cell.technique.name()) {
+            techniques_without_mttr.push(cell.technique.name());
+        }
+        let suffix: u64 = a.recoveries.iter().map(|r| r.log_suffix_transfers).sum();
+        let snap: u64 = a.recoveries.iter().map(|r| r.snapshot_transfers).sum();
+        suffix_cells += (suffix > 0) as u32;
+        snapshot_cells += (snap > 0) as u32;
+        let dip = baseline.throughput() / faulted.throughput().max(f64::MIN_POSITIVE);
+        let _ = writeln!(
+            s,
+            "      {{\"technique\": \"{}\", \"downtime_ticks\": {}, \"write_ratio\": {:.1}, \
+             \"mttr_ticks\": {mttr}, \"transfer_bytes\": {}, \"log_suffix_transfers\": {suffix}, \
+             \"snapshot_transfers\": {snap}, \"throughput_ops_per_s\": {:.1}, \
+             \"baseline_throughput_ops_per_s\": {:.1}, \"throughput_dip\": {dip:.2}, \
+             \"client_retries\": {}, \"unanswered\": {}}}{}",
+            cell.technique.name(),
+            cell.downtime,
+            cell.write_ratio,
+            a.transfer_bytes(),
+            faulted.throughput(),
+            baseline.throughput(),
+            faulted.client_retries,
+            faulted.ops_unanswered,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"all_techniques_recovered\": {},",
+        techniques_without_mttr.is_empty()
+    );
+    let _ = writeln!(s, "    \"cells_using_log_suffix\": {suffix_cells},");
+    let _ = writeln!(s, "    \"cells_using_snapshot\": {snapshot_cells},");
+    let _ = writeln!(
+        s,
+        "    \"both_strategies_selected\": {}",
+        suffix_cells > 0 && snapshot_cells > 0
+    );
+    let _ = writeln!(s, "  }}");
+    s
+}
+
+/// Runs the benchmark matrix and renders `BENCH_PR4.json`.
 fn bench_json(threads: usize) -> String {
     use std::fmt::Write as _;
     let techniques = study_techniques();
@@ -294,7 +415,7 @@ fn bench_json(threads: usize) -> String {
 
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"bench_pr3/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_pr4/v1\",");
     let _ = writeln!(s, "  \"threads\": {threads},");
     let _ = writeln!(
         s,
@@ -341,6 +462,12 @@ fn bench_json(threads: usize) -> String {
     }
     let _ = writeln!(s, "  ],");
     s.push_str(&batching_json(threads));
+    // batching_json ends its object without a trailing comma; splice one
+    // in before appending the recovery section.
+    let end = s.trim_end().len();
+    s.truncate(end);
+    s.push_str(",\n");
+    s.push_str(&recovery_json(threads));
     let _ = writeln!(s, "}}");
     s
 }
@@ -357,11 +484,19 @@ fn main() {
         None => repl_bench::sweep::default_threads(),
     };
 
-    if args.p8_only {
-        timed_table(
-            "P8 — end-to-end batching (3 replicas, clients × window in ticks)",
-            || batching_table(&P8_CLIENTS, &P8_WINDOWS),
-        );
+    if args.p8_only || args.p9_only {
+        if args.p8_only {
+            timed_table(
+                "P8 — end-to-end batching (3 replicas, clients × window in ticks)",
+                || batching_table(&P8_CLIENTS, &P8_WINDOWS),
+            );
+        }
+        if args.p9_only {
+            timed_table(
+                "P9 — crash recovery (3 replicas, outage × write ratio, MTTR and catch-up)",
+                || recovery_table(&P9_DOWNTIMES, &P9_WRITE_RATIOS),
+            );
+        }
         if let Some(path) = &args.json {
             let json = bench_json(threads);
             std::fs::write(path, &json)
@@ -422,6 +557,10 @@ fn main() {
         timed_table(
             "P8 — end-to-end batching (3 replicas, clients × window in ticks)",
             || batching_table(&P8_CLIENTS, &P8_WINDOWS),
+        );
+        timed_table(
+            "P9 — crash recovery (3 replicas, outage × write ratio, MTTR and catch-up)",
+            || recovery_table(&P9_DOWNTIMES, &P9_WRITE_RATIOS),
         );
         println!(
             "full study wall clock: {:.2}s ({threads} sweep threads)",

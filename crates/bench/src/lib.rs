@@ -771,6 +771,146 @@ pub fn batching_table(clients: &[u32], windows: &[u64]) -> Vec<Row> {
         .collect()
 }
 
+/// One cell of the P9 recovery study: one technique under one paired
+/// crash→recover outage, plus the identical fault-free run used as the
+/// throughput baseline.
+#[derive(Debug, Clone)]
+pub struct RecoveryCell {
+    /// Technique under study.
+    pub technique: Technique,
+    /// Outage length in ticks (the crash fires at [`RECOVERY_CRASH_AT`]).
+    pub downtime: u64,
+    /// Update fraction of the workload (1.0 = update-only).
+    pub write_ratio: f64,
+    /// The run with the outage injected.
+    pub faulted: RunConfig,
+    /// The same run without any faults.
+    pub baseline: RunConfig,
+}
+
+/// Crash tick of every P9 outage.
+pub const RECOVERY_CRASH_AT: u64 = 5_000;
+
+/// The replica the P9 nemesis takes down: the tail of the 3-replica
+/// group, so primaries and sequencers keep running and the outage
+/// measures *recovery*, not failover.
+pub const RECOVERY_VICTIM: u32 = 2;
+
+/// Builds the P9 cell matrix: every technique × outage length ×
+/// write ratio, one tail-replica outage per run. The retry timeout is
+/// tightened so runs are dominated by the outage rather than by client
+/// backoff, and lazy techniques get a short propagation window so their
+/// post-recovery traffic settles inside the drain.
+pub fn recovery_cells(downtimes: &[u64], write_ratios: &[f64]) -> Vec<RecoveryCell> {
+    let base = |technique: Technique, write_ratio: f64| {
+        let mut cfg = RunConfig::new(technique)
+            .with_servers(3)
+            .with_clients(3)
+            .with_seed(163)
+            .with_trace(false)
+            .with_retry_after(SimDuration::from_ticks(4_000))
+            .with_workload(
+                WorkloadSpec::default()
+                    .with_items(64)
+                    .with_read_ratio(1.0 - write_ratio)
+                    .with_txns_per_client(15)
+                    .with_think_time(SimDuration::from_ticks(3_000)),
+            );
+        if technique.info().propagation == repl_core::Propagation::Lazy {
+            cfg = cfg.with_propagation_delay(SimDuration::from_ticks(1_000));
+        }
+        cfg
+    };
+    let mut cells = Vec::new();
+    for technique in Technique::ALL {
+        for &write_ratio in write_ratios {
+            for &downtime in downtimes {
+                let baseline = base(technique, write_ratio);
+                let faulted = baseline.clone().with_faults(FaultPlan::new().outage_at(
+                    SimTime::from_ticks(RECOVERY_CRASH_AT),
+                    NodeId::new(RECOVERY_VICTIM),
+                    SimDuration::from_ticks(downtime),
+                ));
+                cells.push(RecoveryCell {
+                    technique,
+                    downtime,
+                    write_ratio,
+                    faulted,
+                    baseline,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The display label of a P9 cell (shared by the table and the JSON).
+pub fn recovery_cell_label(cell: &RecoveryCell) -> String {
+    format!(
+        "{} / down={} / wr={:.1}",
+        cell.technique.name(),
+        cell.downtime,
+        cell.write_ratio
+    )
+}
+
+/// The transfer strategies a faulted run actually used, as a short tag.
+pub fn transfer_strategy_tag(report: &RunReport) -> &'static str {
+    let suffix: u64 = report
+        .availability
+        .recoveries
+        .iter()
+        .map(|r| r.log_suffix_transfers)
+        .sum();
+    let snap: u64 = report
+        .availability
+        .recoveries
+        .iter()
+        .map(|r| r.snapshot_transfers)
+        .sum();
+    match (suffix > 0, snap > 0) {
+        (true, true) => "both",
+        (true, false) => "suffix",
+        (false, true) => "snapshot",
+        (false, false) => "-",
+    }
+}
+
+/// P9 — crash recovery: MTTR (rejoin → fully caught up), catch-up bytes
+/// on the wire, the transfer strategy the donor selected, and the
+/// throughput dip against the fault-free baseline, per technique ×
+/// outage length × write ratio. The paper stops at "different failure
+/// assumptions"; this table is the recovery half of that study.
+pub fn recovery_table(downtimes: &[u64], write_ratios: &[f64]) -> Vec<Row> {
+    let cells = recovery_cells(downtimes, write_ratios);
+    let mut cfgs = Vec::with_capacity(cells.len() * 2);
+    for cell in &cells {
+        cfgs.push(cell.faulted.clone());
+        cfgs.push(cell.baseline.clone());
+    }
+    let mut reports = sweep_reports(cfgs).into_iter();
+    cells
+        .iter()
+        .map(|cell| {
+            let faulted = reports.next().expect("faulted report per cell");
+            let baseline = reports.next().expect("baseline report per cell");
+            let a = &faulted.availability;
+            let mttr = match a.mttr_ticks() {
+                Some(t) => format!("{t}t"),
+                None => "-".into(),
+            };
+            let dip = baseline.throughput() / faulted.throughput().max(f64::MIN_POSITIVE);
+            Row::new(recovery_cell_label(cell))
+                .cell("mttr", mttr)
+                .cell("xfer", format!("{}B", a.transfer_bytes()))
+                .cell("strategy", transfer_strategy_tag(&faulted))
+                .cell("thru dip", format!("{dip:.2}x"))
+                .cell("retries", faulted.client_retries)
+                .cell("unanswered", faulted.ops_unanswered)
+        })
+        .collect()
+}
+
 /// The run used by the phase-trace benchmark and Figures 2–4/7–14.
 pub fn figure_config(technique: Technique, ops_per_txn: u32) -> RunConfig {
     let mut cfg = RunConfig::new(technique)
@@ -812,6 +952,28 @@ mod tests {
     fn response_time_table_has_all_techniques() {
         let rows = response_time_table(&[2]);
         assert_eq!(rows.len(), Technique::ALL.len());
+    }
+
+    #[test]
+    fn recovery_table_reports_finite_mttr_and_both_strategies() {
+        let rows = recovery_table(&[15_000], &[1.0]);
+        assert_eq!(rows.len(), Technique::ALL.len());
+        let col = |r: &Row, name: &str| {
+            r.cells
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.clone())
+                .expect("column present")
+        };
+        for r in &rows {
+            assert_ne!(col(r, "mttr"), "-", "{}: no MTTR", r.label);
+            assert_eq!(col(r, "unanswered"), "0", "{}", r.label);
+            assert_ne!(col(r, "strategy"), "-", "{}: no transfer", r.label);
+        }
+        let tags: Vec<String> = rows.iter().map(|r| col(r, "strategy")).collect();
+        let used = |t: &str| tags.iter().any(|s| s == t || s == "both");
+        assert!(used("suffix"), "no cell used a log suffix: {tags:?}");
+        assert!(used("snapshot"), "no cell used a snapshot: {tags:?}");
     }
 
     #[test]

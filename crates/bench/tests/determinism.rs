@@ -117,6 +117,34 @@ fn batching_cells_are_deterministic() {
 }
 
 #[test]
+fn recovery_cells_are_deterministic() {
+    // Crash→recover plans exercise rejoin, state transfer and the MTTR
+    // accounting; none of it may depend on sweep scheduling. Every
+    // technique under a paired outage must agree digest-for-digest and
+    // trace-for-trace between the serial reference and a parallel
+    // sweep — and must actually have recovered, or the cell is vacuous.
+    use repl_bench::{recovery_cell_label, recovery_cells};
+    let cells: Vec<SweepCell> = recovery_cells(&[15_000], &[1.0])
+        .into_iter()
+        .map(|cell| SweepCell::new(recovery_cell_label(&cell), cell.faulted.with_trace(true)))
+        .collect();
+    assert_eq!(cells.len(), Technique::ALL.len());
+    let serial = run_sweep(&cells, 1);
+    let parallel = run_sweep(&cells, 3);
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (sr, pr) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+        assert!(
+            sr.availability.mttr_ticks().is_some(),
+            "cell `{}` never completed its recovery",
+            s.label
+        );
+        assert_ne!(sr.trace_hash, 0, "cell `{}` produced no trace", s.label);
+        assert_eq!(sr.digest(), pr.digest(), "cell `{}` diverged", s.label);
+        assert_eq!(sr.trace_hash, pr.trace_hash, "cell `{}` diverged", s.label);
+    }
+}
+
+#[test]
 fn thread_count_is_not_observable() {
     // Different worker counts (and therefore different cell-to-thread
     // assignments) must still agree cell-for-cell.

@@ -6,6 +6,14 @@
 //! "clients can then be connected to another database server and re-submit
 //! the transaction" (Section 4.1). Servers suppress duplicates through
 //! their response caches, so retries are exactly-once.
+//!
+//! The first retry fires exactly `retry_after` after submission; later
+//! retries back off exponentially (doubling, capped at 8×`retry_after`)
+//! with a small deterministic jitter so that the clients stranded by one
+//! outage do not re-submit in lockstep. The jitter is hashed from
+//! `(client, op, attempt)` rather than drawn from the simulator's RNG:
+//! retry schedules must not perturb the recorded run state, so identical
+//! seeds replay identically whether or not retries happen.
 
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 use repl_workload::TxnTemplate;
@@ -53,6 +61,43 @@ impl OpRecord {
 
 const RETRY_TAG: u64 = 1;
 const THINK_TAG: u64 = 2;
+
+/// Growth cap for the retry backoff: waits never exceed
+/// `retry_after << MAX_BACKOFF_SHIFT` (plus jitter).
+const MAX_BACKOFF_SHIFT: u32 = 3;
+
+/// Deterministic decorrelation jitter (FNV-1a over client, op, attempt):
+/// a pseudo-random but replayable offset in `[0, bound]`.
+fn retry_jitter(client_no: u32, op: OpId, attempt: u32, bound: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in client_no
+        .to_le_bytes()
+        .into_iter()
+        .chain(op.0.to_le_bytes())
+        .chain(attempt.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if bound == 0 {
+        0
+    } else {
+        h % (bound + 1)
+    }
+}
+
+/// The wait before retry number `attempt` (1-based): exactly
+/// `retry_after` for the first, then doubling up to the cap, with jitter
+/// of at most a quarter of the backoff so staggered clients stay spread.
+fn retry_delay(retry_after: SimDuration, client_no: u32, op: OpId, attempt: u32) -> SimDuration {
+    let base = retry_after.ticks().max(1);
+    if attempt <= 1 {
+        return SimDuration::from_ticks(base);
+    }
+    let backoff = base << (attempt - 1).min(MAX_BACKOFF_SHIFT);
+    let jitter = retry_jitter(client_no, op, attempt, backoff / 4);
+    SimDuration::from_ticks(backoff + jitter)
+}
 
 /// The closed-loop client actor.
 ///
@@ -141,7 +186,10 @@ impl<M: ProtocolMsg> ClientActor<M> {
             txn,
         };
         ctx.send(self.servers[self.target], M::invoke(op));
-        ctx.set_timer(self.retry_after, RETRY_TAG);
+        ctx.set_timer(
+            retry_delay(self.retry_after, self.client_no, id, 1),
+            RETRY_TAG,
+        );
     }
 
     fn retry(&mut self, ctx: &mut Context<'_, M>) {
@@ -159,7 +207,12 @@ impl<M: ProtocolMsg> ClientActor<M> {
             txn: rec.txn.clone(),
         };
         ctx.send(self.servers[self.target], M::invoke(op));
-        ctx.set_timer(self.retry_after, RETRY_TAG);
+        // Arm the *next* retry with backoff: this one was attempt
+        // `rec.retries`, so the wait ahead belongs to the one after it.
+        ctx.set_timer(
+            retry_delay(self.retry_after, self.client_no, rec.op, rec.retries + 1),
+            RETRY_TAG,
+        );
     }
 }
 
@@ -486,6 +539,84 @@ mod tests {
         assert_eq!(client.records.len(), 4);
         assert!(!client.is_done());
         assert_eq!(client.completed().count(), 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_exact_then_capped_exponential() {
+        let ra = SimDuration::from_ticks(1_000);
+        let op = OpId::compose(3, 7);
+        // The first retry interval is exactly retry_after — the failover
+        // experiments calibrate unavailability windows against it.
+        assert_eq!(retry_delay(ra, 3, op, 1), ra);
+        let mut prev = ra.ticks();
+        for attempt in 2..=10u32 {
+            let d = retry_delay(ra, 3, op, attempt).ticks();
+            let backoff = ra.ticks() << (attempt - 1).min(MAX_BACKOFF_SHIFT);
+            assert!(d >= backoff, "attempt {attempt}: {d} < base {backoff}");
+            assert!(
+                d <= backoff + backoff / 4,
+                "attempt {attempt}: jitter exceeds a quarter of the backoff"
+            );
+            assert!(d >= prev.min(backoff), "backoff shrank at {attempt}");
+            prev = d;
+        }
+        // Capped: attempts far out never exceed 8x + jitter.
+        let far = retry_delay(ra, 3, op, 40).ticks();
+        assert!(far <= 8_000 + 2_000);
+        // Deterministic and client/op-dependent.
+        assert_eq!(retry_delay(ra, 3, op, 5), retry_delay(ra, 3, op, 5));
+        let spread: std::collections::HashSet<u64> = (0..16)
+            .map(|c| retry_delay(ra, c, op, 4).ticks())
+            .collect();
+        assert!(spread.len() > 8, "jitter failed to spread clients");
+    }
+
+    #[test]
+    fn retries_back_off_against_a_mute_server() {
+        // One mute server: every attempt lands there, so the arrival
+        // gaps are exactly the retry waits — first gap retry_after, later
+        // gaps strictly wider, none wider than the cap allows.
+        struct Recorder {
+            arrivals: Vec<u64>,
+        }
+        impl Actor<EchoMsg> for Recorder {
+            fn on_message(&mut self, ctx: &mut Context<'_, EchoMsg>, _: NodeId, msg: EchoMsg) {
+                if let EchoMsg::Invoke(_) = msg {
+                    self.arrivals.push(ctx.now().ticks());
+                }
+            }
+            impl_as_any!();
+        }
+        let mut world: World<EchoMsg> = World::new(SimConfig::new(9));
+        let s = world.add_actor(Box::new(Recorder {
+            arrivals: Vec::new(),
+        }));
+        let c = world.add_actor(Box::new(ClientActor::<EchoMsg>::new(
+            0,
+            vec![s],
+            0,
+            txns(1),
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(1_000),
+        )));
+        world.start();
+        world.run_until(SimTime::from_ticks(60_000));
+        let client = world.actor_ref::<ClientActor<EchoMsg>>(c);
+        assert!(!client.is_done());
+        let arrivals = &world.actor_ref::<Recorder>(s).arrivals;
+        assert!(arrivals.len() >= 5, "not enough attempts: {arrivals:?}");
+        let gaps: Vec<u64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        // Arrival gaps carry per-message network jitter on top of the
+        // timer waits; the first must still sit at ~retry_after and the
+        // second must be clearly wider (the backoff doubles).
+        assert!(
+            (900..=1_100).contains(&gaps[0]),
+            "first retry not at retry_after: {gaps:?}"
+        );
+        assert!(gaps[1] > gaps[0] + 500, "no backoff: {gaps:?}");
+        for g in &gaps {
+            assert!(*g <= 8_000 + 2_000 + 100, "gap beyond cap+jitter: {gaps:?}");
+        }
     }
 
     #[test]

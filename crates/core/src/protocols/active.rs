@@ -21,7 +21,7 @@ use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
-    global_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    global_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
 };
 use repl_gcs::ConsensusConfig;
 
@@ -113,6 +113,7 @@ impl ActiveServer {
             // Every replica answers; the client keeps the first reply.
             ctx.send(op.client, ActiveMsg::Reply(resp));
         }
+        settle_rejoin(&mut self.ab, &mut self.base, ctx.now().ticks());
     }
 }
 
@@ -143,6 +144,17 @@ impl Actor<ActiveMsg> for ActiveServer {
     fn on_timer(&mut self, ctx: &mut Context<'_, ActiveMsg>, _timer: TimerId, tag: u64) {
         let mut out = Outbox::new();
         self.ab.on_timer(tag, &mut out);
+        self.drain(ctx, out);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, ActiveMsg>) {
+        // State survives the crash; the ordered stream does not. Rejoin
+        // the ABCAST to refill the missed suffix — replaying it through
+        // the normal delivery path re-executes exactly the missed ops
+        // (executed ones are suppressed by the response cache).
+        self.base.recovery.begin(ctx.now().ticks());
+        let mut out = Outbox::new();
+        self.ab.rejoin(&mut out);
         self.drain(ctx, out);
     }
 

@@ -28,7 +28,7 @@ use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
-    global_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    global_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
 };
 use repl_gcs::ConsensusConfig;
 
@@ -175,6 +175,7 @@ impl CertServer {
                 ctx.send(req.op.client, CertMsg::Reply(resp));
             }
         }
+        settle_rejoin(&mut self.ab, &mut self.base, ctx.now().ticks());
     }
 }
 
@@ -240,6 +241,17 @@ impl Actor<CertMsg> for CertServer {
     fn on_timer(&mut self, ctx: &mut Context<'_, CertMsg>, _timer: TimerId, tag: u64) {
         let mut out = Outbox::new();
         self.ab.on_timer(tag, &mut out);
+        self.drain(ctx, out);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, CertMsg>) {
+        // Certification state only advances with the ordered stream, so
+        // recovery is a full replay of the missed suffix — a snapshot
+        // would leave the certifier's version counters behind and make
+        // later verdicts diverge across sites.
+        self.base.recovery.begin(ctx.now().ticks());
+        let mut out = Outbox::new();
+        self.ab.rejoin(&mut out);
         self.drain(ctx, out);
     }
 

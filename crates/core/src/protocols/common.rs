@@ -5,7 +5,8 @@
 use std::collections::HashMap;
 
 use repl_db::{
-    AccessKind, Key, ReplicatedHistory, ShadowStore, Store, TxnId, TxnManager, Value, WriteSet,
+    AccessKind, Key, RecoveryTracker, ReplicatedHistory, ShadowStore, Store, Transfer,
+    TransferStrategy, TxnId, TxnManager, Value, WriteSet,
 };
 use repl_gcs::{
     AbDeliver, BatchConfig, CAbMsg, ConsensusAbcast, ConsensusConfig, MsgId, Outbox, SeqAbMsg,
@@ -135,6 +136,37 @@ impl<P: Message> AbcastEndpoint<P> {
         }
     }
 
+    /// Re-enters the ordered stream after a crash: asks the group to
+    /// refill the missed suffix and re-arms the implementation's timers.
+    /// Completion is signalled through [`AbcastEndpoint::take_rejoin_done`].
+    pub fn rejoin(&mut self, out: &mut Outbox<AbMsg<P>, AbDeliver<P>>) {
+        match self {
+            AbcastEndpoint::Seq(a) => {
+                let mut sub = Outbox::new();
+                a.rejoin(&mut sub);
+                for e in out.absorb(sub, 0, AbMsg::Seq) {
+                    out.event(e);
+                }
+            }
+            AbcastEndpoint::Cons(a) => {
+                let mut sub = Outbox::new();
+                a.rejoin(&mut sub);
+                for e in out.absorb(sub, 0, AbMsg::Cons) {
+                    out.event(e);
+                }
+            }
+        }
+    }
+
+    /// Takes the completed-rejoin notification, if one fired since the
+    /// last call: the number of refill bytes received.
+    pub fn take_rejoin_done(&mut self) -> Option<u64> {
+        match self {
+            AbcastEndpoint::Seq(a) => a.take_rejoin_done(),
+            AbcastEndpoint::Cons(a) => a.take_rejoin_done(),
+        }
+    }
+
     /// Routes a timer with a component-local tag.
     pub fn on_timer(&mut self, tag: u64, out: &mut Outbox<AbMsg<P>, AbDeliver<P>>) {
         match self {
@@ -176,6 +208,8 @@ pub struct ServerBase {
     pub committed: u64,
     /// Transactions aborted at this site.
     pub aborted: u64,
+    /// Crash-recovery accounting (rejoin time, transfer bytes).
+    pub recovery: RecoveryTracker,
 }
 
 impl ServerBase {
@@ -190,6 +224,7 @@ impl ServerBase {
             exec,
             committed: 0,
             aborted: 0,
+            recovery: RecoveryTracker::default(),
         }
     }
 
@@ -282,6 +317,27 @@ impl ServerBase {
         self.committed += 1;
     }
 
+    /// Installs a recovery state transfer and records its accounting.
+    /// Log suffixes go through the normal writeset-install path so the
+    /// recorded history stays aligned with live installs; snapshots
+    /// replace the store wholesale (the missed transactions are not
+    /// attributable individually). Returns the donor's watermark.
+    pub fn install_transfer(&mut self, t: &Transfer) -> u64 {
+        self.recovery
+            .record_transfer(t.strategy, t.wire_size() as u64);
+        match t.strategy {
+            TransferStrategy::LogSuffix => {
+                for ws in &t.entries {
+                    self.install_writeset(ws);
+                }
+            }
+            TransferStrategy::Snapshot => {
+                self.store.install_snapshot(&t.snapshot);
+            }
+        }
+        t.high
+    }
+
     /// Reads a single key outside any transaction (lazy/stale reads),
     /// recording history under the given transaction id.
     pub fn read_committed(&mut self, txn: TxnId, key: Key) -> Value {
@@ -297,6 +353,20 @@ impl ServerBase {
     /// Caches a response.
     pub fn remember(&mut self, resp: &Response) {
         self.cache.insert(resp.op, resp.clone());
+    }
+}
+
+/// Polls the ABCAST endpoint for a completed rejoin and closes the
+/// server's recovery window: the refilled ordered-stream bytes count as
+/// a log-suffix transfer (the order log *is* the group's shared log).
+/// Call after every endpoint interaction; no-op outside a recovery.
+pub fn settle_rejoin<P: Message>(ab: &mut AbcastEndpoint<P>, base: &mut ServerBase, now: u64) {
+    if let Some(bytes) = ab.take_rejoin_done() {
+        if bytes > 0 {
+            base.recovery
+                .record_transfer(TransferStrategy::LogSuffix, bytes);
+        }
+        base.recovery.complete(now);
     }
 }
 

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use repl_db::{
     Acquire, DeadlockPolicy, Key, LockManager, LockMode, RedoLog, TpcCoordinator, TpcDecision,
-    TxnId, Value, WriteSet,
+    Transfer, TransferStrategy, TxnId, Value, WriteSet,
 };
 use repl_gcs::{BatchConfig, Component, FdConfig, FdEvent, FdMsg, HeartbeatFd, Outbox};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
@@ -88,6 +88,12 @@ pub enum EagerPrimaryMsg {
     Fd(FdMsg),
     /// Server → client.
     Reply(Response),
+    /// Recovering server → group: request catch-up from the carried
+    /// redo-log position. Receipt doubles as proof of life: the donor
+    /// re-trusts the sender so subsequent decisions reach it.
+    SyncReq(u64),
+    /// Donor → recovering server: log suffix or snapshot.
+    SyncData(Box<Transfer>),
 }
 
 impl Message for EagerPrimaryMsg {
@@ -102,6 +108,8 @@ impl Message for EagerPrimaryMsg {
             EagerPrimaryMsg::DecisionBatch { entries } => 8 + 24 * entries.len(),
             EagerPrimaryMsg::Fd(m) => m.wire_size(),
             EagerPrimaryMsg::Reply(r) => 8 + r.wire_size(),
+            EagerPrimaryMsg::SyncReq(_) => 16,
+            EagerPrimaryMsg::SyncData(t) => 8 + t.wire_size(),
         }
     }
 }
@@ -169,6 +177,12 @@ pub struct EagerPrimaryServer {
     /// Client acks deferred until the window's log force.
     staged_replies: Vec<(NodeId, Response)>,
     flush_armed: bool,
+    /// Initial post-crash sync: silent (no heartbeats, no participation)
+    /// until the first catch-up transfer lands.
+    recovering: bool,
+    /// Filling a decision gap noticed after rejoining; participates
+    /// normally while the suffix is in flight.
+    resync: bool,
     marks: bool,
 }
 
@@ -197,6 +211,8 @@ impl EagerPrimaryServer {
             staged_decisions: Vec::new(),
             staged_replies: Vec::new(),
             flush_armed: false,
+            recovering: false,
+            resync: false,
             marks: site == 0,
         }
     }
@@ -205,6 +221,12 @@ impl EagerPrimaryServer {
     pub fn with_batching(mut self, batch: BatchConfig) -> Self {
         self.batching = batch;
         self
+    }
+
+    /// Bounds the redo-log retention at every replica: recovery requests
+    /// that fall behind the truncation point get a snapshot transfer.
+    pub fn set_log_retention(&mut self, retention: Option<usize>) {
+        self.wal.set_retention(retention);
     }
 
     /// The current primary: the lowest-ranked unsuspected server.
@@ -604,11 +626,22 @@ impl EagerPrimaryServer {
     }
 
     /// Secondary side: applies one primary decision to a tentative
-    /// transaction (shared by `Decision` and `DecisionBatch`).
-    fn apply_decision(&mut self, txn: TxnId, commit: bool) {
+    /// transaction (shared by `Decision` and `DecisionBatch`). Returns
+    /// false for a commit decision whose transaction we never saw —
+    /// the writes were propagated while this server was excluded, so
+    /// only a state transfer can supply them.
+    fn apply_decision(&mut self, txn: TxnId, commit: bool) -> bool {
         if let Some((_, resp)) = self.tentative.remove(&txn) {
             if commit {
-                let _ = self.base.tm.commit(txn);
+                let ws = self
+                    .base
+                    .tm
+                    .commit(txn)
+                    .unwrap_or_else(|_| WriteSet::empty(txn));
+                // Mirror the decision stream into the local redo log so
+                // any server can donate a catch-up suffix. FIFO links
+                // keep the mirrored order identical to the primary's.
+                self.wal.append(ws);
                 self.base.history.mark_committed(txn);
                 self.base.committed += 1;
                 if let Some(r) = resp {
@@ -619,6 +652,18 @@ impl EagerPrimaryServer {
                 self.base.history.purge(txn);
                 self.base.aborted += 1;
             }
+            true
+        } else {
+            !commit
+        }
+    }
+
+    /// Asks `donor` for the decisions we turned out to have missed
+    /// (noticed via a commit decision for an unknown transaction).
+    fn request_resync(&mut self, ctx: &mut Context<'_, EagerPrimaryMsg>, donor: NodeId) {
+        if !self.resync {
+            self.resync = true;
+            ctx.send(donor, EagerPrimaryMsg::SyncReq(self.wal.len() as u64));
         }
     }
 
@@ -674,6 +719,9 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
                     ctx.send(op.client, EagerPrimaryMsg::Reply(resp));
                     return;
                 }
+                if self.recovering {
+                    return; // not a member yet; the client retries elsewhere
+                }
                 // Read-only transactions execute locally at any secondary —
                 // unless this site holds tentative (undecided) writes, in
                 // which case the read forwards to the primary to avoid
@@ -715,6 +763,9 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
                 }
             }
             EagerPrimaryMsg::Propagate { txn, step, ws } => {
+                if self.recovering {
+                    return; // the primary is not awaiting us while excluded
+                }
                 // Secondary: apply tentatively (undo-able).
                 self.base.tm.begin(txn);
                 for w in &ws.writes {
@@ -750,6 +801,9 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
                 }
             }
             EagerPrimaryMsg::Prepare { txn, ws, resp } => {
+                if self.recovering {
+                    return; // not in this transaction's 2PC cohort
+                }
                 // Secondary: apply the (single-op) writeset tentatively,
                 // remember the response, vote.
                 self.base.tm.begin(txn);
@@ -784,10 +838,24 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
                     None => {}
                 }
             }
-            EagerPrimaryMsg::Decision { txn, commit } => self.apply_decision(txn, commit),
+            EagerPrimaryMsg::Decision { txn, commit } => {
+                if self.recovering {
+                    return; // covered by the pending state transfer
+                }
+                if !self.apply_decision(txn, commit) {
+                    self.request_resync(ctx, from);
+                }
+            }
             EagerPrimaryMsg::DecisionBatch { entries } => {
+                if self.recovering {
+                    return;
+                }
+                let mut gap = false;
                 for &(txn, commit) in entries.iter() {
-                    self.apply_decision(txn, commit);
+                    gap |= !self.apply_decision(txn, commit);
+                }
+                if gap {
+                    self.request_resync(ctx, from);
                 }
             }
             EagerPrimaryMsg::Fd(m) => {
@@ -796,6 +864,67 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
                 self.drive_fd(ctx, out);
             }
             EagerPrimaryMsg::Reply(_) => {}
+            EagerPrimaryMsg::SyncReq(have) => {
+                if self.recovering || self.resync {
+                    return;
+                }
+                // Proof of life: re-admit the requester *before* building
+                // the transfer, so every decision from this instant on is
+                // multicast to it — the transfer covers everything prior,
+                // leaving no gap in between.
+                let mut out = Outbox::new();
+                self.fd.trust(from, &mut out);
+                self.drive_fd(ctx, out);
+                let t = if self.wal.has_suffix(have) {
+                    Transfer::from_log(&self.wal, &self.base.store, have)
+                } else {
+                    // Snapshot fallback: roll tentative 2PC writes back so
+                    // the requester only installs committed data.
+                    Transfer::committed_snapshot(
+                        &self.base.store,
+                        &self.base.tm,
+                        self.wal.len() as u64,
+                    )
+                };
+                ctx.send(from, EagerPrimaryMsg::SyncData(Box::new(t)));
+            }
+            EagerPrimaryMsg::SyncData(t) => {
+                let cur = self.wal.len() as u64;
+                if t.high > cur {
+                    self.base
+                        .recovery
+                        .record_transfer(t.strategy, t.wire_size() as u64);
+                    match t.strategy {
+                        TransferStrategy::LogSuffix => {
+                            // Several donors may answer; skip the prefix an
+                            // earlier (staler) transfer already installed.
+                            for (i, ws) in t.entries.iter().enumerate() {
+                                if t.start + i as u64 >= cur {
+                                    self.base.install_writeset(ws);
+                                    self.wal.append(ws.clone());
+                                }
+                            }
+                        }
+                        TransferStrategy::Snapshot => {
+                            self.base.store.install_snapshot(&t.snapshot);
+                            self.wal.skip_to(t.high);
+                        }
+                    }
+                }
+                if self.recovering {
+                    self.recovering = false;
+                    // Resume heartbeats only now: announcing earlier would
+                    // draw 2PC traffic at a server with a stale store. The
+                    // reset drops pre-crash miss counters, which would
+                    // otherwise let the first tick suspect a live peer.
+                    self.fd.reset();
+                    let mut out = Outbox::new();
+                    self.fd.on_start(&mut out);
+                    self.drive_fd(ctx, out);
+                }
+                self.resync = false;
+                self.base.recovery.complete(ctx.now().ticks());
+            }
         }
     }
 
@@ -807,6 +936,47 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
         } else if tag == DECISION_FLUSH_TAG {
             self.flush_armed = false;
             self.flush_decisions(ctx);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, EagerPrimaryMsg>) {
+        self.base.recovery.begin(ctx.now().ticks());
+        // In-flight coordination died with the process: undo every
+        // tentative and primary-side transaction (clients re-submit).
+        let mut stale: Vec<TxnId> = self.tentative.keys().copied().collect(); // sorted-below
+        stale.sort_unstable();
+        for txn in stale {
+            self.abort_tentative(txn);
+        }
+        let mut mine: Vec<TxnId> = self.inflight.keys().copied().collect(); // sorted-below
+        mine.sort_unstable();
+        for txn in mine {
+            self.inflight.remove(&txn);
+            let _ = self.base.tm.abort(&mut self.base.store, txn);
+            self.base.history.purge(txn);
+            self.base.aborted += 1;
+            let _ = self.lm.release_all(txn);
+        }
+        self.requeue.clear();
+        self.staged_decisions.clear();
+        self.staged_replies.clear();
+        self.flush_armed = false;
+        if self.servers.len() == 1 {
+            self.fd.reset();
+            let mut out = Outbox::new();
+            self.fd.on_start(&mut out);
+            self.drive_fd(ctx, out);
+            self.base.recovery.complete(ctx.now().ticks());
+            return;
+        }
+        // Stay silent (no heartbeats) until the transfer lands, so the
+        // acting primary keeps excluding us from 2PC cohorts meanwhile.
+        self.recovering = true;
+        let have = self.wal.len() as u64;
+        for &s in &self.servers.clone() {
+            if s != self.me {
+                ctx.send(s, EagerPrimaryMsg::SyncReq(have));
+            }
         }
     }
 

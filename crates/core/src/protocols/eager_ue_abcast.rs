@@ -21,7 +21,7 @@ use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
-    global_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    global_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
 };
 use repl_gcs::ConsensusConfig;
 
@@ -115,6 +115,7 @@ impl EuaServer {
                 ctx.send(op.client, EuaMsg::Reply(resp));
             }
         }
+        settle_rejoin(&mut self.ab, &mut self.base, ctx.now().ticks());
     }
 }
 
@@ -145,6 +146,15 @@ impl Actor<EuaMsg> for EuaServer {
     fn on_timer(&mut self, ctx: &mut Context<'_, EuaMsg>, _timer: TimerId, tag: u64) {
         let mut out = Outbox::new();
         self.ab.on_timer(tag, &mut out);
+        self.drain(ctx, out);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, EuaMsg>) {
+        // Refill the missed ABCAST suffix and re-execute it; the
+        // response cache suppresses ops executed before the crash.
+        self.base.recovery.begin(ctx.now().ticks());
+        let mut out = Outbox::new();
+        self.ab.rejoin(&mut out);
         self.drain(ctx, out);
     }
 

@@ -35,7 +35,8 @@
 use std::collections::{HashMap, HashSet};
 
 use repl_db::{
-    Acquire, DeadlockPolicy, Key, LockManager, LockMode, TpcCoordinator, TpcDecision, TxnId, Value,
+    Acquire, DeadlockPolicy, Key, LockManager, LockMode, TpcCoordinator, TpcDecision, Transfer,
+    TxnId, Value,
 };
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 use repl_workload::OpTemplate;
@@ -112,6 +113,12 @@ pub enum EulMsg {
         /// `waiter → holder` pairs.
         edges: Vec<(TxnId, TxnId)>,
     },
+    /// Recovering replica → group: request a committed-state snapshot
+    /// (all-site locking keeps no redo log; snapshots are the only
+    /// transfer form).
+    SyncReq,
+    /// Live replica → recovering replica: committed-state snapshot.
+    SyncData(Box<Transfer>),
     /// Server → client.
     Reply(Response),
 }
@@ -129,6 +136,8 @@ impl Message for EulMsg {
             EulMsg::Decision { .. } => 24,
             EulMsg::ProbeReq => 8,
             EulMsg::ProbeEdges { edges } => 8 + edges.len() * 24,
+            EulMsg::SyncReq => 8,
+            EulMsg::SyncData(t) => 8 + t.wire_size(),
             EulMsg::Reply(r) => 8 + r.wire_size(),
         }
     }
@@ -194,6 +203,12 @@ pub struct EulServer {
     pub wounds: u64,
     /// Read-one/write-all: reads lock and execute locally only.
     rowa: bool,
+    /// Waiting for the first snapshot reply after a crash.
+    recovering: bool,
+    /// Exec/Decision traffic that arrived mid-transfer, replayed once
+    /// the snapshot lands (its writes must sit *on top* of the
+    /// transferred state, not under it).
+    replay: Vec<(NodeId, EulMsg)>,
     marks: bool,
 }
 
@@ -222,6 +237,8 @@ impl EulServer {
             probe_answers: 0,
             wounds: 0,
             rowa: false,
+            recovering: false,
+            replay: Vec::new(),
             marks: site == 0,
         }
     }
@@ -514,6 +531,19 @@ impl Actor<EulMsg> for EulServer {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, EulMsg>, from: NodeId, msg: EulMsg) {
+        if self.recovering {
+            // Keep granting locks and voting so the group never wedges
+            // on us, but hold writes and verdicts back until the
+            // snapshot is in place.
+            if matches!(msg, EulMsg::Exec { .. } | EulMsg::Decision { .. }) {
+                self.replay.push((from, msg));
+                return;
+            }
+            // A delegate with a stale store would serve stale reads.
+            if matches!(msg, EulMsg::Invoke(_)) {
+                return;
+            }
+        }
         match msg {
             EulMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -636,6 +666,23 @@ impl Actor<EulMsg> for EulServer {
                 self.probe_answers += 1;
                 self.maybe_resolve_deadlock(ctx);
             }
+            EulMsg::SyncReq => {
+                if !self.recovering {
+                    let t = Transfer::committed_snapshot(&self.base.store, &self.base.tm, 0);
+                    ctx.send(from, EulMsg::SyncData(Box::new(t)));
+                }
+            }
+            EulMsg::SyncData(t) => {
+                if !self.recovering {
+                    return;
+                }
+                self.recovering = false;
+                let _ = self.base.install_transfer(&t);
+                for (peer, m) in std::mem::take(&mut self.replay) {
+                    self.on_message(ctx, peer, m);
+                }
+                self.base.recovery.complete(ctx.now().ticks());
+            }
             EulMsg::Reply(_) => {}
         }
     }
@@ -690,6 +737,21 @@ impl Actor<EulMsg> for EulServer {
         // Timers do not survive a crash: re-arm the deadlock detector.
         if self.policy == DeadlockPolicy::Detect && self.base.site == 0 {
             ctx.set_timer(self.detect_every, DETECT_TICK);
+        }
+        // `on_crash` already dropped the volatile state (amnesia); what
+        // remains is closing the gap in committed state via a peer
+        // snapshot — all-site locking keeps no redo log to replay.
+        self.base.recovery.begin(ctx.now().ticks());
+        if self.servers.len() == 1 {
+            self.base.recovery.complete(ctx.now().ticks());
+            return;
+        }
+        self.recovering = true;
+        self.replay.clear();
+        for &s in &self.servers.clone() {
+            if s != self.me {
+                ctx.send(s, EulMsg::SyncReq);
+            }
         }
     }
 

@@ -19,11 +19,13 @@
 //! numbers every propagated writeset against its redo log
 //! ([`repl_db::RedoLog`]); a recovering (or gap-detecting) secondary asks
 //! for the suffix it missed and replays it in order — the classic
-//! log-shipping standby pattern.
+//! log-shipping standby pattern. When the log has been truncated past
+//! the requester's position (finite retention, long outage) the primary
+//! falls back to a full [`Transfer`] snapshot instead.
 
 use std::sync::Arc;
 
-use repl_db::{RedoLog, WriteSet};
+use repl_db::{RedoLog, Transfer, TransferStrategy, WriteSet};
 use repl_gcs::BatchConfig;
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
 use repl_workload::OpTemplate;
@@ -62,13 +64,9 @@ pub enum LazyPrimaryMsg {
         /// Number of log entries the secondary has applied.
         have: u64,
     },
-    /// Primary → secondary: log suffix starting at `start`.
-    CatchUpData {
-        /// Log index of the first entry.
-        start: u64,
-        /// The missing entries, in log order.
-        entries: Vec<WriteSet>,
-    },
+    /// Primary → secondary: log suffix or snapshot, per the donor's
+    /// retention (boxed: the payload dwarfs the other variants).
+    CatchUpData(Box<Transfer>),
     /// Server → client.
     Reply(Response),
 }
@@ -82,9 +80,7 @@ impl Message for LazyPrimaryMsg {
                 16 + entries.iter().map(|w| 8 + w.wire_size()).sum::<usize>()
             }
             LazyPrimaryMsg::CatchUpReq { .. } => 16,
-            LazyPrimaryMsg::CatchUpData { entries, .. } => {
-                16 + entries.iter().map(|w| w.wire_size()).sum::<usize>()
-            }
+            LazyPrimaryMsg::CatchUpData(t) => 8 + t.wire_size(),
             LazyPrimaryMsg::Reply(r) => 8 + r.wire_size(),
         }
     }
@@ -156,6 +152,12 @@ impl LazyPrimaryServer {
     pub fn with_batching(mut self, batch: BatchConfig) -> Self {
         self.batching = batch;
         self
+    }
+
+    /// Bounds the primary's redo-log retention: requesters that fall
+    /// behind the truncation point get a snapshot instead of a suffix.
+    pub fn set_log_retention(&mut self, retention: Option<usize>) {
+        self.log.set_retention(retention);
     }
 
     /// The static primary.
@@ -233,8 +235,18 @@ impl LazyPrimaryServer {
 impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
     fn on_recover(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>) {
         // Crash recovery: ask the primary for everything missed.
+        self.base.recovery.begin(ctx.now().ticks());
         let primary = self.primary();
-        if primary != self.me {
+        if primary == self.me {
+            // The primary's own log and store survive the crash; any
+            // updates invoked during the outage were retried by clients.
+            // Timers die with the crash, so re-arm a pending flush.
+            self.flush_armed = false;
+            if !self.outbound.is_empty() {
+                self.flush(ctx);
+            }
+            self.base.recovery.complete(ctx.now().ticks());
+        } else {
             ctx.send(primary, LazyPrimaryMsg::CatchUpReq { have: self.applied });
         }
     }
@@ -328,22 +340,36 @@ impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
             }
             LazyPrimaryMsg::CatchUpReq { have } => {
                 if self.me == self.primary() {
-                    let entries: Vec<WriteSet> = self.log.since(have as usize).cloned().collect();
-                    if !entries.is_empty() {
-                        ctx.send(
-                            from,
-                            LazyPrimaryMsg::CatchUpData {
-                                start: have,
-                                entries,
-                            },
-                        );
-                    }
+                    // Suffix while retained, snapshot once truncated past
+                    // the requester. Reply even when there is nothing to
+                    // ship so the requester's recovery clock can stop.
+                    let t = Transfer::from_log(&self.log, &self.base.store, have);
+                    ctx.send(from, LazyPrimaryMsg::CatchUpData(Box::new(t)));
                 }
             }
-            LazyPrimaryMsg::CatchUpData { start, entries } => {
-                for (i, ws) in entries.iter().enumerate() {
-                    self.apply_entry(start + i as u64, ws);
+            LazyPrimaryMsg::CatchUpData(t) => {
+                match t.strategy {
+                    TransferStrategy::LogSuffix => {
+                        for (i, ws) in t.entries.iter().enumerate() {
+                            self.apply_entry(t.start + i as u64, ws);
+                        }
+                        if !t.entries.is_empty() {
+                            self.base
+                                .recovery
+                                .record_transfer(t.strategy, t.wire_size() as u64);
+                        }
+                    }
+                    TransferStrategy::Snapshot => {
+                        if t.high > self.applied {
+                            self.base.store.install_snapshot(&t.snapshot);
+                            self.applied = t.high;
+                            self.base
+                                .recovery
+                                .record_transfer(t.strategy, t.wire_size() as u64);
+                        }
+                    }
                 }
+                self.base.recovery.complete(ctx.now().ticks());
             }
             LazyPrimaryMsg::Reply(_) => {}
         }

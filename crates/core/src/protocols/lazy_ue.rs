@@ -24,7 +24,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use repl_db::{Key, TxnId, WriteSet};
+use repl_db::{Key, TransferStrategy, TxnId, Value, WriteSet};
 use repl_gcs::Outbox;
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
 use repl_workload::OpTemplate;
@@ -33,7 +33,8 @@ use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
-    global_txn, op_of_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    global_txn, op_of_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode,
+    ServerBase,
 };
 
 /// How conflicting lazy updates are reconciled (paper §4.6).
@@ -77,6 +78,17 @@ pub enum LazyUeMsg {
     },
     /// ABCAST traffic (AbcastOrder reconciliation).
     Ab(AbMsg<OrderedWs>),
+    /// Recovering replica → every peer (Lww mode): send me your stamped
+    /// committed state. Propagations sent during the outage were dropped
+    /// and are never re-sent, so rejoin is anti-entropy: merge each
+    /// peer's state under the same Thomas write rule as live traffic.
+    SyncReq,
+    /// Peer → recovering replica: stamped committed state, key-sorted.
+    SyncData {
+        /// `(key, value, commit_ts, site)` for every key the peer has
+        /// accepted a stamped write for.
+        items: Vec<(Key, Value, u64, u32)>,
+    },
     /// Server → client.
     Reply(Response),
 }
@@ -87,6 +99,8 @@ impl Message for LazyUeMsg {
             LazyUeMsg::Invoke(op) => 8 + op.wire_size(),
             LazyUeMsg::Propagate { ws, .. } => 20 + ws.wire_size(),
             LazyUeMsg::Ab(m) => m.wire_size(),
+            LazyUeMsg::SyncReq => 8,
+            LazyUeMsg::SyncData { items } => 8 + items.len() * 28,
             LazyUeMsg::Reply(r) => 8 + r.wire_size(),
         }
     }
@@ -234,6 +248,39 @@ impl LazyUeServer {
                 self.base.committed += 1;
             }
         }
+        settle_rejoin(&mut self.ab, &mut self.base, ctx.now().ticks());
+    }
+
+    /// Every key this replica has accepted a stamped write for, with its
+    /// winning stamp, key-sorted (the `last_writer` map iterates in hash
+    /// order, which must not leak into the wire stream).
+    fn stamped_state(&self) -> Vec<(Key, Value, u64, u32)> {
+        let mut items: Vec<(Key, Value, u64, u32)> = self
+            .last_writer
+            .iter()
+            .map(|(&k, &(ts, site))| {
+                let v = self.base.store.read(k).map_or(Value(0), |v| v.value);
+                (k, v, ts, site)
+            })
+            .collect();
+        items.sort_by_key(|e| e.0);
+        items
+    }
+
+    /// Merges a peer's stamped state under the Thomas write rule. Keys
+    /// the peer never saw keep this replica's surviving values; losing
+    /// stamps are not counted as reconciliations (nothing optimistic is
+    /// being discarded — this is catch-up, not conflict).
+    fn merge_stamped(&mut self, items: Vec<(Key, Value, u64, u32)>) {
+        for (k, v, ts, site) in items {
+            let stamp = (ts, site);
+            let current = self.last_writer.get(&k).copied().unwrap_or((0, u32::MAX));
+            let newer = stamp.0 > current.0 || (stamp.0 == current.0 && stamp.1 < current.1);
+            if newer {
+                self.last_writer.insert(k, stamp);
+                self.base.store.write(k, v, TxnId::new(ts, site));
+            }
+        }
     }
 
     /// Applies a remote writeset under the Thomas write rule.
@@ -269,7 +316,38 @@ impl LazyUeServer {
 }
 
 impl Actor<LazyUeMsg> for LazyUeServer {
-    fn on_message(&mut self, ctx: &mut Context<'_, LazyUeMsg>, _from: NodeId, msg: LazyUeMsg) {
+    fn on_recover(&mut self, ctx: &mut Context<'_, LazyUeMsg>) {
+        self.base.recovery.begin(ctx.now().ticks());
+        // Timers died with the crash: anything still queued for
+        // propagation goes out now.
+        self.flush_armed = false;
+        if !self.outbound.is_empty() {
+            self.flush(ctx);
+        }
+        match self.mode {
+            ReconcileMode::Lww => {
+                if self.servers.len() <= 1 {
+                    let now = ctx.now().ticks();
+                    self.base.recovery.complete(now);
+                    return;
+                }
+                for &s in &self.servers {
+                    if s != self.me {
+                        ctx.send(s, LazyUeMsg::SyncReq);
+                    }
+                }
+            }
+            ReconcileMode::AbcastOrder => {
+                // The ordered stream is the shared log: re-request the
+                // missed deliveries from the sequencer.
+                let mut out = Outbox::new();
+                self.ab.rejoin(&mut out);
+                self.drive_ab(ctx, out);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, LazyUeMsg>, from: NodeId, msg: LazyUeMsg) {
         match msg {
             LazyUeMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -340,8 +418,22 @@ impl Actor<LazyUeMsg> for LazyUeServer {
             }
             LazyUeMsg::Ab(m) => {
                 let mut out = Outbox::new();
-                self.ab.on_message(_from, m, &mut out);
+                self.ab.on_message(from, m, &mut out);
                 self.drive_ab(ctx, out);
+            }
+            LazyUeMsg::SyncReq => {
+                let items = self.stamped_state();
+                ctx.send(from, LazyUeMsg::SyncData { items });
+            }
+            LazyUeMsg::SyncData { items } => {
+                // First reply ends the recovery window (this replica can
+                // serve again); later replies still merge — anti-entropy
+                // is commutative, extra rounds only add coverage.
+                self.base
+                    .recovery
+                    .record_transfer(TransferStrategy::Snapshot, (8 + items.len() * 28) as u64);
+                self.merge_stamped(items);
+                self.base.recovery.complete(ctx.now().ticks());
             }
             LazyUeMsg::Reply(_) => {}
         }

@@ -13,7 +13,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use repl_db::WriteSet;
+use repl_db::{Transfer, WriteSet};
 use repl_gcs::{Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 
@@ -54,6 +54,11 @@ pub enum PassiveMsg {
     },
     /// Primary → client.
     Reply(Response),
+    /// Recovering replica → group: request db-level state transfer.
+    RecoverReq,
+    /// Live member → recovering replica: the state transfer (boxed —
+    /// snapshots dwarf the other variants).
+    RecoverData(Box<Transfer>),
 }
 
 impl Message for PassiveMsg {
@@ -63,6 +68,8 @@ impl Message for PassiveMsg {
             PassiveMsg::Vs(m) => 8 + m.wire_size(),
             PassiveMsg::Ack { .. } => 16,
             PassiveMsg::Reply(r) => 8 + r.wire_size(),
+            PassiveMsg::RecoverReq => 8,
+            PassiveMsg::RecoverData(t) => 8 + t.wire_size(),
         }
     }
 }
@@ -92,8 +99,11 @@ pub struct PassiveServer {
     /// Shared database/server state (public for post-run inspection).
     pub base: ServerBase,
     me: NodeId,
+    group: Vec<NodeId>,
     vg: ViewGroup<Update>,
     pending: HashMap<OpId, PendingAck>,
+    /// Waiting for the first state-transfer reply after a crash.
+    recovering: bool,
 }
 
 impl PassiveServer {
@@ -110,8 +120,10 @@ impl PassiveServer {
         PassiveServer {
             base: ServerBase::new(site, items, exec),
             me,
-            vg: ViewGroup::new(me, group, vs),
+            vg: ViewGroup::new(me, group.clone(), vs),
+            group,
             pending: HashMap::new(),
+            recovering: false,
         }
     }
 
@@ -145,6 +157,10 @@ impl PassiveServer {
                     ctx.send(from, PassiveMsg::Ack { op: payload.op });
                 }
                 VsEvent::ViewInstalled(view) => {
+                    // Back in a view after a crash: recovery is over.
+                    if self.base.recovery.is_recovering() && view.contains(self.me) {
+                        self.base.recovery.complete(ctx.now().ticks());
+                    }
                     // Crashed backups no longer owe acks.
                     let members: HashSet<NodeId> = view.members.iter().copied().collect();
                     let mut done: Vec<OpId> = Vec::new();
@@ -224,6 +240,9 @@ impl Actor<PassiveMsg> for PassiveServer {
                     ctx.send(op.client, PassiveMsg::Reply(resp));
                     return;
                 }
+                if self.recovering || self.vg.is_joining() {
+                    return; // stale view; let the client retry elsewhere
+                }
                 if self.is_primary() {
                     if !self.pending.contains_key(&op.id) {
                         self.execute_as_primary(ctx, op);
@@ -251,6 +270,26 @@ impl Actor<PassiveMsg> for PassiveServer {
                 }
             }
             PassiveMsg::Reply(_) => {}
+            PassiveMsg::RecoverReq => {
+                // Any live in-view member donates; the requester keeps
+                // the first reply. Always a snapshot: passive backups
+                // hold no redo log to cut a suffix from.
+                if !self.vg.is_excluded() && !self.vg.is_joining() && !self.recovering {
+                    let t = Transfer::committed_snapshot(&self.base.store, &self.base.tm, 0);
+                    ctx.send(from, PassiveMsg::RecoverData(Box::new(t)));
+                }
+            }
+            PassiveMsg::RecoverData(t) => {
+                if self.recovering {
+                    self.recovering = false;
+                    self.base.install_transfer(&t);
+                    // State installed; now ask the group for readmission
+                    // (the join view's flush covers in-flight updates).
+                    let mut out = Outbox::new();
+                    self.vg.rejoin(&mut out);
+                    self.drive(ctx, out);
+                }
+            }
         }
     }
 
@@ -258,6 +297,27 @@ impl Actor<PassiveMsg> for PassiveServer {
         let mut out = Outbox::new();
         repl_gcs::Component::on_timer(&mut self.vg, tag, &mut out);
         self.drive(ctx, out);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, PassiveMsg>) {
+        // Two-step rejoin: fetch a db-level snapshot from a live member
+        // first, then run the group-level join so the new view only
+        // ever admits a caught-up replica.
+        self.base.recovery.begin(ctx.now().ticks());
+        self.pending.clear();
+        if self.group.len() == 1 {
+            let mut out = Outbox::new();
+            self.vg.rejoin(&mut out);
+            self.drive(ctx, out);
+            self.base.recovery.complete(ctx.now().ticks());
+            return;
+        }
+        self.recovering = true;
+        for &n in &self.group {
+            if n != self.me {
+                ctx.send(n, PassiveMsg::RecoverReq);
+            }
+        }
     }
 
     impl_as_any!();

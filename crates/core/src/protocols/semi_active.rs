@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use repl_db::{Key, Value};
+use repl_db::{Key, Transfer, Value};
 use repl_gcs::{BatchConfig, Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 
@@ -23,7 +23,7 @@ use crate::client::ProtocolMsg;
 use crate::op::{accesses, ClientOp, OpId, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
-    global_txn, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    global_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
 };
 
 /// The leader's resolution of an operation's non-deterministic choices.
@@ -56,6 +56,12 @@ pub enum SemiActiveMsg {
     Vs(VsMsg<Choice>),
     /// Replica → client.
     Reply(Response),
+    /// Recovering replica → group: request a state snapshot.
+    SyncReq,
+    /// Live member → recovering replica: snapshot stamped with the
+    /// donor's applied watermark (missed leader choices cannot be
+    /// replayed, so the gap is covered by state, not re-execution).
+    SyncData(Box<Transfer>),
 }
 
 impl Message for SemiActiveMsg {
@@ -65,6 +71,8 @@ impl Message for SemiActiveMsg {
             SemiActiveMsg::Ab(m) => m.wire_size(),
             SemiActiveMsg::Vs(m) => 8 + m.wire_size(),
             SemiActiveMsg::Reply(r) => 8 + r.wire_size(),
+            SemiActiveMsg::SyncReq => 8,
+            SemiActiveMsg::SyncData(t) => 8 + t.wire_size(),
         }
     }
 }
@@ -86,9 +94,12 @@ pub struct SemiActiveServer {
     /// Shared database/server state (public for post-run inspection).
     pub base: ServerBase,
     me: NodeId,
+    group: Vec<NodeId>,
     ab: AbcastEndpoint<ClientOp>,
     vg: ViewGroup<Choice>,
     relayed: HashSet<OpId>,
+    /// Waiting for the first snapshot reply after a crash.
+    recovering: bool,
     /// Ordered-but-not-yet-applied operations, by global sequence.
     waiting: BTreeMap<u64, ClientOp>,
     next_apply: u64,
@@ -113,8 +124,10 @@ impl SemiActiveServer {
             base: ServerBase::new(site, items, exec),
             me,
             ab: AbcastEndpoint::new(abcast, me, group.clone(), cons),
-            vg: ViewGroup::new(me, group, vs),
+            vg: ViewGroup::new(me, group.clone(), vs),
+            group,
             relayed: HashSet::new(),
+            recovering: false,
             waiting: BTreeMap::new(),
             next_apply: 0,
             choices: HashMap::new(),
@@ -163,6 +176,7 @@ impl SemiActiveServer {
             self.waiting.insert(d.gseq, d.payload);
         }
         self.process(ctx);
+        settle_rejoin(&mut self.ab, &mut self.base, ctx.now().ticks());
     }
 
     fn drive_vs(
@@ -314,6 +328,30 @@ impl Actor<SemiActiveMsg> for SemiActiveServer {
                 self.drive_vs(ctx, out);
             }
             SemiActiveMsg::Reply(_) => {}
+            SemiActiveMsg::SyncReq => {
+                if !self.recovering && !self.vg.is_excluded() && !self.vg.is_joining() {
+                    let t =
+                        Transfer::committed_snapshot(&self.base.store, &self.base.tm, self.next_apply);
+                    ctx.send(from, SemiActiveMsg::SyncData(Box::new(t)));
+                }
+            }
+            SemiActiveMsg::SyncData(t) => {
+                if self.recovering {
+                    self.recovering = false;
+                    let high = self.base.install_transfer(&t);
+                    // Fast-forward past the snapshot: those operations'
+                    // leader choices are gone and their effects are
+                    // already in the installed state.
+                    self.next_apply = self.next_apply.max(high);
+                    self.waiting = self.waiting.split_off(&self.next_apply);
+                    let mut out = Outbox::new();
+                    self.ab.rejoin(&mut out);
+                    self.drive_ab(ctx, out);
+                    let mut out = Outbox::new();
+                    self.vg.rejoin(&mut out);
+                    self.drive_vs(ctx, out);
+                }
+            }
         }
     }
 
@@ -326,6 +364,25 @@ impl Actor<SemiActiveMsg> for SemiActiveServer {
             let mut out = Outbox::new();
             self.ab.on_timer(tag, &mut out);
             self.drive_ab(ctx, out);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, SemiActiveMsg>) {
+        self.base.recovery.begin(ctx.now().ticks());
+        if self.group.len() == 1 {
+            let mut out = Outbox::new();
+            self.ab.rejoin(&mut out);
+            self.drive_ab(ctx, out);
+            let mut out = Outbox::new();
+            self.vg.rejoin(&mut out);
+            self.drive_vs(ctx, out);
+            return;
+        }
+        self.recovering = true;
+        for &n in &self.group {
+            if n != self.me {
+                ctx.send(n, SemiActiveMsg::SyncReq);
+            }
         }
     }
 

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use repl_db::WriteSet;
+use repl_db::{RedoLog, Transfer, TransferStrategy, WriteSet};
 use repl_gcs::{
     ConsEvent, ConsMsg, ConsensusConfig, ConsensusPool, FdConfig, FdEvent, FdMsg, HeartbeatFd,
     Outbox,
@@ -68,6 +68,11 @@ pub enum SemiPassiveMsg {
     Fd(FdMsg),
     /// Server → client.
     Reply(Response),
+    /// Recovering server → group: request catch-up from the carried
+    /// decision-log position.
+    SyncReq(u64),
+    /// Live server → recovering server: log suffix or snapshot.
+    SyncData(Box<Transfer>),
 }
 
 impl Message for SemiPassiveMsg {
@@ -77,6 +82,8 @@ impl Message for SemiPassiveMsg {
             SemiPassiveMsg::Cons(c) => 8 + c.wire_size(),
             SemiPassiveMsg::Fd(m) => m.wire_size(),
             SemiPassiveMsg::Reply(r) => 8 + r.wire_size(),
+            SemiPassiveMsg::SyncReq(_) => 16,
+            SemiPassiveMsg::SyncData(t) => 8 + t.wire_size(),
         }
     }
 }
@@ -107,6 +114,11 @@ pub struct SemiPassiveServer {
     next_slot: u64,
     /// Slot we have armed a deferral timer or proposed for.
     engaged_slot: Option<u64>,
+    /// Decided writesets in slot order (slot == log index), so live
+    /// servers can donate a catch-up suffix to a recovering peer.
+    wal: RedoLog,
+    /// Waiting for the first catch-up reply after a crash.
+    recovering: bool,
     marks: bool,
 }
 
@@ -134,8 +146,17 @@ impl SemiPassiveServer {
             decided: BTreeMap::new(),
             next_slot: 0,
             engaged_slot: None,
+            wal: RedoLog::new(),
+            recovering: false,
             marks: site == 0,
         }
+    }
+
+    /// Caps the decision log's retention (`None` = unbounded). A finite
+    /// cap forces snapshot transfers for peers that fall behind the
+    /// truncation point.
+    pub fn set_log_retention(&mut self, max_entries: Option<usize>) {
+        self.wal.set_retention(max_entries);
     }
 
     /// The effective deferral rank: servers suspected by our failure
@@ -148,7 +169,8 @@ impl SemiPassiveServer {
     }
 
     fn engage(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
-        if self.pending.is_empty() || self.engaged_slot == Some(self.next_slot) {
+        if self.recovering || self.pending.is_empty() || self.engaged_slot == Some(self.next_slot)
+        {
             return;
         }
         self.engaged_slot = Some(self.next_slot);
@@ -211,6 +233,9 @@ impl SemiPassiveServer {
             self.next_slot += 1;
             self.engaged_slot = None;
             self.pending.remove(&p.op.id);
+            // Mirror every decision so wal index == slot, even for
+            // duplicate decision content (keeps donor watermarks exact).
+            self.wal.append(p.ws.clone());
             if self.base.cached(p.op.id).is_some() {
                 continue; // already installed (duplicate decision content)
             }
@@ -246,7 +271,7 @@ impl Actor<SemiPassiveMsg> for SemiPassiveServer {
                     ctx.send(op.client, SemiPassiveMsg::Reply(resp));
                     return;
                 }
-                if self.pending.contains_key(&op.id) {
+                if self.recovering || self.pending.contains_key(&op.id) {
                     return;
                 }
                 self.pending.insert(op.id, op.clone());
@@ -258,7 +283,10 @@ impl Actor<SemiPassiveMsg> for SemiPassiveServer {
                 self.engage(ctx);
             }
             SemiPassiveMsg::Fwd(op) => {
-                if self.base.cached(op.id).is_none() && !self.pending.contains_key(&op.id) {
+                if !self.recovering
+                    && self.base.cached(op.id).is_none()
+                    && !self.pending.contains_key(&op.id)
+                {
                     self.pending.insert(op.id, op);
                     self.engage(ctx);
                 }
@@ -275,6 +303,38 @@ impl Actor<SemiPassiveMsg> for SemiPassiveServer {
                 self.drive_fd(ctx, out);
             }
             SemiPassiveMsg::Reply(_) => {}
+            SemiPassiveMsg::SyncReq(have) => {
+                if !self.recovering {
+                    let t = Transfer::from_log(&self.wal, &self.base.store, have);
+                    ctx.send(from, SemiPassiveMsg::SyncData(Box::new(t)));
+                }
+            }
+            SemiPassiveMsg::SyncData(t) => {
+                if !self.recovering {
+                    return;
+                }
+                self.recovering = false;
+                let high = self.base.install_transfer(&t);
+                match t.strategy {
+                    TransferStrategy::LogSuffix => {
+                        for ws in &t.entries {
+                            self.wal.append(ws.clone());
+                        }
+                    }
+                    TransferStrategy::Snapshot => self.wal.skip_to(high),
+                }
+                self.next_slot = self.next_slot.max(high);
+                self.decided = self.decided.split_off(&self.next_slot);
+                self.engaged_slot = None;
+                self.base.recovery.complete(ctx.now().ticks());
+                // Re-enter any instance still undecided group-wide, then
+                // start working the backlog again.
+                let mut out = Outbox::new();
+                self.pool.resume(&mut out);
+                let events = repl_gcs::apply_outbox(ctx, out, CONS_BASE, SemiPassiveMsg::Cons);
+                self.handle_decisions(ctx, events);
+                self.engage(ctx);
+            }
         }
     }
 
@@ -292,6 +352,35 @@ impl Actor<SemiPassiveMsg> for SemiPassiveServer {
             // Deferral timer for a slot: execute only if still undecided.
             if tag == self.next_slot && !self.pending.is_empty() {
                 self.execute_and_propose(ctx);
+            }
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
+        self.base.recovery.begin(ctx.now().ticks());
+        // Timers died with the process: restart heartbeats, dropping
+        // pre-crash miss counters so the first tick cannot suspect a
+        // live peer on stale evidence.
+        self.fd.reset();
+        let mut out = Outbox::new();
+        repl_gcs::Component::on_start(&mut self.fd, &mut out);
+        self.drive_fd(ctx, out);
+        // Pending requests may have been decided while we were down;
+        // clients re-forward anything genuinely unanswered.
+        self.pending.clear();
+        self.engaged_slot = None;
+        if self.group.len() == 1 {
+            let mut out = Outbox::new();
+            self.pool.resume(&mut out);
+            let events = repl_gcs::apply_outbox(ctx, out, CONS_BASE, SemiPassiveMsg::Cons);
+            self.handle_decisions(ctx, events);
+            self.base.recovery.complete(ctx.now().ticks());
+            return;
+        }
+        self.recovering = true;
+        for &m in &self.group.clone() {
+            if m != ctx.me() {
+                ctx.send(m, SemiPassiveMsg::SyncReq(self.next_slot));
             }
         }
     }

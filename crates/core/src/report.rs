@@ -9,6 +9,27 @@ use crate::consistency::{count_stale_reads, StaleRead};
 use crate::phase::{PhaseSkeleton, PhaseTrace};
 use crate::technique::Technique;
 
+/// Crash-recovery metrics of one server, populated when the fault plan
+/// recovered it at least once. Times are virtual ticks.
+#[derive(Debug, Clone, Default)]
+pub struct NodeRecovery {
+    /// Site index (dense, 0-based).
+    pub site: u32,
+    /// Recoveries the node went through.
+    pub recoveries: u64,
+    /// Tick of the last rejoin start (the recovery event).
+    pub rejoin_at: Option<u64>,
+    /// Ticks from the last rejoin until fully caught up — the node's
+    /// contribution to MTTR. `None` if it never finished catching up.
+    pub catch_up_ticks: Option<u64>,
+    /// State-transfer bytes received across all recoveries.
+    pub transfer_bytes: u64,
+    /// Transfers served from a redo-log suffix.
+    pub log_suffix_transfers: u64,
+    /// Transfers served as full snapshots.
+    pub snapshot_transfers: u64,
+}
+
 /// Availability metrics of one run, meaningful under a fault load.
 ///
 /// All durations are virtual ticks. For operations still unanswered when
@@ -29,6 +50,9 @@ pub struct Availability {
     pub faults_injected: u64,
     /// Repair events actually applied (recoveries, heals, link repairs).
     pub repairs_applied: u64,
+    /// Per-server crash-recovery accounting, for servers that recovered
+    /// at least once (site order).
+    pub recoveries: Vec<NodeRecovery>,
 }
 
 impl Availability {
@@ -49,6 +73,26 @@ impl Availability {
             .copied()
             .min()
             .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Mean time to repair across servers that completed a recovery:
+    /// the average catch-up window, in ticks. `None` when no server
+    /// finished recovering (or none recovered at all).
+    pub fn mttr_ticks(&self) -> Option<u64> {
+        let done: Vec<u64> = self
+            .recoveries
+            .iter()
+            .filter_map(|r| r.catch_up_ticks)
+            .collect();
+        if done.is_empty() {
+            return None;
+        }
+        Some(done.iter().sum::<u64>() / done.len() as u64)
+    }
+
+    /// Total recovery state-transfer bytes received across servers.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.recoveries.iter().map(|r| r.transfer_bytes).sum()
     }
 }
 
@@ -236,6 +280,16 @@ impl RunReport {
             .availability
             .failover_latency
             .map_or(u64::MAX, |d| d.ticks()));
+        mix(self.availability.recoveries.len() as u64);
+        for r in &self.availability.recoveries {
+            mix(r.site as u64);
+            mix(r.recoveries);
+            mix(r.rejoin_at.unwrap_or(u64::MAX));
+            mix(r.catch_up_ticks.unwrap_or(u64::MAX));
+            mix(r.transfer_bytes);
+            mix(r.log_suffix_transfers);
+            mix(r.snapshot_transfers);
+        }
         mix(self.trace_hash);
         h
     }

@@ -74,6 +74,11 @@ pub struct RunConfig {
     pub reconcile: ReconcileMode,
     /// Extra propagation delay for the lazy techniques.
     pub propagation_delay: SimDuration,
+    /// Redo-log retention at the techniques that keep a log (eager and
+    /// lazy primary copy): how many entries stay available for
+    /// log-suffix recovery transfers before truncation forces snapshot
+    /// transfers. `None` retains everything.
+    pub log_retention: Option<usize>,
     /// Client retry timeout.
     pub retry_after: SimDuration,
     /// Hard deadline for the run.
@@ -103,6 +108,7 @@ impl RunConfig {
             rowa: false,
             reconcile: ReconcileMode::Lww,
             propagation_delay: SimDuration::ZERO,
+            log_retention: None,
             retry_after: SimDuration::from_ticks(25_000),
             max_time: SimTime::from_ticks(30_000_000),
             trace: true,
@@ -196,6 +202,18 @@ impl RunConfig {
         self
     }
 
+    /// Sets the redo-log retention (entries kept for recovery suffixes).
+    pub fn with_log_retention(mut self, r: Option<usize>) -> Self {
+        self.log_retention = r;
+        self
+    }
+
+    /// Sets the client retry timeout (base of the retry backoff).
+    pub fn with_retry_after(mut self, d: SimDuration) -> Self {
+        self.retry_after = d;
+        self
+    }
+
     /// Enables or disables tracing.
     pub fn with_trace(mut self, t: bool) -> Self {
         self.trace = t;
@@ -247,6 +265,7 @@ fn tuned_vs(net: &NetworkConfig) -> VsConfig {
         fd: tuned_fd(net),
         consensus: tuned_consensus(net),
         flush_retry: SimDuration::from_ticks((10 * d).max(3_000)),
+        join_retry: SimDuration::from_ticks((12 * d).max(5_000)),
     }
 }
 
@@ -262,6 +281,7 @@ struct ServerStats {
     aborted: u64,
     reconciliations: u64,
     wounds: u64,
+    recovery: repl_db::RecoveryTracker,
 }
 
 /// Why an experiment run could not be performed.
@@ -406,7 +426,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::SemiPassive => drive::<SemiPassiveMsg, SemiPassiveServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(SemiPassiveServer::new(
+                let mut srv = SemiPassiveServer::new(
                     site,
                     me,
                     group,
@@ -414,24 +434,26 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                     c.exec,
                     tuned_defer(&c.network),
                     tuned_consensus(&c.network),
-                ))
+                );
+                srv.set_log_retention(c.log_retention);
+                Box::new(srv)
             },
             |s| base_stats(&s.base),
         ),
         Technique::EagerPrimary => drive::<EagerPrimaryMsg, EagerPrimaryServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(
-                    EagerPrimaryServer::new(
-                        site,
-                        me,
-                        group,
-                        c.workload.items,
-                        c.exec,
-                        tuned_fd(&c.network),
-                    )
-                    .with_batching(c.batching),
+                let mut srv = EagerPrimaryServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    tuned_fd(&c.network),
                 )
+                .with_batching(c.batching);
+                srv.set_log_retention(c.log_retention);
+                Box::new(srv)
             },
             |s| base_stats(&s.base),
         ),
@@ -470,17 +492,17 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::LazyPrimary => drive::<LazyPrimaryMsg, LazyPrimaryServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(
-                    LazyPrimaryServer::new(
-                        site,
-                        me,
-                        group,
-                        c.workload.items,
-                        c.exec,
-                        c.propagation_delay,
-                    )
-                    .with_batching(c.batching),
+                let mut srv = LazyPrimaryServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.items,
+                    c.exec,
+                    c.propagation_delay,
                 )
+                .with_batching(c.batching);
+                srv.set_log_retention(c.log_retention);
+                Box::new(srv)
             },
             |s| base_stats(&s.base),
         ),
@@ -533,6 +555,7 @@ fn base_stats(base: &crate::protocols::common::ServerBase) -> ServerStats {
         aborted: base.aborted,
         reconciliations: 0,
         wounds: 0,
+        recovery: base.recovery.clone(),
     }
 }
 
@@ -669,13 +692,25 @@ where
     let mut server_aborts = 0u64;
     let mut reconciliations = 0u64;
     let mut wounds = 0u64;
-    for &s in &servers {
+    let mut recoveries = Vec::new();
+    for (site, &s) in servers.iter().enumerate() {
         let stats = collect(world.actor_ref::<S>(s));
         history.merge(&stats.history);
         fingerprints.push(stats.fingerprint);
         server_aborts += stats.aborted;
         reconciliations += stats.reconciliations;
         wounds += stats.wounds;
+        if stats.recovery.recoveries > 0 {
+            recoveries.push(crate::report::NodeRecovery {
+                site: site as u32,
+                recoveries: stats.recovery.recoveries,
+                rejoin_at: stats.recovery.rejoin_at,
+                catch_up_ticks: stats.recovery.catch_up_ticks(),
+                transfer_bytes: stats.recovery.transfer_bytes,
+                log_suffix_transfers: stats.recovery.log_suffix_transfers,
+                snapshot_transfers: stats.recovery.snapshot_transfers,
+            });
+        }
     }
     let phase_trace = PhaseTrace::from_trace(world.trace());
     let trace_hash = world.trace().hash();
@@ -710,6 +745,7 @@ where
         failover_latency,
         faults_injected: final_metrics.faults_injected(),
         repairs_applied: final_metrics.repairs_applied(),
+        recoveries,
     };
     // Duration = completion of the workload (last client response), not
     // the grace period: throughput must not be diluted by idle drain time.

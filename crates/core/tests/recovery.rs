@@ -1,0 +1,238 @@
+//! Universal crash-recovery: every technique survives losing one tail
+//! replica for a large slice of the run, readmits it, and converges.
+//!
+//! The scenario is deliberately uniform — one paired outage built with
+//! [`FaultPlan::outage_at`], one victim (the highest-ranked replica, so
+//! primaries/sequencers keep running), update-only load before, during
+//! and after the outage — so that the same assertions hold for all ten
+//! techniques:
+//!
+//! * **Liveness** — the surviving majority keeps answering; no client is
+//!   left unanswered.
+//! * **Recovery** — the victim rejoins: the run report carries its
+//!   recovery accounting (a begun and *completed* catch-up, i.e. a
+//!   finite MTTR) and the state it caught up with (transfer bytes).
+//! * **Convergence** — at quiescence the recovered replica's store
+//!   fingerprint equals every survivor's: state transfer plus replayed
+//!   traffic closed the gap the outage opened.
+
+use repl_core::{run, Propagation, RunConfig, Technique};
+use repl_sim::{NodeId, SimDuration, SimTime};
+use repl_workload::{FaultPlan, WorkloadSpec};
+
+const SERVERS: u32 = 3;
+const CLIENTS: u32 = 3;
+const CRASH_AT: u64 = 5_000;
+const DOWNTIME: u64 = 40_000;
+
+fn victim() -> NodeId {
+    NodeId::new(SERVERS - 1)
+}
+
+/// One tail-replica outage long enough to matter (the victim misses a
+/// third or more of the run), with updates flowing the whole time.
+fn recovery_cfg(technique: Technique, seed: u64) -> (RunConfig, FaultPlan) {
+    let plan = FaultPlan::new().outage_at(
+        SimTime::from_ticks(CRASH_AT),
+        victim(),
+        SimDuration::from_ticks(DOWNTIME),
+    );
+    let mut cfg = RunConfig::new(technique)
+        .with_servers(SERVERS)
+        .with_clients(CLIENTS)
+        .with_seed(seed)
+        .with_trace(false)
+        .with_workload(
+            WorkloadSpec::default()
+                .with_items(64)
+                .with_read_ratio(0.0)
+                .with_txns_per_client(15)
+                .with_think_time(SimDuration::from_ticks(3_000)),
+        )
+        // A tight retry timeout keeps the blocking techniques' runs
+        // dominated by the outage rather than by retry backoff, so the
+        // outage really does cover a third of every technique's run.
+        .with_retry_after(SimDuration::from_ticks(4_000))
+        .with_faults(plan.clone());
+    if technique.info().propagation == Propagation::Lazy {
+        cfg = cfg.with_propagation_delay(SimDuration::from_ticks(1_000));
+    }
+    (cfg, plan)
+}
+
+/// The acceptance scenario: crash → recover → converge, uniformly for
+/// all ten techniques.
+#[test]
+fn every_technique_recovers_a_crashed_replica_and_converges() {
+    for technique in Technique::ALL {
+        let (cfg, plan) = recovery_cfg(technique, 11);
+        assert!(plan.fully_healed());
+        let report = run(&cfg);
+
+        // The outage must cover a substantial slice of the run, or the
+        // test degenerates into a blip nobody noticed.
+        assert!(
+            DOWNTIME * 3 >= report.duration.ticks(),
+            "{technique}: outage too short relative to the run \
+             ({DOWNTIME} of {})",
+            report.duration.ticks()
+        );
+
+        // Liveness: a minority crash is tolerated by every technique.
+        assert_eq!(
+            report.ops_unanswered, 0,
+            "{technique}: clients left unanswered across a recovered outage"
+        );
+
+        // Recovery accounting: the victim began and completed a catch-up.
+        let rec = report
+            .availability
+            .recoveries
+            .iter()
+            .find(|r| r.site == SERVERS - 1)
+            .unwrap_or_else(|| panic!("{technique}: no recovery record for the victim"));
+        assert!(rec.recoveries >= 1, "{technique}: recovery not counted");
+        assert!(
+            rec.catch_up_ticks.is_some(),
+            "{technique}: victim never finished catching up"
+        );
+        assert!(
+            report.availability.mttr_ticks().is_some(),
+            "{technique}: no MTTR despite a completed recovery"
+        );
+        assert!(
+            rec.transfer_bytes > 0,
+            "{technique}: victim caught up without receiving any state"
+        );
+        assert!(
+            rec.log_suffix_transfers + rec.snapshot_transfers > 0,
+            "{technique}: no transfer strategy recorded"
+        );
+
+        // Convergence: the recovered replica matches every survivor.
+        let fps = &report.fingerprints;
+        assert!(
+            fps.windows(2).all(|w| w[0] == w[1]),
+            "{technique}: replicas diverged after recovery: {fps:?}"
+        );
+    }
+}
+
+/// Strong techniques also keep their merged history one-copy
+/// serializable across the outage (the recovered replica must not have
+/// leaked stale reads or torn installs into the history).
+#[test]
+fn strong_techniques_stay_serializable_across_recovery() {
+    for technique in Technique::ALL {
+        if technique.info().guarantee == repl_core::Guarantee::Weak {
+            continue;
+        }
+        let (cfg, _) = recovery_cfg(technique, 13);
+        let report = run(&cfg);
+        assert_eq!(report.ops_unanswered, 0, "{technique}");
+        report
+            .check_one_copy_serializable()
+            .unwrap_or_else(|e| panic!("{technique}: 1SR violated across recovery: {e}"));
+    }
+}
+
+/// Two back-to-back outages of the same replica: recovery must be
+/// re-entrant (the second rejoin starts after the first completed, and
+/// both are counted).
+#[test]
+fn repeated_outages_recover_repeatedly() {
+    for &technique in &[
+        Technique::Active,
+        Technique::Passive,
+        Technique::LazyPrimary,
+    ] {
+        let plan = FaultPlan::new()
+            .outage_at(
+                SimTime::from_ticks(4_000),
+                victim(),
+                SimDuration::from_ticks(12_000),
+            )
+            .outage_at(
+                SimTime::from_ticks(40_000),
+                victim(),
+                SimDuration::from_ticks(12_000),
+            );
+        let (cfg, _) = recovery_cfg(technique, 17);
+        let cfg = cfg.with_faults(plan);
+        let report = run(&cfg);
+        assert_eq!(report.ops_unanswered, 0, "{technique}");
+        let rec = report
+            .availability
+            .recoveries
+            .iter()
+            .find(|r| r.site == SERVERS - 1)
+            .unwrap_or_else(|| panic!("{technique}: no recovery record"));
+        assert_eq!(rec.recoveries, 2, "{technique}: both recoveries counted");
+        assert!(
+            rec.catch_up_ticks.is_some(),
+            "{technique}: second recovery did not complete"
+        );
+        let fps = &report.fingerprints;
+        assert!(
+            fps.windows(2).all(|w| w[0] == w[1]),
+            "{technique}: diverged after repeated outages: {fps:?}"
+        );
+    }
+}
+
+/// Log retention selects the transfer strategy: an unbounded redo log
+/// lets the donor ship the missing suffix, while a tightly truncated log
+/// forces a full snapshot — same outage, same donor, different wire.
+#[test]
+fn log_retention_selects_the_transfer_strategy() {
+    for &technique in &[
+        Technique::SemiPassive,
+        Technique::EagerPrimary,
+        Technique::LazyPrimary,
+    ] {
+        let (cfg, _) = recovery_cfg(technique, 23);
+        let suffix = run(&cfg.clone().with_log_retention(None));
+        let snap = run(&cfg.with_log_retention(Some(2)));
+        let rec_of = |r: &repl_core::RunReport| {
+            r.availability
+                .recoveries
+                .iter()
+                .find(|n| n.site == SERVERS - 1)
+                .cloned()
+                .unwrap_or_else(|| panic!("{technique}: no recovery record"))
+        };
+        let (s, p) = (rec_of(&suffix), rec_of(&snap));
+        assert!(
+            s.log_suffix_transfers > 0 && s.snapshot_transfers == 0,
+            "{technique}: unbounded log should catch up by suffix: {s:?}"
+        );
+        assert!(
+            p.snapshot_transfers > 0,
+            "{technique}: a 2-entry log cannot cover a 40k-tick outage: {p:?}"
+        );
+        for report in [&suffix, &snap] {
+            let fps = &report.fingerprints;
+            assert!(
+                fps.windows(2).all(|w| w[0] == w[1]),
+                "{technique}: diverged: {fps:?}"
+            );
+        }
+    }
+}
+
+/// Same seed, same outage ⇒ identical reports, recovery accounting
+/// included — recovery paths must be as deterministic as the rest of
+/// the simulator.
+#[test]
+fn recovery_runs_are_deterministic() {
+    for &technique in &[
+        Technique::SemiPassive,
+        Technique::EagerPrimary,
+        Technique::LazyUpdateEverywhere,
+    ] {
+        let (cfg, _) = recovery_cfg(technique, 19);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.digest(), b.digest(), "{technique}: runs diverged");
+    }
+}

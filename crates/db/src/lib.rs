@@ -11,6 +11,8 @@
 //! * [`WriteSet`]/[`RedoLog`] — the log records replication propagates,
 //! * [`TpcCoordinator`]/[`TpcParticipant`] — two-phase commit,
 //! * [`Certifier`] — the deterministic certification test,
+//! * [`Transfer`]/[`RecoveryTracker`] — crash-recovery state transfer
+//!   (log-suffix vs snapshot) and MTTR accounting,
 //! * [`ReplicatedHistory`] — one-copy-serializability checking.
 //!
 //! The crate is pure data structures and state machines: no I/O, no
@@ -25,6 +27,7 @@ mod history;
 mod item;
 mod locks;
 mod log;
+mod recovery;
 mod store;
 mod twopc;
 mod txn;
@@ -34,6 +37,7 @@ pub use history::{HistOp, ReplicatedHistory, SerializabilityViolation};
 pub use item::{AccessKind, Key, TxnId, Value};
 pub use locks::{Acquire, DeadlockPolicy, LockManager, LockMode};
 pub use log::{RedoLog, WriteRecord, WriteSet, FSYNC_TICKS};
+pub use recovery::{RecoveryTracker, Transfer, TransferStrategy};
 pub use store::{ShadowStore, Store, Versioned};
 pub use twopc::{TpcCoordState, TpcCoordinator, TpcDecision, TpcMsg, TpcPartState, TpcParticipant};
 pub use txn::{TxnManager, UnknownTxn};

@@ -99,6 +99,10 @@ pub struct RedoLog {
     entries: Vec<WriteSet>,
     staged: Vec<WriteSet>,
     fsyncs: u64,
+    /// Logical index of the first retained entry (0 until truncation).
+    base: u64,
+    /// Maximum number of entries retained (`None` = keep everything).
+    retention: Option<usize>,
 }
 
 impl RedoLog {
@@ -108,6 +112,46 @@ impl RedoLog {
             entries: Vec::new(),
             staged: Vec::new(),
             fsyncs: 0,
+            base: 0,
+            retention: None,
+        }
+    }
+
+    /// Caps the number of retained entries (builder form). Once the log
+    /// exceeds `max_entries`, the oldest entries are truncated away; a
+    /// recovering replica whose position falls before the truncation
+    /// point can no longer be served a log suffix and needs a snapshot
+    /// (see [`crate::Transfer`]).
+    pub fn with_retention(mut self, max_entries: usize) -> Self {
+        self.retention = Some(max_entries.max(1));
+        self
+    }
+
+    /// Caps the number of retained entries in place (`None` = unbounded).
+    pub fn set_retention(&mut self, max_entries: Option<usize>) {
+        self.retention = max_entries.map(|n| n.max(1));
+    }
+
+    /// Logical index of the oldest entry still retained. A suffix
+    /// request from any position `>= first_retained()` can be served
+    /// from the log; earlier positions require a snapshot.
+    pub fn first_retained(&self) -> u64 {
+        self.base
+    }
+
+    /// True if the log still holds every entry from logical index
+    /// `from` onwards.
+    pub fn has_suffix(&self, from: u64) -> bool {
+        from >= self.base
+    }
+
+    fn enforce_retention(&mut self) {
+        if let Some(max) = self.retention {
+            if self.entries.len() > max {
+                let drop = self.entries.len() - max;
+                self.entries.drain(..drop);
+                self.base += drop as u64;
+            }
         }
     }
 
@@ -116,7 +160,9 @@ impl RedoLog {
     pub fn append(&mut self, ws: WriteSet) -> usize {
         self.entries.push(ws);
         self.fsyncs += 1;
-        self.entries.len() - 1
+        let idx = self.base as usize + self.entries.len() - 1;
+        self.enforce_retention();
+        idx
     }
 
     /// Stages a record for the next group commit (no force yet; the
@@ -132,16 +178,17 @@ impl RedoLog {
     }
 
     /// Commits every staged record with a single force. Returns the
-    /// log index of the first record and the group size, or `None` if
-    /// nothing was staged (no force is paid then).
+    /// logical log index of the first record and the group size, or
+    /// `None` if nothing was staged (no force is paid then).
     pub fn flush_group(&mut self) -> Option<(usize, usize)> {
         if self.staged.is_empty() {
             return None;
         }
-        let start = self.entries.len();
+        let start = self.base as usize + self.entries.len();
         let count = self.staged.len();
         self.entries.append(&mut self.staged);
         self.fsyncs += 1;
+        self.enforce_retention();
         Some((start, count))
     }
 
@@ -150,19 +197,36 @@ impl RedoLog {
         self.fsyncs
     }
 
-    /// Number of entries.
+    /// Logical number of entries ever committed (truncated entries
+    /// still count: logical indices are stable across truncation).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.base as usize + self.entries.len()
     }
 
-    /// True if the log is empty.
+    /// True if the log never committed anything.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Entries from log index `from` onwards (for catch-up transfer).
+    /// Fast-forwards the log to logical position `index`, retaining
+    /// nothing below it — used after installing a snapshot stamped with
+    /// the donor's watermark, where the skipped entries were never
+    /// seen. No-op if the log already reaches `index`.
+    pub fn skip_to(&mut self, index: u64) {
+        if index as usize > self.len() {
+            self.entries.clear();
+            self.staged.clear();
+            self.base = index;
+        }
+    }
+
+    /// Entries from *logical* log index `from` onwards (for catch-up
+    /// transfer). Positions before [`RedoLog::first_retained`] cannot be
+    /// served; callers should check [`RedoLog::has_suffix`] first —
+    /// `since` silently starts at the truncation point otherwise.
     pub fn since(&self, from: usize) -> impl Iterator<Item = &WriteSet> {
-        self.entries[from.min(self.entries.len())..].iter()
+        let phys = from.saturating_sub(self.base as usize);
+        self.entries[phys.min(self.entries.len())..].iter()
     }
 }
 
@@ -218,6 +282,30 @@ mod tests {
         assert_eq!(log.since(2).count(), 3);
         assert_eq!(log.since(99).count(), 0);
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn retention_truncates_but_keeps_logical_indices() {
+        let mut log = RedoLog::new().with_retention(3);
+        for i in 0..10 {
+            assert_eq!(log.append(WriteSet::empty(TxnId::new(i, 0))), i as usize);
+        }
+        assert_eq!(log.len(), 10, "logical length counts truncated entries");
+        assert_eq!(log.first_retained(), 7);
+        assert!(log.has_suffix(7));
+        assert!(log.has_suffix(9));
+        assert!(!log.has_suffix(6));
+        // since() is logical: asking from 8 skips entry 7.
+        let txns: Vec<u64> = log.since(8).map(|w| w.txn.ts).collect();
+        assert_eq!(txns, vec![8, 9]);
+        assert_eq!(log.since(10).count(), 0);
+        // Group commit respects retention too.
+        for i in 10..14 {
+            log.stage(WriteSet::empty(TxnId::new(i, 0)));
+        }
+        assert_eq!(log.flush_group(), Some((10, 4)));
+        assert_eq!(log.len(), 14);
+        assert_eq!(log.first_retained(), 11);
     }
 
     #[test]

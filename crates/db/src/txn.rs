@@ -92,6 +92,27 @@ impl TxnManager {
         (self.committed, self.aborted)
     }
 
+    /// First-touch before-images of every in-flight transaction. Lets a
+    /// recovery donor reconstruct fully-committed state from a store
+    /// that contains tentative in-place writes: patching these images
+    /// over a [`Store::snapshot`] rolls the tentative writes back.
+    /// Should two active transactions have touched the same key (locks
+    /// normally prevent it), the older image wins.
+    pub fn before_images(&self) -> HashMap<Key, Versioned> {
+        let mut images: HashMap<Key, Versioned> = HashMap::new();
+        for txn in self.active.values() {
+            for (&k, &v) in &txn.before {
+                match images.get(&k) {
+                    Some(prev) if prev.version <= v.version => {}
+                    _ => {
+                        images.insert(k, v);
+                    }
+                }
+            }
+        }
+        images
+    }
+
     /// Reads `key` within `id`, recording the version for the read set.
     ///
     /// # Errors

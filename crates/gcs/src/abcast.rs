@@ -117,6 +117,24 @@ pub enum SeqAbMsg<P> {
         /// `(gseq, id, payload)` in assignment order.
         entries: Arc<Vec<(u64, MsgId, P)>>,
     },
+    /// Recovered member → sequencer: refill the ordered stream from
+    /// global sequence number `have`.
+    Rejoin {
+        /// The requester's next undelivered gseq.
+        have: u64,
+    },
+    /// Sequencer → recovered member: the missed suffix of the order,
+    /// plus the current high watermark (sent even when empty, so the
+    /// member learns it is caught up).
+    RejoinData {
+        /// First gseq carried.
+        start: u64,
+        /// `(gseq, id, payload)` in order.
+        entries: Arc<Vec<(u64, MsgId, P)>>,
+        /// The sequencer's next gseq: the stream position the member
+        /// has caught up to after applying `entries`.
+        high: u64,
+    },
 }
 
 impl<P: Message> Message for SeqAbMsg<P> {
@@ -130,6 +148,13 @@ impl<P: Message> Message for SeqAbMsg<P> {
             // here) is amortized across the batch.
             SeqAbMsg::OrderedBatch { entries } => {
                 8 + entries
+                    .iter()
+                    .map(|(_, _, p)| 24 + p.wire_size())
+                    .sum::<usize>()
+            }
+            SeqAbMsg::Rejoin { .. } => 16,
+            SeqAbMsg::RejoinData { entries, .. } => {
+                24 + entries
                     .iter()
                     .map(|(_, _, p)| 24 + p.wire_size())
                     .sum::<usize>()
@@ -182,6 +207,9 @@ pub struct SequencerAbcast<P> {
     // Sequencer role.
     ordered: HashMap<MsgId, u64>,
     next_gseq: u64,
+    // Sequencer role: retained ordered payloads indexed by gseq, for
+    // refilling rejoining members after a crash.
+    order_log: Vec<(MsgId, P)>,
     // Sequencer role, batching: submissions accumulated in the window.
     order_staged: Vec<(u64, MsgId, P)>,
     order_flush_armed: bool,
@@ -189,6 +217,11 @@ pub struct SequencerAbcast<P> {
     next_deliver: u64,
     holdback: BTreeMap<u64, (MsgId, P)>,
     delivered_ids: HashSet<MsgId>,
+    // Recovery: a rejoin handshake in flight, bytes refilled so far,
+    // and the completed-rejoin report for the host to take.
+    rejoin_wait: bool,
+    rejoin_bytes: u64,
+    rejoin_done: Option<u64>,
 }
 
 impl<P: Message> SequencerAbcast<P> {
@@ -214,11 +247,15 @@ impl<P: Message> SequencerAbcast<P> {
             flush_armed: false,
             ordered: HashMap::new(),
             next_gseq: 0,
+            order_log: Vec::new(),
             order_staged: Vec::new(),
             order_flush_armed: false,
             next_deliver: 0,
             holdback: BTreeMap::new(),
             delivered_ids: HashSet::new(),
+            rejoin_wait: false,
+            rejoin_bytes: 0,
+            rejoin_done: None,
         }
     }
 
@@ -283,21 +320,23 @@ impl<P: Message> SequencerAbcast<P> {
         out.send(self.sequencer(), SeqAbMsg::SubmitBatch(Batch::new(entries)));
     }
 
-    /// Assigns `id` its global sequence number (idempotent).
-    fn assign_gseq(&mut self, id: MsgId) -> u64 {
+    /// Assigns `id` its global sequence number (idempotent) and retains
+    /// the payload in the order log for later rejoin refills.
+    fn assign_gseq(&mut self, id: MsgId, payload: &P) -> u64 {
         match self.ordered.get(&id) {
             Some(&g) => g,
             None => {
                 let g = self.next_gseq;
                 self.next_gseq += 1;
                 self.ordered.insert(id, g);
+                self.order_log.push((id, payload.clone()));
                 g
             }
         }
     }
 
     fn order(&mut self, id: MsgId, payload: P, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
-        let gseq = self.assign_gseq(id);
+        let gseq = self.assign_gseq(id, &payload);
         for &m in &self.group {
             if m != self.me {
                 out.send(
@@ -338,7 +377,7 @@ impl<P: Message> SequencerAbcast<P> {
             if self.order_staged.iter().any(|(_, staged, _)| *staged == id) {
                 continue;
             }
-            let gseq = self.assign_gseq(id);
+            let gseq = self.assign_gseq(id, &payload);
             self.order_staged.push((gseq, id, payload));
         }
         if self.order_staged.len() >= self.batch.max_batch {
@@ -394,6 +433,60 @@ impl<P: Message> SequencerAbcast<P> {
         }
     }
 
+    /// Call once after a crash + recovery (state is retained, timers are
+    /// not): re-arms the endpoint's timers and, for a non-sequencer
+    /// member, asks the sequencer to refill the ordered stream from
+    /// `next_deliver`. The refill request is retransmitted alongside
+    /// pending submissions until answered. Completion (with the refill
+    /// byte count) is reported through
+    /// [`SequencerAbcast::take_rejoin_done`].
+    pub fn rejoin(&mut self, out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>) {
+        self.rejoin_bytes = 0;
+        if self.member && self.me != self.sequencer() {
+            self.rejoin_wait = true;
+            self.rejoin_done = None;
+            out.send(
+                self.sequencer(),
+                SeqAbMsg::Rejoin {
+                    have: self.next_deliver,
+                },
+            );
+        } else {
+            // The sequencer retains the full order itself (and senders
+            // retransmit unordered submissions), so it is caught up by
+            // construction; non-members deliver nothing.
+            self.rejoin_wait = false;
+            self.rejoin_done = Some(0);
+        }
+        self.timer_armed = !self.pending.is_empty() || self.rejoin_wait;
+        if self.timer_armed {
+            out.timer(self.retransmit_every, RETRANSMIT_TAG);
+        }
+        self.flush_armed = self.batch.enabled() && !self.staged.is_empty();
+        if self.flush_armed {
+            out.timer(
+                SimDuration::from_ticks(self.batch.max_delay_ticks),
+                FLUSH_TAG,
+            );
+        }
+        self.order_flush_armed = self.batch.enabled() && !self.order_staged.is_empty();
+        if self.order_flush_armed {
+            out.timer(
+                SimDuration::from_ticks(self.batch.max_delay_ticks),
+                ORDER_FLUSH_TAG,
+            );
+        }
+    }
+
+    /// Takes the completed-rejoin report: `Some(refill_bytes)` once the
+    /// endpoint has caught up with the stream after [`rejoin`], `None`
+    /// before that (and after the report was taken).
+    ///
+    /// [`rejoin`]: SequencerAbcast::rejoin
+    pub fn take_rejoin_done(&mut self) -> Option<u64> {
+        self.rejoin_done.take()
+    }
+
     fn accept(
         &mut self,
         gseq: u64,
@@ -422,7 +515,7 @@ impl<P: Message> Component for SequencerAbcast<P> {
 
     fn on_message(
         &mut self,
-        _from: NodeId,
+        from: NodeId,
         msg: SeqAbMsg<P>,
         out: &mut Outbox<SeqAbMsg<P>, AbDeliver<P>>,
     ) {
@@ -456,6 +549,42 @@ impl<P: Message> Component for SequencerAbcast<P> {
                     self.accept(*gseq, *id, payload.clone(), out);
                 }
             }
+            SeqAbMsg::Rejoin { have } => {
+                if self.me == self.sequencer() {
+                    let start = have.min(self.next_gseq);
+                    let entries: Vec<(u64, MsgId, P)> = (start..self.next_gseq)
+                        .map(|g| {
+                            let (id, p) = self.order_log[g as usize].clone();
+                            (g, id, p)
+                        })
+                        .collect();
+                    out.send(
+                        from,
+                        SeqAbMsg::RejoinData {
+                            start,
+                            entries: Arc::new(entries),
+                            high: self.next_gseq,
+                        },
+                    );
+                }
+            }
+            SeqAbMsg::RejoinData { entries, high, .. } => {
+                let bytes: usize = entries
+                    .iter()
+                    .map(|(_, _, p)| 24 + p.wire_size())
+                    .sum::<usize>()
+                    + 24;
+                for (gseq, id, payload) in entries.iter() {
+                    self.accept(*gseq, *id, payload.clone(), out);
+                }
+                if self.rejoin_wait {
+                    self.rejoin_bytes += bytes as u64;
+                    if self.next_deliver >= high {
+                        self.rejoin_wait = false;
+                        self.rejoin_done = Some(self.rejoin_bytes);
+                    }
+                }
+            }
         }
     }
 
@@ -464,8 +593,22 @@ impl<P: Message> Component for SequencerAbcast<P> {
             FLUSH_TAG => self.flush_submit(out),
             ORDER_FLUSH_TAG => self.flush_order(out),
             RETRANSMIT_TAG => {
+                if self.rejoin_wait {
+                    // An unanswered refill request (lost, or the
+                    // sequencer itself was down): ask again.
+                    out.send(
+                        self.sequencer(),
+                        SeqAbMsg::Rejoin {
+                            have: self.next_deliver,
+                        },
+                    );
+                }
                 if self.pending.is_empty() {
-                    self.timer_armed = false;
+                    if self.rejoin_wait {
+                        out.timer(self.retransmit_every, RETRANSMIT_TAG);
+                    } else {
+                        self.timer_armed = false;
+                    }
                     return;
                 }
                 let seq = self.sequencer();
@@ -555,6 +698,24 @@ pub enum CAbMsg<P> {
     SubmitBatch(Batch<P>),
     /// Embedded consensus traffic.
     Cons(ConsMsg<Batch<P>>),
+    /// Recovered member → group: refill decided instances from
+    /// `next_inst`.
+    Rejoin {
+        /// The requester's next undelivered consensus instance.
+        next_inst: u64,
+    },
+    /// Peer → recovered member: retained decided batches
+    /// `[start, start + batches.len())` plus the responder's own
+    /// watermark (sent even when empty, so the member learns it is
+    /// caught up).
+    RejoinData {
+        /// Instance of the first batch carried.
+        start: u64,
+        /// Decided batches in instance order.
+        batches: Vec<Batch<P>>,
+        /// The responder's next instance.
+        high: u64,
+    },
 }
 
 impl<P: Message> Message for CAbMsg<P> {
@@ -563,6 +724,10 @@ impl<P: Message> Message for CAbMsg<P> {
             CAbMsg::Submit { payload, .. } => 16 + payload.wire_size(),
             CAbMsg::SubmitBatch(b) => b.wire_size(),
             CAbMsg::Cons(c) => 8 + c.wire_size(),
+            CAbMsg::Rejoin { .. } => 16,
+            CAbMsg::RejoinData { batches, .. } => {
+                24 + batches.iter().map(Batch::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -600,6 +765,15 @@ pub struct ConsensusAbcast<P> {
     next_inst: u64,
     proposed_for: Option<u64>,
     next_gseq: u64,
+    // Delivered decided batches retained in instance order (index ==
+    // instance), for refilling rejoining members after a crash.
+    decided_log: Vec<Batch<P>>,
+    // Recovery: a rejoin handshake in flight, the highest watermark a
+    // responder reported, bytes refilled, and the completion report.
+    rejoin_wait: bool,
+    rejoin_high: u64,
+    rejoin_bytes: u64,
+    rejoin_done: Option<u64>,
 }
 
 impl<P: Message> ConsensusAbcast<P> {
@@ -621,6 +795,11 @@ impl<P: Message> ConsensusAbcast<P> {
             next_inst: 0,
             proposed_for: None,
             next_gseq: 0,
+            decided_log: Vec::new(),
+            rejoin_wait: false,
+            rejoin_high: 0,
+            rejoin_bytes: 0,
+            rejoin_done: None,
         }
     }
 
@@ -737,6 +916,59 @@ impl<P: Message> ConsensusAbcast<P> {
         self.handle_pool_events(events, out);
     }
 
+    /// Call once after a crash + recovery (state is retained, timers are
+    /// not): asks every peer to refill the decided-instance stream from
+    /// `next_inst`, re-arms the batching window, and resumes stalled
+    /// consensus rounds. Completion (with the refill byte count) is
+    /// reported through [`ConsensusAbcast::take_rejoin_done`].
+    pub fn rejoin(&mut self, out: &mut Outbox<CAbMsg<P>, AbDeliver<P>>) {
+        self.rejoin_bytes = 0;
+        self.rejoin_high = self.next_inst;
+        if self.group.len() > 1 {
+            self.rejoin_wait = true;
+            self.rejoin_done = None;
+            for &m in &self.group {
+                if m != self.me {
+                    out.send(
+                        m,
+                        CAbMsg::Rejoin {
+                            next_inst: self.next_inst,
+                        },
+                    );
+                }
+            }
+        } else {
+            self.rejoin_wait = false;
+            self.rejoin_done = Some(0);
+        }
+        // Re-arm the batching flush window if anything was in flight.
+        self.flush_armed = false;
+        if self.batch.enabled() && (!self.staged.is_empty() || !self.pending.is_empty()) {
+            self.flush_armed = true;
+            out.timer(
+                SimDuration::from_ticks(self.batch.max_delay_ticks),
+                CONS_FLUSH_TAG,
+            );
+        }
+        // Stalled consensus rounds lost their timers in the crash.
+        let mut sub = Outbox::new();
+        self.pool.resume(&mut sub);
+        let events = out.absorb(sub, CONS_BASE, CAbMsg::Cons);
+        self.handle_pool_events(events, out);
+        if !self.batch.enabled() {
+            self.maybe_propose(out);
+        }
+    }
+
+    /// Takes the completed-rejoin report: `Some(refill_bytes)` once the
+    /// endpoint has caught up to a responder's watermark after
+    /// [`rejoin`], `None` before that (and after the report was taken).
+    ///
+    /// [`rejoin`]: ConsensusAbcast::rejoin
+    pub fn take_rejoin_done(&mut self) -> Option<u64> {
+        self.rejoin_done.take()
+    }
+
     fn handle_pool_events(
         &mut self,
         events: Vec<ConsEvent<Batch<P>>>,
@@ -748,6 +980,7 @@ impl<P: Message> ConsensusAbcast<P> {
         }
         let mut progressed = false;
         while let Some(batch) = self.decided.remove(&self.next_inst) {
+            self.decided_log.push(batch.clone());
             for (id, payload) in batch.into_entries() {
                 self.pending.remove(&id);
                 if self.delivered.insert(id) {
@@ -799,6 +1032,44 @@ impl<P: Message> Component for ConsensusAbcast<P> {
                 self.pool.on_message(from, c, &mut sub);
                 let events = out.absorb(sub, CONS_BASE, CAbMsg::Cons);
                 self.handle_pool_events(events, out);
+            }
+            CAbMsg::Rejoin { next_inst } => {
+                let start = (next_inst as usize).min(self.decided_log.len());
+                out.send(
+                    from,
+                    CAbMsg::RejoinData {
+                        start: start as u64,
+                        batches: self.decided_log[start..].to_vec(),
+                        high: self.next_inst,
+                    },
+                );
+            }
+            CAbMsg::RejoinData {
+                start,
+                batches,
+                high,
+            } => {
+                let mut grew = false;
+                for (k, batch) in batches.into_iter().enumerate() {
+                    let inst = start + k as u64;
+                    if inst >= self.next_inst && !self.decided.contains_key(&inst) {
+                        if self.rejoin_wait {
+                            self.rejoin_bytes += batch.wire_size() as u64;
+                        }
+                        self.decided.insert(inst, batch);
+                        grew = true;
+                    }
+                }
+                if grew {
+                    self.handle_pool_events(Vec::new(), out);
+                }
+                if self.rejoin_wait {
+                    self.rejoin_high = self.rejoin_high.max(high);
+                    if self.next_inst >= self.rejoin_high {
+                        self.rejoin_wait = false;
+                        self.rejoin_done = Some(self.rejoin_bytes);
+                    }
+                }
             }
         }
     }
@@ -1158,6 +1429,101 @@ mod tests {
                 "order differs at {n}"
             );
         }
+    }
+
+    #[test]
+    fn sequencer_rejoin_refills_a_recovered_member() {
+        use crate::testkit::schedule_outage;
+        let mut world: World<SeqAbMsg<u32>> = World::new(SimConfig::new(21));
+        let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3u32 {
+            let mut actor =
+                ComponentActor::new(SequencerAbcast::<u32>::new(NodeId::new(i), group.clone()))
+                    .with_recovery(|ab, out| ab.rejoin(out));
+            if i < 2 {
+                // Nodes 0 and 1 broadcast before, during, and after
+                // node 2's outage.
+                for k in 0..4u32 {
+                    let value = i * 10 + k;
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(50 + (k as u64) * 5_000 + i as u64),
+                        move |ab, out| {
+                            ab.broadcast(value, out);
+                        },
+                    );
+                }
+            }
+            world.add_actor(Box::new(actor));
+        }
+        schedule_outage(
+            &mut world,
+            group[2],
+            SimTime::from_ticks(1_000),
+            SimTime::from_ticks(40_000),
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let reference = deliveries_seq(&world, group[0]);
+        assert_eq!(reference.len(), 8, "all broadcasts ordered: {reference:?}");
+        assert_eq!(
+            deliveries_seq(&world, group[2]),
+            reference,
+            "recovered member's stream has gaps"
+        );
+        let host = world.actor_ref::<SeqHost>(group[2]);
+        assert!(!host.inner.rejoin_wait, "rejoin never completed");
+        assert!(
+            host.inner.rejoin_done.expect("rejoin report pending") > 0,
+            "refill carried no bytes"
+        );
+    }
+
+    #[test]
+    fn consensus_rejoin_refills_a_recovered_member() {
+        use crate::testkit::schedule_outage;
+        let mut world: World<CAbMsg<u32>> = World::new(SimConfig::new(23));
+        let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3u32 {
+            let mut actor = ComponentActor::new(ConsensusAbcast::<u32>::new(
+                NodeId::new(i),
+                group.clone(),
+                ConsensusConfig::default(),
+            ))
+            .with_recovery(|ab, out| ab.rejoin(out));
+            if i < 2 {
+                for k in 0..3u32 {
+                    let value = i * 10 + k;
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(50 + (k as u64) * 9_000 + i as u64),
+                        move |ab, out| {
+                            ab.broadcast(value, out);
+                        },
+                    );
+                }
+            }
+            world.add_actor(Box::new(actor));
+        }
+        schedule_outage(
+            &mut world,
+            group[2],
+            SimTime::from_ticks(2_000),
+            SimTime::from_ticks(60_000),
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(400_000));
+        let reference = deliveries_cons(&world, group[0]);
+        assert_eq!(reference.len(), 6, "all broadcasts ordered: {reference:?}");
+        assert_eq!(
+            deliveries_cons(&world, group[2]),
+            reference,
+            "recovered member's stream has gaps"
+        );
+        let host = world.actor_ref::<ConsHost>(group[2]);
+        assert!(!host.inner.rejoin_wait, "rejoin never completed");
+        assert!(
+            host.inner.rejoin_done.expect("rejoin report pending") > 0,
+            "refill carried no bytes"
+        );
     }
 
     #[test]

@@ -298,6 +298,23 @@ impl<V: Clone + std::fmt::Debug + 'static> ConsensusPool<V> {
         }
     }
 
+    /// Re-arms the round timers of every undecided, entered instance
+    /// after a crash (state survives a crash, timers do not).
+    /// Re-entering the current round re-sends the estimate, which also
+    /// prods the coordinator in case its proposal was lost.
+    pub fn resume(&mut self, out: &mut Outbox<ConsMsg<V>, ConsEvent<V>>) {
+        let mut stalled: Vec<(u64, u64)> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.entered && i.decided.is_none())
+            .map(|(&inst, i)| (inst, i.round))
+            .collect();
+        stalled.sort_unstable(); // sorted-below: HashMap iteration order must not leak
+        for (inst, round) in stalled {
+            self.enter_round(inst, round, out);
+        }
+    }
+
     fn decide(&mut self, inst: u64, value: V, out: &mut Outbox<ConsMsg<V>, ConsEvent<V>>) {
         let me = self.me;
         let group = self.group.clone();

@@ -114,6 +114,27 @@ impl HeartbeatFd {
         v
     }
 
+    /// Explicitly clears suspicion of `node` — for application-level
+    /// proof of life (e.g. a recovery request from a crashed peer) that
+    /// should take effect before the next heartbeat round.
+    pub fn trust(&mut self, node: NodeId, out: &mut Outbox<FdMsg, FdEvent>) {
+        self.heard.insert(node);
+        self.misses.insert(node, 0);
+        if self.suspected.remove(&node) {
+            out.event(FdEvent::Trust(node));
+        }
+    }
+
+    /// Forgets all per-peer liveness state (miss counters, heard set,
+    /// suspicions) without reporting [`FdEvent::Trust`]: for restarting
+    /// the detector after an outage, when pre-crash observations are
+    /// meaningless and must not leak into the first post-recovery tick.
+    pub fn reset(&mut self) {
+        self.misses.clear();
+        self.heard.clear();
+        self.suspected.clear();
+    }
+
     /// Replaces the monitored peer set (used on view changes). State for
     /// removed peers is discarded; new peers start unsuspected.
     pub fn set_peers(&mut self, peers: Vec<NodeId>) {

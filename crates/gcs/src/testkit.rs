@@ -7,12 +7,26 @@
 //! calls against the component at chosen times — e.g. "broadcast message 3
 //! at t=500".
 
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
+use repl_sim::{
+    impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId, World,
+};
 
 use crate::component::{apply_outbox, Component, Outbox, TAG_SPACE};
 
 /// A scripted call against the wrapped component.
 type Step<C> = Box<dyn FnMut(&mut C, &mut Outbox<<C as Component>::Msg, <C as Component>::Event>)>;
+
+/// Schedules a crash at `down` and the matching recovery at `up` for
+/// `node` — the standard outage shape the recovery tests exercise.
+///
+/// # Panics
+///
+/// Panics if `up <= down` (a recovery must follow its crash).
+pub fn schedule_outage<M: Message>(world: &mut World<M>, node: NodeId, down: SimTime, up: SimTime) {
+    assert!(down < up, "outage must recover after it crashes");
+    world.schedule_crash(down, node);
+    world.schedule_recover(up, node);
+}
 
 /// An actor that hosts exactly one component, records its events, and
 /// replays a script of API calls.
@@ -22,6 +36,7 @@ pub struct ComponentActor<C: Component> {
     /// Every event the component delivered, with its virtual time.
     pub events: Vec<(SimTime, C::Event)>,
     script: Vec<(SimDuration, Option<Step<C>>)>,
+    recover_hook: Option<Step<C>>,
 }
 
 impl<C: Component> ComponentActor<C> {
@@ -31,6 +46,7 @@ impl<C: Component> ComponentActor<C> {
             inner,
             events: Vec::new(),
             script: Vec::new(),
+            recover_hook: None,
         }
     }
 
@@ -42,6 +58,18 @@ impl<C: Component> ComponentActor<C> {
         step: impl FnMut(&mut C, &mut Outbox<C::Msg, C::Event>) + 'static,
     ) -> Self {
         self.script.push((at, Some(Box::new(step))));
+        self
+    }
+
+    /// Runs `hook` against the component whenever the hosting node
+    /// recovers from a crash, *instead of* the default `on_start`
+    /// restart — the place to call a component's rejoin API (e.g.
+    /// [`crate::SequencerAbcast::rejoin`]).
+    pub fn with_recovery(
+        mut self,
+        hook: impl FnMut(&mut C, &mut Outbox<C::Msg, C::Event>) + 'static,
+    ) -> Self {
+        self.recover_hook = Some(Box::new(hook));
         self
     }
 
@@ -85,9 +113,13 @@ where
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, C::Msg>) {
-        // Restart the component's timers after a crash (state is retained).
+        // Restart the component's timers after a crash (state is
+        // retained); a recovery hook replaces the plain restart.
         let mut out = Outbox::new();
-        self.inner.on_start(&mut out);
+        match self.recover_hook.as_mut() {
+            Some(hook) => hook(&mut self.inner, &mut out),
+            None => self.inner.on_start(&mut out),
+        }
         self.flush(ctx, out, |m| m);
     }
 

@@ -16,9 +16,19 @@
 //!    members exchange everything they received in the dying view and
 //!    deliver the union before installing.
 //!
-//! Scope notes, recorded here and in DESIGN.md: there is no join protocol
-//! (a falsely excluded member halts with [`VsEvent::Excluded`]), and
-//! liveness requires a majority of the initial group to stay alive.
+//! A recovered (or falsely excluded) member rejoins through
+//! [`ViewGroup::rejoin`]: it asks the group for readmission, the members
+//! run a membership change that includes it again, and the joiner takes
+//! part in that view's flush exchange — so the new view is installed
+//! only once the joiner holds everything delivered in the dying view.
+//! Hosts complete db-level state transfer *before* calling `rejoin`,
+//! which closes the remaining gap (data from views the group already
+//! garbage-collected).
+//!
+//! Scope note, recorded here and in DESIGN.md: liveness requires a
+//! majority of the *initial* group to stay alive (the membership
+//! consensus runs over the initial group — the primary-partition
+//! assumption).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -83,6 +93,8 @@ pub enum VsMsg<P> {
         /// Everything the sender received in the dying view(s).
         received: Vec<FlushEntry<P>>,
     },
+    /// Recovered member → group: request readmission into the view.
+    JoinReq,
     /// Embedded failure-detector traffic.
     Fd(FdMsg),
     /// Embedded consensus traffic (membership agreement).
@@ -99,6 +111,7 @@ impl<P: Message> Message for VsMsg<P> {
                     .map(|(_, _, _, p)| 20 + p.wire_size())
                     .sum::<usize>()
             }
+            VsMsg::JoinReq => 8,
             VsMsg::Fd(m) => m.wire_size(),
             VsMsg::Cons(c) => 8 + c.wire_size(),
         }
@@ -119,8 +132,9 @@ pub enum VsEvent<P> {
     },
     /// A new view was installed.
     ViewInstalled(View),
-    /// The local process was excluded from the group (false suspicion);
-    /// it halts, as there is no join protocol.
+    /// The local process was excluded from the group (false suspicion
+    /// or a crash detected by the survivors); it stops participating
+    /// until readmitted through [`ViewGroup::rejoin`].
     Excluded(View),
 }
 
@@ -133,6 +147,8 @@ pub struct VsConfig {
     pub consensus: ConsensusConfig,
     /// Retry interval for the flush exchange.
     pub flush_retry: SimDuration,
+    /// Retry interval for an unanswered readmission request.
+    pub join_retry: SimDuration,
 }
 
 impl Default for VsConfig {
@@ -141,6 +157,7 @@ impl Default for VsConfig {
             fd: FdConfig::default(),
             consensus: ConsensusConfig::default(),
             flush_retry: SimDuration::from_ticks(3_000),
+            join_retry: SimDuration::from_ticks(5_000),
         }
     }
 }
@@ -148,6 +165,7 @@ impl Default for VsConfig {
 const FD_BASE: u64 = 0;
 const CONS_BASE: u64 = 1 << 40;
 const OWN_BASE: u64 = 2 << 40;
+const JOIN_TAG: u64 = 3 << 40;
 
 /// View-synchronous process group.
 ///
@@ -168,10 +186,17 @@ const OWN_BASE: u64 = 2 << 40;
 pub struct ViewGroup<P> {
     me: NodeId,
     view: View,
+    /// The initial group: membership consensus runs over it, and join
+    /// requests target it (a joiner's notion of the current view may be
+    /// arbitrarily stale).
+    initial: Vec<NodeId>,
     fd: HeartbeatFd,
     pool: ConsensusPool<Membership>,
     config: VsConfig,
     excluded: bool,
+    /// Readmission in progress: cleared when a view containing the
+    /// local process is installed.
+    joining: bool,
     // Data plane (current view).
     next_seq: u64,
     fifo_next: HashMap<NodeId, u64>,
@@ -206,12 +231,14 @@ impl<P: Clone + std::fmt::Debug + 'static> ViewGroup<P> {
             me,
             view: View {
                 id: 0,
-                members: group,
+                members: group.clone(),
             },
+            initial: group,
             fd,
             pool,
             config,
             excluded: false,
+            joining: false,
             next_seq: 0,
             fifo_next: HashMap::new(),
             holdback: HashMap::new(),
@@ -235,6 +262,74 @@ impl<P: Clone + std::fmt::Debug + 'static> ViewGroup<P> {
         self.excluded
     }
 
+    /// True while a readmission request is outstanding.
+    pub fn is_joining(&self) -> bool {
+        self.joining
+    }
+
+    /// Requests readmission into the group after a crash or a false
+    /// exclusion: restarts the failure detector's heartbeats, asks the
+    /// (initial) group to run a view change that includes the local
+    /// process again, and resumes any stalled membership consensus. The
+    /// request is retried until a view containing the local process is
+    /// installed. Hosts should finish db-level state transfer *before*
+    /// calling this, so the new view only ever contains caught-up
+    /// members; the join view's flush exchange covers the remainder.
+    pub fn rejoin(&mut self, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        self.excluded = false;
+        // A singleton group has nobody to ask: the node *is* the view.
+        self.joining = self.initial.len() > 1;
+        // The restarted detector may fire Suspect immediately (pre-crash
+        // miss counters survive the outage); drop those events — the
+        // joiner must not propose view changes, and genuine crashes are
+        // re-detected by the regular ticks once readmitted.
+        let mut sub = Outbox::new();
+        self.fd.on_start(&mut sub);
+        let _ = out.absorb(sub, FD_BASE, VsMsg::Fd);
+        if self.joining {
+            self.send_join(out);
+            out.timer(self.config.join_retry, JOIN_TAG);
+        }
+        // Membership consensus rounds lost their timers in the crash.
+        let mut sub = Outbox::new();
+        self.pool.resume(&mut sub);
+        let events = out.absorb(sub, CONS_BASE, VsMsg::Cons);
+        self.handle_cons_events(events, out);
+    }
+
+    fn send_join(&mut self, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        // Target the whole initial group: our own view of the current
+        // membership may be arbitrarily stale after an outage.
+        for &m in &self.initial {
+            if m != self.me {
+                out.send(m, VsMsg::JoinReq);
+            }
+        }
+    }
+
+    /// Handles a readmission request: proposes the latest membership
+    /// plus the joiner for the next view. Even when the joiner is still
+    /// a member (it recovered before the group excluded it), the view
+    /// change is run anyway — its flush exchange redelivers the data
+    /// the joiner missed while it was down.
+    fn propose_join(&mut self, joiner: NodeId, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
+        let (latest_id, latest) = self.latest_membership();
+        let mut next = latest;
+        if !next.contains(&joiner) {
+            next.push(joiner);
+            next.sort();
+        }
+        let inst = latest_id + 1;
+        if self.proposed.contains(&inst) {
+            return;
+        }
+        self.proposed.insert(inst);
+        let mut sub = Outbox::new();
+        self.pool.propose(inst, Membership(next), &mut sub);
+        let events = out.absorb(sub, CONS_BASE, VsMsg::Cons);
+        self.handle_cons_events(events, out);
+    }
+
     /// True while a view change is in progress.
     pub fn is_changing(&self) -> bool {
         !self.decided_views.is_empty() || !self.proposed.is_empty()
@@ -255,7 +350,7 @@ impl<P: Clone + std::fmt::Debug + 'static> ViewGroup<P> {
         if self.excluded {
             return;
         }
-        if self.is_changing() {
+        if self.is_changing() || self.joining {
             self.out_buffer.push(payload);
             return;
         }
@@ -332,7 +427,9 @@ impl<P: Clone + std::fmt::Debug + 'static> ViewGroup<P> {
     /// Starts a membership change if the latest membership still contains
     /// suspected nodes.
     fn maybe_change(&mut self, out: &mut Outbox<VsMsg<P>, VsEvent<P>>) {
-        if self.excluded {
+        // A joiner's suspicions are stale from before its outage; it
+        // waits for readmission before voting members out.
+        if self.excluded || self.joining {
             return;
         }
         let (latest_id, latest) = self.latest_membership();
@@ -411,6 +508,11 @@ impl<P: Clone + std::fmt::Debug + 'static> ViewGroup<P> {
         // Exclusion check against the highest decided membership.
         if let Some((&nv, m)) = self.decided_views.iter().next_back() {
             if !m.contains(&self.me) {
+                if self.joining {
+                    // Readmission not decided yet; the JOIN_TAG retry
+                    // keeps asking — don't self-exclude.
+                    return;
+                }
                 self.excluded = true;
                 out.event(VsEvent::Excluded(View {
                     id: nv,
@@ -420,13 +522,15 @@ impl<P: Clone + std::fmt::Debug + 'static> ViewGroup<P> {
             }
         }
         // Install the highest decided view whose flush set is complete.
+        // A view not containing the local process is never installable
+        // locally: its flush exchange deliberately excludes us.
         let candidate = self
             .decided_views
             .iter()
             .rev()
             .find(|(nv, m)| {
                 let fl = self.flushes.get(nv);
-                m.iter().all(|q| fl.is_some_and(|f| f.contains_key(q)))
+                m.contains(&self.me) && m.iter().all(|q| fl.is_some_and(|f| f.contains_key(q)))
             })
             .map(|(&nv, m)| (nv, m.clone()));
         let Some((nv, members)) = candidate else {
@@ -453,6 +557,7 @@ impl<P: Clone + std::fmt::Debug + 'static> ViewGroup<P> {
         }
         // Install.
         self.view = View { id: nv, members };
+        self.joining = false;
         self.next_seq = 0;
         self.fifo_next.clear();
         self.holdback.clear();
@@ -502,6 +607,13 @@ impl<P: Clone + std::fmt::Debug + 'static> Component for ViewGroup<P> {
             } => {
                 self.on_data(view, origin, seq, payload, out);
             }
+            VsMsg::JoinReq => {
+                // Joiners wait for live members to readmit them; they
+                // don't propose views from their stale state.
+                if !self.joining {
+                    self.propose_join(from, out);
+                }
+            }
             VsMsg::Flush { new_view, received } => {
                 if new_view <= self.view.id {
                     return;
@@ -539,7 +651,12 @@ impl<P: Clone + std::fmt::Debug + 'static> Component for ViewGroup<P> {
         if self.excluded {
             return;
         }
-        if tag >= OWN_BASE {
+        if tag == JOIN_TAG {
+            if self.joining {
+                self.send_join(out);
+                out.timer(self.config.join_retry, JOIN_TAG);
+            }
+        } else if tag >= OWN_BASE {
             let nv = tag - OWN_BASE;
             if self.decided_views.contains_key(&nv) {
                 self.send_flush(nv, out);
@@ -738,6 +855,85 @@ mod tests {
         let in0 = v0.iter().find(|&&(_, p)| p == 55).expect("present");
         let in1 = v1.iter().find(|&&(_, p)| p == 55).expect("present");
         assert_eq!(in0.0, in1.0, "delivered in different views");
+    }
+
+    #[test]
+    fn excluded_member_rejoins_and_receives_new_broadcasts() {
+        // Node 2 crashes long enough to be excluded, then recovers and
+        // rejoins: the group must install a view containing it again,
+        // and broadcasts sent after the rejoin must reach it.
+        let (mut world, group) = build(3, 11);
+        let host = world.actor_mut::<Host>(group[2]);
+        *host = ComponentActor::new(ViewGroup::<u32>::new(
+            group[2],
+            group.clone(),
+            VsConfig::default(),
+        ))
+        .with_recovery(|vg, out| vg.rejoin(out));
+        let host = world.actor_mut::<Host>(group[0]);
+        *host = ComponentActor::new(ViewGroup::<u32>::new(
+            group[0],
+            group.clone(),
+            VsConfig::default(),
+        ))
+        .with_step(repl_sim::SimDuration::from_ticks(150_000), |vg, out| {
+            vg.broadcast(77, out);
+        });
+        world.start();
+        crate::testkit::schedule_outage(
+            &mut world,
+            group[2],
+            SimTime::from_ticks(2_000),
+            SimTime::from_ticks(60_000),
+        );
+        world.run_until(SimTime::from_ticks(300_000));
+        for &n in &group {
+            let views = installed_views(&world, n);
+            let last = views.last().expect("views installed at {n}");
+            assert_eq!(last.members, group, "final view at {n}: {views:?}");
+            let d = deliveries(&world, n);
+            assert!(d.iter().any(|&(_, p)| p == 77), "missing at {n}: {d:?}");
+        }
+        let vg = &world.actor_ref::<Host>(group[2]).inner;
+        assert!(!vg.is_excluded() && !vg.is_joining());
+    }
+
+    #[test]
+    fn fast_recovery_before_exclusion_still_converges() {
+        // The outage is shorter than the detection window: the group may
+        // or may not have excluded node 2 when it asks to rejoin. Either
+        // way everyone ends in a full view and delivers post-rejoin data.
+        let (mut world, group) = build(3, 12);
+        let host = world.actor_mut::<Host>(group[2]);
+        *host = ComponentActor::new(ViewGroup::<u32>::new(
+            group[2],
+            group.clone(),
+            VsConfig::default(),
+        ))
+        .with_recovery(|vg, out| vg.rejoin(out));
+        let host = world.actor_mut::<Host>(group[1]);
+        *host = ComponentActor::new(ViewGroup::<u32>::new(
+            group[1],
+            group.clone(),
+            VsConfig::default(),
+        ))
+        .with_step(repl_sim::SimDuration::from_ticks(120_000), |vg, out| {
+            vg.broadcast(88, out);
+        });
+        world.start();
+        crate::testkit::schedule_outage(
+            &mut world,
+            group[2],
+            SimTime::from_ticks(2_000),
+            SimTime::from_ticks(4_000),
+        );
+        world.run_until(SimTime::from_ticks(300_000));
+        for &n in &group {
+            let d = deliveries(&world, n);
+            assert!(d.iter().any(|&(_, p)| p == 88), "missing at {n}: {d:?}");
+        }
+        let vg = &world.actor_ref::<Host>(group[2]).inner;
+        assert!(!vg.is_excluded() && !vg.is_joining());
     }
 
     #[test]

@@ -219,6 +219,41 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a paired outage: `node` crashes at `at` and recovers
+    /// `downtime` later. The pairing cannot drift apart the way separate
+    /// `crash_at`/`recover_at` calls can, which is what the recovery
+    /// studies sweep (outage length → transfer strategy and MTTR).
+    pub fn outage_at(self, at: SimTime, node: NodeId, downtime: SimDuration) -> Self {
+        self.crash_at(at, node).recover_at(at + downtime, node)
+    }
+
+    /// The plan's outages in crash order: each crash paired with its
+    /// matching recovery (events walked in time order, ties broken by
+    /// insertion order, exactly like [`FaultPlan::validate`]). The
+    /// downtime is `None` for a crash that never recovers. This is the
+    /// outage-length distribution the recovery experiments bucket by.
+    pub fn outages(&self) -> Vec<(NodeId, SimTime, Option<SimDuration>)> {
+        let mut order: Vec<(usize, &FaultEvent)> = self.events.iter().enumerate().collect();
+        order.sort_by_key(|(i, e)| (e.time(), *i));
+        let mut open: Vec<(NodeId, SimTime)> = Vec::new();
+        let mut outages: Vec<(NodeId, SimTime, Option<SimDuration>)> = Vec::new();
+        for (_, e) in order {
+            match e {
+                FaultEvent::Crash { at, node } => open.push((*node, *at)),
+                FaultEvent::Recover { at, node } => {
+                    if let Some(pos) = open.iter().position(|(n, _)| n == node) {
+                        let (_, crashed) = open.remove(pos);
+                        outages.push((*node, crashed, Some(*at - crashed)));
+                    }
+                }
+                FaultEvent::Net { .. } => {}
+            }
+        }
+        outages.extend(open.into_iter().map(|(n, at)| (n, at, None)));
+        outages.sort_by_key(|&(n, at, _)| (at, n));
+        outages
+    }
+
     /// Adds a partition into the given groups (nodes in no group keep
     /// full connectivity).
     pub fn partition_at(mut self, at: SimTime, groups: Vec<Vec<NodeId>>) -> Self {
@@ -777,6 +812,43 @@ mod tests {
         // Recover inserted first but scheduled after the crash: valid.
         let plan = FaultPlan::new().recover_at(t(20), n(1)).crash_at(t(10), n(1));
         assert!(plan.validate(3, t(100)).is_ok());
+    }
+
+    #[test]
+    fn outage_at_pairs_crash_and_recovery() {
+        let plan = FaultPlan::new()
+            .outage_at(t(1_000), n(2), SimDuration::from_ticks(5_000))
+            .outage_at(t(10_000), n(1), SimDuration::from_ticks(500));
+        assert_eq!(plan.len(), 4);
+        assert!(plan.validate(3, t(20_000)).is_ok());
+        assert!(plan.fully_healed());
+        assert_eq!(
+            plan.outages(),
+            vec![
+                (n(2), t(1_000), Some(SimDuration::from_ticks(5_000))),
+                (n(1), t(10_000), Some(SimDuration::from_ticks(500))),
+            ]
+        );
+    }
+
+    #[test]
+    fn outages_pair_in_time_order_and_flag_unrecovered_crashes() {
+        // Two outages of the same node out of insertion order, plus a
+        // crash that never recovers: pairing follows event time.
+        let plan = FaultPlan::new()
+            .recover_at(t(8_000), n(1))
+            .crash_at(t(6_000), n(1))
+            .crash_at(t(1_000), n(1))
+            .recover_at(t(2_000), n(1))
+            .crash_at(t(9_000), n(2));
+        assert_eq!(
+            plan.outages(),
+            vec![
+                (n(1), t(1_000), Some(SimDuration::from_ticks(1_000))),
+                (n(1), t(6_000), Some(SimDuration::from_ticks(2_000))),
+                (n(2), t(9_000), None),
+            ]
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! seeds, intensities and group sizes.
 
 use proptest::prelude::*;
-use repl_sim::{NodeId, SimTime};
+use repl_sim::{NodeId, SimDuration, SimTime};
 use repl_workload::{CrashSchedule, FaultPlan};
 
 proptest! {
@@ -62,5 +62,40 @@ proptest! {
         let direct = sched.validate(servers, deadline);
         let via_plan = FaultPlan::from(&sched).validate(servers, deadline);
         prop_assert_eq!(direct, via_plan);
+    }
+
+    /// Paired outages round-trip: a plan built purely from `outage_at`
+    /// always validates, fully heals, and `outages()` recovers exactly
+    /// the scheduled (node, crash time, downtime) triples — whatever the
+    /// order, spacing, or per-node overlap the generator produces.
+    #[test]
+    fn paired_outages_round_trip_through_the_distribution(
+        raw in proptest::collection::vec((0u64..=40_000, 0u32..=4, 1u64..=10_000), 0..6),
+    ) {
+        // Serialise overlapping same-node outages: each node's next crash
+        // starts strictly after its previous recovery.
+        let mut next_free = [0u64; 5];
+        let mut scheduled: Vec<(NodeId, SimTime, SimDuration)> = Vec::new();
+        let mut plan = FaultPlan::new();
+        let mut raw = raw;
+        raw.sort();
+        for (at, node, down) in raw {
+            let start = at.max(next_free[node as usize]);
+            next_free[node as usize] = start + down + 1;
+            let (n, t, d) = (
+                NodeId::new(node),
+                SimTime::from_ticks(start),
+                SimDuration::from_ticks(down),
+            );
+            plan = plan.outage_at(t, n, d);
+            scheduled.push((n, t, d));
+        }
+        let deadline = SimTime::from_ticks(200_000);
+        prop_assert!(plan.validate(5, deadline).is_ok());
+        prop_assert!(plan.fully_healed());
+        let mut expected: Vec<(NodeId, SimTime, Option<SimDuration>)> =
+            scheduled.into_iter().map(|(n, t, d)| (n, t, Some(d))).collect();
+        expected.sort_by_key(|&(n, t, _)| (t, n));
+        prop_assert_eq!(plan.outages(), expected);
     }
 }
