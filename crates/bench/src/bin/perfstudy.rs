@@ -13,12 +13,14 @@
 //! is an isolated, seed-keyed, single-threaded simulation.
 //!
 //! `--json PATH` additionally writes a machine-readable benchmark
-//! summary (the `BENCH_PR4.json` artifact): for every technique, the
+//! summary (the `BENCH_PR5.json` artifact): for every technique, the
 //! P1/P2/P3 study cells are re-swept with per-cell wall clocks, and
 //! throughput / p50 / p99 / messages-per-txn are reported from the
-//! canonical 3-replica, 4-client cell, followed by the P8 batching and
-//! P9 recovery sections. `--json-only` skips the tables (CI smoke
-//! mode); `--p8-only` / `--p9-only` print just that study's table.
+//! canonical 3-replica, 4-client cell, followed by the P8 batching,
+//! P9 recovery and P10 kernel sections (the last with wall-clock lock
+//! microcycles: dense vs sparse vs the seed baseline). `--json-only`
+//! skips the tables (CI smoke mode); `--p8-only` / `--p9-only` /
+//! `--p10-only` print just that study's table.
 
 use std::time::Instant;
 
@@ -33,6 +35,7 @@ struct Args {
     json_only: bool,
     p8_only: bool,
     p9_only: bool,
+    p10_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -42,12 +45,15 @@ fn parse_args() -> Args {
         json_only: false,
         p8_only: false,
         p9_only: false,
+        p10_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threads" => {
-                let v = it.next().unwrap_or_else(|| usage("--threads needs a value"));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
                 let n: usize = v
                     .parse()
                     .ok()
@@ -61,6 +67,7 @@ fn parse_args() -> Args {
             "--json-only" => args.json_only = true,
             "--p8-only" => args.p8_only = true,
             "--p9-only" => args.p9_only = true,
+            "--p10-only" => args.p10_only = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -72,7 +79,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: perfstudy [--threads N] [--json PATH] [--json-only] [--p8-only] [--p9-only]");
+    eprintln!(
+        "usage: perfstudy [--threads N] [--json PATH] [--json-only] \
+         [--p8-only] [--p9-only] [--p10-only]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -96,6 +106,23 @@ const P9_DOWNTIMES: [u64; 2] = [15_000, 40_000];
 /// MTTR and the transfer strategy) scales with how much state churned
 /// while the victim was down.
 const P9_WRITE_RATIOS: [f64; 2] = [0.2, 1.0];
+
+/// The keyspace sizes swept by the P10 kernel scaling study: small
+/// enough to fit a cache line's worth of lock slots, the dense sweet
+/// spot, and large enough that hashed tables start paying for resizes.
+const P10_KEYSPACES: [u64; 3] = [64, 1024, 65536];
+
+/// The client counts swept by the P10 study (light and heavy load).
+const P10_CLIENTS: [u32; 2] = [4, 16];
+
+/// Microcycle rounds per backing for the P10 JSON wall-clock section.
+const P10_MICROCYCLE_ROUNDS: u64 = 20_000;
+
+/// Fewer rounds for the seed baseline at large keyspaces: its
+/// `release_all` scans the whole table, so full-round counts would take
+/// minutes at 64k keys. Per-transaction times are reported, so the
+/// round counts need not match.
+const P10_SEED_ROUNDS_LARGE: u64 = 2_000;
 
 fn timed_table(title: &str, f: impl FnOnce() -> Vec<Row>) {
     let start = Instant::now();
@@ -268,11 +295,7 @@ fn batching_json(threads: usize) -> String {
         let _ = writeln!(s, "        ],");
         let _ = writeln!(s, "        \"msg_reduction_best\": {msg_reduction:.2},");
         let _ = writeln!(s, "        \"coord_reduction_best\": {coord_reduction:.2}");
-        let _ = writeln!(
-            s,
-            "      }}{}",
-            if i + 1 < n_series { "," } else { "" }
-        );
+        let _ = writeln!(s, "      }}{}", if i + 1 < n_series { "," } else { "" });
     }
     let _ = writeln!(s, "    ],");
     let _ = writeln!(
@@ -398,7 +421,111 @@ fn recovery_json(threads: usize) -> String {
     s
 }
 
-/// Runs the benchmark matrix and renders `BENCH_PR4.json`.
+/// Renders the P10 kernel section of the JSON artifact: per
+/// (technique, keyspace, clients) cell the simulator-deterministic
+/// throughput / latency / message-cost numbers, then the wall-clock
+/// lock microcycle (dense vs sparse vs the seed baseline) at each
+/// keyspace with the dense-over-seed speedup, plus the gate key the
+/// artifact check reads: dense at least 1.3x the seed baseline at a
+/// keyspace of 1k or more.
+fn kernel_json(threads: usize) -> String {
+    use std::fmt::Write as _;
+    let cells = kernel_cells(&P10_KEYSPACES, &P10_CLIENTS);
+    let sweep: Vec<SweepCell> = cells
+        .iter()
+        .map(|c| {
+            SweepCell::new(
+                format!(
+                    "{}/p10/k={}/c={}",
+                    c.technique.name(),
+                    c.keyspace,
+                    c.clients
+                ),
+                c.cfg.clone(),
+            )
+        })
+        .collect();
+    let results = run_sweep(&sweep, threads);
+
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"kernel\": {{");
+    let _ = writeln!(s, "    \"servers\": 3,");
+    let _ = writeln!(
+        s,
+        "    \"keyspaces\": [{}],",
+        P10_KEYSPACES
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        s,
+        "    \"clients\": [{}],",
+        P10_CLIENTS
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "    \"cells\": [");
+    for (i, (cell, result)) in cells.iter().zip(&results).enumerate() {
+        let report = result
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("cell `{}` failed: {e}", result.label));
+        let mut lat = report.latencies.clone();
+        let p50 = lat.percentile(0.5).ticks();
+        let p99 = lat.percentile(0.99).ticks();
+        let _ = writeln!(
+            s,
+            "      {{\"technique\": \"{}\", \"keyspace\": {}, \"clients\": {}, \
+             \"throughput_ops_per_s\": {:.1}, \"p50_response_ticks\": {p50}, \
+             \"p99_response_ticks\": {p99}, \"messages_per_txn\": {:.2}, \
+             \"server_aborts\": {}}}{}",
+            cell.technique.name(),
+            cell.keyspace,
+            cell.clients,
+            report.throughput(),
+            report.messages_per_op(),
+            report.server_aborts,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(s, "    \"lock_microcycle\": [");
+    let mut gate = true;
+    for (i, &items) in P10_KEYSPACES.iter().enumerate() {
+        let rounds = P10_MICROCYCLE_ROUNDS;
+        let seed_rounds = if items >= 10_000 {
+            P10_SEED_ROUNDS_LARGE
+        } else {
+            rounds
+        };
+        let per_txn = |secs: f64, rounds: u64| secs / rounds as f64 * 1e9;
+        let dense_ns = per_txn(lock_microcycle_secs(items, true, rounds), rounds);
+        let sparse_ns = per_txn(lock_microcycle_secs(items, false, rounds), rounds);
+        let seed_ns = per_txn(seed_lock_microcycle_secs(items, seed_rounds), seed_rounds);
+        let speedup = seed_ns / dense_ns.max(f64::MIN_POSITIVE);
+        if items >= 1_000 && speedup < 1.3 {
+            gate = false;
+        }
+        let _ = writeln!(
+            s,
+            "      {{\"keyspace\": {items}, \"rounds\": {rounds}, \
+             \"seed_rounds\": {seed_rounds}, \"dense_ns_per_txn\": {dense_ns:.1}, \
+             \"sparse_ns_per_txn\": {sparse_ns:.1}, \"seed_ns_per_txn\": {seed_ns:.1}, \
+             \"dense_speedup_vs_seed\": {speedup:.2}}}{}",
+            if i + 1 < P10_KEYSPACES.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(s, "    \"dense_30pct_faster_than_seed_at_1k\": {gate}");
+    let _ = writeln!(s, "  }}");
+    s
+}
+
+/// Runs the benchmark matrix and renders `BENCH_PR5.json`.
 fn bench_json(threads: usize) -> String {
     use std::fmt::Write as _;
     let techniques = study_techniques();
@@ -415,7 +542,7 @@ fn bench_json(threads: usize) -> String {
 
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"bench_pr4/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_pr5/v1\",");
     let _ = writeln!(s, "  \"threads\": {threads},");
     let _ = writeln!(
         s,
@@ -454,11 +581,7 @@ fn bench_json(threads: usize) -> String {
             report.messages_per_op()
         );
         let _ = writeln!(s, "      \"study_wall_ms\": {study_wall_ms:.1}");
-        let _ = writeln!(
-            s,
-            "    }}{}",
-            if i + 1 < spans.len() { "," } else { "" }
-        );
+        let _ = writeln!(s, "    }}{}", if i + 1 < spans.len() { "," } else { "" });
     }
     let _ = writeln!(s, "  ],");
     s.push_str(&batching_json(threads));
@@ -468,6 +591,10 @@ fn bench_json(threads: usize) -> String {
     s.truncate(end);
     s.push_str(",\n");
     s.push_str(&recovery_json(threads));
+    let end = s.trim_end().len();
+    s.truncate(end);
+    s.push_str(",\n");
+    s.push_str(&kernel_json(threads));
     let _ = writeln!(s, "}}");
     s
 }
@@ -484,7 +611,7 @@ fn main() {
         None => repl_bench::sweep::default_threads(),
     };
 
-    if args.p8_only || args.p9_only {
+    if args.p8_only || args.p9_only || args.p10_only {
         if args.p8_only {
             timed_table(
                 "P8 — end-to-end batching (3 replicas, clients × window in ticks)",
@@ -497,10 +624,15 @@ fn main() {
                 || recovery_table(&P9_DOWNTIMES, &P9_WRITE_RATIOS),
             );
         }
+        if args.p10_only {
+            timed_table(
+                "P10 — kernel scaling (3 replicas, technique × keyspace × clients)",
+                || kernel_table(&P10_KEYSPACES, &P10_CLIENTS),
+            );
+        }
         if let Some(path) = &args.json {
             let json = bench_json(threads);
-            std::fs::write(path, &json)
-                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
             println!("wrote benchmark summary to {path}");
         }
         return;
@@ -520,9 +652,10 @@ fn main() {
         timed_table("P2 — throughput vs clients (3 replicas)", || {
             throughput_table(&[1, 2, 4, 8, 16])
         });
-        timed_table("P3 — messages per operation vs replication degree", || {
-            message_cost_table(&degrees)
-        });
+        timed_table(
+            "P3 — messages per operation vs replication degree",
+            || message_cost_table(&degrees),
+        );
         timed_table(
             "P4 — conflicts vs access skew (4 clients, 32 items, rmw txns)",
             || conflicts_table(&[0.0, 0.5, 1.0, 1.5]),
@@ -562,6 +695,10 @@ fn main() {
             "P9 — crash recovery (3 replicas, outage × write ratio, MTTR and catch-up)",
             || recovery_table(&P9_DOWNTIMES, &P9_WRITE_RATIOS),
         );
+        timed_table(
+            "P10 — kernel scaling (3 replicas, technique × keyspace × clients)",
+            || kernel_table(&P10_KEYSPACES, &P10_CLIENTS),
+        );
         println!(
             "full study wall clock: {:.2}s ({threads} sweep threads)",
             total.elapsed().as_secs_f64()
@@ -570,8 +707,7 @@ fn main() {
 
     if let Some(path) = &args.json {
         let json = bench_json(threads);
-        std::fs::write(path, &json)
-            .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
         println!("wrote benchmark summary to {path}");
     } else if args.json_only {
         usage("--json-only requires --json PATH");

@@ -1,0 +1,316 @@
+//! P10 — kernel scaling: how the database kernel behaves as the keyspace
+//! grows, and how much the dense allocation-free hot path buys.
+//!
+//! Two instruments share this module:
+//!
+//! * [`kernel_table`] / [`kernel_cells`] — end-to-end simulator runs of
+//!   the lock- and certification-based techniques across keyspace sizes
+//!   and client counts. The printed numbers are deterministic (simulator
+//!   ticks); the dense and sparse backings must produce *identical*
+//!   reports, which `dense_and_sparse_kernel_runs_are_identical` checks
+//!   by digest.
+//! * [`lock_microcycle_secs`] / [`seed_lock_microcycle_secs`] — wall-clock
+//!   microbenchmarks of the uncontended lock acquire→commit→release
+//!   cycle, shared by the `db_kernel` criterion bench and the
+//!   `BENCH_PR5.json` kernel section. The seed baseline is a faithful
+//!   copy of the pre-dense lock manager (SipHash `HashMap` table, whole-
+//!   table scan in `release_all`), kept so the speedup claim is measured
+//!   against what the code actually did, not a strawman.
+
+use std::time::Instant;
+
+use repl_core::{RunConfig, Technique};
+use repl_db::{DeadlockPolicy, Key, Keyspace, LockManager, LockMode, TxnId};
+use repl_workload::WorkloadSpec;
+
+use crate::sweep::sweep_reports;
+use crate::Row;
+
+/// One cell of the P10 kernel scaling study.
+#[derive(Debug, Clone)]
+pub struct KernelCell {
+    /// Technique under study.
+    pub technique: Technique,
+    /// Declared keyspace size (workload items).
+    pub keyspace: u64,
+    /// Closed-loop client count.
+    pub clients: u32,
+    /// The run configuration (dense keyspace, the workload default).
+    pub cfg: RunConfig,
+}
+
+/// The techniques whose servers exercise the db kernel's lock table or
+/// certifier on every transaction — the ones keyspace scaling can move.
+pub fn kernel_techniques() -> [Technique; 4] {
+    [
+        Technique::EagerPrimary,
+        Technique::EagerUpdateEverywhereLocking,
+        Technique::EagerUpdateEverywhereAbcast,
+        Technique::Certification,
+    ]
+}
+
+/// Builds the P10 cell matrix: kernel-bound technique × keyspace size ×
+/// client count. The workload is update-heavy (80% writes) so lock and
+/// certification traffic dominates, and uniform so the keyspace axis
+/// scales the *table*, not the conflict rate.
+pub fn kernel_cells(keyspaces: &[u64], clients: &[u32]) -> Vec<KernelCell> {
+    let mut cells = Vec::new();
+    for technique in kernel_techniques() {
+        for &keyspace in keyspaces {
+            for &c in clients {
+                let cfg = RunConfig::new(technique)
+                    .with_servers(3)
+                    .with_clients(c)
+                    .with_seed(211)
+                    .with_trace(false)
+                    .with_workload(
+                        WorkloadSpec::default()
+                            .with_items(keyspace)
+                            .with_read_ratio(0.2)
+                            .with_txns_per_client(20),
+                    );
+                cells.push(KernelCell {
+                    technique,
+                    keyspace,
+                    clients: c,
+                    cfg,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The display label of a P10 cell (shared by the table and the JSON).
+pub fn kernel_cell_label(cell: &KernelCell) -> String {
+    format!(
+        "{} / k={} / c={}",
+        cell.technique.name(),
+        cell.keyspace,
+        cell.clients
+    )
+}
+
+/// P10 — kernel scaling: throughput, latency, message cost and server
+/// aborts per technique × keyspace × clients. All printed values are
+/// simulator-deterministic; the wall-clock payoff of the dense backing
+/// is measured separately by the `db_kernel` bench and the JSON
+/// artifact's microcycle section.
+pub fn kernel_table(keyspaces: &[u64], clients: &[u32]) -> Vec<Row> {
+    let cells = kernel_cells(keyspaces, clients);
+    let cfgs = cells.iter().map(|c| c.cfg.clone()).collect();
+    cells
+        .iter()
+        .zip(sweep_reports(cfgs))
+        .map(|(cell, report)| {
+            let mut lat = report.latencies.clone();
+            let p50 = lat.percentile(0.5).ticks();
+            let p99 = lat.percentile(0.99).ticks();
+            Row::new(kernel_cell_label(cell))
+                .cell("thru", format!("{:.0}/s", report.throughput()))
+                .cell("p50", format!("{p50}t"))
+                .cell("p99", format!("{p99}t"))
+                .cell("msgs/txn", format!("{:.1}", report.messages_per_op()))
+                .cell("aborts", report.server_aborts)
+        })
+        .collect()
+}
+
+/// Locks each microcycle transaction takes before "committing".
+pub const MICROCYCLE_OPS: u64 = 4;
+
+/// The keys transaction number `round` locks: strided across the table so
+/// repeated rounds sweep the whole keyspace instead of hammering one
+/// cache line.
+pub fn microcycle_keys(items: u64, round: u64) -> [Key; MICROCYCLE_OPS as usize] {
+    let stride = (items / MICROCYCLE_OPS).max(1);
+    let base = round.wrapping_mul(2654435761) % items;
+    [
+        Key(base),
+        Key((base + stride) % items),
+        Key((base + 2 * stride) % items),
+        Key((base + 3 * stride) % items),
+    ]
+}
+
+/// Wall-clock seconds for `rounds` uncontended lock acquire→commit
+/// microcycles (each: `MICROCYCLE_OPS` exclusive acquires, then
+/// `release_all`) on a `items`-key table with the chosen backing.
+pub fn lock_microcycle_secs(items: u64, dense: bool, rounds: u64) -> f64 {
+    let ks = if dense {
+        Keyspace::dense(items)
+    } else {
+        Keyspace::sparse(items)
+    };
+    let mut lm = LockManager::with_keyspace(DeadlockPolicy::WoundWait, ks);
+    let start = Instant::now();
+    for r in 0..rounds {
+        let txn = TxnId::new(r + 1, 0);
+        for key in microcycle_keys(items, r) {
+            std::hint::black_box(lm.acquire(txn, key, LockMode::Exclusive));
+        }
+        std::hint::black_box(lm.release_all(txn).len());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// The same microcycle on [`SeedLockManager`], the measured baseline.
+pub fn seed_lock_microcycle_secs(items: u64, rounds: u64) -> f64 {
+    let mut lm = SeedLockManager::default();
+    let start = Instant::now();
+    for r in 0..rounds {
+        let txn = TxnId::new(r + 1, 0);
+        for key in microcycle_keys(items, r) {
+            std::hint::black_box(lm.acquire(txn, key, LockMode::Exclusive));
+        }
+        lm.release_all(txn);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+#[derive(Default)]
+struct SeedLockState {
+    holders: Vec<(TxnId, LockMode)>,
+    waiters: std::collections::VecDeque<(TxnId, LockMode)>,
+}
+
+/// The grant/release/promote hot path of the lock manager as it stood
+/// before the dense-keyspace rework: a SipHash `HashMap` table that
+/// grows one entry per touched key, a `HashSet` per transaction, and a
+/// `release_all` that scans the *entire table* for pending waits.
+/// Deadlock handling is omitted — the microcycle it baselines is
+/// uncontended.
+#[derive(Default)]
+pub struct SeedLockManager {
+    table: std::collections::HashMap<Key, SeedLockState>,
+    held: std::collections::HashMap<TxnId, std::collections::HashSet<Key>>,
+}
+
+impl SeedLockManager {
+    /// Grants `mode` on `key` if compatible; queues the request otherwise.
+    pub fn acquire(&mut self, txn: TxnId, key: Key, mode: LockMode) -> bool {
+        let state = self.table.entry(key).or_default();
+        if state.holders.iter().any(|&(t, _)| t == txn) {
+            return true;
+        }
+        if state.holders.iter().all(|&(_, m)| m.compatible(mode)) && state.waiters.is_empty() {
+            state.holders.push((txn, mode));
+            self.held.entry(txn).or_default().insert(key);
+            return true;
+        }
+        state.waiters.push_back((txn, mode));
+        false
+    }
+
+    /// Releases everything `txn` holds or waits for — including the
+    /// seed's whole-table scan for pending waits.
+    pub fn release_all(&mut self, txn: TxnId) {
+        let mut touched: Vec<Key> = self
+            .held
+            .remove(&txn)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        let waiting: Vec<Key> = self
+            .table
+            .iter()
+            .filter(|(_, s)| s.waiters.iter().any(|(t, _)| *t == txn))
+            .map(|(k, _)| *k)
+            .collect();
+        touched.extend(waiting);
+        touched.sort_unstable();
+        touched.dedup();
+        for key in touched {
+            if let Some(state) = self.table.get_mut(&key) {
+                state.holders.retain(|(t, _)| *t != txn);
+                state.waiters.retain(|(t, _)| *t != txn);
+                while let Some(&(w, mode)) = state.waiters.front() {
+                    let compatible = state
+                        .holders
+                        .iter()
+                        .all(|&(t, m)| t == w || m.compatible(mode));
+                    if !compatible {
+                        break;
+                    }
+                    state.waiters.pop_front();
+                    if let Some(h) = state.holders.iter_mut().find(|(t, _)| *t == w) {
+                        h.1 = mode;
+                    } else {
+                        state.holders.push((w, mode));
+                    }
+                    self.held.entry(w).or_default().insert(key);
+                    if mode == LockMode::Exclusive {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_table_covers_the_matrix() {
+        let rows = kernel_table(&[64], &[2]);
+        assert_eq!(rows.len(), kernel_techniques().len());
+        for r in &rows {
+            assert!(r.label.contains("k=64"), "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_kernel_runs_are_identical() {
+        // The dense backing is a representation change only: the same
+        // cell run with the sparse fallback must produce a bit-identical
+        // report digest.
+        for technique in kernel_techniques() {
+            let cell = &kernel_cells(&[64], &[2])
+                .into_iter()
+                .find(|c| c.technique == technique)
+                .expect("cell per technique");
+            let dense = repl_core::run(&cell.cfg);
+            let mut sparse_cfg = cell.cfg.clone();
+            sparse_cfg.workload = sparse_cfg.workload.clone().with_dense_keyspace(false);
+            let sparse = repl_core::run(&sparse_cfg);
+            assert_eq!(
+                dense.digest(),
+                sparse.digest(),
+                "{technique:?}: dense and sparse runs diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn microcycle_keys_are_distinct_and_in_range() {
+        for items in [64u64, 1024] {
+            for round in 0..32 {
+                let keys = microcycle_keys(items, round);
+                for k in keys {
+                    assert!(k.0 < items);
+                }
+                let mut sorted = keys.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), keys.len(), "duplicate keys at {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_manager_grants_and_releases_like_the_kernel() {
+        let mut seed = SeedLockManager::default();
+        let mut lm = LockManager::with_keyspace(DeadlockPolicy::WoundWait, Keyspace::dense(8));
+        let (t1, t2) = (TxnId::new(1, 0), TxnId::new(2, 0));
+        assert!(seed.acquire(t1, Key(0), LockMode::Exclusive));
+        assert_eq!(
+            lm.acquire(t1, Key(0), LockMode::Exclusive),
+            repl_db::Acquire::Granted
+        );
+        assert!(!seed.acquire(t2, Key(0), LockMode::Exclusive));
+        seed.release_all(t1);
+        assert!(seed.acquire(t2, Key(0), LockMode::Exclusive));
+    }
+}

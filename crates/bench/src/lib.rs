@@ -22,8 +22,13 @@ use repl_db::DeadlockPolicy;
 use repl_sim::{NodeId, SimDuration, SimTime};
 use repl_workload::{CrashSchedule, FaultPlan, WorkloadSpec};
 
+pub mod kernel;
 pub mod sweep;
 
+pub use kernel::{
+    kernel_cell_label, kernel_cells, kernel_table, kernel_techniques, lock_microcycle_secs,
+    microcycle_keys, seed_lock_microcycle_secs, KernelCell, SeedLockManager, MICROCYCLE_OPS,
+};
 use sweep::sweep_reports;
 
 /// One row of an experiment table: a label and named columns.
@@ -380,7 +385,10 @@ pub fn availability_table() -> Vec<Row> {
             Row::new(technique.name())
                 .cell("failover", failover)
                 .cell("worst gap", format!("{}t", a.worst_gap().ticks()))
-                .cell("best client gap", format!("{}t", a.best_client_gap().ticks()))
+                .cell(
+                    "best client gap",
+                    format!("{}t", a.best_client_gap().ticks()),
+                )
                 .cell("faults", a.faults_injected)
                 .cell("retries", report.client_retries)
                 .cell("unanswered", report.ops_unanswered),

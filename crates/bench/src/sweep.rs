@@ -192,7 +192,10 @@ mod tests {
         ];
         let results = run_sweep(&cells, 2);
         assert!(results[0].result.is_ok());
-        assert_eq!(results[1].result.as_ref().unwrap_err(), &RunError::NoServers);
+        assert_eq!(
+            results[1].result.as_ref().unwrap_err(),
+            &RunError::NoServers
+        );
         assert!(results[2].result.is_ok());
     }
 

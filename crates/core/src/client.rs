@@ -565,9 +565,8 @@ mod tests {
         assert!(far <= 8_000 + 2_000);
         // Deterministic and client/op-dependent.
         assert_eq!(retry_delay(ra, 3, op, 5), retry_delay(ra, 3, op, 5));
-        let spread: std::collections::HashSet<u64> = (0..16)
-            .map(|c| retry_delay(ra, c, op, 4).ticks())
-            .collect();
+        let spread: std::collections::HashSet<u64> =
+            (0..16).map(|c| retry_delay(ra, c, op, 4).ticks()).collect();
         assert!(spread.len() > 8, "jitter failed to spread clients");
     }
 

@@ -34,7 +34,7 @@ mod technique;
 pub use client::{ClientActor, OpRecord, OpenLoopClient, ProtocolMsg};
 pub use op::{accesses, ClientOp, OpId, Response};
 pub use phase::{Phase, PhaseMark, PhaseSkeleton, PhaseTrace};
-pub use report::{Availability, NodeRecovery, RunReport};
 pub use repl_gcs::BatchConfig;
+pub use report::{Availability, NodeRecovery, RunReport};
 pub use runner::{run, try_run, Arrival, RunConfig, RunError};
 pub use technique::{Community, Guarantee, Propagation, Technique, TechniqueInfo, UpdateLocation};

@@ -19,7 +19,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use repl_db::{Certifier, Key, WriteSet};
+use repl_db::{Certifier, Key, Keyspace, WriteSet};
 use repl_gcs::{BatchConfig, Outbox};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 use repl_workload::OpTemplate;
@@ -104,16 +104,17 @@ impl CertServer {
         site: u32,
         me: NodeId,
         group: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         abcast: AbcastImpl,
         cons: ConsensusConfig,
     ) -> Self {
+        let ks = keyspace.into();
         CertServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, ks, exec),
             me,
             ab: AbcastEndpoint::new(abcast, me, group, cons),
-            certifier: Certifier::new(),
+            certifier: Certifier::with_keyspace(ks),
             relayed: HashSet::new(),
             marks: site == 0,
         }

@@ -2,11 +2,9 @@
 //! (store + transaction manager + history + response cache), the unified
 //! Atomic Broadcast endpoint, and execution-mode handling.
 
-use std::collections::HashMap;
-
 use repl_db::{
-    AccessKind, Key, RecoveryTracker, ReplicatedHistory, ShadowStore, Store, Transfer,
-    TransferStrategy, TxnId, TxnManager, Value, WriteSet,
+    AccessKind, FxHashMap, Key, Keyspace, RecoveryTracker, ReplicatedHistory, ShadowStore, Store,
+    Transfer, TransferStrategy, TxnId, TxnManager, Value, WriteSet,
 };
 use repl_gcs::{
     AbDeliver, BatchConfig, CAbMsg, ConsensusAbcast, ConsensusConfig, MsgId, Outbox, SeqAbMsg,
@@ -201,7 +199,7 @@ pub struct ServerBase {
     /// This site's recorded execution history.
     pub history: ReplicatedHistory,
     /// Responses already produced, for exactly-once retries.
-    pub cache: HashMap<OpId, Response>,
+    pub cache: FxHashMap<OpId, Response>,
     /// Execution mode (determinism injection).
     pub exec: ExecutionMode,
     /// Transactions committed at this site.
@@ -213,19 +211,26 @@ pub struct ServerBase {
 }
 
 impl ServerBase {
-    /// Creates a server base over `items` data items initialised to 0.
-    pub fn new(site: u32, items: u64, exec: ExecutionMode) -> Self {
+    /// Creates a server base over the given keyspace (a bare item count
+    /// converts to a dense keyspace), all items initialised to 0.
+    pub fn new(site: u32, keyspace: impl Into<Keyspace>, exec: ExecutionMode) -> Self {
+        let ks = keyspace.into();
         ServerBase {
             site,
-            store: Store::with_items(items, Value(0)),
+            store: Store::with_keyspace(ks, Value(0)),
             tm: TxnManager::new(),
             history: ReplicatedHistory::new(),
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
             exec,
             committed: 0,
             aborted: 0,
             recovery: RecoveryTracker::default(),
         }
+    }
+
+    /// The keyspace this server's kernel structures are built for.
+    pub fn keyspace(&self) -> Keyspace {
+        self.store.keyspace()
     }
 
     /// The value actually written for a requested write, after the

@@ -19,8 +19,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use repl_db::{
-    Acquire, DeadlockPolicy, Key, LockManager, LockMode, RedoLog, TpcCoordinator, TpcDecision,
-    Transfer, TransferStrategy, TxnId, Value, WriteSet,
+    Acquire, DeadlockPolicy, Key, Keyspace, LockManager, LockMode, RedoLog, TpcCoordinator,
+    TpcDecision, Transfer, TransferStrategy, TxnId, Value, WriteSet,
 };
 use repl_gcs::{BatchConfig, Component, FdConfig, FdEvent, FdMsg, HeartbeatFd, Outbox};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
@@ -192,15 +192,16 @@ impl EagerPrimaryServer {
         site: u32,
         me: NodeId,
         servers: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         fd: FdConfig,
     ) -> Self {
+        let ks = keyspace.into();
         EagerPrimaryServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, ks, exec),
             me,
             servers: servers.clone(),
-            lm: LockManager::new(DeadlockPolicy::WoundWait),
+            lm: LockManager::with_keyspace(DeadlockPolicy::WoundWait, ks),
             fd: HeartbeatFd::new(me, servers, fd),
             alive: HashSet::new(),
             inflight: HashMap::new(),

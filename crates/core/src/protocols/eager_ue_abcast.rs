@@ -14,6 +14,7 @@
 
 use std::collections::HashSet;
 
+use repl_db::Keyspace;
 use repl_gcs::{BatchConfig, Outbox};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 
@@ -74,13 +75,13 @@ impl EuaServer {
         site: u32,
         me: NodeId,
         group: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         abcast: AbcastImpl,
         cons: ConsensusConfig,
     ) -> Self {
         EuaServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, keyspace, exec),
             ab: AbcastEndpoint::new(abcast, me, group, cons),
             delegated: HashSet::new(),
             marks: site == 0,

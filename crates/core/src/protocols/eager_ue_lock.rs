@@ -35,8 +35,8 @@
 use std::collections::{HashMap, HashSet};
 
 use repl_db::{
-    Acquire, DeadlockPolicy, Key, LockManager, LockMode, TpcCoordinator, TpcDecision, Transfer,
-    TxnId, Value,
+    Acquire, DeadlockPolicy, Key, Keyspace, LockManager, LockMode, TpcCoordinator, TpcDecision,
+    Transfer, TxnId, Value,
 };
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 use repl_workload::OpTemplate;
@@ -218,15 +218,16 @@ impl EulServer {
         site: u32,
         me: NodeId,
         servers: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         policy: DeadlockPolicy,
     ) -> Self {
+        let ks = keyspace.into();
         EulServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, ks, exec),
             me,
             servers,
-            lm: LockManager::new(policy),
+            lm: LockManager::with_keyspace(policy, ks),
             policy,
             detect_every: SimDuration::from_ticks(2_500),
             delegated: HashMap::new(),
@@ -728,7 +729,7 @@ impl Actor<EulMsg> for EulServer {
         self.delegated.clear();
         self.requeue.clear();
         self.lock_owner.clear();
-        self.lm = LockManager::new(self.policy);
+        self.lm = LockManager::with_keyspace(self.policy, self.base.keyspace());
         self.probe_edges.clear();
         self.probe_answers = 0;
     }
@@ -1030,7 +1031,10 @@ mod tests {
         world.start();
         world.run_until(SimTime::from_ticks(500_000));
         let client = world.actor_ref::<ClientActor<EulMsg>>(clients[0]);
-        assert!(client.is_done(), "writes wedged behind a crashed participant");
+        assert!(
+            client.is_done(),
+            "writes wedged behind a crashed participant"
+        );
         // The survivors agree; the crashed site may have missed decisions.
         assert_eq!(
             world

@@ -25,7 +25,7 @@
 
 use std::sync::Arc;
 
-use repl_db::{RedoLog, Transfer, TransferStrategy, WriteSet};
+use repl_db::{Keyspace, RedoLog, Transfer, TransferStrategy, WriteSet};
 use repl_gcs::BatchConfig;
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
 use repl_workload::OpTemplate;
@@ -130,12 +130,12 @@ impl LazyPrimaryServer {
         site: u32,
         me: NodeId,
         servers: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         propagation_delay: SimDuration,
     ) -> Self {
         LazyPrimaryServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, keyspace, exec),
             me,
             servers,
             propagation_delay,

@@ -24,7 +24,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use repl_db::{Key, TransferStrategy, TxnId, Value, WriteSet};
+use repl_db::{Key, Keyspace, TransferStrategy, TxnId, Value, WriteSet};
 use repl_gcs::Outbox;
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
 use repl_workload::OpTemplate;
@@ -148,13 +148,13 @@ impl LazyUeServer {
         site: u32,
         me: NodeId,
         servers: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         propagation_delay: SimDuration,
     ) -> Self {
         let servers_copy = servers.clone();
         LazyUeServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, keyspace, exec),
             me,
             servers,
             propagation_delay,

@@ -13,7 +13,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use repl_db::{Transfer, WriteSet};
+use repl_db::{Keyspace, Transfer, WriteSet};
 use repl_gcs::{Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 
@@ -113,12 +113,12 @@ impl PassiveServer {
         site: u32,
         me: NodeId,
         group: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         vs: VsConfig,
     ) -> Self {
         PassiveServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, keyspace, exec),
             me,
             vg: ViewGroup::new(me, group.clone(), vs),
             group,

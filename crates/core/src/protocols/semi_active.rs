@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use repl_db::{Key, Transfer, Value};
+use repl_db::{Key, Keyspace, Transfer, Value};
 use repl_gcs::{BatchConfig, Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
 use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
 
@@ -114,14 +114,14 @@ impl SemiActiveServer {
         site: u32,
         me: NodeId,
         group: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         abcast: AbcastImpl,
         vs: VsConfig,
     ) -> Self {
         let cons = vs.consensus;
         SemiActiveServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, keyspace, exec),
             me,
             ab: AbcastEndpoint::new(abcast, me, group.clone(), cons),
             vg: ViewGroup::new(me, group.clone(), vs),
@@ -330,8 +330,11 @@ impl Actor<SemiActiveMsg> for SemiActiveServer {
             SemiActiveMsg::Reply(_) => {}
             SemiActiveMsg::SyncReq => {
                 if !self.recovering && !self.vg.is_excluded() && !self.vg.is_joining() {
-                    let t =
-                        Transfer::committed_snapshot(&self.base.store, &self.base.tm, self.next_apply);
+                    let t = Transfer::committed_snapshot(
+                        &self.base.store,
+                        &self.base.tm,
+                        self.next_apply,
+                    );
                     ctx.send(from, SemiActiveMsg::SyncData(Box::new(t)));
                 }
             }

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use repl_db::{RedoLog, Transfer, TransferStrategy, WriteSet};
+use repl_db::{Keyspace, RedoLog, Transfer, TransferStrategy, WriteSet};
 use repl_gcs::{
     ConsEvent, ConsMsg, ConsensusConfig, ConsensusPool, FdConfig, FdEvent, FdMsg, HeartbeatFd,
     Outbox,
@@ -129,14 +129,14 @@ impl SemiPassiveServer {
         site: u32,
         me: NodeId,
         group: Vec<NodeId>,
-        items: u64,
+        keyspace: impl Into<Keyspace>,
         exec: ExecutionMode,
         defer: SimDuration,
         cons: ConsensusConfig,
     ) -> Self {
         let rank = group.iter().position(|&n| n == me).expect("member");
         SemiPassiveServer {
-            base: ServerBase::new(site, items, exec),
+            base: ServerBase::new(site, keyspace, exec),
             group: group.clone(),
             rank,
             defer,
@@ -169,8 +169,7 @@ impl SemiPassiveServer {
     }
 
     fn engage(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
-        if self.recovering || self.pending.is_empty() || self.engaged_slot == Some(self.next_slot)
-        {
+        if self.recovering || self.pending.is_empty() || self.engaged_slot == Some(self.next_slot) {
             return;
         }
         self.engaged_slot = Some(self.next_slot);

@@ -6,7 +6,9 @@ use repl_gcs::{BatchConfig, ConsensusConfig, FdConfig, VsConfig};
 use repl_sim::{
     Actor, LatencyStats, Message, NetworkConfig, NodeId, SimConfig, SimDuration, SimTime, World,
 };
-use repl_workload::{CrashSchedule, FaultEvent, FaultPlan, FaultPlanError, WorkloadGen, WorkloadSpec};
+use repl_workload::{
+    CrashSchedule, FaultEvent, FaultPlan, FaultPlanError, WorkloadGen, WorkloadSpec,
+};
 
 use crate::client::{ClientActor, OpenLoopClient, ProtocolMsg};
 use crate::phase::PhaseTrace;
@@ -381,7 +383,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                         site,
                         me,
                         group,
-                        c.workload.items,
+                        c.workload.keyspace(),
                         c.exec,
                         c.abcast,
                         tuned_consensus(&c.network),
@@ -398,7 +400,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                     site,
                     me,
                     group,
-                    c.workload.items,
+                    c.workload.keyspace(),
                     c.exec,
                     tuned_vs(&c.network),
                 ))
@@ -413,7 +415,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                         site,
                         me,
                         group,
-                        c.workload.items,
+                        c.workload.keyspace(),
                         c.exec,
                         c.abcast,
                         tuned_vs(&c.network),
@@ -430,7 +432,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                     site,
                     me,
                     group,
-                    c.workload.items,
+                    c.workload.keyspace(),
                     c.exec,
                     tuned_defer(&c.network),
                     tuned_consensus(&c.network),
@@ -447,7 +449,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                     site,
                     me,
                     group,
-                    c.workload.items,
+                    c.workload.keyspace(),
                     c.exec,
                     tuned_fd(&c.network),
                 )
@@ -461,7 +463,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
             cfg,
             |site, me, group, c| {
                 Box::new(
-                    EulServer::new(site, me, group, c.workload.items, c.exec, c.deadlock)
+                    EulServer::new(site, me, group, c.workload.keyspace(), c.exec, c.deadlock)
                         .with_rowa(c.rowa),
                 )
             },
@@ -479,7 +481,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                         site,
                         me,
                         group,
-                        c.workload.items,
+                        c.workload.keyspace(),
                         c.exec,
                         c.abcast,
                         tuned_consensus(&c.network),
@@ -496,7 +498,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                     site,
                     me,
                     group,
-                    c.workload.items,
+                    c.workload.keyspace(),
                     c.exec,
                     c.propagation_delay,
                 )
@@ -514,7 +516,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                         site,
                         me,
                         group,
-                        c.workload.items,
+                        c.workload.keyspace(),
                         c.exec,
                         c.propagation_delay,
                     )
@@ -535,7 +537,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                         site,
                         me,
                         group,
-                        c.workload.items,
+                        c.workload.keyspace(),
                         c.exec,
                         c.abcast,
                         tuned_consensus(&c.network),

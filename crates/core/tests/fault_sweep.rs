@@ -59,7 +59,12 @@ fn untouched_fingerprints(report: &RunReport, plan: &FaultPlan) -> Vec<(u32, u64
         .collect()
 }
 
-fn assert_untouched_converged(technique: Technique, seed: u64, report: &RunReport, plan: &FaultPlan) {
+fn assert_untouched_converged(
+    technique: Technique,
+    seed: u64,
+    report: &RunReport,
+    plan: &FaultPlan,
+) {
     let untouched = untouched_fingerprints(report, plan);
     assert!(
         untouched.len() >= 2,
@@ -188,9 +193,7 @@ fn composed_faults_with_batching_window() {
     for technique in abcast_based {
         for ab in [AbcastImpl::Sequencer, AbcastImpl::Consensus] {
             let (cfg, plan) = sweep_cfg(technique, 42, 0.6);
-            let cfg = cfg
-                .with_abcast(ab)
-                .with_batching(BatchConfig::window(500));
+            let cfg = cfg.with_abcast(ab).with_batching(BatchConfig::window(500));
             let report = run(&cfg);
             assert_eq!(
                 report.ops_unanswered, 0,
@@ -233,8 +236,14 @@ fn seeded_fault_runs_are_deterministic() {
             );
             assert_eq!(a.ops_committed, b.ops_committed, "{technique} seed {seed}");
             assert_eq!(a.ops_aborted, b.ops_aborted, "{technique} seed {seed}");
-            assert_eq!(a.ops_unanswered, b.ops_unanswered, "{technique} seed {seed}");
-            assert_eq!(a.client_retries, b.client_retries, "{technique} seed {seed}");
+            assert_eq!(
+                a.ops_unanswered, b.ops_unanswered,
+                "{technique} seed {seed}"
+            );
+            assert_eq!(
+                a.client_retries, b.client_retries,
+                "{technique} seed {seed}"
+            );
             assert_eq!(a.duration, b.duration, "{technique} seed {seed}");
             assert_eq!(
                 a.availability.per_client_worst_gap, b.availability.per_client_worst_gap,

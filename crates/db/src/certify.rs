@@ -8,9 +8,8 @@
 //! of coordination: commit iff no transaction that certified earlier (and
 //! after the candidate's snapshot) wrote any item the candidate read.
 
-use std::collections::HashMap;
-
-use crate::item::{Key, TxnId};
+use crate::hash::FxHashMap;
+use crate::item::{Key, Keyspace, TxnId};
 use crate::log::WriteSet;
 
 /// The verdict of the certification test.
@@ -35,12 +34,23 @@ impl Certification {
     }
 }
 
+/// An installed-version record: certified version and its writer. The
+/// initial state (version 0, placeholder writer) is what an absent map
+/// entry used to mean, so the dense path can pre-materialize it.
+type Installed = (u64, TxnId);
+
+const INITIAL: Installed = (0, TxnId { ts: 0, site: 0 });
+
 /// The per-site certifier: tracks, for every item, the version installed
 /// by the last certified writer.
 ///
 /// All sites feed it the same ABCAST-ordered stream, so its verdicts are
 /// identical everywhere — this is what lets the technique skip the
 /// Agreement Coordination phase.
+///
+/// Built with a bounded [`Keyspace`], the version table is a dense `Vec`
+/// indexed by `Key`; otherwise an Fx-hashed map (with dense-range
+/// overflow handled transparently).
 ///
 /// # Examples
 ///
@@ -57,18 +67,51 @@ impl Certification {
 /// let ws2 = WriteSet { txn: t2, writes: vec![WriteRecord { key: Key(0), value: Value(2), version: 1 }] };
 /// assert!(!c.certify(&[(Key(0), 0)], &ws2).is_commit());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Certifier {
-    /// Last certified version per item, and its writer.
-    installed: HashMap<Key, (u64, TxnId)>,
+    /// Dense installed-version table: slot `i` is `Key(i)`. Empty when
+    /// sparse.
+    dense: Vec<Installed>,
+    /// Sparse installed-version table; on the dense path only serves keys
+    /// outside the declared range.
+    sparse: FxHashMap<Key, Installed>,
     committed: u64,
     aborted: u64,
 }
 
+impl Default for Certifier {
+    fn default() -> Self {
+        Certifier::new()
+    }
+}
+
 impl Certifier {
-    /// Creates an empty certifier (every item at initial version 0).
+    /// Creates an empty certifier (every item at initial version 0) over
+    /// an open (sparse) keyspace.
     pub fn new() -> Self {
-        Certifier::default()
+        Certifier::with_keyspace(Keyspace::sparse(0))
+    }
+
+    /// Creates a certifier backed for `ks`.
+    pub fn with_keyspace(ks: Keyspace) -> Self {
+        Certifier {
+            dense: if ks.dense {
+                vec![INITIAL; ks.items as usize]
+            } else {
+                Vec::new()
+            },
+            sparse: FxHashMap::default(),
+            committed: 0,
+            aborted: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, key: Key) -> Option<Installed> {
+        match self.dense.get(key.0 as usize) {
+            Some(&e) => Some(e),
+            None => self.sparse.get(&key).copied(),
+        }
     }
 
     /// Certifies a transaction given the versions it read and the writes
@@ -76,7 +119,7 @@ impl Certifier {
     /// recorded as installed.
     pub fn certify(&mut self, read_set: &[(Key, u64)], ws: &WriteSet) -> Certification {
         for &(key, version_read) in read_set {
-            if let Some(&(installed, by)) = self.installed.get(&key) {
+            if let Some((installed, by)) = self.get(key) {
                 if installed > version_read {
                     self.aborted += 1;
                     return Certification::Abort { key, by };
@@ -84,7 +127,11 @@ impl Certifier {
             }
         }
         for w in &ws.writes {
-            let entry = self.installed.entry(w.key).or_insert((0, ws.txn));
+            let entry: &mut Installed = if (w.key.0 as usize) < self.dense.len() {
+                &mut self.dense[w.key.0 as usize]
+            } else {
+                self.sparse.entry(w.key).or_insert((0, ws.txn))
+            };
             entry.0 += 1;
             entry.1 = ws.txn;
         }
@@ -99,7 +146,40 @@ impl Certifier {
 
     /// The certified version of `key` (0 if never written).
     pub fn version_of(&self, key: Key) -> u64 {
-        self.installed.get(&key).map_or(0, |&(v, _)| v)
+        self.get(key).map_or(0, |(v, _)| v)
+    }
+
+    /// Number of keys with an explicitly tracked installed version
+    /// (sparse entries plus written dense slots).
+    pub fn tracked_keys(&self) -> usize {
+        self.dense
+            .iter()
+            .filter(|e| e.1 != INITIAL.1 || e.0 != 0)
+            .count()
+            + self.sparse.len()
+    }
+
+    /// Garbage-collects sparse installed-version entries last written by a
+    /// transaction older than `watermark`. Returns the number evicted.
+    ///
+    /// # Caller contract
+    ///
+    /// Evicting a key resets its tracked version to 0, so a later
+    /// re-insert restarts the version counter. That is only sound if the
+    /// caller guarantees no in-flight transaction can still present a
+    /// read of the evicted key: `watermark` must be a low-water mark
+    /// below which every transaction has already certified or aborted
+    /// *and* whose read sets have drained from the ABCAST stream. The
+    /// replication protocols in this reproduction keep certifier versions
+    /// in lockstep with store versions and therefore never call this on
+    /// the hot path; it exists for long-running sparse deployments where
+    /// the installed table would otherwise grow without bound. On the
+    /// dense path the table is fixed-size and this is a no-op.
+    pub fn gc(&mut self, watermark: TxnId) -> usize {
+        let before = self.sparse.len();
+        self.sparse
+            .retain(|_, &mut (_, by)| !by.is_older_than(watermark));
+        before - self.sparse.len()
     }
 }
 
@@ -175,5 +255,47 @@ mod tests {
         assert!(c.certify(&[], &ws(t(1), &[0])).is_commit());
         assert!(!c.certify(&[(Key(0), 0)], &ws(t(2), &[7])).is_commit());
         assert_eq!(c.version_of(Key(7)), 0, "abort must not install writes");
+    }
+
+    #[test]
+    fn dense_and_sparse_certifiers_agree() {
+        let mut d = Certifier::with_keyspace(Keyspace::dense(8));
+        let mut sp = Certifier::with_keyspace(Keyspace::sparse(8));
+        let mut s = 5u64;
+        for ts in 1..=200u64 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = (s >> 13) % 8;
+            let rv = (s >> 33) % 3;
+            let w = ws(t(ts), &[k, (k + 1) % 8]);
+            let reads = [(Key(k), rv)];
+            assert_eq!(d.certify(&reads, &w), sp.certify(&reads, &w), "ts {ts}");
+        }
+        assert_eq!(d.stats(), sp.stats());
+        for k in 0..8 {
+            assert_eq!(d.version_of(Key(k)), sp.version_of(Key(k)));
+        }
+    }
+
+    #[test]
+    fn gc_evicts_old_sparse_entries_only() {
+        let mut c = Certifier::new();
+        assert!(c.certify(&[], &ws(t(1), &[0])).is_commit());
+        assert!(c.certify(&[], &ws(t(9), &[1])).is_commit());
+        assert_eq!(c.tracked_keys(), 2);
+        // Watermark t(5): only the entry written by t(1) is evicted.
+        assert_eq!(c.gc(t(5)), 1);
+        assert_eq!(c.tracked_keys(), 1);
+        assert_eq!(c.version_of(Key(0)), 0, "evicted entry reads as initial");
+        assert_eq!(c.version_of(Key(1)), 1, "recent entry survives");
+    }
+
+    #[test]
+    fn gc_is_a_no_op_on_the_dense_path() {
+        let mut c = Certifier::with_keyspace(Keyspace::dense(4));
+        assert!(c.certify(&[], &ws(t(1), &[0])).is_commit());
+        assert_eq!(c.gc(t(100)), 0);
+        assert_eq!(c.version_of(Key(0)), 1);
     }
 }

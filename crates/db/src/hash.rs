@@ -1,0 +1,148 @@
+//! Fast, non-cryptographic hashing for kernel-internal maps.
+//!
+//! The std `HashMap` defaults to SipHash-1-3, which buys HashDoS
+//! resistance the kernel does not need: every map in this crate is
+//! keyed by values the simulation itself generates (`Key`, `TxnId`,
+//! site ids), never by attacker-controlled input. [`FxHasher`]
+//! implements the rustc-hash word-at-a-time multiply-rotate scheme,
+//! which is several times faster on the small fixed-width keys the
+//! kernel uses.
+//!
+//! Determinism note: switching hashers changes *iteration order* of a
+//! `HashMap`. The crate-wide invariant (enforced by the CI
+//! unordered-iteration lint) is that any iteration whose order can
+//! reach observable behaviour is sorted first, so the hasher choice is
+//! behaviour-neutral. New code must keep it that way.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from rustc-hash (FxHash): a randomly generated odd
+/// 64-bit constant with a roughly even bit distribution.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast word-at-a-time hasher (the rustc-hash / FxHash algorithm).
+///
+/// Not HashDoS-resistant; use only for keys generated inside the
+/// simulation (which is all the kernel ever hashes).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the byte slice; the tail is padded into
+        // one final word. All kernel key types hash via the fixed-width
+        // paths below, so this path only serves derived impls that mix
+        // raw bytes (none today, kept for completeness).
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline(always)]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Iteration order is unspecified —
+/// sort before any order-observable use (`// sorted-below` lint).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`]. Same ordering caveat as
+/// [`FxHashMap`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_eq!(b.hash_one((1u32, 7u64)), b.hash_one((1u32, 7u64)));
+    }
+
+    #[test]
+    fn different_inputs_disperse() {
+        let b = FxBuildHasher::default();
+        // Sequential keys (the common workload shape) must not collide
+        // into a handful of buckets.
+        let hashes: std::collections::HashSet<u64> = (0u64..1024).map(|k| b.hash_one(k)).collect();
+        assert_eq!(hashes.len(), 1024);
+    }
+
+    #[test]
+    fn byte_slice_path_matches_padding_rules() {
+        // 8-byte aligned and ragged tails must both be deterministic.
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one("abcdefgh"), b.hash_one("abcdefgh"));
+        assert_ne!(b.hash_one("abcdefgh"), b.hash_one("abcdefgi"));
+        assert_ne!(b.hash_one("abc"), b.hash_one("abd"));
+    }
+
+    #[test]
+    fn fx_map_and_set_are_usable() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

@@ -7,9 +7,18 @@
 //! graph*; the history is one-copy serializable iff that graph is acyclic
 //! (Bernstein, Hadzilacos & Goodman 1987) — the paper's correctness
 //! criterion for database replication (Section 4.1).
+//!
+//! The serialization graph is maintained *incrementally*: committed
+//! operations are folded into a sorted edge set exactly once, so
+//! [`ReplicatedHistory::check_one_copy_serializable`] never re-scans
+//! operations it has already integrated. Integration is deferred —
+//! `record`/`mark_committed` only queue work, keeping the per-operation
+//! hot path to plain appends; the queue drains on `merge`, and graph
+//! reads overlay whatever is still pending without mutating.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
+use crate::hash::FxHashMap;
 use crate::item::{AccessKind, Key, TxnId};
 
 /// One physical operation as recorded by a site.
@@ -24,6 +33,18 @@ pub struct HistOp {
     /// Read or write.
     pub kind: AccessKind,
 }
+
+/// One site's operation stream. Each op carries a site-local sequence
+/// number that survives `purge` compaction, so "earlier at this site"
+/// stays well defined without re-deriving positions.
+#[derive(Debug, Clone, Default)]
+struct SiteLog {
+    next_seq: u64,
+    ops: Vec<(u64, HistOp)>,
+}
+
+/// Committed accesses of one (site, key) stream: (site seq, txn, kind).
+type SeqOps = Vec<(u64, TxnId, AccessKind)>;
 
 /// A multi-site execution history.
 ///
@@ -44,8 +65,24 @@ pub struct HistOp {
 #[derive(Debug, Clone, Default)]
 pub struct ReplicatedHistory {
     /// Per-site operation streams, in execution order.
-    per_site: HashMap<u32, Vec<HistOp>>,
+    per_site: FxHashMap<u32, SiteLog>,
     committed: HashSet<TxnId>,
+    /// Every op of every transaction, for commit/purge integration.
+    ops_by_txn: FxHashMap<TxnId, Vec<(u32, u64, Key, AccessKind)>>,
+    /// Committed ops per (site, key), kept sorted by site sequence.
+    /// Holds only *integrated* ops; `dirty` tracks the rest.
+    committed_seqs: FxHashMap<(u32, Key), SeqOps>,
+    /// The maintained serialization-graph edge set (sorted by BTree
+    /// order, which equals the old sort-and-dedup output).
+    edges: BTreeSet<(TxnId, TxnId)>,
+    /// Committed transactions with operations not yet folded into
+    /// `committed_seqs`/`edges` (may contain duplicates and stale ids —
+    /// integration re-checks).
+    dirty: Vec<TxnId>,
+    /// How many of each committed transaction's ops are integrated (a
+    /// prefix of its `ops_by_txn` list).
+    integrated: FxHashMap<TxnId, usize>,
+    total_ops: usize,
 }
 
 /// A cycle in the serialization graph: evidence of a non-serializable
@@ -76,23 +113,83 @@ impl ReplicatedHistory {
 
     /// Records a physical operation at `site` in execution order.
     pub fn record(&mut self, site: u32, txn: TxnId, key: Key, kind: AccessKind) {
-        self.per_site.entry(site).or_default().push(HistOp {
-            site,
-            txn,
-            key,
-            kind,
-        });
+        let log = self.per_site.entry(site).or_default();
+        let seq = log.next_seq;
+        log.next_seq += 1;
+        log.ops.push((
+            seq,
+            HistOp {
+                site,
+                txn,
+                key,
+                kind,
+            },
+        ));
+        self.ops_by_txn
+            .entry(txn)
+            .or_default()
+            .push((site, seq, key, kind));
+        self.total_ops += 1;
+        if self.committed.contains(&txn) {
+            self.dirty.push(txn);
+        }
     }
 
     /// Marks a transaction as committed; only committed transactions
     /// participate in the serialization graph.
     pub fn mark_committed(&mut self, txn: TxnId) {
-        self.committed.insert(txn);
+        if self.committed.insert(txn) {
+            self.dirty.push(txn);
+        }
+    }
+
+    /// Folds every queued committed op into the maintained graph. Each op
+    /// is integrated at most once, so repeated flushes only ever pay for
+    /// what changed since the last one.
+    fn flush(&mut self) {
+        while let Some(txn) = self.dirty.pop() {
+            // Stale entries (purged or re-recorded-but-uncommitted ids)
+            // must not integrate.
+            if !self.committed.contains(&txn) {
+                continue;
+            }
+            let done = self.integrated.get(&txn).copied().unwrap_or(0);
+            let Some(ops) = self.ops_by_txn.get(&txn) else {
+                continue;
+            };
+            if done >= ops.len() {
+                continue;
+            }
+            // Split off the tail so `integrate` can borrow `self`.
+            let tail: Vec<(u32, u64, Key, AccessKind)> = ops[done..].to_vec();
+            self.integrated.insert(txn, ops.len());
+            for (site, seq, key, kind) in tail {
+                self.integrate(site, seq, key, kind, txn);
+            }
+        }
+    }
+
+    /// Folds one committed op into the per-(site, key) conflict order and
+    /// the maintained edge set.
+    fn integrate(&mut self, site: u32, seq: u64, key: Key, kind: AccessKind, txn: TxnId) {
+        let list = self.committed_seqs.entry((site, key)).or_default();
+        let pos = list.partition_point(|&(s, _, _)| s < seq);
+        for &(other_seq, other_txn, other_kind) in list.iter() {
+            if other_txn == txn || !kind.conflicts_with(other_kind) {
+                continue;
+            }
+            if other_seq < seq {
+                self.edges.insert((other_txn, txn));
+            } else {
+                self.edges.insert((txn, other_txn));
+            }
+        }
+        list.insert(pos, (seq, txn, kind));
     }
 
     /// Number of recorded operations across all sites.
     pub fn len(&self) -> usize {
-        self.per_site.values().map(|v| v.len()).sum()
+        self.total_ops
     }
 
     /// True if no operations were recorded.
@@ -109,47 +206,111 @@ impl ReplicatedHistory {
     /// attempt is retried under the same transaction id: the dead
     /// attempt's operations must not count once the retry commits).
     pub fn purge(&mut self, txn: TxnId) {
-        for ops in self.per_site.values_mut() {
-            ops.retain(|op| op.txn != txn);
+        let Some(ops) = self.ops_by_txn.remove(&txn) else {
+            self.committed.remove(&txn);
+            self.integrated.remove(&txn);
+            return;
+        };
+        let was_committed = self.committed.remove(&txn);
+        // Only the integrated prefix made it into the maintained graph;
+        // the un-flushed tail vanishes with the op list (its `dirty`
+        // entries go stale, which `flush` tolerates).
+        let done = self.integrated.remove(&txn).unwrap_or(0);
+        for (i, &(site, seq, key, _)) in ops.iter().enumerate() {
+            if let Some(log) = self.per_site.get_mut(&site) {
+                if let Ok(j) = log.ops.binary_search_by_key(&seq, |&(s, _)| s) {
+                    log.ops.remove(j);
+                }
+            }
+            if was_committed && i < done {
+                if let Some(list) = self.committed_seqs.get_mut(&(site, key)) {
+                    list.retain(|&(s, t, _)| !(s == seq && t == txn));
+                }
+            }
         }
-        self.committed.remove(&txn);
+        self.total_ops -= ops.len();
+        if done > 0 {
+            // Dropping txn's ops removes exactly the edges touching txn;
+            // orders among the remaining transactions are unchanged.
+            self.edges.retain(|&(a, b)| a != txn && b != txn);
+        }
     }
 
     /// Merges another history (e.g. collected from another site's actor).
     pub fn merge(&mut self, other: &ReplicatedHistory) {
-        for (site, ops) in &other.per_site {
-            self.per_site
-                .entry(*site)
-                .or_default()
-                .extend(ops.iter().copied());
+        let mut sites: Vec<u32> = other.per_site.keys().copied().collect();
+        sites.sort_unstable(); // sorted-below
+        for site in sites {
+            let log = &other.per_site[&site];
+            for &(_, op) in &log.ops {
+                self.record(site, op.txn, op.key, op.kind);
+            }
         }
-        self.committed.extend(other.committed.iter().copied());
+        let mut newly: Vec<TxnId> = other.committed.iter().copied().collect();
+        newly.sort_unstable(); // sorted-below
+        for txn in newly {
+            self.mark_committed(txn);
+        }
+        // Amortize: repeated merges each integrate only their own delta,
+        // and the final check reads the maintained set straight off.
+        self.flush();
     }
 
-    /// The edges of the replicated-data serialization graph.
-    pub fn conflict_edges(&self) -> Vec<(TxnId, TxnId)> {
-        let mut edges = HashSet::new();
-        for ops in self.per_site.values() {
-            // Per key, the committed ops in site order.
-            let mut per_key: HashMap<Key, Vec<(TxnId, AccessKind)>> = HashMap::new();
-            for op in ops {
-                if self.committed.contains(&op.txn) {
-                    per_key.entry(op.key).or_default().push((op.txn, op.kind));
+    /// The maintained edge set plus the contribution of any still-pending
+    /// committed ops, computed without mutating (so `&self` readers stay
+    /// correct mid-stream).
+    fn edges_with_pending(&self) -> BTreeSet<(TxnId, TxnId)> {
+        let mut edges = self.edges.clone();
+        let mut pending: FxHashMap<(u32, Key), SeqOps> = FxHashMap::default();
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        for &txn in &self.dirty {
+            if !self.committed.contains(&txn) || !seen.insert(txn) {
+                continue;
+            }
+            let done = self.integrated.get(&txn).copied().unwrap_or(0);
+            if let Some(ops) = self.ops_by_txn.get(&txn) {
+                for &(site, seq, key, kind) in ops.iter().skip(done) {
+                    pending
+                        .entry((site, key))
+                        .or_default()
+                        .push((seq, txn, kind));
                 }
             }
-            for seq in per_key.values() {
-                for (i, &(t1, k1)) in seq.iter().enumerate() {
-                    for &(t2, k2) in &seq[i + 1..] {
-                        if t1 != t2 && k1.conflicts_with(k2) {
-                            edges.insert((t1, t2));
+        }
+        for ((site, key), mut plist) in pending {
+            plist.sort_unstable_by_key(|&(s, _, _)| s);
+            // Pending vs already-integrated ops on the same copy.
+            if let Some(list) = self.committed_seqs.get(&(site, key)) {
+                for &(pseq, ptxn, pkind) in &plist {
+                    for &(oseq, otxn, okind) in list {
+                        if otxn != ptxn && pkind.conflicts_with(okind) {
+                            edges.insert(if oseq < pseq {
+                                (otxn, ptxn)
+                            } else {
+                                (ptxn, otxn)
+                            });
                         }
                     }
                 }
             }
+            // Pending vs pending.
+            for (i, &(s1, t1, k1)) in plist.iter().enumerate() {
+                for &(s2, t2, k2) in &plist[i + 1..] {
+                    if t1 != t2 && k1.conflicts_with(k2) {
+                        edges.insert(if s1 < s2 { (t1, t2) } else { (t2, t1) });
+                    }
+                }
+            }
         }
-        let mut v: Vec<(TxnId, TxnId)> = edges.into_iter().collect();
-        v.sort_unstable();
-        v
+        edges
+    }
+
+    /// The edges of the replicated-data serialization graph, sorted.
+    pub fn conflict_edges(&self) -> Vec<(TxnId, TxnId)> {
+        if self.dirty.is_empty() {
+            return self.edges.iter().copied().collect();
+        }
+        self.edges_with_pending().into_iter().collect()
     }
 
     /// Checks one-copy serializability.
@@ -249,6 +410,33 @@ impl ReplicatedHistory {
             }
         }
         Vec::new()
+    }
+
+    /// Recomputes the conflict edges from scratch (the pre-incremental
+    /// algorithm). Test oracle for the maintained edge set.
+    #[cfg(test)]
+    fn full_rescan_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = HashSet::new();
+        for log in self.per_site.values() {
+            let mut per_key: HashMap<Key, Vec<(TxnId, AccessKind)>> = HashMap::new();
+            for &(_, op) in &log.ops {
+                if self.committed.contains(&op.txn) {
+                    per_key.entry(op.key).or_default().push((op.txn, op.kind));
+                }
+            }
+            for seq in per_key.values() {
+                for (i, &(t1, k1)) in seq.iter().enumerate() {
+                    for &(t2, k2) in &seq[i + 1..] {
+                        if t1 != t2 && k1.conflicts_with(k2) {
+                            edges.insert((t1, t2));
+                        }
+                    }
+                }
+            }
+        }
+        let mut v: Vec<(TxnId, TxnId)> = edges.into_iter().collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -381,5 +569,85 @@ mod tests {
             h.check_one_copy_serializable().expect("1SR"),
             vec![t(1), t(2), t(3)]
         );
+    }
+
+    #[test]
+    fn incremental_edges_match_full_rescan_under_random_load() {
+        // Random record/commit/purge traffic: the maintained edge set must
+        // equal a from-scratch rescan after every mutation.
+        let mut h = ReplicatedHistory::new();
+        let mut s = 77u64;
+        for _ in 0..600 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let txn = t(1 + (s >> 7) % 7);
+            let site = ((s >> 17) % 3) as u32;
+            let key = Key((s >> 27) % 4);
+            let kind = if (s >> 37).is_multiple_of(2) {
+                Read
+            } else {
+                Write
+            };
+            match (s >> 47) % 8 {
+                0 => h.purge(txn),
+                1 | 2 => h.mark_committed(txn),
+                _ => h.record(site, txn, key, kind),
+            }
+            assert_eq!(h.conflict_edges(), h.full_rescan_edges());
+        }
+    }
+
+    #[test]
+    fn pending_reads_agree_with_flushed_state() {
+        // Reading edges while integration is still queued (the `&self`
+        // overlay) must match what a flushed history reports.
+        let mut h = ReplicatedHistory::new();
+        h.record(0, t(1), Key(0), Write);
+        h.record(0, t(2), Key(0), Write);
+        h.record(0, t(3), Key(0), Read);
+        h.record(1, t(2), Key(1), Write);
+        h.record(1, t(3), Key(1), Write);
+        h.mark_committed(t(1));
+        h.mark_committed(t(2));
+        h.mark_committed(t(3));
+        let before = h.conflict_edges();
+        let mut merged = ReplicatedHistory::new();
+        merged.merge(&h); // merge flushes
+        assert_eq!(before, merged.conflict_edges());
+        assert_eq!(before, h.full_rescan_edges());
+    }
+
+    #[test]
+    fn record_after_commit_still_counts() {
+        // Some protocols mark a txn committed and then (via merge or
+        // late application) record more of its ops; those must join the
+        // graph immediately.
+        let mut h = ReplicatedHistory::new();
+        h.record(0, t(1), Key(0), Write);
+        h.mark_committed(t(1));
+        h.mark_committed(t(2));
+        h.record(0, t(2), Key(0), Write);
+        assert_eq!(h.conflict_edges(), vec![(t(1), t(2))]);
+        assert_eq!(h.conflict_edges(), h.full_rescan_edges());
+    }
+
+    #[test]
+    fn merge_preserves_edge_structure() {
+        let mut a = ReplicatedHistory::new();
+        a.record(0, t(1), Key(0), Write);
+        a.record(0, t(2), Key(0), Write);
+        a.mark_committed(t(1));
+        a.mark_committed(t(2));
+        let mut b = ReplicatedHistory::new();
+        b.record(1, t(2), Key(0), Write);
+        b.record(1, t(3), Key(0), Write);
+        b.mark_committed(t(3));
+        a.merge(&b);
+        // b's site-1 order contributes t2→t3 (t3 committed via merge).
+        assert!(a.conflict_edges().contains(&(t(1), t(2))));
+        assert!(a.conflict_edges().contains(&(t(2), t(3))));
+        assert_eq!(a.conflict_edges(), a.full_rescan_edges());
+        assert_eq!(a.len(), 4);
     }
 }

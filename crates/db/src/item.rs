@@ -79,6 +79,64 @@ impl fmt::Display for TxnId {
     }
 }
 
+/// Declares the shape of the key domain a kernel structure will see.
+///
+/// Workloads in this reproduction draw keys from a bounded, dense range
+/// `0..items` (the paper's experiments fix the database size up front).
+/// When a structure knows that, it can back itself with a `Vec` indexed
+/// directly by `Key` instead of a hash map — the dense path. The sparse
+/// path keeps a map and makes no assumption about the key range; it is
+/// the fallback for open-ended key domains.
+///
+/// A bare item count converts to a dense keyspace, so existing
+/// `new(site, items, ...)` call sites keep working unchanged:
+///
+/// ```
+/// use repl_db::Keyspace;
+/// let ks: Keyspace = 128u64.into();
+/// assert!(ks.dense);
+/// assert_eq!(ks.items, 128);
+/// assert!(!Keyspace::sparse(128).dense);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Keyspace {
+    /// Number of pre-declared items (keys `0..items`). On the sparse
+    /// path this is still the initial population count; keys outside
+    /// the range remain legal.
+    pub items: u64,
+    /// True when keys are guaranteed to stay inside `0..items`, which
+    /// licenses `Vec`-indexed dense backing.
+    pub dense: bool,
+}
+
+impl Keyspace {
+    /// A bounded keyspace: keys stay in `0..items`, dense backing allowed.
+    pub fn dense(items: u64) -> Self {
+        Keyspace { items, dense: true }
+    }
+
+    /// An open keyspace: `items` initial keys, but arbitrary keys may
+    /// appear later, so map backing is required.
+    pub fn sparse(items: u64) -> Self {
+        Keyspace {
+            items,
+            dense: false,
+        }
+    }
+
+    /// True if `key` falls inside the declared dense range.
+    #[inline(always)]
+    pub fn contains(&self, key: Key) -> bool {
+        key.0 < self.items
+    }
+}
+
+impl From<u64> for Keyspace {
+    fn from(items: u64) -> Self {
+        Keyspace::dense(items)
+    }
+}
+
 /// Read or write access, the conflict-relevant half of an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {

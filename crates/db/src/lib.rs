@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod certify;
+pub mod hash;
 mod history;
 mod item;
 mod locks;
@@ -33,8 +34,9 @@ mod twopc;
 mod txn;
 
 pub use certify::{Certification, Certifier};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use history::{HistOp, ReplicatedHistory, SerializabilityViolation};
-pub use item::{AccessKind, Key, TxnId, Value};
+pub use item::{AccessKind, Key, Keyspace, TxnId, Value};
 pub use locks::{Acquire, DeadlockPolicy, LockManager, LockMode};
 pub use log::{RedoLog, WriteRecord, WriteSet, FSYNC_TICKS};
 pub use recovery::{RecoveryTracker, Transfer, TransferStrategy};

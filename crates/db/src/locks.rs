@@ -13,10 +13,26 @@
 //! The manager only *bookkeeps*; aborting a wounded or victim transaction
 //! (undoing its writes, releasing its locks) is the caller's job, which is
 //! exactly how the replication protocols drive it.
+//!
+//! ## Hot-path design
+//!
+//! The lock table is dense (`Vec` indexed by `Key`) when built with a
+//! bounded [`Keyspace`], with an Fx-hashed map as the sparse fallback.
+//! The wait-for graph is maintained *incrementally*: each key caches its
+//! own edge contribution and a global sorted multiset is patched on
+//! acquire/release/promote, so [`LockManager::wait_for_edges`] and
+//! [`LockManager::find_deadlock`] read it off instead of re-scanning the
+//! table. With no waiters anywhere, both are allocation-free.
+//!
+//! Edge maintenance activates *lazily*, on the first wait-for-graph query
+//! (a one-time table rebuild, incremental from then on). Wound-wait
+//! callers never query the graph — prevention makes cycles impossible —
+//! so they never pay for it.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use crate::item::{Key, TxnId};
+use crate::hash::FxHashMap;
+use crate::item::{Key, Keyspace, TxnId};
 
 /// Lock mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +77,10 @@ pub enum Acquire {
 struct LockState {
     holders: Vec<(TxnId, LockMode)>,
     waiters: VecDeque<(TxnId, LockMode)>,
+    /// This key's cached contribution to the wait-for graph: sorted,
+    /// deduplicated. Kept in lockstep with `holders`/`waiters` by
+    /// `LockManager::refresh_edges`.
+    edges: Vec<(TxnId, TxnId)>,
 }
 
 impl LockState {
@@ -78,6 +98,11 @@ impl LockState {
     }
 }
 
+/// DFS colors for `find_deadlock`, kept as bytes in a reusable buffer.
+const WHITE: u8 = 0;
+const GRAY: u8 = 1;
+const BLACK: u8 = 2;
+
 /// The lock table of one site.
 ///
 /// # Examples
@@ -94,20 +119,77 @@ impl LockState {
 /// let granted = lm.release_all(t1);
 /// assert_eq!(granted, vec![(t2, Key(0), LockMode::Shared)]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockManager {
     policy: DeadlockPolicy,
-    table: HashMap<Key, LockState>,
-    held: HashMap<TxnId, HashSet<Key>>,
+    ks: Keyspace,
+    /// Dense table: slot `i` is `Key(i)`'s lock state. Empty when sparse.
+    dense: Vec<LockState>,
+    /// Sparse table; on the dense path this only serves keys outside the
+    /// declared range.
+    sparse: FxHashMap<Key, LockState>,
+    /// Keys each transaction holds (sorted per txn for deterministic
+    /// release order).
+    held: FxHashMap<TxnId, BTreeSet<Key>>,
+    /// Keys each transaction waits on, maintained so `release_all` never
+    /// scans the whole table for pending waits.
+    waiting: FxHashMap<TxnId, BTreeSet<Key>>,
+    /// The global wait-for graph as a sorted edge multiset: how many keys
+    /// currently contribute each `waiter → blocker` edge.
+    edge_counts: BTreeMap<(TxnId, TxnId), u32>,
+    /// Whether the edge multiset is live. Off until the first query so
+    /// callers that never look at the graph pay nothing.
+    track_edges: bool,
+    /// Scratch for `refresh_edges` (reused across calls).
+    edge_scratch: Vec<(TxnId, TxnId)>,
+    /// Scratch for `release_all`'s touched-key list.
+    touched_scratch: Vec<Key>,
+    // Persistent `find_deadlock` scratch: node list, CSR edge list and
+    // per-node ranges, colors, explicit DFS stack and path.
+    dl_nodes: Vec<TxnId>,
+    dl_edges: Vec<(TxnId, TxnId)>,
+    dl_ranges: Vec<(usize, usize)>,
+    dl_color: Vec<u8>,
+    dl_stack: Vec<(usize, usize)>,
+    dl_path: Vec<usize>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(DeadlockPolicy::default())
+    }
 }
 
 impl LockManager {
-    /// Creates an empty lock table.
+    /// Creates an empty lock table over an open (sparse) keyspace.
     pub fn new(policy: DeadlockPolicy) -> Self {
+        LockManager::with_keyspace(policy, Keyspace::sparse(0))
+    }
+
+    /// Creates a lock table backed for `ks`: dense `Vec` slots for a
+    /// bounded keyspace, a hash table otherwise.
+    pub fn with_keyspace(policy: DeadlockPolicy, ks: Keyspace) -> Self {
+        let mut dense = Vec::new();
+        if ks.dense {
+            dense.resize_with(ks.items as usize, LockState::default);
+        }
         LockManager {
             policy,
-            table: HashMap::new(),
-            held: HashMap::new(),
+            ks,
+            dense,
+            sparse: FxHashMap::default(),
+            held: FxHashMap::default(),
+            waiting: FxHashMap::default(),
+            edge_counts: BTreeMap::new(),
+            track_edges: false,
+            edge_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+            dl_nodes: Vec::new(),
+            dl_edges: Vec::new(),
+            dl_ranges: Vec::new(),
+            dl_color: Vec::new(),
+            dl_stack: Vec::new(),
+            dl_path: Vec::new(),
         }
     }
 
@@ -116,13 +198,30 @@ impl LockManager {
         self.policy
     }
 
+    /// The keyspace this table was built for.
+    pub fn keyspace(&self) -> Keyspace {
+        self.ks
+    }
+
+    #[inline(always)]
+    fn state(&self, key: Key) -> Option<&LockState> {
+        match self.dense.get(key.0 as usize) {
+            Some(s) => Some(s),
+            None => self.sparse.get(&key),
+        }
+    }
+
     /// Requests `mode` on `key` for `txn`.
     ///
     /// Re-entrant: holding the same or a stronger mode returns `Granted`;
     /// a shared holder requesting exclusive performs an upgrade (granted if
     /// sole holder, otherwise queued with priority).
     pub fn acquire(&mut self, txn: TxnId, key: Key, mode: LockMode) -> Acquire {
-        let state = self.table.entry(key).or_default();
+        let state: &mut LockState = if (key.0 as usize) < self.dense.len() {
+            &mut self.dense[key.0 as usize]
+        } else {
+            self.sparse.entry(key).or_default()
+        };
         if let Some(held_mode) = state.holds(txn) {
             match (held_mode, mode) {
                 (LockMode::Exclusive, _) | (LockMode::Shared, LockMode::Shared) => {
@@ -131,6 +230,9 @@ impl LockManager {
                 (LockMode::Shared, LockMode::Exclusive) => {
                     if state.holders.len() == 1 {
                         state.holders[0].1 = LockMode::Exclusive;
+                        // Waiters may exist (queued behind the shared
+                        // holder); their edges to this holder change mode.
+                        self.refresh_edges(key);
                         return Acquire::Granted;
                     }
                     if !state.waiters.iter().any(|(t, _)| *t == txn) {
@@ -143,8 +245,10 @@ impl LockManager {
                         } else {
                             state.waiters.push_back((txn, LockMode::Exclusive));
                         }
+                        self.waiting.entry(txn).or_default().insert(key);
                     }
                     let wounded = self.wound(txn, key);
+                    self.refresh_edges(key);
                     return Acquire::Waiting { wounded };
                 }
             }
@@ -156,8 +260,10 @@ impl LockManager {
         }
         if !state.waiters.iter().any(|(t, _)| *t == txn) {
             state.waiters.push_back((txn, mode));
+            self.waiting.entry(txn).or_default().insert(key);
         }
         let wounded = self.wound(txn, key);
+        self.refresh_edges(key);
         Acquire::Waiting { wounded }
     }
 
@@ -169,7 +275,7 @@ impl LockManager {
         if self.policy != DeadlockPolicy::WoundWait {
             return Vec::new();
         }
-        let Some(state) = self.table.get(&key) else {
+        let Some(state) = self.state(key) else {
             return Vec::new();
         };
         let (pos, mode) = match state
@@ -199,46 +305,137 @@ impl LockManager {
         wounded
     }
 
+    /// Computes `state`'s contribution to the wait-for graph into `out`
+    /// (sorted, deduplicated).
+    fn state_edges(state: &LockState, out: &mut Vec<(TxnId, TxnId)>) {
+        out.clear();
+        for (wi, &(w, wm)) in state.waiters.iter().enumerate() {
+            for &(h, hm) in &state.holders {
+                if h != w && !wm.compatible(hm) {
+                    out.push((w, h));
+                }
+            }
+            for &(w2, w2m) in state.waiters.iter().take(wi) {
+                if w2 != w && !wm.compatible(w2m) {
+                    out.push((w, w2));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Switches incremental edge maintenance on, seeding the per-key
+    /// caches and the global multiset from the current table. A no-op
+    /// after the first call.
+    fn enable_edge_tracking(&mut self) {
+        if self.track_edges {
+            return;
+        }
+        self.track_edges = true;
+        let scratch = &mut self.edge_scratch;
+        let edge_counts = &mut self.edge_counts;
+        for state in self.dense.iter_mut().chain(self.sparse.values_mut()) {
+            if state.waiters.is_empty() {
+                continue;
+            }
+            Self::state_edges(state, scratch);
+            for &e in scratch.iter() {
+                *edge_counts.entry(e).or_insert(0) += 1;
+            }
+            state.edges.clear();
+            state.edges.extend_from_slice(scratch);
+        }
+    }
+
+    /// Recomputes `key`'s contribution to the wait-for graph and patches
+    /// the global edge multiset with the difference. Free when tracking is
+    /// off, or when the key has no waiters and contributed nothing (the
+    /// uncontended fast path).
+    fn refresh_edges(&mut self, key: Key) {
+        if !self.track_edges {
+            return;
+        }
+        let state: &mut LockState = if (key.0 as usize) < self.dense.len() {
+            &mut self.dense[key.0 as usize]
+        } else {
+            match self.sparse.get_mut(&key) {
+                Some(s) => s,
+                None => return,
+            }
+        };
+        if state.waiters.is_empty() && state.edges.is_empty() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.edge_scratch);
+        Self::state_edges(state, &mut scratch);
+        if scratch != state.edges {
+            for e in &state.edges {
+                match self.edge_counts.get_mut(e) {
+                    Some(c) if *c > 1 => *c -= 1,
+                    Some(_) => {
+                        self.edge_counts.remove(e);
+                    }
+                    None => debug_assert!(false, "cached edge missing from multiset"),
+                }
+            }
+            for &e in &scratch {
+                *self.edge_counts.entry(e).or_insert(0) += 1;
+            }
+            std::mem::swap(&mut state.edges, &mut scratch);
+        }
+        self.edge_scratch = scratch;
+    }
+
     /// Releases every lock `txn` holds or waits for; returns the requests
     /// newly granted as a consequence, in grant order.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, Key, LockMode)> {
-        let keys: Vec<Key> = self
-            .held
-            .remove(&txn)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
-        let mut touched: Vec<Key> = keys;
-        // Also purge pending waits (aborted while queued).
-        let waiting_keys: Vec<Key> = self
-            .table
-            .iter()
-            .filter(|(_, s)| s.waiters.iter().any(|(t, _)| *t == txn))
-            .map(|(k, _)| *k)
-            .collect();
-        touched.extend(waiting_keys);
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
+        if let Some(keys) = self.held.remove(&txn) {
+            touched.extend(keys);
+        }
+        if let Some(keys) = self.waiting.remove(&txn) {
+            touched.extend(keys);
+        }
         touched.sort_unstable();
         touched.dedup();
         let mut granted = Vec::new();
-        for key in touched {
-            if let Some(state) = self.table.get_mut(&key) {
-                state.holders.retain(|(t, _)| *t != txn);
-                state.waiters.retain(|(t, _)| *t != txn);
-                self.promote(key, &mut granted);
-            }
+        for &key in &touched {
+            let state: &mut LockState = if (key.0 as usize) < self.dense.len() {
+                &mut self.dense[key.0 as usize]
+            } else {
+                match self.sparse.get_mut(&key) {
+                    Some(s) => s,
+                    None => continue,
+                }
+            };
+            state.holders.retain(|(t, _)| *t != txn);
+            state.waiters.retain(|(t, _)| *t != txn);
+            self.promote(key, &mut granted);
+            self.refresh_edges(key);
         }
+        self.touched_scratch = touched;
         granted
     }
 
     /// Promotes waiters on `key` that have become grantable.
     fn promote(&mut self, key: Key, granted: &mut Vec<(TxnId, Key, LockMode)>) {
-        let Some(state) = self.table.get_mut(&key) else {
-            return;
+        let state: &mut LockState = if (key.0 as usize) < self.dense.len() {
+            &mut self.dense[key.0 as usize]
+        } else {
+            match self.sparse.get_mut(&key) {
+                Some(s) => s,
+                None => return,
+            }
         };
         while let Some(&(txn, mode)) = state.waiters.front() {
-            // Upgrade case: txn already holds shared and waits for exclusive.
-            let others: Vec<&(TxnId, LockMode)> =
-                state.holders.iter().filter(|(t, _)| *t != txn).collect();
-            let compatible = others.iter().all(|(_, m)| m.compatible(mode));
+            // Upgrade case: txn already holds shared and waits for
+            // exclusive, so its own holder entry doesn't block it.
+            let compatible = state
+                .holders
+                .iter()
+                .all(|&(t, m)| t == txn || m.compatible(mode));
             if !compatible {
                 break;
             }
@@ -249,6 +446,9 @@ impl LockManager {
                 state.holders.push((txn, mode));
             }
             self.held.entry(txn).or_default().insert(key);
+            if let Some(w) = self.waiting.get_mut(&txn) {
+                w.remove(&key);
+            }
             granted.push((txn, key, mode));
             if mode == LockMode::Exclusive {
                 break;
@@ -258,25 +458,136 @@ impl LockManager {
 
     /// The current holders of `key`.
     pub fn holders(&self, key: Key) -> Vec<(TxnId, LockMode)> {
-        self.table
-            .get(&key)
+        self.state(key)
             .map(|s| s.holders.clone())
             .unwrap_or_default()
     }
 
     /// The current waiters on `key`, in queue order.
     pub fn waiters(&self, key: Key) -> Vec<(TxnId, LockMode)> {
-        self.table
-            .get(&key)
+        self.state(key)
             .map(|s| s.waiters.iter().copied().collect())
             .unwrap_or_default()
     }
 
-    /// Builds the wait-for graph: `waiter → holder` edges for conflicting
-    /// pairs, plus `waiter → earlier incompatible waiter` (queue order).
-    pub fn wait_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+    /// The wait-for graph: `waiter → holder` edges for conflicting pairs,
+    /// plus `waiter → earlier incompatible waiter` (queue order). Sorted
+    /// and deduplicated; read off the incrementally maintained multiset
+    /// (activated on first call). Allocation-free when no transaction is
+    /// waiting.
+    pub fn wait_for_edges(&mut self) -> Vec<(TxnId, TxnId)> {
+        self.enable_edge_tracking();
+        if self.edge_counts.is_empty() {
+            return Vec::new();
+        }
+        self.edge_counts.keys().copied().collect()
+    }
+
+    /// Finds a deadlock cycle in the wait-for graph, if any, returning its
+    /// members. The conventional victim is the youngest member.
+    ///
+    /// Runs the DFS entirely in persistent scratch buffers: with no
+    /// waiters it is allocation-free, and it only allocates for the
+    /// returned cycle.
+    pub fn find_deadlock(&mut self) -> Option<Vec<TxnId>> {
+        self.enable_edge_tracking();
+        if self.edge_counts.is_empty() {
+            return None;
+        }
+        // Load the sorted edge list and node set into scratch.
+        self.dl_edges.clear();
+        self.dl_edges.extend(self.edge_counts.keys().copied());
+        self.dl_nodes.clear();
+        for &(a, b) in &self.dl_edges {
+            self.dl_nodes.push(a);
+            self.dl_nodes.push(b);
+        }
+        self.dl_nodes.sort_unstable();
+        self.dl_nodes.dedup();
+        // CSR adjacency: edges are sorted by source, so each node's
+        // targets are one contiguous (already sorted) range.
+        self.dl_ranges.clear();
+        self.dl_ranges.resize(self.dl_nodes.len(), (0, 0));
+        let mut ei = 0;
+        for (ni, &n) in self.dl_nodes.iter().enumerate() {
+            while ei < self.dl_edges.len() && self.dl_edges[ei].0 < n {
+                ei += 1;
+            }
+            let start = ei;
+            while ei < self.dl_edges.len() && self.dl_edges[ei].0 == n {
+                ei += 1;
+            }
+            self.dl_ranges[ni] = (start, ei);
+        }
+        // Iterative DFS with colors, starting from nodes in sorted order.
+        self.dl_color.clear();
+        self.dl_color.resize(self.dl_nodes.len(), WHITE);
+        for start in 0..self.dl_nodes.len() {
+            if self.dl_color[start] != WHITE {
+                continue;
+            }
+            self.dl_stack.clear();
+            self.dl_path.clear();
+            self.dl_stack.push((start, self.dl_ranges[start].0));
+            self.dl_path.push(start);
+            self.dl_color[start] = GRAY;
+            while let Some(&mut (node, ref mut cursor)) = self.dl_stack.last_mut() {
+                let cur = *cursor;
+                *cursor += 1;
+                if cur < self.dl_ranges[node].1 {
+                    let target = self.dl_edges[cur].1;
+                    let ti = self
+                        .dl_nodes
+                        .binary_search(&target)
+                        .expect("edge target is a node");
+                    match self.dl_color[ti] {
+                        GRAY => {
+                            let pos = self.dl_path.iter().position(|&p| p == ti).expect("on path");
+                            return Some(
+                                self.dl_path[pos..]
+                                    .iter()
+                                    .map(|&i| self.dl_nodes[i])
+                                    .collect(),
+                            );
+                        }
+                        WHITE => {
+                            self.dl_color[ti] = GRAY;
+                            self.dl_stack.push((ti, self.dl_ranges[ti].0));
+                            self.dl_path.push(ti);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    self.dl_color[node] = BLACK;
+                    self.dl_stack.pop();
+                    self.dl_path.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Picks the deadlock victim: the youngest member of a cycle, if any.
+    pub fn deadlock_victim(&mut self) -> Option<TxnId> {
+        self.find_deadlock()
+            .map(|cycle| cycle.into_iter().max().expect("cycle is non-empty"))
+    }
+
+    /// Keys currently locked by `txn`.
+    pub fn locks_of(&self, txn: TxnId) -> Vec<Key> {
+        self.held
+            .get(&txn)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Rebuilds the wait-for edge list by re-scanning the whole table (the
+    /// pre-incremental algorithm). Test oracle for the maintained multiset.
+    #[cfg(test)]
+    fn full_rescan_edges(&self) -> Vec<(TxnId, TxnId)> {
         let mut edges = Vec::new();
-        for state in self.table.values() {
+        let states = self.dense.iter().chain(self.sparse.values());
+        for state in states {
             for (wi, &(w, wm)) in state.waiters.iter().enumerate() {
                 for &(h, hm) in &state.holders {
                     if h != w && !wm.compatible(hm) {
@@ -294,83 +605,12 @@ impl LockManager {
         edges.dedup();
         edges
     }
-
-    /// Finds a deadlock cycle in the wait-for graph, if any, returning its
-    /// members. The conventional victim is the youngest member.
-    pub fn find_deadlock(&self) -> Option<Vec<TxnId>> {
-        let edges = self.wait_for_edges();
-        let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
-        let mut nodes: HashSet<TxnId> = HashSet::new();
-        for (a, b) in &edges {
-            adj.entry(*a).or_default().push(*b);
-            nodes.insert(*a);
-            nodes.insert(*b);
-        }
-        // Iterative DFS with colors.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Color {
-            White,
-            Gray,
-            Black,
-        }
-        let mut color: HashMap<TxnId, Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
-        let mut sorted_nodes: Vec<TxnId> = nodes.iter().copied().collect();
-        sorted_nodes.sort_unstable();
-        for &start in &sorted_nodes {
-            if color[&start] != Color::White {
-                continue;
-            }
-            let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
-            let mut path: Vec<TxnId> = vec![start];
-            color.insert(start, Color::Gray);
-            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-                let next = adj.get(&node).and_then(|v| v.get(*idx).copied());
-                *idx += 1;
-                match next {
-                    Some(n) => match color[&n] {
-                        Color::Gray => {
-                            let pos = path.iter().position(|&p| p == n).expect("on path");
-                            return Some(path[pos..].to_vec());
-                        }
-                        Color::White => {
-                            color.insert(n, Color::Gray);
-                            stack.push((n, 0));
-                            path.push(n);
-                        }
-                        Color::Black => {}
-                    },
-                    None => {
-                        color.insert(node, Color::Black);
-                        stack.pop();
-                        path.pop();
-                    }
-                }
-            }
-        }
-        None
-    }
-
-    /// Picks the deadlock victim: the youngest member of a cycle, if any.
-    pub fn deadlock_victim(&self) -> Option<TxnId> {
-        self.find_deadlock()
-            .map(|cycle| cycle.into_iter().max().expect("cycle is non-empty"))
-    }
-
-    /// Keys currently locked by `txn`.
-    pub fn locks_of(&self, txn: TxnId) -> Vec<Key> {
-        let mut v: Vec<Key> = self
-            .held
-            .get(&txn)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        v.sort_unstable();
-        v
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use LockMode::{Exclusive, Shared};
 
     fn t(ts: u64) -> TxnId {
@@ -548,5 +788,103 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn incremental_edges_match_full_rescan_under_random_load() {
+        // Drive both policies and both backings through random
+        // acquire/release traffic; after every mutation the maintained
+        // edge multiset must equal a from-scratch table scan.
+        for policy in [DeadlockPolicy::WoundWait, DeadlockPolicy::Detect] {
+            for ks in [Keyspace::dense(6), Keyspace::sparse(6)] {
+                let mut lm = LockManager::with_keyspace(policy, ks);
+                let mut s = 97u64;
+                for _ in 0..400 {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let txn = t(1 + (s >> 7) % 6);
+                    let key = Key((s >> 23) % 6);
+                    let mode = if (s >> 41).is_multiple_of(2) {
+                        Shared
+                    } else {
+                        Exclusive
+                    };
+                    if s.is_multiple_of(5) {
+                        lm.release_all(txn);
+                    } else {
+                        let _ = lm.acquire(txn, key, mode);
+                    }
+                    assert_eq!(
+                        lm.wait_for_edges(),
+                        lm.full_rescan_edges(),
+                        "policy {policy:?} ks {ks:?} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_lock_tables_agree() {
+        let mut d = LockManager::with_keyspace(DeadlockPolicy::WoundWait, Keyspace::dense(4));
+        let mut sp = LockManager::with_keyspace(DeadlockPolicy::WoundWait, Keyspace::sparse(4));
+        let mut s = 31u64;
+        for _ in 0..300 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let txn = t(1 + (s >> 9) % 5);
+            let key = Key((s >> 25) % 4);
+            let mode = if (s >> 44).is_multiple_of(2) {
+                Shared
+            } else {
+                Exclusive
+            };
+            if s.is_multiple_of(7) {
+                assert_eq!(d.release_all(txn), sp.release_all(txn));
+            } else {
+                assert_eq!(d.acquire(txn, key, mode), sp.acquire(txn, key, mode));
+            }
+            assert_eq!(d.wait_for_edges(), sp.wait_for_edges());
+            assert_eq!(d.find_deadlock(), sp.find_deadlock());
+            assert_eq!(d.locks_of(txn), sp.locks_of(txn));
+        }
+    }
+
+    #[test]
+    fn edge_tracking_activates_on_existing_contention() {
+        // The first graph query arrives after contention already exists:
+        // the lazy rebuild must reconstruct every edge, and incremental
+        // maintenance must take over from there.
+        let mut lm = LockManager::new(DeadlockPolicy::Detect);
+        lm.acquire(t(1), Key(0), Exclusive);
+        lm.acquire(t(2), Key(0), Exclusive);
+        lm.acquire(t(3), Key(1), Shared);
+        lm.acquire(t(4), Key(1), Exclusive);
+        assert_eq!(lm.wait_for_edges(), lm.full_rescan_edges());
+        assert!(!lm.wait_for_edges().is_empty());
+        lm.release_all(t(1));
+        assert_eq!(lm.wait_for_edges(), lm.full_rescan_edges());
+    }
+
+    #[test]
+    fn upgrade_in_place_refreshes_waiter_edges() {
+        // t1 solely holds S; t2 queues for X (edge t2→t1 via S/X conflict);
+        // t3 queues for S *behind t2* (queue-order edge t3→t2, and t3→t1
+        // only once t1 upgrades to X).
+        let mut lm = LockManager::new(DeadlockPolicy::Detect);
+        assert_eq!(lm.acquire(t(1), Key(0), Shared), Acquire::Granted);
+        lm.acquire(t(2), Key(0), Exclusive);
+        lm.acquire(t(3), Key(0), Shared);
+        let before = lm.wait_for_edges();
+        assert!(before.contains(&(t(2), t(1))));
+        assert!(!before.contains(&(t(3), t(1))), "S/S does not conflict yet");
+        // Sole-holder upgrade in place: t1's holder mode becomes X, which
+        // must flip the t3→t1 edge on.
+        assert_eq!(lm.acquire(t(1), Key(0), Exclusive), Acquire::Granted);
+        let after = lm.wait_for_edges();
+        assert!(after.contains(&(t(3), t(1))), "upgrade edge not refreshed");
+        assert_eq!(after, lm.full_rescan_edges());
     }
 }

@@ -1,8 +1,15 @@
 //! The versioned in-memory store: one site's physical copies.
+//!
+//! Two backings share one API. When the workload declares a bounded
+//! [`Keyspace`], the store is *dense*: a `Vec<Option<Versioned>>`
+//! indexed directly by `Key`, so the hot read/write path is a bounds
+//! check and a pointer offset instead of a hash probe. The *sparse*
+//! path keeps a hash map (Fx, not SipHash) for open-ended key domains,
+//! and also catches the rare out-of-range key on a dense store so the
+//! dense assumption can never corrupt semantics — only speed.
 
-use std::collections::HashMap;
-
-use crate::item::{Key, TxnId, Value};
+use crate::hash::FxHashMap;
+use crate::item::{Key, Keyspace, TxnId, Value};
 use crate::log::{WriteRecord, WriteSet};
 
 /// A physical copy: current value, a version counter, and the writer.
@@ -28,8 +35,7 @@ impl Versioned {
     }
 }
 
-/// One site's database: a map from logical keys to this site's physical
-/// copies.
+/// One site's database: the logical keys' physical copies at this site.
 ///
 /// # Examples
 ///
@@ -44,51 +50,109 @@ impl Versioned {
 /// assert_eq!(v.version, 1);
 /// assert_eq!(v.writer, Some(t));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Store {
-    items: HashMap<Key, Versioned>,
+    ks: Keyspace,
+    /// Dense backing: slot `i` is `Key(i)`'s copy. Empty when sparse.
+    dense: Vec<Option<Versioned>>,
+    /// Number of `Some` slots in `dense`.
+    dense_len: usize,
+    /// Sparse backing; on the dense path this only holds keys outside
+    /// the declared range (a correctness escape hatch, not a fast path).
+    sparse: FxHashMap<Key, Versioned>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
 }
 
 impl Store {
-    /// Creates an empty store.
+    /// Creates an empty store with an open (sparse) keyspace.
     pub fn new() -> Self {
         Store {
-            items: HashMap::new(),
+            ks: Keyspace::sparse(0),
+            dense: Vec::new(),
+            dense_len: 0,
+            sparse: FxHashMap::default(),
         }
     }
 
-    /// Creates a store with keys `0..n`, all at `initial`.
+    /// Creates a store with keys `0..n`, all at `initial`, densely backed.
     pub fn with_items(n: u64, initial: Value) -> Self {
-        let mut items = HashMap::with_capacity(n as usize);
-        for k in 0..n {
-            items.insert(Key(k), Versioned::initial(initial));
+        Store::with_keyspace(Keyspace::dense(n), initial)
+    }
+
+    /// Creates a store with keys `0..ks.items` at `initial`, using the
+    /// backing the keyspace declares.
+    pub fn with_keyspace(ks: Keyspace, initial: Value) -> Self {
+        if ks.dense {
+            Store {
+                ks,
+                dense: vec![Some(Versioned::initial(initial)); ks.items as usize],
+                dense_len: ks.items as usize,
+                sparse: FxHashMap::default(),
+            }
+        } else {
+            let mut sparse = FxHashMap::default();
+            sparse.reserve(ks.items as usize);
+            for k in 0..ks.items {
+                sparse.insert(Key(k), Versioned::initial(initial));
+            }
+            Store {
+                ks,
+                dense: Vec::new(),
+                dense_len: 0,
+                sparse,
+            }
         }
-        Store { items }
+    }
+
+    /// The keyspace this store was built for.
+    pub fn keyspace(&self) -> Keyspace {
+        self.ks
     }
 
     /// Number of items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.dense_len + self.sparse.len()
     }
 
     /// True if the store holds no items.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len() == 0
     }
 
     /// Reads the physical copy of `key`.
+    #[inline(always)]
     pub fn read(&self, key: Key) -> Option<Versioned> {
-        self.items.get(&key).copied()
+        match self.dense.get(key.0 as usize) {
+            Some(slot) => *slot,
+            None => self.sparse.get(&key).copied(),
+        }
+    }
+
+    /// The slot for `key`, created at `default` if absent.
+    #[inline(always)]
+    fn entry_or_insert(&mut self, key: Key, default: Versioned) -> &mut Versioned {
+        if (key.0 as usize) < self.dense.len() {
+            let slot = &mut self.dense[key.0 as usize];
+            if slot.is_none() {
+                *slot = Some(default);
+                self.dense_len += 1;
+            }
+            slot.as_mut().expect("slot populated above")
+        } else {
+            self.sparse.entry(key).or_insert(default)
+        }
     }
 
     /// Writes `value` to `key` on behalf of `txn`, bumping the version.
     /// Unknown keys are created at version 1 (version 0 is the implicit
     /// initial state). Returns the new version.
     pub fn write(&mut self, key: Key, value: Value, txn: TxnId) -> Versioned {
-        let entry = self
-            .items
-            .entry(key)
-            .or_insert_with(|| Versioned::initial(Value(0)));
+        let entry = self.entry_or_insert(key, Versioned::initial(Value(0)));
         entry.value = value;
         entry.version += 1;
         entry.writer = Some(txn);
@@ -97,7 +161,7 @@ impl Store {
 
     /// Restores `key` to an exact earlier state (undo).
     pub fn restore(&mut self, key: Key, state: Versioned) {
-        self.items.insert(key, state);
+        *self.entry_or_insert(key, state) = state;
     }
 
     /// Applies a replicated writeset (redo records), overwriting values and
@@ -105,10 +169,7 @@ impl Store {
     /// primary's updates without re-executing (Section 3.3 / 4.3).
     pub fn apply_writeset(&mut self, ws: &WriteSet) {
         for rec in &ws.writes {
-            let entry = self
-                .items
-                .entry(rec.key)
-                .or_insert_with(|| Versioned::initial(Value(0)));
+            let entry = self.entry_or_insert(rec.key, Versioned::initial(Value(0)));
             entry.value = rec.value;
             entry.version = rec.version;
             entry.writer = Some(ws.txn);
@@ -116,15 +177,19 @@ impl Store {
     }
 
     /// Iterates over all items in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Versioned)> {
-        self.items.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &Versioned)> {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (Key(i as u64), v)))
+            .chain(self.sparse.iter().map(|(k, v)| (*k, v)))
     }
 
     /// Exports the full database state, key-sorted, for state transfer
     /// to a recovering replica. The order is deterministic so shipping
     /// the snapshot over the simulated network stays reproducible.
     pub fn snapshot(&self) -> Vec<(Key, Versioned)> {
-        let mut entries: Vec<(Key, Versioned)> = self.items.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut entries: Vec<(Key, Versioned)> = self.iter().map(|(k, v)| (k, *v)).collect();
         entries.sort_by_key(|(k, _)| *k);
         entries
     }
@@ -134,18 +199,21 @@ impl Store {
     /// [`Store::snapshot`]: afterwards the two stores have equal
     /// fingerprints.
     pub fn install_snapshot(&mut self, snapshot: &[(Key, Versioned)]) {
-        self.items.clear();
-        self.items.reserve(snapshot.len());
+        for slot in &mut self.dense {
+            *slot = None;
+        }
+        self.dense_len = 0;
+        self.sparse.clear();
         for (k, v) in snapshot {
-            self.items.insert(*k, *v);
+            *self.entry_or_insert(*k, *v) = *v;
         }
     }
 
     /// A deterministic fingerprint of the full database state, used by the
     /// experiments to compare replica convergence.
     pub fn fingerprint(&self) -> u64 {
-        let mut entries: Vec<(&Key, &Versioned)> = self.items.iter().collect();
-        entries.sort_by_key(|(k, _)| **k);
+        let mut entries: Vec<(Key, &Versioned)> = self.iter().collect();
+        entries.sort_by_key(|(k, _)| *k);
         // FNV-1a over the sorted (key, value) stream.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for (k, v) in entries {
@@ -181,7 +249,7 @@ impl Store {
 pub struct ShadowStore<'a> {
     base: &'a Store,
     txn: TxnId,
-    overlay: HashMap<Key, (Value, u64)>,
+    overlay: FxHashMap<Key, (Value, u64)>,
     read_versions: Vec<(Key, u64)>,
 }
 
@@ -191,7 +259,7 @@ impl<'a> ShadowStore<'a> {
         ShadowStore {
             base,
             txn,
-            overlay: HashMap::new(),
+            overlay: FxHashMap::default(),
             read_versions: Vec::new(),
         }
     }
@@ -364,7 +432,7 @@ mod more_tests {
             b.write(Key(k), Value(k as i64), t);
         }
         // Versions equal (1 each), values equal → fingerprints equal even
-        // though the HashMap internals differ.
+        // though the backing internals differ.
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
@@ -396,5 +464,42 @@ mod more_tests {
         let ws = sh.into_writeset();
         let keys: Vec<u64> = ws.keys().map(|k| k.0).collect();
         assert_eq!(keys, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn dense_and_sparse_backings_agree() {
+        let mut d = Store::with_keyspace(Keyspace::dense(8), Value(0));
+        let mut s = Store::with_keyspace(Keyspace::sparse(8), Value(0));
+        let t = TxnId::new(1, 0);
+        for k in [3u64, 0, 7, 3, 5] {
+            assert_eq!(
+                d.write(Key(k), Value(k as i64), t),
+                s.write(Key(k), Value(k as i64), t)
+            );
+        }
+        assert_eq!(d.len(), s.len());
+        assert_eq!(d.fingerprint(), s.fingerprint());
+        assert_eq!(d.snapshot(), s.snapshot());
+        for k in 0..8 {
+            assert_eq!(d.read(Key(k)), s.read(Key(k)));
+        }
+    }
+
+    #[test]
+    fn dense_store_tolerates_out_of_range_keys() {
+        let mut d = Store::with_keyspace(Keyspace::dense(4), Value(0));
+        let t = TxnId::new(2, 1);
+        // A key beyond the declared bound lands in the sparse overflow
+        // with identical semantics (created at version 1).
+        let v = d.write(Key(100), Value(6), t);
+        assert_eq!(v.version, 1);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.read(Key(100)).expect("exists").value, Value(6));
+        let snap = d.snapshot();
+        assert_eq!(snap.last().expect("nonempty").0, Key(100));
+        // Round-trips through snapshot install, including the overflow key.
+        let mut fresh = Store::with_keyspace(Keyspace::dense(4), Value(9));
+        fresh.install_snapshot(&snap);
+        assert_eq!(fresh.fingerprint(), d.fingerprint());
     }
 }

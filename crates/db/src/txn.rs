@@ -8,6 +8,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use crate::hash::FxHashMap;
+
 use crate::item::{Key, TxnId, Value};
 use crate::log::{WriteRecord, WriteSet};
 use crate::store::{Store, Versioned};
@@ -16,7 +18,7 @@ use crate::store::{Store, Versioned};
 #[derive(Debug, Clone)]
 struct ActiveTxn {
     /// First-touch before-images, for undo.
-    before: HashMap<Key, Versioned>,
+    before: FxHashMap<Key, Versioned>,
     /// After-images in key order.
     writes: BTreeMap<Key, (Value, u64)>,
     /// Versions read, in read order.
@@ -57,7 +59,7 @@ impl std::error::Error for UnknownTxn {}
 /// ```
 #[derive(Debug, Default)]
 pub struct TxnManager {
-    active: HashMap<TxnId, ActiveTxn>,
+    active: FxHashMap<TxnId, ActiveTxn>,
     committed: u64,
     aborted: u64,
 }
@@ -71,7 +73,7 @@ impl TxnManager {
     /// Starts a transaction. Idempotent for an already-active id.
     pub fn begin(&mut self, id: TxnId) {
         self.active.entry(id).or_insert_with(|| ActiveTxn {
-            before: HashMap::new(),
+            before: FxHashMap::default(),
             writes: BTreeMap::new(),
             reads: Vec::new(),
         });

@@ -1,0 +1,92 @@
+//! Allocation guard for the lock manager's graph queries.
+//!
+//! The kernel promises that `find_deadlock` and `wait_for_edges` are
+//! allocation-free once warmed: with no waiters they read an empty edge
+//! multiset and return early, and under contention the DFS runs in
+//! persistent scratch buffers. This test installs a counting global
+//! allocator and holds the kernel to that promise. It lives in its own
+//! integration-test crate because the library forbids `unsafe_code` and
+//! a `GlobalAlloc` impl is necessarily unsafe.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use repl_db::{Acquire, DeadlockPolicy, Key, Keyspace, LockManager, LockMode, TxnId};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn t(ts: u64) -> TxnId {
+    TxnId::new(ts, 0)
+}
+
+// One test function on purpose: the counter is process-global, and
+// cargo runs `#[test]` functions concurrently.
+#[test]
+fn graph_queries_do_not_allocate_after_warmup() {
+    // Idle table: holders everywhere, no waiters. Both queries must hit
+    // the empty-multiset early return.
+    let mut lm = LockManager::with_keyspace(DeadlockPolicy::Detect, Keyspace::dense(64));
+    for i in 0..16u64 {
+        assert_eq!(
+            lm.acquire(t(i + 1), Key(i), LockMode::Exclusive),
+            Acquire::Granted
+        );
+    }
+    // Warm up: activates edge tracking and sizes every scratch buffer.
+    assert!(lm.find_deadlock().is_none());
+    assert!(lm.wait_for_edges().is_empty());
+    let before = allocations();
+    for _ in 0..100 {
+        assert!(lm.find_deadlock().is_none());
+        assert!(lm.wait_for_edges().is_empty());
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "idle find_deadlock/wait_for_edges allocated"
+    );
+
+    // Contended table, no cycle: every holder has a conflicting waiter
+    // queued. find_deadlock walks the graph in its persistent scratch.
+    for i in 0..16u64 {
+        assert!(matches!(
+            lm.acquire(t(i + 17), Key(i), LockMode::Exclusive),
+            Acquire::Waiting { .. }
+        ));
+    }
+    assert!(lm.find_deadlock().is_none()); // re-warm scratch at this size
+    let before = allocations();
+    for _ in 0..100 {
+        assert!(lm.find_deadlock().is_none());
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "contended no-cycle find_deadlock allocated"
+    );
+}

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use repl_db::{
-    AccessKind, Acquire, Certifier, DeadlockPolicy, Key, LockManager, LockMode, ReplicatedHistory,
-    Store, TxnId, TxnManager, Value, WriteRecord, WriteSet,
+    AccessKind, Acquire, Certifier, DeadlockPolicy, Key, Keyspace, LockManager, LockMode,
+    ReplicatedHistory, Store, TxnId, TxnManager, Value, WriteRecord, WriteSet,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -50,8 +50,212 @@ fn check_holder_compatibility(lm: &LockManager) -> Result<(), String> {
     Ok(())
 }
 
+#[derive(Default)]
+struct RefLockState {
+    holders: Vec<(TxnId, LockMode)>,
+    waiters: std::collections::VecDeque<(TxnId, LockMode)>,
+}
+
+/// A deliberately naive reference model of the lock manager: a plain
+/// `HashMap` table, no held/waiting indexes, no cached wait-for edges —
+/// `release_all` finds touched keys by scanning the whole table. The
+/// dense Vec-backed kernel must make bit-identical grant, wound and
+/// promotion decisions.
+struct RefLockManager {
+    policy: DeadlockPolicy,
+    table: std::collections::HashMap<Key, RefLockState>,
+}
+
+impl RefLockManager {
+    fn new(policy: DeadlockPolicy) -> Self {
+        RefLockManager {
+            policy,
+            table: std::collections::HashMap::new(),
+        }
+    }
+
+    fn acquire(&mut self, txn: TxnId, key: Key, mode: LockMode) -> Acquire {
+        let policy = self.policy;
+        let state = self.table.entry(key).or_default();
+        if let Some(&(_, held)) = state.holders.iter().find(|&&(t, _)| t == txn) {
+            match (held, mode) {
+                (LockMode::Exclusive, _) | (LockMode::Shared, LockMode::Shared) => {
+                    return Acquire::Granted;
+                }
+                (LockMode::Shared, LockMode::Exclusive) => {
+                    if state.holders.len() == 1 {
+                        state.holders[0].1 = LockMode::Exclusive;
+                        return Acquire::Granted;
+                    }
+                    if !state.waiters.iter().any(|&(t, _)| t == txn) {
+                        // Upgrades get queue priority under detection; under
+                        // wound-wait they queue at the back.
+                        if policy == DeadlockPolicy::Detect {
+                            state.waiters.push_front((txn, LockMode::Exclusive));
+                        } else {
+                            state.waiters.push_back((txn, LockMode::Exclusive));
+                        }
+                    }
+                    return Acquire::Waiting {
+                        wounded: Self::wound(policy, state, txn),
+                    };
+                }
+            }
+        }
+        if state
+            .holders
+            .iter()
+            .all(|&(t, m)| t == txn || m.compatible(mode))
+            && state.waiters.is_empty()
+        {
+            state.holders.push((txn, mode));
+            return Acquire::Granted;
+        }
+        if !state.waiters.iter().any(|&(t, _)| t == txn) {
+            state.waiters.push_back((txn, mode));
+        }
+        Acquire::Waiting {
+            wounded: Self::wound(policy, state, txn),
+        }
+    }
+
+    fn wound(policy: DeadlockPolicy, state: &RefLockState, requester: TxnId) -> Vec<TxnId> {
+        if policy != DeadlockPolicy::WoundWait {
+            return Vec::new();
+        }
+        let (pos, mode) = match state
+            .waiters
+            .iter()
+            .enumerate()
+            .find(|(_, (t, _))| *t == requester)
+        {
+            Some((i, &(_, m))) => (i, m),
+            None => (state.waiters.len(), LockMode::Exclusive),
+        };
+        let mut wounded: Vec<TxnId> = state
+            .holders
+            .iter()
+            .filter(|&&(h, hm)| {
+                h != requester && !hm.compatible(mode) && requester.is_older_than(h)
+            })
+            .map(|&(h, _)| h)
+            .collect();
+        for &(w, wm) in state.waiters.iter().take(pos) {
+            if w != requester && !wm.compatible(mode) && requester.is_older_than(w) {
+                wounded.push(w);
+            }
+        }
+        wounded.sort_unstable();
+        wounded.dedup();
+        wounded
+    }
+
+    fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, Key, LockMode)> {
+        let mut touched: Vec<Key> = self
+            .table
+            .iter()
+            .filter(|(_, s)| {
+                s.holders.iter().any(|&(t, _)| t == txn) || s.waiters.iter().any(|&(t, _)| t == txn)
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        touched.sort_unstable();
+        let mut granted = Vec::new();
+        for key in touched {
+            let state = self.table.get_mut(&key).expect("touched key present");
+            state.holders.retain(|&(t, _)| t != txn);
+            state.waiters.retain(|&(t, _)| t != txn);
+            while let Some(&(w, mode)) = state.waiters.front() {
+                let compatible = state
+                    .holders
+                    .iter()
+                    .all(|&(t, m)| t == w || m.compatible(mode));
+                if !compatible {
+                    break;
+                }
+                state.waiters.pop_front();
+                if let Some(h) = state.holders.iter_mut().find(|(t, _)| *t == w) {
+                    h.1 = mode;
+                } else {
+                    state.holders.push((w, mode));
+                }
+                granted.push((w, key, mode));
+                if mode == LockMode::Exclusive {
+                    break;
+                }
+            }
+        }
+        granted
+    }
+
+    fn holders(&self, key: Key) -> Vec<(TxnId, LockMode)> {
+        self.table
+            .get(&key)
+            .map(|s| s.holders.clone())
+            .unwrap_or_default()
+    }
+
+    fn waiters(&self, key: Key) -> Vec<(TxnId, LockMode)> {
+        self.table
+            .get(&key)
+            .map(|s| s.waiters.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The dense Vec-backed lock table agrees with the naive reference
+    /// model decision-for-decision: grants, wound victims, promotion
+    /// order and the resulting holder/waiter state, under both policies
+    /// (with wounded transactions aborted, as the protocols do).
+    #[test]
+    fn dense_lock_table_matches_reference_model(
+        ops in lock_ops(),
+        detect in any::<bool>(),
+    ) {
+        let policy = if detect { DeadlockPolicy::Detect } else { DeadlockPolicy::WoundWait };
+        let mut lm = LockManager::with_keyspace(policy, Keyspace::dense(4));
+        let mut reference = RefLockManager::new(policy);
+        let mut dead: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
+        for op in ops {
+            match op {
+                LockOp::Acquire { txn, key, exclusive } => {
+                    let txn = t(txn);
+                    if dead.contains(&txn) {
+                        continue;
+                    }
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let got = lm.acquire(txn, Key(key as u64), mode);
+                    let want = reference.acquire(txn, Key(key as u64), mode);
+                    prop_assert_eq!(&got, &want, "acquire decisions diverged");
+                    if let Acquire::Waiting { wounded } = got {
+                        for v in wounded {
+                            dead.insert(v);
+                            prop_assert_eq!(
+                                lm.release_all(v),
+                                reference.release_all(v),
+                                "abort grants diverged"
+                            );
+                        }
+                    }
+                }
+                LockOp::Release { txn } => {
+                    dead.remove(&t(txn));
+                    prop_assert_eq!(
+                        lm.release_all(t(txn)),
+                        reference.release_all(t(txn)),
+                        "release grants diverged"
+                    );
+                }
+            }
+            for key in 0..4 {
+                prop_assert_eq!(lm.holders(Key(key)), reference.holders(Key(key)));
+                prop_assert_eq!(lm.waiters(Key(key)), reference.waiters(Key(key)));
+            }
+        }
+    }
 
     /// The lock table never grants incompatible holders, under either
     /// policy, for arbitrary acquire/release interleavings.

@@ -1241,12 +1241,13 @@ mod tests {
             let mut world: World<SeqAbMsg<u32>> = World::new(SimConfig::new(5));
             let group: Vec<NodeId> = (0..4).map(NodeId::new).collect();
             for i in 0..4u32 {
-                let ab = SequencerAbcast::<u32>::new(NodeId::new(i), group.clone())
-                    .with_batching(if window == 0 {
+                let ab = SequencerAbcast::<u32>::new(NodeId::new(i), group.clone()).with_batching(
+                    if window == 0 {
                         BatchConfig::disabled()
                     } else {
                         BatchConfig::window(window)
-                    });
+                    },
+                );
                 let mut actor = ComponentActor::new(ab);
                 for k in 0..3u32 {
                     let value = i * 10 + k;

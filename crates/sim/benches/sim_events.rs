@@ -57,7 +57,12 @@ struct Storm {
 }
 impl Actor<Payload> for Storm {
     fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
-        let targets: Vec<NodeId> = self.group.iter().copied().filter(|&n| n != ctx.me()).collect();
+        let targets: Vec<NodeId> = self
+            .group
+            .iter()
+            .copied()
+            .filter(|&n| n != ctx.me())
+            .collect();
         ctx.multicast(targets, Payload(0));
     }
     fn on_message(&mut self, ctx: &mut Context<'_, Payload>, _from: NodeId, msg: Payload) {
@@ -65,7 +70,12 @@ impl Actor<Payload> for Storm {
             return;
         }
         self.rounds -= 1;
-        let targets: Vec<NodeId> = self.group.iter().copied().filter(|&n| n != ctx.me()).collect();
+        let targets: Vec<NodeId> = self
+            .group
+            .iter()
+            .copied()
+            .filter(|&n| n != ctx.me())
+            .collect();
         ctx.multicast(targets, Payload(msg.0 + 1));
     }
     impl_as_any!();
@@ -99,7 +109,12 @@ struct FanOut<M: Message> {
 }
 impl<M: Message> Actor<M> for FanOut<M> {
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
-        let targets: Vec<NodeId> = self.group.iter().copied().filter(|&n| n != ctx.me()).collect();
+        let targets: Vec<NodeId> = self
+            .group
+            .iter()
+            .copied()
+            .filter(|&n| n != ctx.me())
+            .collect();
         ctx.multicast(targets, (self.make)());
     }
     fn on_message(&mut self, ctx: &mut Context<'_, M>, _from: NodeId, _msg: M) {
@@ -107,7 +122,12 @@ impl<M: Message> Actor<M> for FanOut<M> {
             return;
         }
         self.rounds -= 1;
-        let targets: Vec<NodeId> = self.group.iter().copied().filter(|&n| n != ctx.me()).collect();
+        let targets: Vec<NodeId> = self
+            .group
+            .iter()
+            .copied()
+            .filter(|&n| n != ctx.me())
+            .collect();
         ctx.multicast(targets, (self.make)());
     }
     impl_as_any!();
@@ -177,8 +197,11 @@ fn run_fanout<M: Message>(nodes: u32, rounds: u64, make: fn() -> M) -> u64 {
 }
 
 fn run_timer_wheel(actors: u32, ticks: u64) -> u64 {
-    let mut world: World<Payload> =
-        World::new(SimConfig::new(42).with_network(NetworkConfig::instant()).with_trace(false));
+    let mut world: World<Payload> = World::new(
+        SimConfig::new(42)
+            .with_network(NetworkConfig::instant())
+            .with_trace(false),
+    );
     for _ in 0..actors {
         world.add_actor(Box::new(Wheel { ticks }));
     }

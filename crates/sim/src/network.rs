@@ -615,7 +615,11 @@ mod tests {
         let mut net = Network::new(NetworkConfig::lan());
         let mut r = rng();
         let (a, b) = (NodeId::new(0), NodeId::new(1));
-        net.degrade_link(a, b, LinkQuality::latency_spike(SimDuration::from_ticks(5_000)));
+        net.degrade_link(
+            a,
+            b,
+            LinkQuality::latency_spike(SimDuration::from_ticks(5_000)),
+        );
         match net.offer(&mut r, SimTime::ZERO, a, b) {
             Delivery::At(t) => assert!(t.ticks() >= 5_100, "spike not applied: {t}"),
             Delivery::Dropped => panic!("lossless degraded link dropped"),
@@ -640,10 +644,7 @@ mod tests {
         let (a, b) = (NodeId::new(0), NodeId::new(1));
         net.degrade_link(a, b, LinkQuality::lossy(1.0));
         for _ in 0..10 {
-            assert_eq!(
-                net.offer(&mut r, SimTime::ZERO, a, b),
-                Delivery::Dropped
-            );
+            assert_eq!(net.offer(&mut r, SimTime::ZERO, a, b), Delivery::Dropped);
         }
     }
 

@@ -296,7 +296,11 @@ mod tests {
         let cap = log.capacity();
         assert!(cap >= 256);
         for i in 0..256 {
-            log.push(SimTime::from_ticks(i), NodeId::new(0), TraceEvent::Recovered);
+            log.push(
+                SimTime::from_ticks(i),
+                NodeId::new(0),
+                TraceEvent::Recovered,
+            );
         }
         assert_eq!(log.capacity(), cap, "pre-sized pushes must not reallocate");
         assert_eq!(log.len(), 256);

@@ -823,7 +823,10 @@ mod tests {
         world.run_until(SimTime::from_ticks(50));
         assert!(world.network_mut().connected(a, b), "fault applied early");
         world.run_until(SimTime::from_ticks(200));
-        assert!(!world.network_mut().connected(a, b), "partition not applied");
+        assert!(
+            !world.network_mut().connected(a, b),
+            "partition not applied"
+        );
         world.run_until(SimTime::from_ticks(600));
         assert!(world.network_mut().connected(a, b), "heal not applied");
         let m = world.metrics();

@@ -91,11 +91,7 @@ impl CrashSchedule {
     ///
     /// Returns the first [`FaultPlanError`](crate::FaultPlanError)
     /// encountered.
-    pub fn validate(
-        &self,
-        nodes: u32,
-        max_time: SimTime,
-    ) -> Result<(), crate::FaultPlanError> {
+    pub fn validate(&self, nodes: u32, max_time: SimTime) -> Result<(), crate::FaultPlanError> {
         crate::FaultPlan::from(self).validate(nodes, max_time)
     }
 }

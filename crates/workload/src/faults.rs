@@ -391,9 +391,7 @@ impl FaultPlan {
                         let largest = groups
                             .iter()
                             .enumerate()
-                            .max_by(|(ai, a), (bi, b)| {
-                                a.len().cmp(&b.len()).then(bi.cmp(ai))
-                            })
+                            .max_by(|(ai, a), (bi, b)| a.len().cmp(&b.len()).then(bi.cmp(ai)))
                             .map(|(i, _)| i);
                         for (gi, group) in groups.iter().enumerate() {
                             if Some(gi) != largest {
@@ -505,11 +503,7 @@ impl FaultPlan {
                         let mut seen = BTreeSet::new();
                         for &n in groups.iter().flatten() {
                             if !in_range(n) {
-                                return Err(FaultPlanError::NodeOutOfRange {
-                                    node: n,
-                                    nodes,
-                                    at,
-                                });
+                                return Err(FaultPlanError::NodeOutOfRange { node: n, nodes, at });
                             }
                             if !seen.insert(n) {
                                 return Err(FaultPlanError::OverlappingGroups { node: n, at });
@@ -528,11 +522,7 @@ impl FaultPlan {
                     | NetFault::Restore { src, dst } => {
                         for &n in [src, dst] {
                             if !in_range(n) {
-                                return Err(FaultPlanError::NodeOutOfRange {
-                                    node: n,
-                                    nodes,
-                                    at,
-                                });
+                                return Err(FaultPlanError::NodeOutOfRange { node: n, nodes, at });
                             }
                         }
                         if src == dst {
@@ -542,11 +532,7 @@ impl FaultPlan {
                     NetFault::Degrade { src, dst, quality } => {
                         for &n in [src, dst] {
                             if !in_range(n) {
-                                return Err(FaultPlanError::NodeOutOfRange {
-                                    node: n,
-                                    nodes,
-                                    at,
-                                });
+                                return Err(FaultPlanError::NodeOutOfRange { node: n, nodes, at });
                             }
                         }
                         if src == dst {
@@ -617,8 +603,9 @@ impl FaultPlan {
             // Each fault lives inside the first half of the episode and is
             // repaired by episode end.
             let onset = |rng: &mut SmallRng| t0 + rng.gen_range(0..span / 4);
-            let repair =
-                |rng: &mut SmallRng, after: u64| (after + 1 + rng.gen_range(0..span / 4)).min(t0 + span - 1);
+            let repair = |rng: &mut SmallRng, after: u64| {
+                (after + 1 + rng.gen_range(0..span / 4)).min(t0 + span - 1)
+            };
 
             // A crash (always).
             let victim = NodeId::new(pool_start + rng.gen_range(0..pool_size));
@@ -649,8 +636,9 @@ impl FaultPlan {
                         break s;
                     }
                 };
-                let spike =
-                    SimDuration::from_ticks(rng.gen_range(500..=2_000 + (8_000.0 * intensity) as u64));
+                let spike = SimDuration::from_ticks(
+                    rng.gen_range(500..=2_000 + (8_000.0 * intensity) as u64),
+                );
                 let loss = if intensity > 0.5 {
                     rng.gen_range(0.0..0.3) * intensity
                 } else {
@@ -720,10 +708,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_recover_before_crash() {
-        let plan = FaultPlan::new().recover_at(t(5), n(0)).crash_at(t(10), n(0));
+        let plan = FaultPlan::new()
+            .recover_at(t(5), n(0))
+            .crash_at(t(10), n(0));
         assert_eq!(
             plan.validate(3, t(100)),
-            Err(FaultPlanError::RecoverWithoutCrash { node: n(0), at: t(5) })
+            Err(FaultPlanError::RecoverWithoutCrash {
+                node: n(0),
+                at: t(5)
+            })
         );
     }
 
@@ -732,7 +725,10 @@ mod tests {
         let plan = FaultPlan::new().crash_at(t(5), n(1)).crash_at(t(10), n(1));
         assert_eq!(
             plan.validate(3, t(100)),
-            Err(FaultPlanError::DuplicateCrash { node: n(1), at: t(10) })
+            Err(FaultPlanError::DuplicateCrash {
+                node: n(1),
+                at: t(10)
+            })
         );
         // Crash–recover–crash is fine.
         let ok = FaultPlan::new()
@@ -788,7 +784,10 @@ mod tests {
         let plan = FaultPlan::new().partition_at(t(5), vec![vec![n(0)], vec![n(0)]]);
         assert_eq!(
             plan.validate(3, t(100)),
-            Err(FaultPlanError::OverlappingGroups { node: n(0), at: t(5) })
+            Err(FaultPlanError::OverlappingGroups {
+                node: n(0),
+                at: t(5)
+            })
         );
         let plan = FaultPlan::new().heal_at(t(5));
         assert_eq!(
@@ -798,7 +797,10 @@ mod tests {
         let plan = FaultPlan::new().link_down_at(t(5), n(1), n(1));
         assert_eq!(
             plan.validate(3, t(100)),
-            Err(FaultPlanError::SelfLink { node: n(1), at: t(5) })
+            Err(FaultPlanError::SelfLink {
+                node: n(1),
+                at: t(5)
+            })
         );
         let plan = FaultPlan::new().degrade_link_at(t(5), n(0), n(1), SimDuration::ZERO, 1.5);
         assert!(matches!(
@@ -810,7 +812,9 @@ mod tests {
     #[test]
     fn validation_checks_in_time_order_not_insertion_order() {
         // Recover inserted first but scheduled after the crash: valid.
-        let plan = FaultPlan::new().recover_at(t(20), n(1)).crash_at(t(10), n(1));
+        let plan = FaultPlan::new()
+            .recover_at(t(20), n(1))
+            .crash_at(t(10), n(1));
         assert!(plan.validate(3, t(100)).is_ok());
     }
 
@@ -955,7 +959,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = FaultPlanError::DuplicateCrash { node: n(2), at: t(9) };
+        let e = FaultPlanError::DuplicateCrash {
+            node: n(2),
+            at: t(9),
+        };
         assert!(e.to_string().contains("crashed while already down"));
         let e = FaultPlanError::PastMaxTime {
             at: t(10),

@@ -1,5 +1,6 @@
 //! Declarative workload description.
 
+use repl_db::Keyspace;
 use repl_sim::SimDuration;
 
 /// Parameters of a synthetic workload.
@@ -30,6 +31,11 @@ pub struct WorkloadSpec {
     pub txns_per_client: u32,
     /// Client think time between transactions (closed loop).
     pub think_time: SimDuration,
+    /// Whether generated keys are guaranteed to stay inside `0..items`,
+    /// letting the db kernel use dense `Vec`-indexed backing. True for
+    /// every generator in this crate; turn off only to model open key
+    /// domains (the kernel then falls back to hashed tables).
+    pub dense_keyspace: bool,
 }
 
 impl Default for WorkloadSpec {
@@ -41,6 +47,7 @@ impl Default for WorkloadSpec {
             ops_per_txn: 1,
             txns_per_client: 20,
             think_time: SimDuration::from_ticks(200),
+            dense_keyspace: true,
         }
     }
 }
@@ -97,6 +104,22 @@ impl WorkloadSpec {
         self.think_time = t;
         self
     }
+
+    /// Declares whether the keyspace is bounded (dense kernel backing)
+    /// or open (sparse fallback).
+    pub fn with_dense_keyspace(mut self, dense: bool) -> Self {
+        self.dense_keyspace = dense;
+        self
+    }
+
+    /// The [`Keyspace`] the db kernel should be built for.
+    pub fn keyspace(&self) -> Keyspace {
+        if self.dense_keyspace {
+            Keyspace::dense(self.items)
+        } else {
+            Keyspace::sparse(self.items)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +141,14 @@ mod tests {
         assert_eq!(s.ops_per_txn, 3);
         assert_eq!(s.txns_per_client, 9);
         assert_eq!(s.think_time, SimDuration::from_ticks(5));
+    }
+
+    #[test]
+    fn keyspace_follows_the_dense_flag() {
+        let s = WorkloadSpec::default().with_items(64);
+        assert_eq!(s.keyspace(), Keyspace::dense(64));
+        let s = s.with_dense_keyspace(false);
+        assert_eq!(s.keyspace(), Keyspace::sparse(64));
     }
 
     #[test]

@@ -82,7 +82,8 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
     };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
-    let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+    let batch =
+        (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
     let mut times: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut b = Bencher {

@@ -93,7 +93,8 @@ pub fn run_cases<F: FnMut(&mut SmallRng)>(config: ProptestConfig, test_name: &st
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     for case in 0..config.cases {
-        let mut rng = SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         body(&mut rng);
     }
 }
@@ -332,10 +333,7 @@ pub mod collection {
 
     /// Generates ordered sets of `element` values aiming for `size`
     /// elements (possibly fewer when the element domain is narrow).
-    pub fn btree_set<S: Strategy>(
-        element: S,
-        size: impl Into<SizeRange>,
-    ) -> BTreeSetStrategy<S> {
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
         BTreeSetStrategy {
             element,
             size: size.into(),
