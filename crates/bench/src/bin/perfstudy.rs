@@ -13,14 +13,15 @@
 //! is an isolated, seed-keyed, single-threaded simulation.
 //!
 //! `--json PATH` additionally writes a machine-readable benchmark
-//! summary (the `BENCH_PR5.json` artifact): for every technique, the
+//! summary (the `BENCH_PR6.json` artifact): for every technique, the
 //! P1/P2/P3 study cells are re-swept with per-cell wall clocks, and
 //! throughput / p50 / p99 / messages-per-txn are reported from the
 //! canonical 3-replica, 4-client cell, followed by the P8 batching,
-//! P9 recovery and P10 kernel sections (the last with wall-clock lock
-//! microcycles: dense vs sparse vs the seed baseline). `--json-only`
-//! skips the tables (CI smoke mode); `--p8-only` / `--p9-only` /
-//! `--p10-only` print just that study's table.
+//! P9 recovery, P10 kernel and P12 disaster sections (P10 with
+//! wall-clock lock microcycles: dense vs sparse vs the seed baseline).
+//! `--json-only` skips the tables (CI smoke mode); `--p8-only` /
+//! `--p9-only` / `--p10-only` / `--p12-only` print just that study's
+//! table.
 
 use std::time::Instant;
 
@@ -36,6 +37,7 @@ struct Args {
     p8_only: bool,
     p9_only: bool,
     p10_only: bool,
+    p12_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +48,7 @@ fn parse_args() -> Args {
         p8_only: false,
         p9_only: false,
         p10_only: false,
+        p12_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -68,6 +71,7 @@ fn parse_args() -> Args {
             "--p8-only" => args.p8_only = true,
             "--p9-only" => args.p9_only = true,
             "--p10-only" => args.p10_only = true,
+            "--p12-only" => args.p12_only = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -81,7 +85,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: perfstudy [--threads N] [--json PATH] [--json-only] \
-         [--p8-only] [--p9-only] [--p10-only]"
+         [--p8-only] [--p9-only] [--p10-only] [--p12-only]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -114,6 +118,13 @@ const P10_KEYSPACES: [u64; 3] = [64, 1024, 65536];
 
 /// The client counts swept by the P10 study (light and heavy load).
 const P10_CLIENTS: [u32; 2] = [4, 16];
+
+/// The durable-tier upload lags (in ticks) swept by the P12 disaster
+/// study. 0 is the synchronous tier (nothing acknowledged can be lost);
+/// 2 000 leaves a couple of rounds of commits in flight when the
+/// disaster hits; 20 000 leaves essentially everything since the start
+/// of the run exposed.
+const P12_UPLOAD_LAGS: [u64; 3] = [0, 2_000, 20_000];
 
 /// Microcycle rounds per backing for the P10 JSON wall-clock section.
 const P10_MICROCYCLE_ROUNDS: u64 = 20_000;
@@ -525,7 +536,109 @@ fn kernel_json(threads: usize) -> String {
     s
 }
 
-/// Runs the benchmark matrix and renders `BENCH_PR5.json`.
+/// Renders the P12 disaster section of the JSON artifact: per
+/// (technique, upload lag) cell the realised data-loss window, restore
+/// volume/deafness, rejoin MTTR and the no-silent-loss verdict, plus
+/// the summary keys the artifact check gates on: every wiped replica
+/// restored (finite MTTR everywhere), zero loss at lag 0, the loss
+/// monotone in the lag per technique, and no silent loss anywhere.
+fn disaster_json(threads: usize) -> String {
+    use std::fmt::Write as _;
+    let cells = disaster_cells(&P12_UPLOAD_LAGS);
+    let mut sweep = Vec::with_capacity(cells.len() * 2);
+    for c in &cells {
+        let stem = format!("{}/p12/lag={}", c.technique.name(), c.upload_lag);
+        sweep.push(SweepCell::new(stem.clone(), c.faulted.clone()));
+        sweep.push(SweepCell::new(format!("{stem}/base"), c.baseline.clone()));
+    }
+    let results = run_sweep(&sweep, threads);
+    let report_of = |i: usize| {
+        results[i]
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("cell `{}` failed: {e}", results[i].label))
+    };
+
+    let mut all_restored = true;
+    let mut loss_zero_at_lag0 = true;
+    let mut loss_monotone = true;
+    let mut silent_losses = 0u64;
+    // Per-technique loss over the lag axis (cells arrive grouped with
+    // the lag axis innermost).
+    let per_series = P12_UPLOAD_LAGS.len();
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"disaster\": {{");
+    let _ = writeln!(s, "    \"servers\": 3,");
+    let _ = writeln!(s, "    \"victim\": {DISASTER_VICTIM},");
+    let _ = writeln!(s, "    \"volume_loss_at_ticks\": {DISASTER_AT},");
+    let _ = writeln!(s, "    \"downtime_ticks\": {DISASTER_DOWNTIME},");
+    let _ = writeln!(
+        s,
+        "    \"upload_lags_ticks\": [{}],",
+        P12_UPLOAD_LAGS
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "    \"cells\": [");
+    for (i, cell) in cells.iter().enumerate() {
+        let faulted = report_of(2 * i);
+        let baseline = report_of(2 * i + 1);
+        let d = &faulted.durability;
+        let a = &faulted.availability;
+        let mttr = match a.mttr_ticks() {
+            Some(t) => t.to_string(),
+            None => "null".into(),
+        };
+        if d.restores == 0 || a.mttr_ticks().is_none() {
+            all_restored = false;
+        }
+        if cell.upload_lag == 0 && d.lost_commits > 0 {
+            loss_zero_at_lag0 = false;
+        }
+        if i % per_series > 0 {
+            let prev = report_of(2 * (i - 1)).durability.lost_commits;
+            if d.lost_commits < prev {
+                loss_monotone = false;
+            }
+        }
+        let silent = faulted.check_no_silent_loss().map_or_else(|v| v.len(), |()| 0);
+        silent_losses += silent as u64;
+        let dip = baseline.throughput() / faulted.throughput().max(f64::MIN_POSITIVE);
+        let _ = writeln!(
+            s,
+            "      {{\"technique\": \"{}\", \"upload_lag_ticks\": {}, \
+             \"volume_wipes\": {}, \"lost_commits\": {}, \"restores\": {}, \
+             \"restore_bytes\": {}, \"restore_deaf_ticks\": {}, \"mttr_ticks\": {mttr}, \
+             \"upload_puts\": {}, \"upload_bytes\": {}, \"upload_cost\": {}, \
+             \"frames_sealed\": {}, \"silent_losses\": {silent}, \
+             \"throughput_dip\": {dip:.2}, \"unanswered\": {}}}{}",
+            cell.technique.name(),
+            cell.upload_lag,
+            d.volume_wipes,
+            d.lost_commits,
+            d.restores,
+            d.restore_bytes,
+            d.restore_ticks,
+            d.upload_puts,
+            d.upload_bytes,
+            d.upload_cost,
+            d.frames_sealed,
+            faulted.ops_unanswered,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(s, "    \"all_replicas_restored\": {all_restored},");
+    let _ = writeln!(s, "    \"loss_zero_at_lag0\": {loss_zero_at_lag0},");
+    let _ = writeln!(s, "    \"loss_monotone_in_lag\": {loss_monotone},");
+    let _ = writeln!(s, "    \"silent_losses\": {silent_losses}");
+    let _ = writeln!(s, "  }}");
+    s
+}
+
+/// Runs the benchmark matrix and renders `BENCH_PR6.json`.
 fn bench_json(threads: usize) -> String {
     use std::fmt::Write as _;
     let techniques = study_techniques();
@@ -542,7 +655,7 @@ fn bench_json(threads: usize) -> String {
 
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"bench_pr5/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_pr6/v1\",");
     let _ = writeln!(s, "  \"threads\": {threads},");
     let _ = writeln!(
         s,
@@ -595,6 +708,10 @@ fn bench_json(threads: usize) -> String {
     s.truncate(end);
     s.push_str(",\n");
     s.push_str(&kernel_json(threads));
+    let end = s.trim_end().len();
+    s.truncate(end);
+    s.push_str(",\n");
+    s.push_str(&disaster_json(threads));
     let _ = writeln!(s, "}}");
     s
 }
@@ -611,7 +728,7 @@ fn main() {
         None => repl_bench::sweep::default_threads(),
     };
 
-    if args.p8_only || args.p9_only || args.p10_only {
+    if args.p8_only || args.p9_only || args.p10_only || args.p12_only {
         if args.p8_only {
             timed_table(
                 "P8 — end-to-end batching (3 replicas, clients × window in ticks)",
@@ -628,6 +745,12 @@ fn main() {
             timed_table(
                 "P10 — kernel scaling (3 replicas, technique × keyspace × clients)",
                 || kernel_table(&P10_KEYSPACES, &P10_CLIENTS),
+            );
+        }
+        if args.p12_only {
+            timed_table(
+                "P12 — disaster recovery over the durable tier (3 replicas, technique × upload lag)",
+                || disaster_table(&P12_UPLOAD_LAGS),
             );
         }
         if let Some(path) = &args.json {
@@ -698,6 +821,10 @@ fn main() {
         timed_table(
             "P10 — kernel scaling (3 replicas, technique × keyspace × clients)",
             || kernel_table(&P10_KEYSPACES, &P10_CLIENTS),
+        );
+        timed_table(
+            "P12 — disaster recovery over the durable tier (3 replicas, technique × upload lag)",
+            || disaster_table(&P12_UPLOAD_LAGS),
         );
         println!(
             "full study wall clock: {:.2}s ({threads} sweep threads)",

@@ -17,7 +17,7 @@
 //! reproduction targets.
 
 use repl_core::protocols::common::{AbcastImpl, ExecutionMode};
-use repl_core::{BatchConfig, RunConfig, RunReport, Technique};
+use repl_core::{BatchConfig, DurabilityConfig, RunConfig, RunReport, Technique};
 use repl_db::DeadlockPolicy;
 use repl_sim::{NodeId, SimDuration, SimTime};
 use repl_workload::{CrashSchedule, FaultPlan, WorkloadSpec};
@@ -914,6 +914,125 @@ pub fn recovery_table(downtimes: &[u64], write_ratios: &[f64]) -> Vec<Row> {
                 .cell("strategy", transfer_strategy_tag(&faulted))
                 .cell("thru dip", format!("{dip:.2}x"))
                 .cell("retries", faulted.client_retries)
+                .cell("unanswered", faulted.ops_unanswered)
+        })
+        .collect()
+}
+
+/// One cell of the P12 disaster study: one technique running over the
+/// durable log tier at one upload lag, hit by one volume-loss disaster
+/// (the victim's WAL and store are destroyed, not merely halted), plus
+/// the identical fault-free run used as the throughput baseline.
+#[derive(Debug, Clone)]
+pub struct DisasterCell {
+    /// Technique under study.
+    pub technique: Technique,
+    /// The durable tier's upload lag in ticks (0 = synchronous: every
+    /// acknowledged commit is durable the instant its frame seals).
+    pub upload_lag: u64,
+    /// The run with the disaster injected.
+    pub faulted: RunConfig,
+    /// The same run without any faults.
+    pub baseline: RunConfig,
+}
+
+/// Tick of every P12 volume loss.
+pub const DISASTER_AT: u64 = 5_000;
+
+/// The replica the P12 disaster destroys: the tail of the 3-replica
+/// group, as in P9, so the study measures restore cost rather than
+/// failover.
+pub const DISASTER_VICTIM: u32 = 2;
+
+/// Downtime before the wiped replica is brought back to restore.
+pub const DISASTER_DOWNTIME: u64 = 15_000;
+
+/// Builds the P12 cell matrix: every technique × upload lag, one
+/// tail-replica volume loss per run, all over an enabled durable tier.
+/// The upload lag is the exposure knob: at lag 0 nothing acknowledged
+/// can be lost; the wider the lag, the more of the acknowledged suffix
+/// an ill-timed disaster erases.
+pub fn disaster_cells(upload_lags: &[u64]) -> Vec<DisasterCell> {
+    let base = |technique: Technique, lag: u64| {
+        let mut cfg = RunConfig::new(technique)
+            .with_servers(3)
+            .with_clients(3)
+            .with_seed(167)
+            .with_trace(false)
+            .with_retry_after(SimDuration::from_ticks(4_000))
+            .with_durability(DurabilityConfig::with_upload_lag(lag))
+            .with_workload(
+                WorkloadSpec::default()
+                    .with_items(64)
+                    .with_read_ratio(0.0)
+                    .with_txns_per_client(15)
+                    .with_think_time(SimDuration::from_ticks(3_000)),
+            );
+        if technique.info().propagation == repl_core::Propagation::Lazy {
+            cfg = cfg.with_propagation_delay(SimDuration::from_ticks(1_000));
+        }
+        cfg
+    };
+    let mut cells = Vec::new();
+    for technique in Technique::ALL {
+        for &lag in upload_lags {
+            let baseline = base(technique, lag);
+            let faulted = baseline.clone().with_faults(FaultPlan::new().disaster_at(
+                SimTime::from_ticks(DISASTER_AT),
+                NodeId::new(DISASTER_VICTIM),
+                SimDuration::from_ticks(DISASTER_DOWNTIME),
+            ));
+            cells.push(DisasterCell {
+                technique,
+                upload_lag: lag,
+                faulted,
+                baseline,
+            });
+        }
+    }
+    cells
+}
+
+/// The display label of a P12 cell (shared by the table and the JSON).
+pub fn disaster_cell_label(cell: &DisasterCell) -> String {
+    format!("{} / lag={}", cell.technique.name(), cell.upload_lag)
+}
+
+/// P12 — disaster recovery over the durable log tier: the realised
+/// data-loss window (acknowledged commits the wipe erased before they
+/// were durable), restore volume and restore deafness, rejoin MTTR, and
+/// the no-silent-loss oracle, per technique × upload lag. At lag 0 the
+/// tier is synchronous and the loss column must read 0 everywhere; the
+/// loss grows with the lag while the oracle stays green — every erased
+/// acknowledgement is claimed by the accounting, never silent.
+pub fn disaster_table(upload_lags: &[u64]) -> Vec<Row> {
+    let cells = disaster_cells(upload_lags);
+    let mut cfgs = Vec::with_capacity(cells.len() * 2);
+    for cell in &cells {
+        cfgs.push(cell.faulted.clone());
+        cfgs.push(cell.baseline.clone());
+    }
+    let mut reports = sweep_reports(cfgs).into_iter();
+    cells
+        .iter()
+        .map(|cell| {
+            let faulted = reports.next().expect("faulted report per cell");
+            let baseline = reports.next().expect("baseline report per cell");
+            let d = &faulted.durability;
+            let mttr = match faulted.availability.mttr_ticks() {
+                Some(t) => format!("{t}t"),
+                None => "-".into(),
+            };
+            let dip = baseline.throughput() / faulted.throughput().max(f64::MIN_POSITIVE);
+            Row::new(disaster_cell_label(cell))
+                .cell("wipes", d.volume_wipes)
+                .cell("lost", d.lost_commits)
+                .cell("restores", d.restores)
+                .cell("restore B", format!("{}B", d.restore_bytes))
+                .cell("deaf", format!("{}t", d.restore_ticks))
+                .cell("mttr", mttr)
+                .cell("no silent loss", faulted.check_no_silent_loss().is_ok())
+                .cell("thru dip", format!("{dip:.2}x"))
                 .cell("unanswered", faulted.ops_unanswered)
         })
         .collect()

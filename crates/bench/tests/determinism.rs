@@ -145,6 +145,40 @@ fn recovery_cells_are_deterministic() {
 }
 
 #[test]
+fn disaster_cells_are_deterministic() {
+    // Volume-loss plans exercise the durable tier end to end: sealing,
+    // asynchronous uploads, the wipe, the tier restore and the loss
+    // accounting. None of it may depend on sweep scheduling. Every
+    // technique under the P12 disaster must agree digest-for-digest and
+    // trace-for-trace between the serial reference and a parallel
+    // sweep — and must actually have restored, or the cell is vacuous.
+    use repl_bench::{disaster_cell_label, disaster_cells};
+    let cells: Vec<SweepCell> = disaster_cells(&[2_000])
+        .into_iter()
+        .map(|cell| SweepCell::new(disaster_cell_label(&cell), cell.faulted.with_trace(true)))
+        .collect();
+    assert_eq!(cells.len(), Technique::ALL.len());
+    let serial = run_sweep(&cells, 1);
+    let parallel = run_sweep(&cells, 3);
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (sr, pr) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+        assert!(
+            sr.durability.restores > 0,
+            "cell `{}` never restored from the durable tier",
+            s.label
+        );
+        assert!(
+            sr.check_no_silent_loss().is_ok(),
+            "cell `{}` silently lost acknowledged commits",
+            s.label
+        );
+        assert_ne!(sr.trace_hash, 0, "cell `{}` produced no trace", s.label);
+        assert_eq!(sr.digest(), pr.digest(), "cell `{}` diverged", s.label);
+        assert_eq!(sr.trace_hash, pr.trace_hash, "cell `{}` diverged", s.label);
+    }
+}
+
+#[test]
 fn thread_count_is_not_observable() {
     // Different worker counts (and therefore different cell-to-thread
     // assignments) must still agree cell-for-cell.

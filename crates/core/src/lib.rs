@@ -23,6 +23,7 @@
 
 mod client;
 pub mod consistency;
+mod durability;
 pub mod figures;
 mod op;
 mod phase;
@@ -32,9 +33,10 @@ mod runner;
 mod technique;
 
 pub use client::{ClientActor, OpRecord, OpenLoopClient, ProtocolMsg};
+pub use durability::{DurabilityConfig, DurabilityTier, RestorePlan};
 pub use op::{accesses, ClientOp, OpId, Response};
 pub use phase::{Phase, PhaseMark, PhaseSkeleton, PhaseTrace};
 pub use repl_gcs::BatchConfig;
-pub use report::{Availability, NodeRecovery, RunReport};
+pub use report::{Availability, DurabilityReport, NodeRecovery, RunReport, SilentLoss};
 pub use runner::{run, try_run, Arrival, RunConfig, RunError};
 pub use technique::{Community, Guarantee, Propagation, Technique, TechniqueInfo, UpdateLocation};

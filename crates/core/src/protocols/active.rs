@@ -16,13 +16,14 @@ use std::collections::HashSet;
 
 use repl_db::Keyspace;
 use repl_gcs::{BatchConfig, Outbox};
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 
 use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
     global_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    RESTORE_TAG,
 };
 use repl_gcs::ConsensusConfig;
 
@@ -116,10 +117,19 @@ impl ActiveServer {
         }
         settle_rejoin(&mut self.ab, &mut self.base, ctx.now().ticks());
     }
+
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, ActiveMsg>) {
+        let mut out = Outbox::new();
+        self.ab.rejoin(&mut out);
+        self.drain(ctx, out);
+    }
 }
 
 impl Actor<ActiveMsg> for ActiveServer {
     fn on_message(&mut self, ctx: &mut Context<'_, ActiveMsg>, from: NodeId, msg: ActiveMsg) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             ActiveMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -143,6 +153,14 @@ impl Actor<ActiveMsg> for ActiveServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, ActiveMsg>, _timer: TimerId, tag: u64) {
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         let mut out = Outbox::new();
         self.ab.on_timer(tag, &mut out);
         self.drain(ctx, out);
@@ -154,9 +172,25 @@ impl Actor<ActiveMsg> for ActiveServer {
         // the normal delivery path re-executes exactly the missed ops
         // (executed ones are suppressed by the response cache).
         self.base.recovery.begin(ctx.now().ticks());
-        let mut out = Outbox::new();
-        self.ab.rejoin(&mut out);
-        self.drain(ctx, out);
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            // The volume is gone: the durable tier restored a prefix;
+            // rewind the stream cursor so the rejoin replays the rest.
+            self.ab.rewind_to(plan.token);
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
+            }
+            self.base.finish_restore();
+        }
+        self.rejoin_now(ctx);
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        self.base.wipe_volume(now.ticks());
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, ActiveMsg>) {
+        self.base.seal_now(ctx.now().ticks(), self.ab.position());
     }
 
     impl_as_any!();
@@ -356,6 +390,77 @@ mod tests {
             merged.merge(&world.actor_ref::<ActiveServer>(s).base.history);
         }
         assert!(merged.check_one_copy_serializable().is_ok());
+    }
+
+    #[test]
+    fn volume_loss_restores_from_the_durable_tier() {
+        // A replica's volume dies mid-run; the durable tier restores the
+        // shipped prefix and the ABCAST rejoin replays the rest — the
+        // group converges and the client never notices.
+        for lag in [0u64, 2_000] {
+            let mut world = World::new(SimConfig::new(11));
+            let servers: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+            for i in 0..3u32 {
+                let mut srv = ActiveServer::new(
+                    i,
+                    NodeId::new(i),
+                    servers.clone(),
+                    16,
+                    ExecutionMode::Deterministic,
+                    AbcastImpl::Sequencer,
+                    ConsensusConfig::default(),
+                );
+                srv.base.set_durability(
+                    &crate::durability::DurabilityConfig::with_upload_lag(lag),
+                    120,
+                );
+                world.add_actor(Box::new(srv));
+            }
+            let txns: Vec<TxnTemplate> = (0..12).map(|i| write(i % 16, i as i64)).collect();
+            let client = ClientActor::<ActiveMsg>::new(
+                0,
+                servers.clone(),
+                1,
+                txns,
+                SimDuration::from_ticks(100),
+                SimDuration::from_ticks(20_000),
+            );
+            let client = world.add_actor(Box::new(client));
+            world.schedule_volume_loss(SimTime::from_ticks(900), servers[2]);
+            world.schedule_recover(SimTime::from_ticks(5_000), servers[2]);
+            world.start();
+            world.run_until(SimTime::from_ticks(400_000));
+            assert!(
+                world.actor_ref::<ClientActor<ActiveMsg>>(client).is_done(),
+                "lag {lag}: client stalled after the disaster"
+            );
+            let fp0 = world
+                .actor_ref::<ActiveServer>(servers[0])
+                .base
+                .store
+                .fingerprint();
+            let wiped = world.actor_ref::<ActiveServer>(servers[2]);
+            assert_eq!(
+                wiped.base.store.fingerprint(),
+                fp0,
+                "lag {lag}: wiped replica did not converge"
+            );
+            assert_eq!(wiped.base.volume_wipes, 1);
+            let tier = wiped.base.tier.as_ref().expect("tier attached");
+            assert_eq!(tier.restores, 1, "lag {lag}: restore did not run");
+            assert!(!tier.restoring());
+            if lag == 0 {
+                assert!(
+                    tier.lost.is_empty(),
+                    "a synchronous tier must lose nothing"
+                );
+            }
+            let mut merged = repl_db::ReplicatedHistory::new();
+            for &s in &servers {
+                merged.merge(&world.actor_ref::<ActiveServer>(s).base.history);
+            }
+            assert!(merged.check_one_copy_serializable().is_ok());
+        }
     }
 
     #[test]

@@ -19,9 +19,9 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use repl_db::{Certifier, Key, Keyspace, WriteSet};
+use repl_db::{Certifier, Key, Keyspace, WriteRecord, WriteSet};
 use repl_gcs::{BatchConfig, Outbox};
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 use repl_workload::OpTemplate;
 
 use crate::client::ProtocolMsg;
@@ -29,6 +29,7 @@ use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
     global_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    RESTORE_TAG,
 };
 use repl_gcs::ConsensusConfig;
 
@@ -146,15 +147,29 @@ impl CertServer {
             let txn = global_txn(op_id);
             let resp = if verdict.is_commit() {
                 // Install the writes; local versions track the certifier's
-                // counters because every site applies the same stream.
+                // counters because every site applies the same stream. The
+                // durable tier gets the store-assigned versions (not the
+                // shadow's), so a restore reproduces them exactly.
+                let mut applied = WriteSet {
+                    txn,
+                    writes: Vec::with_capacity(req.ws.writes.len()),
+                };
                 for w in &req.ws.writes {
-                    self.base.store.write(w.key, w.value, txn);
+                    let v = self.base.store.write(w.key, w.value, txn);
+                    applied.writes.push(WriteRecord {
+                        key: w.key,
+                        value: w.value,
+                        version: v.version,
+                    });
                     self.base.history.record(
                         self.base.site,
                         txn,
                         w.key,
                         repl_db::AccessKind::Write,
                     );
+                }
+                if let Some(t) = &mut self.base.tier {
+                    t.note_commit(&applied);
                 }
                 for &(k, _) in &req.read_set {
                     self.base
@@ -178,10 +193,19 @@ impl CertServer {
         }
         settle_rejoin(&mut self.ab, &mut self.base, ctx.now().ticks());
     }
+
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, CertMsg>) {
+        let mut out = Outbox::new();
+        self.ab.rejoin(&mut out);
+        self.drain(ctx, out);
+    }
 }
 
 impl Actor<CertMsg> for CertServer {
     fn on_message(&mut self, ctx: &mut Context<'_, CertMsg>, from: NodeId, msg: CertMsg) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             CertMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -240,6 +264,14 @@ impl Actor<CertMsg> for CertServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, CertMsg>, _timer: TimerId, tag: u64) {
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         let mut out = Outbox::new();
         self.ab.on_timer(tag, &mut out);
         self.drain(ctx, out);
@@ -251,9 +283,35 @@ impl Actor<CertMsg> for CertServer {
         // would leave the certifier's version counters behind and make
         // later verdicts diverge across sites.
         self.base.recovery.begin(ctx.now().ticks());
-        let mut out = Outbox::new();
-        self.ab.rejoin(&mut out);
-        self.drain(ctx, out);
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            // The certifier died with the volume. Store versions track
+            // certifier counters one-for-one, so the restored store is
+            // exactly the certification state at the durable token;
+            // verdicts for the replayed suffix then match the group's.
+            // (The commit/abort tallies restart — only verdicts must
+            // survive a disaster, and the report counts client-side.)
+            for (k, v) in self.base.store.snapshot() {
+                if let Some(by) = v.writer {
+                    self.certifier.restore_version(k, v.version, by);
+                }
+            }
+            self.ab.rewind_to(plan.token);
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
+            }
+            self.base.finish_restore();
+        }
+        self.rejoin_now(ctx);
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        self.base.wipe_volume(now.ticks());
+        self.certifier = Certifier::with_keyspace(self.base.keyspace());
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, CertMsg>) {
+        self.base.seal_now(ctx.now().ticks(), self.ab.position());
     }
 
     impl_as_any!();

@@ -4,7 +4,7 @@
 
 use repl_db::{
     AccessKind, FxHashMap, Key, Keyspace, RecoveryTracker, ReplicatedHistory, ShadowStore, Store,
-    Transfer, TransferStrategy, TxnId, TxnManager, Value, WriteSet,
+    Transfer, TransferStrategy, TxnId, TxnManager, Value, Versioned, WriteRecord, WriteSet,
 };
 use repl_gcs::{
     AbDeliver, BatchConfig, CAbMsg, ConsensusAbcast, ConsensusConfig, MsgId, Outbox, SeqAbMsg,
@@ -12,7 +12,12 @@ use repl_gcs::{
 };
 use repl_sim::{Message, NodeId};
 
+use crate::durability::{DurabilityConfig, DurabilityTier, RestorePlan};
 use crate::op::{accesses, ClientOp, OpId, Response};
+
+/// Timer tag of the restore-download completion, shared by every
+/// protocol. Far outside all protocol and component tag spaces.
+pub const RESTORE_TAG: u64 = u64::MAX - 0xD15A;
 
 /// Whether servers execute deterministically.
 ///
@@ -165,6 +170,26 @@ impl<P: Message> AbcastEndpoint<P> {
         }
     }
 
+    /// The endpoint's ordered-stream position: the next global sequence
+    /// (or consensus instance) it will deliver — the durable tier's
+    /// frame token for ABCAST-driven protocols.
+    pub fn position(&self) -> u64 {
+        match self {
+            AbcastEndpoint::Seq(a) => a.position(),
+            AbcastEndpoint::Cons(a) => a.position(),
+        }
+    }
+
+    /// Rewinds the delivery cursor to `pos` after a volume restore, so
+    /// the next [`AbcastEndpoint::rejoin`] replays everything the wiped
+    /// volume lost. A no-op if the stream is at or before `pos`.
+    pub fn rewind_to(&mut self, pos: u64) {
+        match self {
+            AbcastEndpoint::Seq(a) => a.rewind_to(pos),
+            AbcastEndpoint::Cons(a) => a.rewind_to(pos),
+        }
+    }
+
     /// Routes a timer with a component-local tag.
     pub fn on_timer(&mut self, tag: u64, out: &mut Outbox<AbMsg<P>, AbDeliver<P>>) {
         match self {
@@ -208,6 +233,12 @@ pub struct ServerBase {
     pub aborted: u64,
     /// Crash-recovery accounting (rejoin time, transfer bytes).
     pub recovery: RecoveryTracker,
+    /// Durable log tier (None reproduces pre-tier behaviour exactly).
+    pub tier: Option<DurabilityTier>,
+    /// Volume-loss disasters survived by this server.
+    pub volume_wipes: u64,
+    /// Set by an untiered wipe; a restore-from-scratch is pending.
+    bare_wipe: bool,
 }
 
 impl ServerBase {
@@ -225,7 +256,102 @@ impl ServerBase {
             committed: 0,
             aborted: 0,
             recovery: RecoveryTracker::default(),
+            tier: None,
+            volume_wipes: 0,
+            bare_wipe: false,
         }
+    }
+
+    /// Attaches a durable log tier (no-op when `cfg` is disabled).
+    /// `fsync_ticks` is the local fsync cost charged when a restored
+    /// suffix is replayed into the recovering node's redo log.
+    pub fn set_durability(&mut self, cfg: &DurabilityConfig, fsync_ticks: u64) {
+        if cfg.enabled {
+            self.tier = Some(DurabilityTier::new(cfg, self.keyspace(), fsync_ticks));
+        }
+    }
+
+    /// Seals the commits of the event just processed into a durable
+    /// frame at stream/log position `token`. Protocols call this from
+    /// their settle hook; a no-op without a tier or without new commits.
+    pub fn seal_now(&mut self, now: u64, token: u64) {
+        if let Some(t) = &mut self.tier {
+            t.seal(now, token);
+        }
+    }
+
+    /// A volume-loss disaster: erases the store, transaction manager and
+    /// recorded history, evicts the cached responses of every commit the
+    /// durable tier lost (those ops must re-execute when the group
+    /// replays them), and arms the restore. Without a tier the entire
+    /// cache is evicted — everything must replay from the group.
+    pub fn wipe_volume(&mut self, now: u64) {
+        match &mut self.tier {
+            Some(t) => {
+                for ws in t.wipe(now) {
+                    self.cache.remove(&op_of_txn(ws.txn));
+                }
+            }
+            None => {
+                self.cache.clear();
+                self.bare_wipe = true;
+            }
+        }
+        self.volume_wipes += 1;
+        let ks = self.keyspace();
+        self.store = Store::with_keyspace(ks, Value(0));
+        self.tm = TxnManager::new();
+        self.history = ReplicatedHistory::new();
+    }
+
+    /// Starts the restore of a wiped volume, if one is pending: installs
+    /// the durable snapshot and suffix (through the normal transfer
+    /// accounting), rebuilds the folded history, and returns the plan
+    /// the protocol must finish — rewind to `plan.token`, stay deaf for
+    /// `plan.delay` ticks, then rejoin. `None` on a normal crash
+    /// recovery. Untiered wipes restore from scratch (token 0, no
+    /// delay): the whole group history replays through the rejoin path.
+    pub fn begin_restore(&mut self, now: u64) -> Option<RestorePlan> {
+        if self.tier.is_some() {
+            let planned = self.tier.as_mut().and_then(|t| t.plan_restore(now));
+            let (restore, plan) = planned?;
+            if let Some(s) = &restore.snapshot {
+                self.install_transfer(s);
+            }
+            if let Some(s) = &restore.suffix {
+                self.install_transfer(s);
+            }
+            for (txn, keys) in &restore.folded_history {
+                for k in keys {
+                    self.history.record(self.site, *txn, *k, AccessKind::Write);
+                }
+                self.history.mark_committed(*txn);
+            }
+            Some(plan)
+        } else if self.bare_wipe {
+            self.bare_wipe = false;
+            Some(RestorePlan {
+                token: 0,
+                start: 0,
+                high: 0,
+                entries: Vec::new(),
+                delay: 0,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Ends the restore's deaf window; the tier resumes sealing.
+    pub fn finish_restore(&mut self) {
+        if let Some(t) = &mut self.tier {
+            t.finish_restore();
+        }
+    }
+
+    /// True while a restore download is in flight (the node is deaf).
+    pub fn restoring(&self) -> bool {
+        self.tier.as_ref().is_some_and(|t| t.restoring())
     }
 
     /// The keyspace this server's kernel structures are built for.
@@ -270,6 +396,9 @@ impl ServerBase {
         let ws = self.tm.commit(txn).expect("txn is active");
         self.history.mark_committed(txn);
         self.committed += 1;
+        if let Some(t) = &mut self.tier {
+            t.note_commit(&ws);
+        }
         let resp = Response {
             op: op.id,
             committed: true,
@@ -320,6 +449,9 @@ impl ServerBase {
         self.history.mark_committed(ws.txn);
         self.store.apply_writeset(ws);
         self.committed += 1;
+        if let Some(t) = &mut self.tier {
+            t.note_commit(ws);
+        }
     }
 
     /// Installs a recovery state transfer and records its accounting.
@@ -338,9 +470,38 @@ impl ServerBase {
             }
             TransferStrategy::Snapshot => {
                 self.store.install_snapshot(&t.snapshot);
+                self.note_snapshot(&t.snapshot);
             }
         }
         t.high
+    }
+
+    /// Re-protects snapshot contents in the durable tier: a snapshot
+    /// fast-forwards past entries the tier never saw, and a later
+    /// disaster must not restore a store with that hole. Each key
+    /// becomes a one-record writeset under its real writer, so loss
+    /// attribution and history folding hold. (During a tier restore
+    /// `note_commit` is a no-op — the installed state is already
+    /// durable.)
+    pub fn note_snapshot(&mut self, snapshot: &[(Key, Versioned)]) {
+        if self.tier.is_none() {
+            return;
+        }
+        for (k, v) in snapshot {
+            if let Some(writer) = v.writer {
+                let ws = WriteSet {
+                    txn: writer,
+                    writes: vec![WriteRecord {
+                        key: *k,
+                        value: v.value,
+                        version: v.version,
+                    }],
+                };
+                if let Some(tier) = &mut self.tier {
+                    tier.note_commit(&ws);
+                }
+            }
+        }
     }
 
     /// Reads a single key outside any transaction (lazy/stale reads),

@@ -23,13 +23,13 @@ use repl_db::{
     TpcDecision, Transfer, TransferStrategy, TxnId, Value, WriteSet,
 };
 use repl_gcs::{BatchConfig, Component, FdConfig, FdEvent, FdMsg, HeartbeatFd, Outbox};
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 use repl_workload::OpTemplate;
 
 use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
-use crate::protocols::common::{global_txn, ExecutionMode, ServerBase};
+use crate::protocols::common::{global_txn, op_of_txn, ExecutionMode, ServerBase, RESTORE_TAG};
 
 /// Wire messages of eager primary copy replication.
 #[derive(Debug, Clone)]
@@ -176,6 +176,12 @@ pub struct EagerPrimaryServer {
     staged_decisions: Vec<(TxnId, bool)>,
     /// Client acks deferred until the window's log force.
     staged_replies: Vec<(NodeId, Response)>,
+    /// Writesets awaiting the window's log force before the durable tier
+    /// may see them (the tier mirrors the *flushed* stream).
+    staged_notes: Vec<WriteSet>,
+    /// Remembered retention cap, re-applied when a volume loss forces a
+    /// fresh redo log.
+    wal_retention: Option<usize>,
     flush_armed: bool,
     /// Initial post-crash sync: silent (no heartbeats, no participation)
     /// until the first catch-up transfer lands.
@@ -211,6 +217,8 @@ impl EagerPrimaryServer {
             batching: BatchConfig::disabled(),
             staged_decisions: Vec::new(),
             staged_replies: Vec::new(),
+            staged_notes: Vec::new(),
+            wal_retention: None,
             flush_armed: false,
             recovering: false,
             resync: false,
@@ -227,6 +235,7 @@ impl EagerPrimaryServer {
     /// Bounds the redo-log retention at every replica: recovery requests
     /// that fall behind the truncation point get a snapshot transfer.
     pub fn set_log_retention(&mut self, retention: Option<usize>) {
+        self.wal_retention = retention;
         self.wal.set_retention(retention);
     }
 
@@ -565,7 +574,10 @@ impl EagerPrimaryServer {
             if self.batching.enabled() {
                 // Group commit: stage the redo record and defer both the
                 // decision round and the client ack to the window's
-                // single shared log force.
+                // single shared log force. The durable tier waits for the
+                // force too, so a volume loss can only erase unacked
+                // staged commits (their cached replies are evicted).
+                self.staged_notes.push(ws.clone());
                 self.wal.stage(ws);
                 self.staged_decisions.push((txn, commit));
                 self.staged_replies.push((t.op.client, resp));
@@ -579,6 +591,9 @@ impl EagerPrimaryServer {
                     );
                 }
             } else {
+                if let Some(tier) = &mut self.base.tier {
+                    tier.note_commit(&ws);
+                }
                 self.wal.append(ws);
                 for s in self.secondaries() {
                     ctx.send(s, EagerPrimaryMsg::Decision { txn, commit });
@@ -612,6 +627,11 @@ impl EagerPrimaryServer {
             return;
         }
         let _ = self.wal.flush_group();
+        for ws in std::mem::take(&mut self.staged_notes) {
+            if let Some(tier) = &mut self.base.tier {
+                tier.note_commit(&ws);
+            }
+        }
         let entries = Arc::new(std::mem::take(&mut self.staged_decisions));
         for s in self.secondaries() {
             ctx.send(
@@ -642,6 +662,9 @@ impl EagerPrimaryServer {
                 // Mirror the decision stream into the local redo log so
                 // any server can donate a catch-up suffix. FIFO links
                 // keep the mirrored order identical to the primary's.
+                if let Some(tier) = &mut self.base.tier {
+                    tier.note_commit(&ws);
+                }
                 self.wal.append(ws);
                 self.base.history.mark_committed(txn);
                 self.base.committed += 1;
@@ -665,6 +688,29 @@ impl EagerPrimaryServer {
         if !self.resync {
             self.resync = true;
             ctx.send(donor, EagerPrimaryMsg::SyncReq(self.wal.len() as u64));
+        }
+    }
+
+    /// Re-enters the group after the database state is back in place
+    /// (directly on crash recovery; after the restore download when a
+    /// volume loss forced a rebuild from the durable tier).
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, EagerPrimaryMsg>) {
+        if self.servers.len() == 1 {
+            self.fd.reset();
+            let mut out = Outbox::new();
+            self.fd.on_start(&mut out);
+            self.drive_fd(ctx, out);
+            self.base.recovery.complete(ctx.now().ticks());
+            return;
+        }
+        // Stay silent (no heartbeats) until the transfer lands, so the
+        // acting primary keeps excluding us from 2PC cohorts meanwhile.
+        self.recovering = true;
+        let have = self.wal.len() as u64;
+        for &s in &self.servers.clone() {
+            if s != self.me {
+                ctx.send(s, EagerPrimaryMsg::SyncReq(have));
+            }
         }
     }
 
@@ -714,6 +760,9 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
         from: NodeId,
         msg: EagerPrimaryMsg,
     ) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             EagerPrimaryMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -908,6 +957,7 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
                         }
                         TransferStrategy::Snapshot => {
                             self.base.store.install_snapshot(&t.snapshot);
+                            self.base.note_snapshot(&t.snapshot);
                             self.wal.skip_to(t.high);
                         }
                     }
@@ -930,6 +980,16 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, EagerPrimaryMsg>, _timer: TimerId, tag: u64) {
+        // RESTORE_TAG exceeds FD_BASE, so it must be matched before the
+        // range dispatch below.
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         if tag >= FD_BASE {
             let mut out = Outbox::new();
             self.fd.on_timer(tag - FD_BASE, &mut out);
@@ -961,24 +1021,51 @@ impl Actor<EagerPrimaryMsg> for EagerPrimaryServer {
         self.requeue.clear();
         self.staged_decisions.clear();
         self.staged_replies.clear();
+        self.staged_notes.clear();
         self.flush_armed = false;
-        if self.servers.len() == 1 {
-            self.fd.reset();
-            let mut out = Outbox::new();
-            self.fd.on_start(&mut out);
-            self.drive_fd(ctx, out);
-            self.base.recovery.complete(ctx.now().ticks());
-            return;
-        }
-        // Stay silent (no heartbeats) until the transfer lands, so the
-        // acting primary keeps excluding us from 2PC cohorts meanwhile.
-        self.recovering = true;
-        let have = self.wal.len() as u64;
-        for &s in &self.servers.clone() {
-            if s != self.me {
-                ctx.send(s, EagerPrimaryMsg::SyncReq(have));
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            // The tier mirrors the flushed decision stream one-for-one,
+            // so the restored cursor is a redo-log length; the log itself
+            // restarts empty at that position (peers donate anything
+            // earlier, exactly as after a snapshot catch-up).
+            self.wal = RedoLog::new();
+            self.wal.set_retention(self.wal_retention);
+            self.wal.skip_to(plan.token);
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
             }
+            self.base.finish_restore();
         }
+        self.rejoin_now(ctx);
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        // Staged commits never reached the log force: unacked (replies
+        // were staged too) and never noted to the tier, so evict their
+        // cached responses — the client must re-execute, not be told
+        // "committed" about state that no longer exists anywhere here.
+        for (txn, _) in &self.staged_decisions {
+            self.base.cache.remove(&op_of_txn(*txn));
+        }
+        self.base.wipe_volume(now.ticks());
+        self.lm = LockManager::with_keyspace(DeadlockPolicy::WoundWait, self.base.keyspace());
+        self.inflight.clear();
+        self.requeue.clear();
+        self.tentative.clear();
+        self.staged_decisions.clear();
+        self.staged_replies.clear();
+        self.staged_notes.clear();
+        self.flush_armed = false;
+        self.resync = false;
+        self.wal = RedoLog::new();
+        self.wal.set_retention(self.wal_retention);
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, EagerPrimaryMsg>) {
+        // The flushed redo-log length is the frame token: tier notes and
+        // log entries move in lockstep on both primaries and secondaries.
+        self.base.seal_now(ctx.now().ticks(), self.wal.len() as u64);
     }
 
     impl_as_any!();

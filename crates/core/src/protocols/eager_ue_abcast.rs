@@ -16,13 +16,14 @@ use std::collections::HashSet;
 
 use repl_db::Keyspace;
 use repl_gcs::{BatchConfig, Outbox};
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 
 use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
     global_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    RESTORE_TAG,
 };
 use repl_gcs::ConsensusConfig;
 
@@ -118,10 +119,19 @@ impl EuaServer {
         }
         settle_rejoin(&mut self.ab, &mut self.base, ctx.now().ticks());
     }
+
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, EuaMsg>) {
+        let mut out = Outbox::new();
+        self.ab.rejoin(&mut out);
+        self.drain(ctx, out);
+    }
 }
 
 impl Actor<EuaMsg> for EuaServer {
     fn on_message(&mut self, ctx: &mut Context<'_, EuaMsg>, from: NodeId, msg: EuaMsg) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             EuaMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -145,6 +155,14 @@ impl Actor<EuaMsg> for EuaServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, EuaMsg>, _timer: TimerId, tag: u64) {
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         let mut out = Outbox::new();
         self.ab.on_timer(tag, &mut out);
         self.drain(ctx, out);
@@ -154,9 +172,23 @@ impl Actor<EuaMsg> for EuaServer {
         // Refill the missed ABCAST suffix and re-execute it; the
         // response cache suppresses ops executed before the crash.
         self.base.recovery.begin(ctx.now().ticks());
-        let mut out = Outbox::new();
-        self.ab.rejoin(&mut out);
-        self.drain(ctx, out);
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            self.ab.rewind_to(plan.token);
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
+            }
+            self.base.finish_restore();
+        }
+        self.rejoin_now(ctx);
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        self.base.wipe_volume(now.ticks());
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, EuaMsg>) {
+        self.base.seal_now(ctx.now().ticks(), self.ab.position());
     }
 
     impl_as_any!();

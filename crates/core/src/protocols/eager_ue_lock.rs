@@ -44,7 +44,7 @@ use repl_workload::OpTemplate;
 use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, Response};
 use crate::phase::Phase;
-use crate::protocols::common::{global_txn, ExecutionMode, ServerBase};
+use crate::protocols::common::{global_txn, ExecutionMode, ServerBase, RESTORE_TAG};
 
 /// Wire messages of eager update everywhere with distributed locking.
 #[derive(Debug, Clone)]
@@ -410,11 +410,35 @@ impl EulServer {
         }
     }
 
+    /// Rejoins the group after a crash (or a completed volume restore):
+    /// re-arms the deadlock detector and pulls a committed snapshot.
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, EulMsg>) {
+        // Timers do not survive a crash: re-arm the deadlock detector.
+        if self.policy == DeadlockPolicy::Detect && self.base.site == 0 {
+            ctx.set_timer(self.detect_every, DETECT_TICK);
+        }
+        if self.servers.len() == 1 {
+            self.base.recovery.complete(ctx.now().ticks());
+            return;
+        }
+        self.recovering = true;
+        self.replay.clear();
+        for &s in &self.servers.clone() {
+            if s != self.me {
+                ctx.send(s, EulMsg::SyncReq);
+            }
+        }
+    }
+
     /// Commits or aborts the local tentative state and releases locks.
     fn apply_decision(&mut self, ctx: &mut Context<'_, EulMsg>, txn: TxnId, commit: bool) {
         if self.tentative.remove(&txn) || self.base.tm.is_active(txn) {
             if commit {
-                let _ = self.base.tm.commit(txn);
+                if let Ok(ws) = self.base.tm.commit(txn) {
+                    if let Some(tier) = &mut self.base.tier {
+                        tier.note_commit(&ws);
+                    }
+                }
                 self.base.history.mark_committed(txn);
                 self.base.committed += 1;
             } else {
@@ -532,6 +556,9 @@ impl Actor<EulMsg> for EulServer {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, EulMsg>, from: NodeId, msg: EulMsg) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         if self.recovering {
             // Keep granting locks and voting so the group never wedges
             // on us, but hold writes and verdicts back until the
@@ -689,6 +716,14 @@ impl Actor<EulMsg> for EulServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, EulMsg>, _timer: TimerId, tag: u64) {
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         match tag {
             DETECT_TICK => {
                 self.run_detection(ctx);
@@ -735,25 +770,32 @@ impl Actor<EulMsg> for EulServer {
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, EulMsg>) {
-        // Timers do not survive a crash: re-arm the deadlock detector.
-        if self.policy == DeadlockPolicy::Detect && self.base.site == 0 {
-            ctx.set_timer(self.detect_every, DETECT_TICK);
-        }
         // `on_crash` already dropped the volatile state (amnesia); what
         // remains is closing the gap in committed state via a peer
         // snapshot — all-site locking keeps no redo log to replay.
         self.base.recovery.begin(ctx.now().ticks());
-        if self.servers.len() == 1 {
-            self.base.recovery.complete(ctx.now().ticks());
-            return;
-        }
-        self.recovering = true;
-        self.replay.clear();
-        for &s in &self.servers.clone() {
-            if s != self.me {
-                ctx.send(s, EulMsg::SyncReq);
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            // No stream or cursor exists: the tier restored the committed
+            // store, and the rejoin snapshot covers anything lost.
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
             }
+            self.base.finish_restore();
         }
+        self.rejoin_now(ctx);
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        // Same amnesia as a crash, plus the committed store is gone too.
+        self.on_crash(now);
+        self.base.wipe_volume(now.ticks());
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, EulMsg>) {
+        // No replicated stream exists; the committed count is the frame
+        // token (these restores never rewind by token anyway).
+        self.base.seal_now(ctx.now().ticks(), self.base.committed);
     }
 
     impl_as_any!();

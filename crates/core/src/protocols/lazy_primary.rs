@@ -27,13 +27,13 @@ use std::sync::Arc;
 
 use repl_db::{Keyspace, RedoLog, Transfer, TransferStrategy, WriteSet};
 use repl_gcs::BatchConfig;
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 use repl_workload::OpTemplate;
 
 use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, Response};
 use crate::phase::Phase;
-use crate::protocols::common::{global_txn, ExecutionMode, ServerBase};
+use crate::protocols::common::{global_txn, ExecutionMode, ServerBase, RESTORE_TAG};
 
 /// Wire messages of lazy primary copy replication.
 #[derive(Debug, Clone)]
@@ -121,6 +121,12 @@ pub struct LazyPrimaryServer {
     pub log: RedoLog,
     /// Secondary: how many log entries have been applied.
     pub applied: u64,
+    /// Remembered retention cap, re-applied when a volume loss forces a
+    /// fresh redo log.
+    log_retention: Option<usize>,
+    /// Primary only: a volume restore rebuilt the log, so the retained
+    /// suffix must be re-shipped (its tail may never have propagated).
+    reship: bool,
     marks: bool,
 }
 
@@ -144,6 +150,8 @@ impl LazyPrimaryServer {
             batching: BatchConfig::disabled(),
             log: RedoLog::new(),
             applied: 0,
+            log_retention: None,
+            reship: false,
             marks: site == 0,
         }
     }
@@ -157,6 +165,7 @@ impl LazyPrimaryServer {
     /// Bounds the primary's redo-log retention: requesters that fall
     /// behind the truncation point get a snapshot instead of a suffix.
     pub fn set_log_retention(&mut self, retention: Option<usize>) {
+        self.log_retention = retention;
         self.log.set_retention(retention);
     }
 
@@ -230,25 +239,76 @@ impl LazyPrimaryServer {
         self.applied += 1;
         true
     }
-}
 
-impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
-    fn on_recover(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>) {
-        // Crash recovery: ask the primary for everything missed.
-        self.base.recovery.begin(ctx.now().ticks());
+    /// Re-enters service after the database state is back in place
+    /// (directly on crash recovery; after the restore download when a
+    /// volume loss forced a rebuild from the durable tier).
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>) {
         let primary = self.primary();
         if primary == self.me {
-            // The primary's own log and store survive the crash; any
+            // The primary's own log and store survive a plain crash; any
             // updates invoked during the outage were retried by clients.
             // Timers die with the crash, so re-arm a pending flush.
             self.flush_armed = false;
             if !self.outbound.is_empty() {
                 self.flush(ctx);
             }
+            if std::mem::take(&mut self.reship) {
+                // The restored log tail may never have reached the
+                // secondaries; re-ship the retained suffix. Entries a
+                // secondary already applied are ignored, and a secondary
+                // behind the retention point gap-detects into the usual
+                // catch-up request.
+                let start = self.log.first_retained();
+                let entries: Vec<WriteSet> = self.log.since(start as usize).cloned().collect();
+                if !entries.is_empty() {
+                    let entries = Arc::new(entries);
+                    for &s in &self.servers {
+                        if s != self.me {
+                            ctx.send(
+                                s,
+                                LazyPrimaryMsg::PropagateBatch {
+                                    start,
+                                    entries: Arc::clone(&entries),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
             self.base.recovery.complete(ctx.now().ticks());
         } else {
+            // Crash recovery: ask the primary for everything missed.
             ctx.send(primary, LazyPrimaryMsg::CatchUpReq { have: self.applied });
         }
+    }
+}
+
+impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
+    fn on_recover(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>) {
+        self.base.recovery.begin(ctx.now().ticks());
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            if self.me == self.primary() {
+                // Tier note order equals log order at the primary, so
+                // the restored suffix rebuilds the propagation stream
+                // in place.
+                self.log = RedoLog::new();
+                self.log.set_retention(self.log_retention);
+                self.log.skip_to(plan.start);
+                for ws in &plan.entries {
+                    self.log.append(ws.clone());
+                }
+                self.reship = true;
+            } else {
+                self.applied = plan.token;
+            }
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
+            }
+            self.base.finish_restore();
+        }
+        self.rejoin_now(ctx);
     }
 
     fn on_message(
@@ -257,6 +317,9 @@ impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
         from: NodeId,
         msg: LazyPrimaryMsg,
     ) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             LazyPrimaryMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -362,6 +425,7 @@ impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
                     TransferStrategy::Snapshot => {
                         if t.high > self.applied {
                             self.base.store.install_snapshot(&t.snapshot);
+                            self.base.note_snapshot(&t.snapshot);
                             self.applied = t.high;
                             self.base
                                 .recovery
@@ -376,9 +440,38 @@ impl Actor<LazyPrimaryMsg> for LazyPrimaryServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>, _timer: TimerId, tag: u64) {
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         if tag == FLUSH_TAG {
             self.flush(ctx);
         }
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        self.base.wipe_volume(now.ticks());
+        self.log = RedoLog::new();
+        self.log.set_retention(self.log_retention);
+        self.outbound.clear();
+        self.flush_armed = false;
+        self.applied = 0;
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, LazyPrimaryMsg>) {
+        // The primary's cursor counts every committed (noted) writeset,
+        // logged or still awaiting flush; a secondary's is its applied
+        // watermark.
+        let token = if self.me == self.primary() {
+            self.log.len() as u64 + self.outbound.len() as u64
+        } else {
+            self.applied
+        };
+        self.base.seal_now(ctx.now().ticks(), token);
     }
 
     impl_as_any!();

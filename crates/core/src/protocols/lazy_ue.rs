@@ -24,9 +24,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use repl_db::{Key, Keyspace, TransferStrategy, TxnId, Value, WriteSet};
+use repl_db::{Key, Keyspace, TransferStrategy, TxnId, Value, WriteRecord, WriteSet};
 use repl_gcs::Outbox;
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 use repl_workload::OpTemplate;
 
 use crate::client::ProtocolMsg;
@@ -34,7 +34,7 @@ use crate::op::{ClientOp, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
     global_txn, op_of_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode,
-    ServerBase,
+    ServerBase, RESTORE_TAG,
 };
 
 /// How conflicting lazy updates are reconciled (paper §4.6).
@@ -139,6 +139,9 @@ pub struct LazyUeServer {
     /// Writes discarded by the Thomas write rule (losers of concurrent
     /// conflicting updates).
     pub reconciliations: u64,
+    /// Lww only: restored entries to re-propagate at stamp 0 once the
+    /// restore download completes (peers adopt only keys they never saw).
+    reship: Vec<WriteSet>,
     marks: bool,
 }
 
@@ -170,6 +173,7 @@ impl LazyUeServer {
             ),
             local_pending: HashSet::new(),
             reconciliations: 0,
+            reship: Vec::new(),
             marks: site == 0,
         }
     }
@@ -223,6 +227,10 @@ impl LazyUeServer {
         for d in deliveries {
             let ws = d.payload.0;
             let own = self.local_pending.remove(&ws.txn);
+            let mut noted = WriteSet {
+                txn: ws.txn,
+                writes: Vec::with_capacity(ws.writes.len()),
+            };
             for w in &ws.writes {
                 // An optimistic local value that had not reached the total
                 // order yet is being overridden: that is a reconciliation.
@@ -233,7 +241,12 @@ impl LazyUeServer {
                         }
                     }
                 }
-                self.base.store.write(w.key, w.value, ws.txn);
+                let after = self.base.store.write(w.key, w.value, ws.txn);
+                noted.writes.push(WriteRecord {
+                    key: w.key,
+                    value: w.value,
+                    version: after.version,
+                });
                 if !own {
                     self.base.history.record(
                         self.base.site,
@@ -242,6 +255,13 @@ impl LazyUeServer {
                         repl_db::AccessKind::Write,
                     );
                 }
+            }
+            // The tier notes at *delivery*, not at the optimistic local
+            // commit: the sealed state is then exactly a prefix of the
+            // total order, so a restore can rewind the stream to the
+            // frame token and replay forward consistently.
+            if let Some(t) = &mut self.base.tier {
+                t.note_commit(&noted);
             }
             if !own {
                 self.base.history.mark_committed(ws.txn);
@@ -278,7 +298,18 @@ impl LazyUeServer {
             let newer = stamp.0 > current.0 || (stamp.0 == current.0 && stamp.1 < current.1);
             if newer {
                 self.last_writer.insert(k, stamp);
-                self.base.store.write(k, v, TxnId::new(ts, site));
+                let txn = TxnId::new(ts, site);
+                let after = self.base.store.write(k, v, txn);
+                if let Some(t) = &mut self.base.tier {
+                    t.note_commit(&WriteSet {
+                        txn,
+                        writes: vec![WriteRecord {
+                            key: k,
+                            value: v,
+                            version: after.version,
+                        }],
+                    });
+                }
             }
         }
     }
@@ -286,6 +317,7 @@ impl LazyUeServer {
     /// Applies a remote writeset under the Thomas write rule.
     fn reconcile(&mut self, ws: &WriteSet, commit_ts: u64, site: u32) {
         let mut any_applied = false;
+        let mut applied = Vec::new();
         for w in &ws.writes {
             let stamp = (commit_ts, site);
             let current = self
@@ -299,10 +331,15 @@ impl LazyUeServer {
             let newer = stamp.0 > current.0 || (stamp.0 == current.0 && stamp.1 < current.1);
             if newer {
                 self.last_writer.insert(w.key, stamp);
-                self.base.store.write(w.key, w.value, ws.txn);
+                let after = self.base.store.write(w.key, w.value, ws.txn);
                 self.base
                     .history
                     .record(self.base.site, ws.txn, w.key, repl_db::AccessKind::Write);
+                applied.push(WriteRecord {
+                    key: w.key,
+                    value: w.value,
+                    version: after.version,
+                });
                 any_applied = true;
             } else {
                 self.reconciliations += 1;
@@ -311,18 +348,43 @@ impl LazyUeServer {
         if any_applied {
             self.base.history.mark_committed(ws.txn);
             self.base.committed += 1;
+            // Only the winning subset is durable state worth restoring.
+            if let Some(t) = &mut self.base.tier {
+                t.note_commit(&WriteSet {
+                    txn: ws.txn,
+                    writes: applied,
+                });
+            }
         }
     }
-}
 
-impl Actor<LazyUeMsg> for LazyUeServer {
-    fn on_recover(&mut self, ctx: &mut Context<'_, LazyUeMsg>) {
-        self.base.recovery.begin(ctx.now().ticks());
+    /// Re-enters service after the database state is back in place
+    /// (directly on crash recovery; after the restore download when a
+    /// volume loss forced a rebuild from the durable tier).
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, LazyUeMsg>) {
         // Timers died with the crash: anything still queued for
         // propagation goes out now.
         self.flush_armed = false;
         if !self.outbound.is_empty() {
             self.flush(ctx);
+        }
+        let reship = std::mem::take(&mut self.reship);
+        if !reship.is_empty() {
+            let site = self.base.site;
+            for ws in &reship {
+                for &s in &self.servers {
+                    if s != self.me {
+                        ctx.send(
+                            s,
+                            LazyUeMsg::Propagate {
+                                ws: ws.clone(),
+                                commit_ts: 0,
+                                site,
+                            },
+                        );
+                    }
+                }
+            }
         }
         match self.mode {
             ReconcileMode::Lww => {
@@ -346,8 +408,36 @@ impl Actor<LazyUeMsg> for LazyUeServer {
             }
         }
     }
+}
+
+impl Actor<LazyUeMsg> for LazyUeServer {
+    fn on_recover(&mut self, ctx: &mut Context<'_, LazyUeMsg>) {
+        self.base.recovery.begin(ctx.now().ticks());
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            match self.mode {
+                ReconcileMode::Lww => {
+                    // Stamps cannot be restored (the tier keeps values,
+                    // not clocks): re-propagate the restored entries at
+                    // stamp 0 so peers adopt only keys they never saw,
+                    // and let the rejoin anti-entropy reinstate the
+                    // group's winning stamps here.
+                    self.reship = plan.entries;
+                }
+                ReconcileMode::AbcastOrder => self.ab.rewind_to(plan.token),
+            }
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
+            }
+            self.base.finish_restore();
+        }
+        self.rejoin_now(ctx);
+    }
 
     fn on_message(&mut self, ctx: &mut Context<'_, LazyUeMsg>, from: NodeId, msg: LazyUeMsg) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             LazyUeMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -400,6 +490,15 @@ impl Actor<LazyUeMsg> for LazyUeServer {
                         self.local_pending.insert(txn);
                     }
                     let ws = WriteSet { txn, writes };
+                    // Lww seals optimistic commits as they happen; in
+                    // AbcastOrder the tier notes at ordered delivery
+                    // instead (see `drive_ab`), so a restored store is a
+                    // clean prefix of the stream.
+                    if self.mode == ReconcileMode::Lww {
+                        if let Some(t) = &mut self.base.tier {
+                            t.note_commit(&ws);
+                        }
+                    }
                     self.outbound.push((ws, ctx.now().ticks()));
                     if self.propagation_delay.is_zero() {
                         self.flush(ctx);
@@ -440,6 +539,14 @@ impl Actor<LazyUeMsg> for LazyUeServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, LazyUeMsg>, _timer: TimerId, tag: u64) {
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         if tag == FLUSH_TAG {
             self.flush(ctx);
         } else {
@@ -447,6 +554,35 @@ impl Actor<LazyUeMsg> for LazyUeServer {
             self.ab.on_timer(tag, &mut out);
             self.drive_ab(ctx, out);
         }
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        // Acked commits still waiting for the total order vanish with the
+        // volume (they were never noted): claim them so silent-loss
+        // accounting holds. The sequencer may still resupply the flushed
+        // ones — a safe over-claim.
+        if self.mode == ReconcileMode::AbcastOrder {
+            let mut pend: Vec<TxnId> = self.local_pending.iter().copied().collect();
+            pend.sort();
+            if let Some(t) = &mut self.base.tier {
+                t.lost.extend(pend);
+            }
+        }
+        self.base.wipe_volume(now.ticks());
+        self.last_writer.clear();
+        self.outbound.clear();
+        self.flush_armed = false;
+        self.local_pending.clear();
+        self.reship.clear();
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, LazyUeMsg>) {
+        let token = match self.mode {
+            // No stream exists; Lww restores never rewind by token.
+            ReconcileMode::Lww => self.base.committed,
+            ReconcileMode::AbcastOrder => self.ab.position(),
+        };
+        self.base.seal_now(ctx.now().ticks(), token);
     }
 
     impl_as_any!();

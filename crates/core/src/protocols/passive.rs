@@ -15,12 +15,12 @@ use std::collections::{HashMap, HashSet};
 
 use repl_db::{Keyspace, Transfer, WriteSet};
 use repl_gcs::{Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 
 use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
-use crate::protocols::common::{global_txn, ExecutionMode, ServerBase};
+use crate::protocols::common::{global_txn, ExecutionMode, ServerBase, RESTORE_TAG};
 
 /// The update a primary ships to its backups.
 #[derive(Debug, Clone)]
@@ -224,6 +224,22 @@ impl PassiveServer {
             );
         }
     }
+
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, PassiveMsg>) {
+        if self.group.len() == 1 {
+            let mut out = Outbox::new();
+            self.vg.rejoin(&mut out);
+            self.drive(ctx, out);
+            self.base.recovery.complete(ctx.now().ticks());
+            return;
+        }
+        self.recovering = true;
+        for &n in &self.group {
+            if n != self.me {
+                ctx.send(n, PassiveMsg::RecoverReq);
+            }
+        }
+    }
 }
 
 impl Actor<PassiveMsg> for PassiveServer {
@@ -234,6 +250,9 @@ impl Actor<PassiveMsg> for PassiveServer {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, PassiveMsg>, from: NodeId, msg: PassiveMsg) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             PassiveMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -294,6 +313,14 @@ impl Actor<PassiveMsg> for PassiveServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, PassiveMsg>, _timer: TimerId, tag: u64) {
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         let mut out = Outbox::new();
         repl_gcs::Component::on_timer(&mut self.vg, tag, &mut out);
         self.drive(ctx, out);
@@ -305,19 +332,28 @@ impl Actor<PassiveMsg> for PassiveServer {
         // ever admits a caught-up replica.
         self.base.recovery.begin(ctx.now().ticks());
         self.pending.clear();
-        if self.group.len() == 1 {
-            let mut out = Outbox::new();
-            self.vg.rejoin(&mut out);
-            self.drive(ctx, out);
-            self.base.recovery.complete(ctx.now().ticks());
-            return;
-        }
-        self.recovering = true;
-        for &n in &self.group {
-            if n != self.me {
-                ctx.send(n, PassiveMsg::RecoverReq);
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            // There is no ordered stream to rewind: the durable tier
+            // restored a floor, and the peer snapshot fetched afterwards
+            // covers whatever the disaster erased (if any peer is up).
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
             }
+            self.base.finish_restore();
         }
+        self.rejoin_now(ctx);
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        self.base.wipe_volume(now.ticks());
+        self.pending.clear();
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, PassiveMsg>) {
+        // No stream position exists; the committed count is the frame
+        // token (passive restores never rewind by token anyway).
+        self.base.seal_now(ctx.now().ticks(), self.base.committed);
     }
 
     impl_as_any!();

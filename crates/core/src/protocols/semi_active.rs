@@ -17,13 +17,14 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use repl_db::{Key, Keyspace, Transfer, Value};
 use repl_gcs::{BatchConfig, Outbox, ViewGroup, VsConfig, VsEvent, VsMsg};
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 
 use crate::client::ProtocolMsg;
 use crate::op::{accesses, ClientOp, OpId, Response};
 use crate::phase::Phase;
 use crate::protocols::common::{
     global_txn, settle_rejoin, AbMsg, AbcastEndpoint, AbcastImpl, ExecutionMode, ServerBase,
+    RESTORE_TAG,
 };
 
 /// The leader's resolution of an operation's non-deterministic choices.
@@ -280,13 +281,34 @@ impl SemiActiveServer {
                 }
             }
         }
-        self.base.tm.commit(txn).expect("txn active");
+        let ws = self.base.tm.commit(txn).expect("txn active");
         self.base.history.mark_committed(txn);
         self.base.committed += 1;
+        if let Some(t) = &mut self.base.tier {
+            t.note_commit(&ws);
+        }
         Response {
             op: op.id,
             committed: true,
             reads,
+        }
+    }
+
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, SemiActiveMsg>) {
+        if self.group.len() == 1 {
+            let mut out = Outbox::new();
+            self.ab.rejoin(&mut out);
+            self.drive_ab(ctx, out);
+            let mut out = Outbox::new();
+            self.vg.rejoin(&mut out);
+            self.drive_vs(ctx, out);
+            return;
+        }
+        self.recovering = true;
+        for &n in &self.group {
+            if n != self.me {
+                ctx.send(n, SemiActiveMsg::SyncReq);
+            }
         }
     }
 }
@@ -304,6 +326,9 @@ impl Actor<SemiActiveMsg> for SemiActiveServer {
         from: NodeId,
         msg: SemiActiveMsg,
     ) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             SemiActiveMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -359,6 +384,14 @@ impl Actor<SemiActiveMsg> for SemiActiveServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, SemiActiveMsg>, _timer: TimerId, tag: u64) {
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         if tag >= VG_BASE {
             let mut out = Outbox::new();
             repl_gcs::Component::on_timer(&mut self.vg, tag - VG_BASE, &mut out);
@@ -372,21 +405,33 @@ impl Actor<SemiActiveMsg> for SemiActiveServer {
 
     fn on_recover(&mut self, ctx: &mut Context<'_, SemiActiveMsg>) {
         self.base.recovery.begin(ctx.now().ticks());
-        if self.group.len() == 1 {
-            let mut out = Outbox::new();
-            self.ab.rejoin(&mut out);
-            self.drive_ab(ctx, out);
-            let mut out = Outbox::new();
-            self.vg.rejoin(&mut out);
-            self.drive_vs(ctx, out);
-            return;
-        }
-        self.recovering = true;
-        for &n in &self.group {
-            if n != self.me {
-                ctx.send(n, SemiActiveMsg::SyncReq);
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            // The durable tier restored the prefix up to `plan.token`;
+            // the leader choices behind the erased suffix are gone, so
+            // (as with plain crashes) the remaining gap is covered by a
+            // peer snapshot through the normal SyncReq path afterwards.
+            self.next_apply = plan.token;
+            self.ab.rewind_to(plan.token);
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
             }
+            self.base.finish_restore();
         }
+        self.rejoin_now(ctx);
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        self.base.wipe_volume(now.ticks());
+        // The applied cursor and the buffered stream die with the volume.
+        self.waiting.clear();
+        self.choices.clear();
+        self.issued.clear();
+        self.next_apply = 0;
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, SemiActiveMsg>) {
+        self.base.seal_now(ctx.now().ticks(), self.next_apply);
     }
 
     impl_as_any!();

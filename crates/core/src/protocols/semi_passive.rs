@@ -18,12 +18,12 @@ use repl_gcs::{
     ConsEvent, ConsMsg, ConsensusConfig, ConsensusPool, FdConfig, FdEvent, FdMsg, HeartbeatFd,
     Outbox,
 };
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, TimerId};
+use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 
 use crate::client::ProtocolMsg;
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
-use crate::protocols::common::{global_txn, ExecutionMode, ServerBase};
+use crate::protocols::common::{global_txn, ExecutionMode, ServerBase, RESTORE_TAG};
 
 /// What a deferred coordinator proposes for a slot: the operation it
 /// picked, the update its execution produced, and the client response.
@@ -119,6 +119,9 @@ pub struct SemiPassiveServer {
     wal: RedoLog,
     /// Waiting for the first catch-up reply after a crash.
     recovering: bool,
+    /// Remembered retention cap, re-applied when a volume loss forces a
+    /// fresh decision log.
+    wal_retention: Option<usize>,
     marks: bool,
 }
 
@@ -148,6 +151,7 @@ impl SemiPassiveServer {
             engaged_slot: None,
             wal: RedoLog::new(),
             recovering: false,
+            wal_retention: None,
             marks: site == 0,
         }
     }
@@ -156,6 +160,7 @@ impl SemiPassiveServer {
     /// cap forces snapshot transfers for peers that fall behind the
     /// truncation point.
     pub fn set_log_retention(&mut self, max_entries: Option<usize>) {
+        self.wal_retention = max_entries;
         self.wal.set_retention(max_entries);
     }
 
@@ -249,6 +254,37 @@ impl SemiPassiveServer {
             self.engage(ctx);
         }
     }
+
+    /// Re-enters the group after the database state is back in place
+    /// (directly on crash recovery; after the restore download when a
+    /// volume loss forced a rebuild from the durable tier).
+    fn rejoin_now(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
+        // Timers died with the process: restart heartbeats, dropping
+        // pre-crash miss counters so the first tick cannot suspect a
+        // live peer on stale evidence.
+        self.fd.reset();
+        let mut out = Outbox::new();
+        repl_gcs::Component::on_start(&mut self.fd, &mut out);
+        self.drive_fd(ctx, out);
+        // Pending requests may have been decided while we were down;
+        // clients re-forward anything genuinely unanswered.
+        self.pending.clear();
+        self.engaged_slot = None;
+        if self.group.len() == 1 {
+            let mut out = Outbox::new();
+            self.pool.resume(&mut out);
+            let events = repl_gcs::apply_outbox(ctx, out, CONS_BASE, SemiPassiveMsg::Cons);
+            self.handle_decisions(ctx, events);
+            self.base.recovery.complete(ctx.now().ticks());
+            return;
+        }
+        self.recovering = true;
+        for &m in &self.group.clone() {
+            if m != ctx.me() {
+                ctx.send(m, SemiPassiveMsg::SyncReq(self.next_slot));
+            }
+        }
+    }
 }
 
 impl Actor<SemiPassiveMsg> for SemiPassiveServer {
@@ -264,6 +300,9 @@ impl Actor<SemiPassiveMsg> for SemiPassiveServer {
         from: NodeId,
         msg: SemiPassiveMsg,
     ) {
+        if self.base.restoring() {
+            return; // deaf until the volume restore download completes
+        }
         match msg {
             SemiPassiveMsg::Invoke(op) => {
                 if let Some(resp) = self.base.cached(op.id) {
@@ -338,6 +377,16 @@ impl Actor<SemiPassiveMsg> for SemiPassiveServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>, _timer: TimerId, tag: u64) {
+        // RESTORE_TAG exceeds FD_BASE, so it must be matched before the
+        // range dispatch below.
+        if tag == RESTORE_TAG {
+            self.base.finish_restore();
+            self.rejoin_now(ctx);
+            return;
+        }
+        if self.base.restoring() {
+            return;
+        }
         if tag >= FD_BASE {
             let mut out = Outbox::new();
             repl_gcs::Component::on_timer(&mut self.fd, tag - FD_BASE, &mut out);
@@ -357,31 +406,40 @@ impl Actor<SemiPassiveMsg> for SemiPassiveServer {
 
     fn on_recover(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
         self.base.recovery.begin(ctx.now().ticks());
-        // Timers died with the process: restart heartbeats, dropping
-        // pre-crash miss counters so the first tick cannot suspect a
-        // live peer on stale evidence.
-        self.fd.reset();
-        let mut out = Outbox::new();
-        repl_gcs::Component::on_start(&mut self.fd, &mut out);
-        self.drive_fd(ctx, out);
-        // Pending requests may have been decided while we were down;
-        // clients re-forward anything genuinely unanswered.
-        self.pending.clear();
-        self.engaged_slot = None;
-        if self.group.len() == 1 {
-            let mut out = Outbox::new();
-            self.pool.resume(&mut out);
-            let events = repl_gcs::apply_outbox(ctx, out, CONS_BASE, SemiPassiveMsg::Cons);
-            self.handle_decisions(ctx, events);
-            self.base.recovery.complete(ctx.now().ticks());
-            return;
-        }
-        self.recovering = true;
-        for &m in &self.group.clone() {
-            if m != ctx.me() {
-                ctx.send(m, SemiPassiveMsg::SyncReq(self.next_slot));
+        if let Some(plan) = self.base.begin_restore(ctx.now().ticks()) {
+            // The durable tier cannot reconstruct the slot-indexed
+            // decision log (duplicate decisions are logged but never
+            // noted), so treat the restore like a snapshot catch-up: an
+            // empty log based at the restored cursor. Earlier suffixes
+            // are simply donated by peers instead of us.
+            self.wal = RedoLog::new();
+            self.wal.set_retention(self.wal_retention);
+            self.wal.skip_to(plan.token);
+            self.next_slot = plan.token;
+            self.decided.clear();
+            if plan.delay > 0 {
+                ctx.set_timer(SimDuration::from_ticks(plan.delay), RESTORE_TAG);
+                return;
             }
+            self.base.finish_restore();
         }
+        self.rejoin_now(ctx);
+    }
+
+    fn on_volume_loss(&mut self, now: SimTime) {
+        self.base.wipe_volume(now.ticks());
+        self.wal = RedoLog::new();
+        self.wal.set_retention(self.wal_retention);
+        self.pending.clear();
+        self.decided.clear();
+        self.engaged_slot = None;
+        self.next_slot = 0;
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, SemiPassiveMsg>) {
+        // The slot cursor is the frame token: a restore resumes exactly
+        // at the next undecided slot the sealed state reflects.
+        self.base.seal_now(ctx.now().ticks(), self.next_slot);
     }
 
     impl_as_any!();

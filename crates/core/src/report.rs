@@ -6,6 +6,7 @@ use repl_sim::{LatencyStats, Metrics, SimDuration, SimTime};
 
 use crate::client::OpRecord;
 use crate::consistency::{count_stale_reads, StaleRead};
+use crate::op::OpId;
 use crate::phase::{PhaseSkeleton, PhaseTrace};
 use crate::technique::Technique;
 
@@ -28,6 +29,69 @@ pub struct NodeRecovery {
     pub log_suffix_transfers: u64,
     /// Transfers served as full snapshots.
     pub snapshot_transfers: u64,
+}
+
+/// Durable-tier and disaster accounting of one run, aggregated across
+/// servers. All-zero (except possibly the upload counters) on runs
+/// without volume-loss faults; entirely zero with the tier disabled.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityReport {
+    /// Whether the run configured a durable log tier at all.
+    pub enabled: bool,
+    /// Volume-loss disasters applied across servers (tiered or not).
+    pub volume_wipes: u64,
+    /// Acknowledged commits erased before they were durable, summed
+    /// over all wipes — the realised data-loss window.
+    pub lost_commits: u64,
+    /// The operations behind [`DurabilityReport::lost_commits`], for
+    /// the no-silent-loss oracle (sorted, deduplicated). A loss is only
+    /// acceptable when it is claimed here.
+    pub claimed_lost: Vec<OpId>,
+    /// Volume restores performed from the durable tier.
+    pub restores: u64,
+    /// Bytes downloaded from the tier during restores.
+    pub restore_bytes: u64,
+    /// Ticks servers spent deaf in restore downloads and log replay.
+    pub restore_ticks: u64,
+    /// Object-store PUTs issued by the uploaders.
+    pub upload_puts: u64,
+    /// Bytes shipped to the object store.
+    pub upload_bytes: u64,
+    /// Accumulated object-store cost units (per-request + per-KiB).
+    pub upload_cost: u64,
+    /// Log frames sealed across servers.
+    pub frames_sealed: u64,
+}
+
+impl DurabilityReport {
+    /// True when a disaster actually touched this run — the digest only
+    /// mixes durability state in that case, so runs with a (quiescent or
+    /// disabled) tier stay byte-identical to the untiered baseline.
+    pub fn disaster(&self) -> bool {
+        self.volume_wipes > 0 || self.restores > 0 || self.lost_commits > 0
+    }
+}
+
+/// An acknowledged commit that a disaster silently erased: the client
+/// was told "committed", no surviving replica knows the transaction,
+/// and the run's data-loss accounting never claimed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SilentLoss {
+    /// The client operation whose commit vanished.
+    pub op: OpId,
+    /// The transaction id it ran under.
+    pub txn: TxnId,
+}
+
+impl std::fmt::Display for SilentLoss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "op {:?} (txn {:?}) was acknowledged committed but no replica remembers it \
+             and the data-loss accounting never claimed it",
+            self.op, self.txn
+        )
+    }
 }
 
 /// Availability metrics of one run, meaningful under a fault load.
@@ -138,6 +202,8 @@ pub struct RunReport {
     /// Availability metrics (unavailability windows, failover latency,
     /// fault counts).
     pub availability: Availability,
+    /// Durable-tier accounting (uploads, disasters, restores, loss).
+    pub durability: DurabilityReport,
     /// FNV-1a hash of the world's full trace log (constant for the empty
     /// log when tracing was disabled). Same seed ⇒ same hash; the
     /// determinism oracle compares these across serial and parallel
@@ -290,8 +356,60 @@ impl RunReport {
             mix(r.log_suffix_transfers);
             mix(r.snapshot_transfers);
         }
+        // Durability state is mixed only once a disaster touched the
+        // run: a quiescent tier (and upload accounting alone) must keep
+        // the digest byte-identical to the untiered baseline.
+        if self.durability.disaster() {
+            mix(self.durability.volume_wipes);
+            mix(self.durability.lost_commits);
+            mix(self.durability.claimed_lost.len() as u64);
+            for op in &self.durability.claimed_lost {
+                mix(op.0);
+            }
+            mix(self.durability.restores);
+            mix(self.durability.restore_bytes);
+            mix(self.durability.restore_ticks);
+        }
         mix(self.trace_hash);
         h
+    }
+
+    /// The no-silent-loss oracle: every update-only operation that was
+    /// acknowledged as committed must either still be remembered by at
+    /// least one replica's history or be claimed in the run's data-loss
+    /// accounting ([`DurabilityReport::claimed_lost`]). Violations mean
+    /// a disaster erased an acknowledged commit and nothing owned up to
+    /// it.
+    ///
+    /// Read-only and read-write acknowledgements are exempt: their
+    /// reads pin them in history through the surviving replicas, and a
+    /// read-only commit has no durable effect to lose.
+    ///
+    /// # Errors
+    ///
+    /// Returns every silently lost operation, in client-record order.
+    pub fn check_no_silent_loss(&self) -> Result<(), Vec<SilentLoss>> {
+        let committed = self.history.committed();
+        let mut violations = Vec::new();
+        for (_, rec) in &self.records {
+            let Some(resp) = &rec.response else { continue };
+            if !resp.committed || !resp.reads.is_empty() {
+                continue;
+            }
+            let txn = crate::protocols::common::global_txn(rec.op);
+            if committed.contains(&txn) {
+                continue;
+            }
+            if self.durability.claimed_lost.binary_search(&rec.op).is_ok() {
+                continue;
+            }
+            violations.push(SilentLoss { op: rec.op, txn });
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
     }
 
     /// One-line human-readable summary.

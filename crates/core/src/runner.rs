@@ -11,8 +11,9 @@ use repl_workload::{
 };
 
 use crate::client::{ClientActor, OpenLoopClient, ProtocolMsg};
+use crate::durability::DurabilityConfig;
 use crate::phase::PhaseTrace;
-use crate::protocols::common::{AbcastImpl, ExecutionMode};
+use crate::protocols::common::{op_of_txn, AbcastImpl, ExecutionMode};
 use crate::protocols::lazy_ue::ReconcileMode;
 use crate::protocols::{
     active::{ActiveMsg, ActiveServer},
@@ -81,6 +82,14 @@ pub struct RunConfig {
     /// log-suffix recovery transfers before truncation forces snapshot
     /// transfers. `None` retains everything.
     pub log_retention: Option<usize>,
+    /// The durable log tier every server uploads committed writesets
+    /// into. Disabled (the default) reproduces the untiered behaviour
+    /// bit-for-bit; enabling it arms volume-loss survival.
+    pub durability: DurabilityConfig,
+    /// Simulated cost of one stable-storage force, charged when a
+    /// restore replays a durable log suffix. Defaults to
+    /// [`repl_db::FSYNC_TICKS`].
+    pub fsync_ticks: u64,
     /// Client retry timeout.
     pub retry_after: SimDuration,
     /// Hard deadline for the run.
@@ -111,6 +120,8 @@ impl RunConfig {
             reconcile: ReconcileMode::Lww,
             propagation_delay: SimDuration::ZERO,
             log_retention: None,
+            durability: DurabilityConfig::disabled(),
+            fsync_ticks: repl_db::FSYNC_TICKS,
             retry_after: SimDuration::from_ticks(25_000),
             max_time: SimTime::from_ticks(30_000_000),
             trace: true,
@@ -210,6 +221,18 @@ impl RunConfig {
         self
     }
 
+    /// Sets the durable log tier configuration.
+    pub fn with_durability(mut self, d: DurabilityConfig) -> Self {
+        self.durability = d;
+        self
+    }
+
+    /// Sets the simulated fsync cost (restore replay of log suffixes).
+    pub fn with_fsync_ticks(mut self, t: u64) -> Self {
+        self.fsync_ticks = t;
+        self
+    }
+
     /// Sets the client retry timeout (base of the retry backoff).
     pub fn with_retry_after(mut self, d: SimDuration) -> Self {
         self.retry_after = d;
@@ -284,6 +307,15 @@ struct ServerStats {
     reconciliations: u64,
     wounds: u64,
     recovery: repl_db::RecoveryTracker,
+    volume_wipes: u64,
+    lost: Vec<repl_db::TxnId>,
+    restores: u64,
+    restore_bytes: u64,
+    restore_ticks: u64,
+    upload_puts: u64,
+    upload_bytes: u64,
+    upload_cost: u64,
+    frames_sealed: u64,
 }
 
 /// Why an experiment run could not be performed.
@@ -378,50 +410,52 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::Active => drive::<ActiveMsg, ActiveServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(
-                    ActiveServer::new(
-                        site,
-                        me,
-                        group,
-                        c.workload.keyspace(),
-                        c.exec,
-                        c.abcast,
-                        tuned_consensus(&c.network),
-                    )
-                    .with_batching(c.batching),
+                let mut srv = ActiveServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.keyspace(),
+                    c.exec,
+                    c.abcast,
+                    tuned_consensus(&c.network),
                 )
+                .with_batching(c.batching);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
+                Box::new(srv)
             },
             |s| base_stats(&s.base),
         ),
         Technique::Passive => drive::<PassiveMsg, PassiveServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(PassiveServer::new(
+                let mut srv = PassiveServer::new(
                     site,
                     me,
                     group,
                     c.workload.keyspace(),
                     c.exec,
                     tuned_vs(&c.network),
-                ))
+                );
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
+                Box::new(srv)
             },
             |s| base_stats(&s.base),
         ),
         Technique::SemiActive => drive::<SemiActiveMsg, SemiActiveServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(
-                    SemiActiveServer::new(
-                        site,
-                        me,
-                        group,
-                        c.workload.keyspace(),
-                        c.exec,
-                        c.abcast,
-                        tuned_vs(&c.network),
-                    )
-                    .with_batching(c.batching),
+                let mut srv = SemiActiveServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.keyspace(),
+                    c.exec,
+                    c.abcast,
+                    tuned_vs(&c.network),
                 )
+                .with_batching(c.batching);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
+                Box::new(srv)
             },
             |s| base_stats(&s.base),
         ),
@@ -438,6 +472,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                     tuned_consensus(&c.network),
                 );
                 srv.set_log_retention(c.log_retention);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -455,6 +490,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 )
                 .with_batching(c.batching);
                 srv.set_log_retention(c.log_retention);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -462,10 +498,11 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::EagerUpdateEverywhereLocking => drive::<EulMsg, EulServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(
+                let mut srv =
                     EulServer::new(site, me, group, c.workload.keyspace(), c.exec, c.deadlock)
-                        .with_rowa(c.rowa),
-                )
+                        .with_rowa(c.rowa);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
+                Box::new(srv)
             },
             |s| {
                 let mut stats = base_stats(&s.base);
@@ -476,18 +513,18 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::EagerUpdateEverywhereAbcast => drive::<EuaMsg, EuaServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(
-                    EuaServer::new(
-                        site,
-                        me,
-                        group,
-                        c.workload.keyspace(),
-                        c.exec,
-                        c.abcast,
-                        tuned_consensus(&c.network),
-                    )
-                    .with_batching(c.batching),
+                let mut srv = EuaServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.keyspace(),
+                    c.exec,
+                    c.abcast,
+                    tuned_consensus(&c.network),
                 )
+                .with_batching(c.batching);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
+                Box::new(srv)
             },
             |s| base_stats(&s.base),
         ),
@@ -504,6 +541,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 )
                 .with_batching(c.batching);
                 srv.set_log_retention(c.log_retention);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -511,17 +549,17 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::LazyUpdateEverywhere => drive::<LazyUeMsg, LazyUeServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(
-                    LazyUeServer::new(
-                        site,
-                        me,
-                        group,
-                        c.workload.keyspace(),
-                        c.exec,
-                        c.propagation_delay,
-                    )
-                    .with_reconcile(c.reconcile),
+                let mut srv = LazyUeServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.keyspace(),
+                    c.exec,
+                    c.propagation_delay,
                 )
+                .with_reconcile(c.reconcile);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
+                Box::new(srv)
             },
             |s| {
                 let mut stats = base_stats(&s.base);
@@ -532,18 +570,18 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
         Technique::Certification => drive::<CertMsg, CertServer>(
             cfg,
             |site, me, group, c| {
-                Box::new(
-                    CertServer::new(
-                        site,
-                        me,
-                        group,
-                        c.workload.keyspace(),
-                        c.exec,
-                        c.abcast,
-                        tuned_consensus(&c.network),
-                    )
-                    .with_batching(c.batching),
+                let mut srv = CertServer::new(
+                    site,
+                    me,
+                    group,
+                    c.workload.keyspace(),
+                    c.exec,
+                    c.abcast,
+                    tuned_consensus(&c.network),
                 )
+                .with_batching(c.batching);
+                srv.base.set_durability(&c.durability, c.fsync_ticks);
+                Box::new(srv)
             },
             |s| base_stats(&s.base),
         ),
@@ -551,14 +589,34 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
 }
 
 fn base_stats(base: &crate::protocols::common::ServerBase) -> ServerStats {
-    ServerStats {
+    let mut stats = ServerStats {
         history: base.history.clone(),
         fingerprint: base.store.fingerprint(),
         aborted: base.aborted,
         reconciliations: 0,
         wounds: 0,
         recovery: base.recovery.clone(),
+        volume_wipes: base.volume_wipes,
+        lost: Vec::new(),
+        restores: 0,
+        restore_bytes: 0,
+        restore_ticks: 0,
+        upload_puts: 0,
+        upload_bytes: 0,
+        upload_cost: 0,
+        frames_sealed: 0,
+    };
+    if let Some(tier) = &base.tier {
+        stats.lost = tier.lost.clone();
+        stats.restores = tier.restores;
+        stats.restore_bytes = tier.restore_bytes;
+        stats.restore_ticks = tier.restore_ticks;
+        stats.upload_puts = tier.object().puts();
+        stats.upload_bytes = tier.object().bytes_uploaded();
+        stats.upload_cost = tier.object().cost();
+        stats.frames_sealed = tier.frames_sealed();
     }
+    stats
 }
 
 /// The server a given client prefers: the primary for the primary-copy
@@ -630,6 +688,7 @@ where
             FaultEvent::Crash { at, node } => world.schedule_crash(*at, *node),
             FaultEvent::Recover { at, node } => world.schedule_recover(*at, *node),
             FaultEvent::Net { at, fault } => world.schedule_net_fault(*at, fault.clone()),
+            FaultEvent::VolumeLoss { at, node } => world.schedule_volume_loss(*at, *node),
         }
     }
     world.start();
@@ -695,6 +754,11 @@ where
     let mut reconciliations = 0u64;
     let mut wounds = 0u64;
     let mut recoveries = Vec::new();
+    let mut durability = crate::report::DurabilityReport {
+        enabled: cfg.durability.enabled,
+        ..Default::default()
+    };
+    let mut claimed_lost: Vec<crate::op::OpId> = Vec::new();
     for (site, &s) in servers.iter().enumerate() {
         let stats = collect(world.actor_ref::<S>(s));
         history.merge(&stats.history);
@@ -702,6 +766,16 @@ where
         server_aborts += stats.aborted;
         reconciliations += stats.reconciliations;
         wounds += stats.wounds;
+        durability.volume_wipes += stats.volume_wipes;
+        durability.lost_commits += stats.lost.len() as u64;
+        claimed_lost.extend(stats.lost.iter().map(|&t| op_of_txn(t)));
+        durability.restores += stats.restores;
+        durability.restore_bytes += stats.restore_bytes;
+        durability.restore_ticks += stats.restore_ticks;
+        durability.upload_puts += stats.upload_puts;
+        durability.upload_bytes += stats.upload_bytes;
+        durability.upload_cost += stats.upload_cost;
+        durability.frames_sealed += stats.frames_sealed;
         if stats.recovery.recoveries > 0 {
             recoveries.push(crate::report::NodeRecovery {
                 site: site as u32,
@@ -714,6 +788,9 @@ where
             });
         }
     }
+    claimed_lost.sort_unstable();
+    claimed_lost.dedup();
+    durability.claimed_lost = claimed_lost;
     let phase_trace = PhaseTrace::from_trace(world.trace());
     let trace_hash = world.trace().hash();
     // Availability: per-client worst request→response gap (unanswered ops
@@ -776,6 +853,7 @@ where
         wounds,
         server_aborts,
         availability,
+        durability,
         trace_hash,
     }
 }

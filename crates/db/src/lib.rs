@@ -13,6 +13,8 @@
 //! * [`Certifier`] — the deterministic certification test,
 //! * [`Transfer`]/[`RecoveryTracker`] — crash-recovery state transfer
 //!   (log-suffix vs snapshot) and MTTR accounting,
+//! * [`DurableLog`] — the off-node durable log tier (sealed frames,
+//!   durable watermark, disaster wipe/restore),
 //! * [`ReplicatedHistory`] — one-copy-serializability checking.
 //!
 //! The crate is pure data structures and state machines: no I/O, no
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod certify;
+mod durable;
 pub mod hash;
 mod history;
 mod item;
@@ -34,6 +37,7 @@ mod twopc;
 mod txn;
 
 pub use certify::{Certification, Certifier};
+pub use durable::{DurableFrame, DurableLog, DurableRestore};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use history::{HistOp, ReplicatedHistory, SerializabilityViolation};
 pub use item::{AccessKind, Key, Keyspace, TxnId, Value};

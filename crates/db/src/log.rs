@@ -59,7 +59,9 @@ impl WriteSet {
 
 /// Simulated latency of one stable-storage force (fsync), in virtual
 /// ticks. Group commit's whole point is that a window of transactions
-/// shares a single such charge.
+/// shares a single such charge. This is the *default*; runs can vary
+/// it through `RunConfig::fsync_ticks` to model faster or slower
+/// stable storage.
 pub const FSYNC_TICKS: u64 = 120;
 
 /// An append-only redo log, as kept by each site for propagation and
@@ -208,6 +210,17 @@ impl RedoLog {
         self.len() == 0
     }
 
+    /// Loses the entire log to a volume failure: committed entries,
+    /// staged records and logical position are all gone, as if the log
+    /// file never existed. The retention policy and the lifetime fsync
+    /// count (forces already paid) are kept. A restore typically
+    /// follows with [`RedoLog::skip_to`] at the durable watermark.
+    pub fn wipe(&mut self) {
+        self.entries.clear();
+        self.staged.clear();
+        self.base = 0;
+    }
+
     /// Fast-forwards the log to logical position `index`, retaining
     /// nothing below it — used after installing a snapshot stamped with
     /// the donor's watermark, where the skipped entries were never
@@ -306,6 +319,25 @@ mod tests {
         assert_eq!(log.flush_group(), Some((10, 4)));
         assert_eq!(log.len(), 14);
         assert_eq!(log.first_retained(), 11);
+    }
+
+    #[test]
+    fn wipe_empties_log_but_keeps_paid_forces() {
+        let mut log = RedoLog::new().with_retention(8);
+        for i in 0..5 {
+            log.append(WriteSet::empty(TxnId::new(i, 0)));
+        }
+        log.stage(WriteSet::empty(TxnId::new(9, 0)));
+        log.wipe();
+        assert!(log.is_empty());
+        assert_eq!(log.staged_len(), 0);
+        assert_eq!(log.first_retained(), 0);
+        assert_eq!(log.fsyncs(), 5, "forces already paid are history");
+        // A restore fast-forwards to the durable watermark.
+        log.skip_to(3);
+        assert_eq!(log.len(), 3);
+        assert!(log.has_suffix(3));
+        assert!(!log.has_suffix(2));
     }
 
     #[test]

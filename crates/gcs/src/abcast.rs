@@ -453,8 +453,17 @@ impl<P: Message> SequencerAbcast<P> {
             );
         } else {
             // The sequencer retains the full order itself (and senders
-            // retransmit unordered submissions), so it is caught up by
-            // construction; non-members deliver nothing.
+            // retransmit unordered submissions), so it refills its own
+            // receiver stream locally — after a disaster rewind the
+            // stream restarts behind `next_gseq`. Zero wire bytes.
+            // Non-members deliver nothing.
+            if self.member {
+                while self.next_deliver < self.next_gseq {
+                    let g = self.next_deliver;
+                    let (id, payload) = self.order_log[g as usize].clone();
+                    self.accept(g, id, payload, out);
+                }
+            }
             self.rejoin_wait = false;
             self.rejoin_done = Some(0);
         }
@@ -485,6 +494,31 @@ impl<P: Message> SequencerAbcast<P> {
     /// [`rejoin`]: SequencerAbcast::rejoin
     pub fn take_rejoin_done(&mut self) -> Option<u64> {
         self.rejoin_done.take()
+    }
+
+    /// The receiver's stream position: the next gseq it will deliver.
+    /// Everything below it has already been handed to the host.
+    pub fn position(&self) -> u64 {
+        self.next_deliver
+    }
+
+    /// Rewinds the receiver stream to `gseq` (no-op if not behind the
+    /// current position): a host that lost the state derived from
+    /// deliveries `[gseq, position())` — e.g. to a volume-loss disaster
+    /// — calls this before [`rejoin`](Self::rejoin), and the refill
+    /// re-delivers from `gseq` in the original order. Only receiver
+    /// state moves; the sequencer role's retained order is untouched.
+    pub fn rewind_to(&mut self, gseq: u64) {
+        if gseq >= self.next_deliver {
+            return;
+        }
+        self.next_deliver = gseq;
+        self.holdback.clear();
+        // Every gseq carries a unique id and re-delivery below the old
+        // position is exactly what the caller asked for, so the dedup
+        // set restarts empty (stale gseqs park in the holdback, which
+        // only drains forward from `gseq`).
+        self.delivered_ids.clear();
     }
 
     fn accept(
@@ -967,6 +1001,44 @@ impl<P: Message> ConsensusAbcast<P> {
     /// [`rejoin`]: ConsensusAbcast::rejoin
     pub fn take_rejoin_done(&mut self) -> Option<u64> {
         self.rejoin_done.take()
+    }
+
+    /// The delivery stream position: the next consensus instance whose
+    /// batch this endpoint will deliver.
+    pub fn position(&self) -> u64 {
+        self.next_inst
+    }
+
+    /// Rewinds the delivery stream to instance `inst` (no-op if not
+    /// behind the current position): a host that lost the state derived
+    /// from instances `[inst, position())` calls this before
+    /// [`rejoin`](Self::rejoin). The retained decided suffix moves back
+    /// into the undelivered set, so the rejoin replays it locally —
+    /// peers' refills only fill genuine gaps.
+    pub fn rewind_to(&mut self, inst: u64) {
+        if inst >= self.next_inst {
+            return;
+        }
+        let tail = self.decided_log.split_off(inst as usize);
+        // An id can appear in several decided batches (proposals carry
+        // whole pending sets), so the delivered-id set and the gseq
+        // counter must be recomputed from the retained prefix — not
+        // subtracted from the tail, which would double-count repeats.
+        let mut delivered = HashSet::new();
+        let mut next_gseq = 0u64;
+        for batch in &self.decided_log {
+            for (id, _) in batch.entries() {
+                if delivered.insert(*id) {
+                    next_gseq += 1;
+                }
+            }
+        }
+        self.delivered = delivered;
+        self.next_gseq = next_gseq;
+        for (k, batch) in tail.into_iter().enumerate() {
+            self.decided.entry(inst + k as u64).or_insert(batch);
+        }
+        self.next_inst = inst;
     }
 
     fn handle_pool_events(
@@ -1525,6 +1597,157 @@ mod tests {
             host.inner.rejoin_done.expect("rejoin report pending") > 0,
             "refill carried no bytes"
         );
+    }
+
+    #[test]
+    fn sequencer_rewind_replays_the_stream_after_volume_loss() {
+        use crate::testkit::schedule_outage;
+        let mut world: World<SeqAbMsg<u32>> = World::new(SimConfig::new(29));
+        let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3u32 {
+            let mut actor =
+                ComponentActor::new(SequencerAbcast::<u32>::new(NodeId::new(i), group.clone()))
+                    // A disaster recovery: the host lost everything built
+                    // from past deliveries, so rewind to 0 and refill.
+                    .with_recovery(|ab, out| {
+                        ab.rewind_to(0);
+                        ab.rejoin(out);
+                    });
+            if i < 2 {
+                for k in 0..3u32 {
+                    let value = i * 10 + k;
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(50 + (k as u64) * 5_000 + i as u64),
+                        move |ab, out| {
+                            ab.broadcast(value, out);
+                        },
+                    );
+                }
+            }
+            world.add_actor(Box::new(actor));
+        }
+        schedule_outage(
+            &mut world,
+            group[2],
+            SimTime::from_ticks(8_000),
+            SimTime::from_ticks(40_000),
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let reference = deliveries_seq(&world, group[0]);
+        assert_eq!(reference.len(), 6, "all broadcasts ordered: {reference:?}");
+        let rewound = deliveries_seq(&world, group[2]);
+        // Pre-outage deliveries plus the full replay: the suffix must be
+        // the whole reference stream, in order.
+        assert!(rewound.len() >= reference.len());
+        assert_eq!(
+            rewound[rewound.len() - reference.len()..],
+            reference[..],
+            "replay after rewind differs from the group order"
+        );
+        let host = world.actor_ref::<SeqHost>(group[2]);
+        assert!(!host.inner.rejoin_wait, "rejoin never completed");
+    }
+
+    #[test]
+    fn sequencer_member_rewind_self_refills_without_wire_bytes() {
+        use crate::testkit::schedule_outage;
+        let mut world: World<SeqAbMsg<u32>> = World::new(SimConfig::new(31));
+        let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3u32 {
+            let mut actor =
+                ComponentActor::new(SequencerAbcast::<u32>::new(NodeId::new(i), group.clone()))
+                    .with_recovery(|ab, out| {
+                        ab.rewind_to(0);
+                        ab.rejoin(out);
+                    });
+            if i > 0 {
+                for k in 0..2u32 {
+                    let value = i * 10 + k;
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(50 + (k as u64) * 500 + i as u64),
+                        move |ab, out| {
+                            ab.broadcast(value, out);
+                        },
+                    );
+                }
+            }
+            world.add_actor(Box::new(actor));
+        }
+        // The sequencer itself goes down after ordering everything; its
+        // retained order log survives (daemon state) and refills its own
+        // rewound receiver stream on rejoin.
+        schedule_outage(
+            &mut world,
+            group[0],
+            SimTime::from_ticks(20_000),
+            SimTime::from_ticks(30_000),
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(200_000));
+        let reference = deliveries_seq(&world, group[1]);
+        assert_eq!(reference.len(), 4, "all broadcasts ordered: {reference:?}");
+        let rewound = deliveries_seq(&world, group[0]);
+        assert_eq!(
+            rewound[rewound.len() - reference.len()..],
+            reference[..],
+            "sequencer's self-refill differs from the group order"
+        );
+        let host = world.actor_ref::<SeqHost>(group[0]);
+        assert_eq!(
+            host.inner.rejoin_done,
+            Some(0),
+            "self-refill must carry no wire bytes"
+        );
+    }
+
+    #[test]
+    fn consensus_rewind_replays_the_stream_after_volume_loss() {
+        use crate::testkit::schedule_outage;
+        let mut world: World<CAbMsg<u32>> = World::new(SimConfig::new(37));
+        let group: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        for i in 0..3u32 {
+            let mut actor = ComponentActor::new(ConsensusAbcast::<u32>::new(
+                NodeId::new(i),
+                group.clone(),
+                ConsensusConfig::default(),
+            ))
+            .with_recovery(|ab, out| {
+                ab.rewind_to(0);
+                ab.rejoin(out);
+            });
+            if i < 2 {
+                for k in 0..3u32 {
+                    let value = i * 10 + k;
+                    actor = actor.with_step(
+                        repl_sim::SimDuration::from_ticks(50 + (k as u64) * 9_000 + i as u64),
+                        move |ab, out| {
+                            ab.broadcast(value, out);
+                        },
+                    );
+                }
+            }
+            world.add_actor(Box::new(actor));
+        }
+        schedule_outage(
+            &mut world,
+            group[2],
+            SimTime::from_ticks(12_000),
+            SimTime::from_ticks(60_000),
+        );
+        world.start();
+        world.run_until(SimTime::from_ticks(400_000));
+        let reference = deliveries_cons(&world, group[0]);
+        assert_eq!(reference.len(), 6, "all broadcasts ordered: {reference:?}");
+        let rewound = deliveries_cons(&world, group[2]);
+        assert!(rewound.len() >= reference.len());
+        assert_eq!(
+            rewound[rewound.len() - reference.len()..],
+            reference[..],
+            "replay after rewind differs from the group order"
+        );
+        let host = world.actor_ref::<ConsHost>(group[2]);
+        assert!(!host.inner.rejoin_wait, "rejoin never completed");
     }
 
     #[test]

@@ -86,6 +86,23 @@ pub trait Actor<M: Message>: 'static {
     /// crash-stop simply never schedule a recovery.
     fn on_recover(&mut self, _ctx: &mut Context<'_, M>) {}
 
+    /// Called when the node's storage volume is lost (disaster fault).
+    /// Like [`on_crash`](Self::on_crash) the node is down afterwards, but
+    /// the actor must additionally discard everything it modeled as living
+    /// on the lost volume (WAL, versioned store). The default treats the
+    /// disaster as a plain crash — correct for actors with no durable
+    /// state, e.g. clients.
+    fn on_volume_loss(&mut self, now: SimTime) {
+        self.on_crash(now);
+    }
+
+    /// Called after every completed interactive callback (`on_start`,
+    /// `on_message`, `on_timer`, `on_recover`) while the actor still has
+    /// the context. Durability tiers use this to seal and ship log frames
+    /// exactly once per event, after the event's full effect is applied.
+    /// The default does nothing.
+    fn on_settle(&mut self, _ctx: &mut Context<'_, M>) {}
+
     /// Upcast for post-run inspection.
     fn as_any(&self) -> &dyn Any;
 

@@ -58,6 +58,7 @@ mod actor;
 mod ids;
 mod metrics;
 mod network;
+mod objectstore;
 mod time;
 mod trace;
 mod world;
@@ -66,6 +67,7 @@ pub use actor::{Actor, Message};
 pub use ids::{NodeId, TimerId};
 pub use metrics::{LatencyStats, Metrics};
 pub use network::{Delivery, LinkQuality, NetFault, Network, NetworkConfig};
+pub use objectstore::{ObjectStore, ObjectStoreConfig};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog, TraceRecord};
 pub use world::{Context, SimConfig, World};

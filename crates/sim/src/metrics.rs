@@ -35,6 +35,8 @@ pub struct Metrics {
     pub crashes_injected: u64,
     /// Node recoveries applied (scheduled recoveries of crashed nodes).
     pub recoveries_injected: u64,
+    /// Volume-loss disasters applied (node down with local storage wiped).
+    pub volume_losses: u64,
     /// Partitions installed (each `Partition` fault event, including
     /// re-partitions while one is already active).
     pub partitions_started: u64,
@@ -56,10 +58,14 @@ impl Metrics {
         }
     }
 
-    /// Total disruptive fault events applied: crashes, partitions and
-    /// link faults (repairs and recoveries are not counted).
+    /// Total disruptive fault events applied: crashes, volume losses,
+    /// partitions and link faults (repairs and recoveries are not
+    /// counted).
     pub fn faults_injected(&self) -> u64 {
-        self.crashes_injected + self.partitions_started + self.link_faults_injected
+        self.crashes_injected
+            + self.volume_losses
+            + self.partitions_started
+            + self.link_faults_injected
     }
 
     /// Total repair events applied: recoveries, heals and link repairs.

@@ -34,6 +34,10 @@ pub enum TraceEvent {
     Crashed,
     /// The node recovered from a crash.
     Recovered,
+    /// The node's local storage volume was lost (disaster fault): its
+    /// WAL and versioned store are gone, and the node is down until a
+    /// scheduled recovery restores it from a durable tier.
+    VolumeLost,
     /// A scheduled network fault was applied. Global faults (partitions,
     /// heals) are recorded against node 0; link faults against the link's
     /// source node.
@@ -202,6 +206,7 @@ impl TraceLog {
                 }
                 TraceEvent::Crashed => mix(4),
                 TraceEvent::Recovered => mix(5),
+                TraceEvent::VolumeLost => mix(8),
                 TraceEvent::NetFault { kind } => {
                     mix(6);
                     for b in kind.bytes() {

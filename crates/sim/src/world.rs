@@ -89,6 +89,7 @@ enum Event<M> {
     Timer { node: NodeId, id: TimerId, tag: u64 },
     Crash { node: NodeId },
     Recover { node: NodeId },
+    VolumeLoss { node: NodeId },
     Net { fault: NetFault },
 }
 
@@ -355,7 +356,10 @@ impl<M: Message> World<M> {
         self.core.network.reserve_nodes(self.actors.len());
         for i in 0..self.actors.len() {
             let node = NodeId::new(i as u32);
-            self.with_actor(node, |actor, ctx| actor.on_start(ctx));
+            self.with_actor(node, |actor, ctx| {
+                actor.on_start(ctx);
+                actor.on_settle(ctx);
+            });
         }
     }
 
@@ -404,7 +408,10 @@ impl<M: Message> World<M> {
                             .trace
                             .record(now, to, TraceEvent::MsgDelivered { from, bytes });
                     }
-                    self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                    self.with_actor(to, |actor, ctx| {
+                        actor.on_message(ctx, from, msg);
+                        actor.on_settle(ctx);
+                    });
                 }
             }
             Event::Timer { node, id, tag } => {
@@ -414,7 +421,10 @@ impl<M: Message> World<M> {
                     return true;
                 }
                 self.core.metrics.timers_fired += 1;
-                self.with_actor(node, |actor, ctx| actor.on_timer(ctx, id, tag));
+                self.with_actor(node, |actor, ctx| {
+                    actor.on_timer(ctx, id, tag);
+                    actor.on_settle(ctx);
+                });
             }
             Event::Crash { node } => {
                 if self.core.alive[node.index()] {
@@ -432,8 +442,21 @@ impl<M: Message> World<M> {
                     self.core.metrics.recoveries_injected += 1;
                     let now = self.core.now;
                     self.core.trace.push(now, node, TraceEvent::Recovered);
-                    self.with_actor(node, |actor, ctx| actor.on_recover(ctx));
+                    self.with_actor(node, |actor, ctx| {
+                        actor.on_recover(ctx);
+                        actor.on_settle(ctx);
+                    });
                 }
+            }
+            Event::VolumeLoss { node } => {
+                // A disaster can strike a live node or one already down
+                // from a crash — either way the volume is gone afterwards.
+                self.core.alive[node.index()] = false;
+                self.core.metrics.volume_losses += 1;
+                let now = self.core.now;
+                self.core.trace.push(now, node, TraceEvent::VolumeLost);
+                let actor = self.actors[node.index()].as_mut().expect("actor present");
+                actor.on_volume_loss(now);
             }
             Event::Net { fault } => {
                 match &fault {
@@ -497,6 +520,14 @@ impl<M: Message> World<M> {
     /// Schedules a recovery of `node` at time `at`.
     pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
         self.core.push(at, Event::Recover { node });
+    }
+
+    /// Schedules a volume-loss disaster at `node` at time `at`: the node
+    /// goes down (if it was not already) and its actor is told to discard
+    /// all state modeled as living on the lost volume. The node stays
+    /// down until a scheduled recovery.
+    pub fn schedule_volume_loss(&mut self, at: SimTime, node: NodeId) {
+        self.core.push(at, Event::VolumeLoss { node });
     }
 
     /// Schedules a network fault (partition, heal, link fault or repair)
@@ -844,6 +875,74 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds, vec!["partition", "heal"]);
+    }
+
+    /// Records every storage-affecting callback, for fault-kind tests.
+    struct FaultProbe {
+        crashes: u64,
+        volume_losses: u64,
+        settles: u64,
+    }
+    impl Actor<TestMsg> for FaultProbe {
+        fn on_message(&mut self, _: &mut Context<'_, TestMsg>, _: NodeId, _: TestMsg) {}
+        fn on_crash(&mut self, _now: SimTime) {
+            self.crashes += 1;
+        }
+        fn on_volume_loss(&mut self, _now: SimTime) {
+            self.volume_losses += 1;
+        }
+        fn on_settle(&mut self, _ctx: &mut Context<'_, TestMsg>) {
+            self.settles += 1;
+        }
+        impl_as_any!();
+    }
+
+    #[test]
+    fn volume_loss_downs_node_and_invokes_disaster_callback() {
+        let mut world: World<TestMsg> = World::new(SimConfig::new(2));
+        let n = world.add_actor(Box::new(FaultProbe {
+            crashes: 0,
+            volume_losses: 0,
+            settles: 0,
+        }));
+        world.schedule_volume_loss(SimTime::from_ticks(10), n);
+        world.schedule_recover(SimTime::from_ticks(100), n);
+        world.start();
+        world.run_until(SimTime::from_ticks(50));
+        assert!(!world.is_alive(n));
+        world.run_to_quiescence(SimTime::from_ticks(1_000));
+        assert!(world.is_alive(n));
+        let probe = world.actor_ref::<FaultProbe>(n);
+        assert_eq!(probe.volume_losses, 1);
+        assert_eq!(probe.crashes, 0, "disaster must not double as a crash");
+        // on_start + on_recover each settle once.
+        assert_eq!(probe.settles, 2);
+        let m = world.metrics();
+        assert_eq!(m.volume_losses, 1);
+        assert_eq!(m.crashes_injected, 0);
+        assert_eq!(m.faults_injected(), 1);
+        assert!(world
+            .trace()
+            .iter()
+            .any(|r| r.event == TraceEvent::VolumeLost && r.node == n));
+    }
+
+    #[test]
+    fn volume_loss_on_crashed_node_still_wipes() {
+        let mut world: World<TestMsg> = World::new(SimConfig::new(2));
+        let n = world.add_actor(Box::new(FaultProbe {
+            crashes: 0,
+            volume_losses: 0,
+            settles: 0,
+        }));
+        world.schedule_crash(SimTime::from_ticks(10), n);
+        world.schedule_volume_loss(SimTime::from_ticks(20), n);
+        world.start();
+        world.run_to_quiescence(SimTime::from_ticks(1_000));
+        let probe = world.actor_ref::<FaultProbe>(n);
+        assert_eq!(probe.crashes, 1);
+        assert_eq!(probe.volume_losses, 1);
+        assert!(!world.is_alive(n));
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub enum FaultEvent {
         /// The fault.
         fault: NetFault,
     },
+    /// Destroy `node`'s durable volume at `at`: the node halts and its
+    /// local WAL and store are lost. Recovery must restore from the
+    /// durable tier (or from peers). Wiping an already-down node is
+    /// allowed — a dead node's disk can still die.
+    VolumeLoss {
+        /// When the disaster happens.
+        at: SimTime,
+        /// The wiped node.
+        node: NodeId,
+    },
 }
 
 impl FaultEvent {
@@ -52,7 +62,8 @@ impl FaultEvent {
         match self {
             FaultEvent::Crash { at, .. }
             | FaultEvent::Recover { at, .. }
-            | FaultEvent::Net { at, .. } => *at,
+            | FaultEvent::Net { at, .. }
+            | FaultEvent::VolumeLoss { at, .. } => *at,
         }
     }
 
@@ -62,6 +73,7 @@ impl FaultEvent {
             FaultEvent::Crash { .. } => "crash",
             FaultEvent::Recover { .. } => "recover",
             FaultEvent::Net { fault, .. } => fault.kind(),
+            FaultEvent::VolumeLoss { .. } => "volume-loss",
         }
     }
 }
@@ -227,6 +239,23 @@ impl FaultPlan {
         self.crash_at(at, node).recover_at(at + downtime, node)
     }
 
+    /// Adds a volume loss: `node` halts at `at` and its durable local
+    /// state (WAL, store) is destroyed. Until recovered the node is down
+    /// exactly like a crash; on recovery it must restore from the durable
+    /// log tier before rejoining.
+    pub fn volume_loss_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push(FaultEvent::VolumeLoss { at, node });
+        self
+    }
+
+    /// Adds a paired disaster: `node` loses its volume at `at` and comes
+    /// back `downtime` later, the disaster analogue of
+    /// [`FaultPlan::outage_at`]. The P12 study sweeps this against the
+    /// durable tier's upload lag (data-loss window vs restore MTTR).
+    pub fn disaster_at(self, at: SimTime, node: NodeId, downtime: SimDuration) -> Self {
+        self.volume_loss_at(at, node).recover_at(at + downtime, node)
+    }
+
     /// The plan's outages in crash order: each crash paired with its
     /// matching recovery (events walked in time order, ties broken by
     /// insertion order, exactly like [`FaultPlan::validate`]). The
@@ -240,6 +269,13 @@ impl FaultPlan {
         for (_, e) in order {
             match e {
                 FaultEvent::Crash { at, node } => open.push((*node, *at)),
+                FaultEvent::VolumeLoss { at, node } => {
+                    // A wipe opens an outage only if the node is not
+                    // already down — it extends the existing one.
+                    if !open.iter().any(|(n, _)| n == node) {
+                        open.push((*node, *at));
+                    }
+                }
                 FaultEvent::Recover { at, node } => {
                     if let Some(pos) = open.iter().position(|(n, _)| n == node) {
                         let (_, crashed) = open.remove(pos);
@@ -339,12 +375,13 @@ impl FaultPlan {
         self.events.len()
     }
 
-    /// Number of disruptive events (crashes, partitions, link faults).
+    /// Number of disruptive events (crashes, volume losses, partitions,
+    /// link faults).
     pub fn fault_count(&self) -> usize {
         self.events
             .iter()
             .filter(|e| match e {
-                FaultEvent::Crash { .. } => true,
+                FaultEvent::Crash { .. } | FaultEvent::VolumeLoss { .. } => true,
                 FaultEvent::Recover { .. } => false,
                 FaultEvent::Net { fault, .. } => fault.is_disruptive(),
             })
@@ -358,13 +395,20 @@ impl FaultPlan {
             .any(|e| matches!(e, FaultEvent::Crash { node: n, .. } if *n == node))
     }
 
-    /// The time of the earliest crash, if any (the anchor for failover
-    /// latency).
+    /// True if the plan ever destroys `node`'s volume.
+    pub fn wipes(&self, node: NodeId) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::VolumeLoss { node: n, .. } if *n == node))
+    }
+
+    /// The time of the earliest node-down fault — crash or volume loss —
+    /// if any (the anchor for failover latency).
     pub fn first_crash_time(&self) -> Option<SimTime> {
         self.events
             .iter()
             .filter_map(|e| match e {
-                FaultEvent::Crash { at, .. } => Some(*at),
+                FaultEvent::Crash { at, .. } | FaultEvent::VolumeLoss { at, .. } => Some(*at),
                 _ => None,
             })
             .min()
@@ -382,7 +426,7 @@ impl FaultPlan {
         let mut disturbed = BTreeSet::new();
         for e in &self.events {
             match e {
-                FaultEvent::Crash { node, .. } => {
+                FaultEvent::Crash { node, .. } | FaultEvent::VolumeLoss { node, .. } => {
                     disturbed.insert(*node);
                 }
                 FaultEvent::Recover { .. } => {}
@@ -422,7 +466,7 @@ impl FaultPlan {
         let mut degraded: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         for e in events {
             match e {
-                FaultEvent::Crash { node, .. } => {
+                FaultEvent::Crash { node, .. } | FaultEvent::VolumeLoss { node, .. } => {
                     crashed.insert(*node);
                 }
                 FaultEvent::Recover { node, .. } => {
@@ -482,6 +526,19 @@ impl FaultPlan {
                     if !crashed.insert(*node) {
                         return Err(FaultPlanError::DuplicateCrash { node: *node, at });
                     }
+                }
+                FaultEvent::VolumeLoss { node, .. } => {
+                    if !in_range(*node) {
+                        return Err(FaultPlanError::NodeOutOfRange {
+                            node: *node,
+                            nodes,
+                            at,
+                        });
+                    }
+                    // Unlike a crash, wiping an already-down node is
+                    // legal: the disk of a crashed node can still die,
+                    // and the single matching recovery brings it back.
+                    crashed.insert(*node);
                 }
                 FaultEvent::Recover { node, .. } => {
                     if !in_range(*node) {
@@ -573,7 +630,15 @@ impl FaultPlan {
     ///   at least two nodes — a link latency spike/loss burst between two
     ///   pool nodes. Keeping both endpoints in the pool matters: a spiked
     ///   link delays heartbeats, and a falsely suspected *untouched*
-    ///   replica could otherwise be evicted from the group.
+    ///   replica could otherwise be evicted from the group,
+    /// * at the harshest intensities (above `0.8`) each episode also
+    ///   loses a volume: one pool node's disk is destroyed in the second
+    ///   half of the episode — after the episode's crash has recovered
+    ///   and its partition healed — and recovers before the episode ends.
+    ///   One wipe at a time, drawn from the minority pool, so a majority
+    ///   is never wiped simultaneously. Disaster draws come from a forked
+    ///   RNG stream, so plans at or below intensity `0.8` are
+    ///   byte-for-byte what earlier versions generated.
     ///
     /// Plans for fewer than two nodes, a zero intensity or a tiny horizon
     /// are empty. Targeted chaos beyond these guardrails can always be
@@ -648,6 +713,27 @@ impl FaultPlan {
                 plan = plan
                     .degrade_link_at(SimTime::from_ticks(hit), src, dst, spike, loss)
                     .restore_link_at(SimTime::from_ticks(repair(&mut rng, hit)), src, dst);
+            }
+        }
+
+        // Disasters ride a forked RNG stream (not `rng`): adding them
+        // must not shift the crash/partition/spike draws above, so plans
+        // at or below intensity 0.8 stay byte-identical to what earlier
+        // versions generated. Each wipe lands in the second half of its
+        // episode, after the episode's crash repair (≤ t0 + span/2 - 1)
+        // and partition heal, and recovers before the episode ends — at
+        // most one node is ever down with it, so a majority always
+        // survives with volumes intact.
+        if intensity > 0.8 {
+            let mut drng = SmallRng::seed_from_u64(seed.rotate_left(32) ^ 0xB077_0E55);
+            for ep in 0..episodes {
+                let t0 = start + ep * span;
+                let victim = NodeId::new(pool_start + drng.gen_range(0..pool_size));
+                let wipe = t0 + span / 2 + drng.gen_range(0..span / 8);
+                let back = (wipe + 1 + drng.gen_range(0..span / 4)).min(t0 + span - 1);
+                plan = plan
+                    .volume_loss_at(SimTime::from_ticks(wipe), victim)
+                    .recover_at(SimTime::from_ticks(back), victim);
             }
         }
         plan
@@ -853,6 +939,123 @@ mod tests {
                 (n(2), t(9_000), None),
             ]
         );
+    }
+
+    #[test]
+    fn disaster_at_pairs_wipe_and_recovery() {
+        let plan = FaultPlan::new()
+            .disaster_at(t(2_000), n(2), SimDuration::from_ticks(6_000))
+            .outage_at(t(12_000), n(1), SimDuration::from_ticks(500));
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.fault_count(), 2);
+        assert!(plan.wipes(n(2)));
+        assert!(!plan.wipes(n(1)));
+        assert!(!plan.crashes(n(2)));
+        assert_eq!(plan.first_crash_time(), Some(t(2_000)));
+        assert!(plan.validate(3, t(20_000)).is_ok());
+        assert!(plan.fully_healed());
+        assert_eq!(
+            plan.outages(),
+            vec![
+                (n(2), t(2_000), Some(SimDuration::from_ticks(6_000))),
+                (n(1), t(12_000), Some(SimDuration::from_ticks(500))),
+            ]
+        );
+        assert_eq!(plan.disturbed_nodes(), BTreeSet::from([n(1), n(2)]));
+    }
+
+    #[test]
+    fn validation_allows_wiping_a_down_node() {
+        // Crash, then the dead node's disk dies too, then one recovery
+        // brings it back: a single down interval, valid.
+        let plan = FaultPlan::new()
+            .crash_at(t(1_000), n(2))
+            .volume_loss_at(t(2_000), n(2))
+            .recover_at(t(5_000), n(2));
+        assert!(plan.validate(3, t(10_000)).is_ok());
+        assert!(plan.fully_healed());
+        // The wipe extends the crash outage rather than opening a second.
+        assert_eq!(
+            plan.outages(),
+            vec![(n(2), t(1_000), Some(SimDuration::from_ticks(4_000)))]
+        );
+        // But a second recovery has nothing to repair.
+        let twice = plan.clone().recover_at(t(6_000), n(2));
+        assert_eq!(
+            twice.validate(3, t(10_000)),
+            Err(FaultPlanError::RecoverWithoutCrash {
+                node: n(2),
+                at: t(6_000)
+            })
+        );
+        // And out-of-range wipes are rejected like any node fault.
+        let oob = FaultPlan::new().volume_loss_at(t(5), n(7));
+        assert!(matches!(
+            oob.validate(3, t(100)),
+            Err(FaultPlanError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn fully_healed_detects_unrecovered_wipe() {
+        let wiped = FaultPlan::new().volume_loss_at(t(10), n(1));
+        assert!(!wiped.fully_healed());
+        assert!(wiped
+            .clone()
+            .recover_at(t(20), n(1))
+            .fully_healed());
+    }
+
+    #[test]
+    fn random_disasters_appear_only_above_high_intensity() {
+        for seed in 0..20 {
+            for nodes in 3..=7u32 {
+                let calm = FaultPlan::random(seed, 0.8, nodes, t(80_000));
+                assert!(
+                    calm.events().iter().all(|e| e.kind() != "volume-loss"),
+                    "seed {seed} n={nodes}: disaster at intensity 0.8"
+                );
+                let harsh = FaultPlan::random(seed, 1.0, nodes, t(80_000));
+                assert!(
+                    harsh.events().iter().any(|e| e.kind() == "volume-loss"),
+                    "seed {seed} n={nodes}: no disaster at intensity 1.0"
+                );
+                harsh
+                    .validate(nodes, t(80_000))
+                    .unwrap_or_else(|e| panic!("seed {seed} n={nodes}: {e}"));
+                assert!(harsh.fully_healed());
+            }
+        }
+    }
+
+    #[test]
+    fn random_disasters_never_down_a_majority_simultaneously() {
+        for seed in 0..20 {
+            for nodes in 2..=7u32 {
+                let plan = FaultPlan::random(seed, 1.0, nodes, t(80_000));
+                let mut order: Vec<&FaultEvent> = plan.events().iter().collect();
+                order.sort_by_key(|e| e.time());
+                let mut down: BTreeSet<NodeId> = BTreeSet::new();
+                let minority = ((nodes - 1) / 2).max(1) as usize;
+                for e in order {
+                    match e {
+                        FaultEvent::Crash { node, .. } | FaultEvent::VolumeLoss { node, .. } => {
+                            down.insert(*node);
+                        }
+                        FaultEvent::Recover { node, .. } => {
+                            down.remove(node);
+                        }
+                        FaultEvent::Net { .. } => {}
+                    }
+                    assert!(
+                        down.len() <= minority,
+                        "seed {seed} n={nodes}: {} nodes down at {} — majority at risk",
+                        down.len(),
+                        e.time()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,86 @@ proptest! {
         prop_assert!(disturbed.len() <= pool as usize);
     }
 
+    /// At every instant of a nemesis plan — any seed, any intensity up to
+    /// the disaster tier — the set of down nodes (crashed or volume-lost)
+    /// stays within the minority victim pool: a majority of replicas is
+    /// never down, and in particular never wiped, simultaneously.
+    #[test]
+    fn nemesis_never_downs_a_majority_simultaneously(
+        seed in any::<u64>(),
+        intensity in 0.0f64..=1.0,
+        nodes in 2u32..=9,
+    ) {
+        use repl_workload::FaultEvent;
+        let h = SimTime::from_ticks(120_000);
+        let plan = FaultPlan::random(seed, intensity, nodes, h);
+        let mut order: Vec<&FaultEvent> = plan.events().iter().collect();
+        order.sort_by_key(|e| e.time());
+        let minority = ((nodes - 1) / 2).max(1) as usize;
+        let mut down = std::collections::BTreeSet::new();
+        let mut wiped = std::collections::BTreeSet::new();
+        for e in order {
+            match e {
+                FaultEvent::Crash { node, .. } => { down.insert(*node); }
+                FaultEvent::VolumeLoss { node, .. } => {
+                    down.insert(*node);
+                    wiped.insert(*node);
+                }
+                FaultEvent::Recover { node, .. } => {
+                    down.remove(node);
+                    wiped.remove(node);
+                }
+                FaultEvent::Net { .. } => {}
+            }
+            prop_assert!(down.len() <= minority);
+            prop_assert!(wiped.len() <= minority);
+        }
+    }
+
+    /// Explicitly composed disaster + outage + partition plans stay valid
+    /// and fully healed as long as each node's down intervals are
+    /// serialised — the composition the P12 nemesis test drives.
+    #[test]
+    fn disaster_crash_partition_composition_stays_valid(
+        raw in proptest::collection::vec(
+            (0u64..=40_000, 1u32..=4, 1u64..=8_000, any::<bool>()), 0..6),
+        cut in 1u64..=40_000,
+    ) {
+        // Serialise per-node down intervals, alternating crash outages and
+        // volume-loss disasters, then overlay a partition + heal.
+        let mut next_free = [0u64; 5];
+        let mut plan = FaultPlan::new();
+        let mut raw = raw;
+        raw.sort_by_key(|&(at, node, down, _)| (at, node, down));
+        for (at, node, down, disaster) in raw {
+            let start = at.max(next_free[node as usize]);
+            next_free[node as usize] = start + down + 1;
+            let (n, t, d) = (
+                NodeId::new(node),
+                SimTime::from_ticks(start),
+                SimDuration::from_ticks(down),
+            );
+            plan = if disaster {
+                plan.disaster_at(t, n, d)
+            } else {
+                plan.outage_at(t, n, d)
+            };
+        }
+        plan = plan
+            .partition_at(
+                SimTime::from_ticks(cut),
+                vec![
+                    vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+                    vec![NodeId::new(3), NodeId::new(4)],
+                ],
+            )
+            .heal_at(SimTime::from_ticks(cut + 5_000));
+        let deadline = SimTime::from_ticks(200_000);
+        prop_assert!(plan.validate(5, deadline).is_ok());
+        prop_assert!(plan.fully_healed());
+        prop_assert!(!plan.disturbed_nodes().contains(&NodeId::new(0)));
+    }
+
     /// Crash-only schedules and their FaultPlan conversion agree on
     /// validity, whatever the event times — the compatibility shim must
     /// not change what is accepted.

@@ -44,7 +44,8 @@ pub use repl_sim as sim;
 pub use repl_workload as workload;
 
 pub use repl_core::{
-    figures, run, try_run, Arrival, Availability, BatchConfig, Guarantee, Phase, PhaseSkeleton,
-    Propagation, RunConfig, RunError, RunReport, Technique,
+    figures, run, try_run, Arrival, Availability, BatchConfig, DurabilityConfig, DurabilityReport,
+    Guarantee, Phase, PhaseSkeleton, Propagation, RunConfig, RunError, RunReport, SilentLoss,
+    Technique,
 };
 pub use repl_workload::{FaultPlan, FaultPlanError, WorkloadSpec};
