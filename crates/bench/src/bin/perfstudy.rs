@@ -13,15 +13,17 @@
 //! is an isolated, seed-keyed, single-threaded simulation.
 //!
 //! `--json PATH` additionally writes a machine-readable benchmark
-//! summary (the `BENCH_PR6.json` artifact): for every technique, the
+//! summary (the `BENCH_PR7.json` artifact): for every technique, the
 //! P1/P2/P3 study cells are re-swept with per-cell wall clocks, and
 //! throughput / p50 / p99 / messages-per-txn are reported from the
 //! canonical 3-replica, 4-client cell, followed by the P8 batching,
 //! P9 recovery, P10 kernel and P12 disaster sections (P10 with
-//! wall-clock lock microcycles: dense vs sparse vs the seed baseline).
+//! wall-clock lock microcycles: dense vs sparse vs the seed baseline)
+//! and the P13 open-loop scale section (aggregated arrivals up to a
+//! million clients, streaming-histogram latencies, events/sec).
 //! `--json-only` skips the tables (CI smoke mode); `--p8-only` /
-//! `--p9-only` / `--p10-only` / `--p12-only` print just that study's
-//! table.
+//! `--p9-only` / `--p10-only` / `--p12-only` / `--p13-only` print just
+//! that study's table.
 
 use std::time::Instant;
 
@@ -38,6 +40,7 @@ struct Args {
     p9_only: bool,
     p10_only: bool,
     p12_only: bool,
+    p13_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +52,7 @@ fn parse_args() -> Args {
         p9_only: false,
         p10_only: false,
         p12_only: false,
+        p13_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -72,6 +76,7 @@ fn parse_args() -> Args {
             "--p9-only" => args.p9_only = true,
             "--p10-only" => args.p10_only = true,
             "--p12-only" => args.p12_only = true,
+            "--p13-only" => args.p13_only = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -85,7 +90,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: perfstudy [--threads N] [--json PATH] [--json-only] \
-         [--p8-only] [--p9-only] [--p10-only] [--p12-only]"
+         [--p8-only] [--p9-only] [--p10-only] [--p12-only] [--p13-only]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -125,6 +130,33 @@ const P10_CLIENTS: [u32; 2] = [4, 16];
 /// disaster hits; 20 000 leaves essentially everything since the start
 /// of the run exposed.
 const P12_UPLOAD_LAGS: [u64; 3] = [0, 2_000, 20_000];
+
+/// The techniques printed by the P13 open-loop scale table: an
+/// ABCAST-ordered state machine, the eager primary, and the cheapest
+/// lazy protocol — three points on the coordination-cost spectrum.
+const P13_TECHNIQUES: [Technique; 3] = [
+    Technique::Active,
+    Technique::EagerPrimary,
+    Technique::LazyUpdateEverywhere,
+];
+
+/// The virtual client populations printed by the P13 table.
+const P13_CLIENTS: [u32; 2] = [1_000, 100_000];
+
+/// The total offered rates (ops/s across the population) printed by the
+/// P13 table.
+const P13_RATES: [u64; 2] = [100_000, 200_000];
+
+/// The techniques the P13 JSON section sweeps to the million-client
+/// ceiling.
+const P13_JSON_TECHNIQUES: [Technique; 2] =
+    [Technique::Active, Technique::LazyUpdateEverywhere];
+
+/// The populations the P13 JSON section sweeps: 10^3, 10^5, 10^6.
+const P13_JSON_CLIENTS: [u32; 3] = [1_000, 100_000, 1_000_000];
+
+/// Total offered load of the P13 JSON cells, ops/s.
+const P13_JSON_RATE: u64 = 200_000;
 
 /// Microcycle rounds per backing for the P10 JSON wall-clock section.
 const P10_MICROCYCLE_ROUNDS: u64 = 20_000;
@@ -638,7 +670,106 @@ fn disaster_json(threads: usize) -> String {
     s
 }
 
-/// Runs the benchmark matrix and renders `BENCH_PR6.json`.
+/// Peak resident set of this process in KiB, read from
+/// `/proc/self/status` (0 where the file is unavailable). Process-wide,
+/// so it bounds the *whole* study up to the point it is read — the
+/// honest ceiling for "a million clients fit in memory".
+fn vm_hwm_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Renders the P13 open-loop section of the JSON artifact: per
+/// (technique, population) cell at a fixed total offered load, the
+/// events processed (and events/sec of wall clock), streaming-histogram
+/// latency percentiles with their bounded relative error, and the
+/// constant-memory evidence: histogram bytes, peak in-flight operations,
+/// and the process's peak RSS. The gate key `max_clients_sustained`
+/// reports the largest population that drained its whole budget with
+/// nothing unanswered.
+fn open_loop_json(threads: usize) -> String {
+    use std::fmt::Write as _;
+    let cells = open_loop_scale_cells(&P13_JSON_TECHNIQUES, &P13_JSON_CLIENTS, &[P13_JSON_RATE]);
+    let sweep: Vec<SweepCell> = cells
+        .iter()
+        .map(|c| {
+            SweepCell::new(
+                format!("{}/p13/c={}", c.technique.name(), c.clients),
+                c.cfg.clone(),
+            )
+        })
+        .collect();
+    let results = run_sweep(&sweep, threads);
+
+    let mut max_clients_sustained = 0u32;
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"open_loop\": {{");
+    let _ = writeln!(s, "    \"servers\": 3,");
+    let _ = writeln!(s, "    \"total_rate_ops_per_s\": {P13_JSON_RATE},");
+    let _ = writeln!(
+        s,
+        "    \"clients\": [{}],",
+        P13_JSON_CLIENTS
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "    \"cells\": [");
+    for (i, (cell, result)) in cells.iter().zip(&results).enumerate() {
+        let report = result
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("cell `{}` failed: {e}", result.label));
+        let hist = report
+            .latency_hist
+            .as_ref()
+            .expect("aggregated runs stream a histogram");
+        let wall = result.wall.as_secs_f64();
+        let events_per_s = report.messages.events_processed as f64 / wall.max(1e-9);
+        if report.ops_unanswered == 0 && report.ops_completed > 0 {
+            max_clients_sustained = max_clients_sustained.max(cell.clients);
+        }
+        let _ = writeln!(
+            s,
+            "      {{\"technique\": \"{}\", \"clients\": {}, \"ops_completed\": {}, \
+             \"unanswered\": {}, \"events_processed\": {}, \"events_per_sec_wall\": {:.0}, \
+             \"p50_response_ticks\": {}, \"p99_response_ticks\": {}, \
+             \"peak_outstanding\": {}, \"hist_bytes\": {}, \"cell_wall_ms\": {:.1}}}{}",
+            cell.technique.name(),
+            cell.clients,
+            report.ops_completed,
+            report.ops_unanswered,
+            report.messages.events_processed,
+            events_per_s,
+            hist.percentile(0.50).ticks(),
+            hist.percentile(0.99).ticks(),
+            report.peak_outstanding,
+            hist.memory_bytes(),
+            wall * 1e3,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"histogram_max_relative_error\": {:.6},",
+        repl_sim::LatencyHistogram::MAX_RELATIVE_ERROR
+    );
+    let _ = writeln!(s, "    \"process_peak_rss_kib\": {},", vm_hwm_kib());
+    let _ = writeln!(s, "    \"max_clients_sustained\": {max_clients_sustained}");
+    let _ = writeln!(s, "  }}");
+    s
+}
+
+/// Runs the benchmark matrix and renders `BENCH_PR7.json`.
 fn bench_json(threads: usize) -> String {
     use std::fmt::Write as _;
     let techniques = study_techniques();
@@ -655,7 +786,7 @@ fn bench_json(threads: usize) -> String {
 
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"bench_pr6/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_pr7/v1\",");
     let _ = writeln!(s, "  \"threads\": {threads},");
     let _ = writeln!(
         s,
@@ -712,6 +843,10 @@ fn bench_json(threads: usize) -> String {
     s.truncate(end);
     s.push_str(",\n");
     s.push_str(&disaster_json(threads));
+    let end = s.trim_end().len();
+    s.truncate(end);
+    s.push_str(",\n");
+    s.push_str(&open_loop_json(threads));
     let _ = writeln!(s, "}}");
     s
 }
@@ -728,7 +863,7 @@ fn main() {
         None => repl_bench::sweep::default_threads(),
     };
 
-    if args.p8_only || args.p9_only || args.p10_only || args.p12_only {
+    if args.p8_only || args.p9_only || args.p10_only || args.p12_only || args.p13_only {
         if args.p8_only {
             timed_table(
                 "P8 — end-to-end batching (3 replicas, clients × window in ticks)",
@@ -751,6 +886,12 @@ fn main() {
             timed_table(
                 "P12 — disaster recovery over the durable tier (3 replicas, technique × upload lag)",
                 || disaster_table(&P12_UPLOAD_LAGS),
+            );
+        }
+        if args.p13_only {
+            timed_table(
+                "P13 — open-loop scale (3 replicas, technique × clients × total offered rate)",
+                || open_loop_scale_table(&P13_TECHNIQUES, &P13_CLIENTS, &P13_RATES),
             );
         }
         if let Some(path) = &args.json {
@@ -825,6 +966,10 @@ fn main() {
         timed_table(
             "P12 — disaster recovery over the durable tier (3 replicas, technique × upload lag)",
             || disaster_table(&P12_UPLOAD_LAGS),
+        );
+        timed_table(
+            "P13 — open-loop scale (3 replicas, technique × clients × total offered rate)",
+            || open_loop_scale_table(&P13_TECHNIQUES, &P13_CLIENTS, &P13_RATES),
         );
         println!(
             "full study wall clock: {:.2}s ({threads} sweep threads)",

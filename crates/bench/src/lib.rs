@@ -1038,6 +1038,118 @@ pub fn disaster_table(upload_lags: &[u64]) -> Vec<Row> {
         .collect()
 }
 
+/// One cell of the P13 open-loop scale study: one technique serving a
+/// virtual client population at a fixed *total* offered load through the
+/// aggregated open-loop engine ([`repl_core::Arrival::OpenAggregated`]).
+/// The client count is a parameter, not an actor count — the same cell
+/// shape runs at 10³ and 10⁶ clients.
+pub struct OpenLoopCell {
+    /// The technique under test.
+    pub technique: Technique,
+    /// Virtual client population.
+    pub clients: u32,
+    /// Total offered load across the population, operations per second.
+    pub rate_per_s: u64,
+    /// The full run configuration.
+    pub cfg: RunConfig,
+}
+
+/// Total operations each P13 cell aims for. Populations below this
+/// issue several transactions per client; a million clients issue one
+/// each (the population itself is the load).
+pub const P13_TARGET_OPS: u64 = 100_000;
+
+/// Builds the P13 cell matrix: every technique × population × total
+/// offered rate. The per-client mean inter-arrival gap is derived so the
+/// *population's* aggregate rate equals `rate_per_s` regardless of size.
+pub fn open_loop_scale_cells(
+    techniques: &[Technique],
+    client_counts: &[u32],
+    rates_per_s: &[u64],
+) -> Vec<OpenLoopCell> {
+    use repl_core::Arrival;
+    use repl_workload::ArrivalDist;
+    let mut cells = Vec::new();
+    for &technique in techniques {
+        for &clients in client_counts {
+            for &rate in rates_per_s {
+                let txns = (P13_TARGET_OPS / u64::from(clients.max(1))).max(1);
+                let txns = u32::try_from(txns).expect("P13 budget fits u32");
+                // Per-client gap in ticks (1 tick ≈ 1 µs): population
+                // rate R ops/s means each of `clients` clients fires
+                // every clients·10⁶/R ticks.
+                let mean = (u64::from(clients).saturating_mul(1_000_000) / rate.max(1)).max(1);
+                let cfg = RunConfig::new(technique)
+                    .with_servers(3)
+                    .with_clients(clients)
+                    .with_seed(163)
+                    .with_arrival(Arrival::OpenAggregated {
+                        mean,
+                        dist: ArrivalDist::Poisson,
+                    })
+                    .with_trace(false)
+                    .with_max_time(SimTime::from_ticks(60_000_000))
+                    .with_workload(
+                        WorkloadSpec::default()
+                            .with_items(4_096)
+                            .with_read_ratio(0.5)
+                            .with_txns_per_client(txns),
+                    );
+                cells.push(OpenLoopCell {
+                    technique,
+                    clients,
+                    rate_per_s: rate,
+                    cfg,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The display label of a P13 cell (shared by the table and the JSON).
+pub fn open_loop_cell_label(cell: &OpenLoopCell) -> String {
+    format!(
+        "{} {}c @{}k/s",
+        cell.technique.name(),
+        cell.clients,
+        cell.rate_per_s / 1_000
+    )
+}
+
+/// P13 — the open-loop scale study: events processed, streaming-histogram
+/// latency percentiles and the constant-memory footprint per technique ×
+/// client population × offered rate. Latencies come from the
+/// [`repl_sim::LatencyHistogram`] (bounded relative error, ~30 KiB
+/// regardless of operation count); `peak-out` is the high-water mark of
+/// in-flight operations across client groups.
+pub fn open_loop_scale_table(
+    techniques: &[Technique],
+    client_counts: &[u32],
+    rates_per_s: &[u64],
+) -> Vec<Row> {
+    let cells = open_loop_scale_cells(techniques, client_counts, rates_per_s);
+    let cfgs = cells.iter().map(|c| c.cfg.clone()).collect();
+    cells
+        .iter()
+        .zip(sweep_reports(cfgs))
+        .map(|(cell, report)| {
+            let hist = report
+                .latency_hist
+                .as_ref()
+                .expect("aggregated runs stream a histogram");
+            Row::new(open_loop_cell_label(cell))
+                .cell("ops", report.ops_completed)
+                .cell("unanswered", report.ops_unanswered)
+                .cell("events", report.messages.events_processed)
+                .cell("p50", format!("{}t", hist.percentile(0.50).ticks()))
+                .cell("p99", format!("{}t", hist.percentile(0.99).ticks()))
+                .cell("peak-out", report.peak_outstanding)
+                .cell("hist KiB", hist.memory_bytes() / 1024)
+        })
+        .collect()
+}
+
 /// The run used by the phase-trace benchmark and Figures 2–4/7–14.
 pub fn figure_config(technique: Technique, ops_per_txn: u32) -> RunConfig {
     let mut cfg = RunConfig::new(technique)

@@ -179,6 +179,73 @@ fn disaster_cells_are_deterministic() {
 }
 
 #[test]
+fn open_loop_cells_are_deterministic() {
+    // The aggregated open-loop engine replaces per-client actors with
+    // per-group arrival streams, streams latencies into a histogram, and
+    // runs servers lean; none of it may depend on sweep scheduling.
+    // Every technique at a small population must agree
+    // digest-for-digest between the serial reference and a parallel
+    // sweep, and the digest must cover the histogram (cells with equal
+    // counters but different latency distributions must not collide).
+    use repl_core::Arrival;
+    use repl_workload::ArrivalDist;
+    let cells: Vec<SweepCell> = Technique::ALL
+        .iter()
+        .flat_map(|&technique| {
+            [ArrivalDist::Poisson, ArrivalDist::Uniform].map(|dist| {
+                SweepCell::new(
+                    format!("{}/agg/{dist:?}", technique.name()),
+                    RunConfig::new(technique)
+                        .with_servers(3)
+                        .with_clients(6)
+                        .with_seed(23)
+                        .with_trace(false)
+                        .with_arrival(Arrival::OpenAggregated { mean: 2_000, dist })
+                        .with_workload(update_workload(4)),
+                )
+            })
+        })
+        .collect();
+    assert_eq!(cells.len(), 2 * Technique::ALL.len());
+    let serial = run_sweep(&cells, 1);
+    let parallel = run_sweep(&cells, 3);
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (sr, pr) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+        assert!(sr.ops_completed > 0, "cell `{}` did no work", s.label);
+        let hist = sr
+            .latency_hist
+            .as_ref()
+            .unwrap_or_else(|| panic!("cell `{}` has no streaming histogram", s.label));
+        assert_eq!(
+            hist.count(),
+            sr.ops_completed,
+            "cell `{}` histogram lost samples",
+            s.label
+        );
+        assert!(
+            sr.records.is_empty(),
+            "cell `{}` kept per-op records on the aggregated path",
+            s.label
+        );
+        assert_eq!(sr.digest(), pr.digest(), "cell `{}` diverged", s.label);
+    }
+    // The two arrival shapes share every config knob except the gap
+    // distribution; their digests must differ through the histogram.
+    for pair in serial.chunks(2) {
+        let (a, b) = (
+            pair[0].result.as_ref().unwrap(),
+            pair[1].result.as_ref().unwrap(),
+        );
+        assert_ne!(
+            a.digest(),
+            b.digest(),
+            "Poisson and Uniform arrivals produced identical digests for `{}`",
+            pair[0].label
+        );
+    }
+}
+
+#[test]
 fn thread_count_is_not_observable() {
     // Different worker counts (and therefore different cell-to-thread
     // assignments) must still agree cell-for-cell.

@@ -15,8 +15,10 @@
 //! retry schedules must not perturb the recorded run state, so identical
 //! seeds replay identically whether or not retries happen.
 
-use repl_sim::{impl_as_any, Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
-use repl_workload::TxnTemplate;
+use repl_sim::{
+    impl_as_any, Actor, Context, LatencyHistogram, Message, NodeId, SimDuration, SimTime, TimerId,
+};
+use repl_workload::{ArrivalStream, TxnTemplate, WorkloadGen};
 
 use crate::op::{ClientOp, OpId, Response};
 use crate::phase::Phase;
@@ -312,6 +314,203 @@ impl<M: ProtocolMsg> OpenLoopClient<M> {
     }
 }
 
+/// The set of virtual clients one [`AggregateClients`] actor stands for:
+/// `count` clients with ids `first, first + stride, first + 2·stride, …`.
+///
+/// The runner groups clients by preferred server; with `servers` replicas
+/// and round-robin preference, server `s`'s group is
+/// `{first: s, stride: servers}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientGroup {
+    /// First virtual client id in the group.
+    pub first: u32,
+    /// Id spacing between successive members.
+    pub stride: u32,
+    /// Number of virtual clients in the group.
+    pub count: u32,
+}
+
+impl ClientGroup {
+    /// Total operation budget of the group at `txns_per_client`
+    /// transactions per virtual client.
+    pub fn budget(&self, txns_per_client: u32) -> u64 {
+        u64::from(self.count) * u64::from(txns_per_client)
+    }
+
+    /// The virtual client id and per-client sequence number of the
+    /// group's `i`-th arrival (round-robin over the members, so every
+    /// member advances at the group's aggregate rate divided by count).
+    pub fn virtual_op(&self, i: u64) -> (u32, u32) {
+        let member = (i % u64::from(self.count)) as u32;
+        let seq = (i / u64::from(self.count)) as u32;
+        (self.first + member * self.stride, seq)
+    }
+}
+
+/// One aggregated open-loop arrival process standing for a whole group
+/// of virtual clients — the engine that makes the client count a
+/// parameter instead of an actor count.
+///
+/// Instead of one actor (stack, timer, record vector) per client, one
+/// actor per *server group* draws arrivals from a single seeded
+/// [`ArrivalStream`] whose mean gap is the per-client gap divided by the
+/// group size (for Poisson arrivals this superposition is exact).
+/// Each arrival is attributed round-robin to a virtual client id, so
+/// server-side transaction ids, wound-wait ages and key access patterns
+/// look exactly like a real population of that size.
+///
+/// Memory is constant in the operation count: latencies stream into a
+/// [`LatencyHistogram`], and only the in-flight operations are tracked.
+/// Like [`OpenLoopClient`], it never retries — open loops expose
+/// saturation rather than masking it.
+pub struct AggregateClients<M> {
+    group: ClientGroup,
+    servers: Vec<NodeId>,
+    preferred: usize,
+    gen: WorkloadGen,
+    arrivals: ArrivalStream,
+    budget: u64,
+    issued: u64,
+    /// In-flight operations: id → invocation time.
+    pub outstanding: std::collections::HashMap<OpId, SimTime>,
+    /// Streaming latency histogram of answered operations.
+    pub hist: LatencyHistogram,
+    /// Answered operations that committed.
+    pub committed: u64,
+    /// Answered operations that aborted.
+    pub aborted: u64,
+    /// Time of the last response observed.
+    pub last_response: Option<SimTime>,
+    /// Worst request→response gap among answered operations.
+    pub worst_gap: SimDuration,
+    /// High-water mark of in-flight operations.
+    pub peak_outstanding: u64,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: ProtocolMsg> AggregateClients<M> {
+    /// Creates the aggregate for `group`, submitting to
+    /// `servers[preferred]`. `gen` supplies the transactions (one
+    /// generator for the whole group), `arrivals` the aggregate gap
+    /// stream (its mean should be the per-client mean divided by
+    /// `group.count`), and `txns_per_client` bounds the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or the group is empty.
+    pub fn new(
+        group: ClientGroup,
+        servers: Vec<NodeId>,
+        preferred: usize,
+        gen: WorkloadGen,
+        arrivals: ArrivalStream,
+        txns_per_client: u32,
+    ) -> Self {
+        assert!(!servers.is_empty(), "client group needs at least one server");
+        assert!(group.count > 0, "client group must not be empty");
+        let preferred = preferred % servers.len();
+        let budget = group.budget(txns_per_client);
+        AggregateClients {
+            group,
+            servers,
+            preferred,
+            gen,
+            arrivals,
+            budget,
+            issued: 0,
+            outstanding: std::collections::HashMap::new(),
+            hist: LatencyHistogram::new(),
+            committed: 0,
+            aborted: 0,
+            last_response: None,
+            worst_gap: SimDuration::ZERO,
+            peak_outstanding: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Operations submitted so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The group's total operation budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// True once the whole budget was submitted and answered.
+    pub fn is_done(&self) -> bool {
+        self.issued >= self.budget && self.outstanding.is_empty()
+    }
+
+    fn arm_next(&mut self, ctx: &mut Context<'_, M>) {
+        if self.issued >= self.budget {
+            return;
+        }
+        let gap = self.arrivals.next_gap();
+        ctx.set_timer(SimDuration::from_ticks(gap), SUBMIT_TAG);
+    }
+
+    fn submit(&mut self, ctx: &mut Context<'_, M>) {
+        if self.issued >= self.budget {
+            return;
+        }
+        let (client, seq) = self.group.virtual_op(self.issued);
+        self.issued += 1;
+        let id = OpId::compose(client, seq);
+        let txn = self.gen.next_txn();
+        self.outstanding.insert(id, ctx.now());
+        self.peak_outstanding = self.peak_outstanding.max(self.outstanding.len() as u64);
+        ctx.mark(Phase::Request.tag(), id.0, 0);
+        let op = ClientOp {
+            id,
+            client: ctx.me(),
+            txn,
+        };
+        ctx.send(self.servers[self.preferred], M::invoke(op));
+    }
+}
+
+impl<M: ProtocolMsg> Actor<M> for AggregateClients<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        self.arm_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, _from: NodeId, msg: M) {
+        let Some(resp) = msg.response() else {
+            return;
+        };
+        // Active-style techniques answer once per replica; only the first
+        // response of an op still in flight counts.
+        let Some(invoked) = self.outstanding.remove(&resp.op) else {
+            return;
+        };
+        let now = ctx.now();
+        let gap = now - invoked;
+        self.hist.record(gap);
+        if gap > self.worst_gap {
+            self.worst_gap = gap;
+        }
+        self.last_response = Some(now);
+        if resp.committed {
+            self.committed += 1;
+        } else {
+            self.aborted += 1;
+        }
+        ctx.mark(Phase::Response.tag(), resp.op.0, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, _timer: TimerId, tag: u64) {
+        if tag == SUBMIT_TAG {
+            self.submit(ctx);
+            self.arm_next(ctx);
+        }
+    }
+
+    impl_as_any!();
+}
+
 impl<M: ProtocolMsg> Actor<M> for OpenLoopClient<M> {
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
         self.arm_next(ctx);
@@ -539,6 +738,59 @@ mod tests {
         assert_eq!(client.records.len(), 4);
         assert!(!client.is_done());
         assert_eq!(client.completed().count(), 0);
+    }
+
+    #[test]
+    fn aggregate_clients_drain_their_whole_budget() {
+        use repl_workload::{ArrivalDist, ArrivalStream, WorkloadGen, WorkloadSpec};
+        let mut world: World<EchoMsg> = World::new(SimConfig::new(11));
+        let s = world.add_actor(Box::new(EchoServer {
+            mute: false,
+            served: 0,
+        }));
+        let group = ClientGroup {
+            first: 0,
+            stride: 1,
+            count: 10,
+        };
+        let spec = WorkloadSpec::default().with_txns_per_client(3);
+        let agg = AggregateClients::<EchoMsg>::new(
+            group,
+            vec![s],
+            0,
+            WorkloadGen::new(&spec, 5),
+            // Per-client mean 500 ticks over 10 clients = 50-tick gaps.
+            ArrivalStream::new(ArrivalDist::Poisson, 50.0, 5),
+            3,
+        );
+        assert_eq!(agg.budget(), 30);
+        let c = world.add_actor(Box::new(agg));
+        world.start();
+        world.run_to_quiescence(SimTime::from_ticks(1_000_000));
+        let agg = world.actor_ref::<AggregateClients<EchoMsg>>(c);
+        assert!(agg.is_done());
+        assert_eq!(agg.issued(), 30);
+        assert_eq!(agg.committed, 30);
+        assert_eq!(agg.hist.count(), 30);
+        assert!(agg.peak_outstanding >= 1);
+        assert!(agg.last_response.is_some());
+        assert!(agg.worst_gap >= agg.hist.min());
+    }
+
+    #[test]
+    fn client_group_round_robins_virtual_ids() {
+        let g = ClientGroup {
+            first: 2,
+            stride: 3,
+            count: 4,
+        };
+        // Members are 2, 5, 8, 11; arrival i advances round-robin.
+        assert_eq!(g.virtual_op(0), (2, 0));
+        assert_eq!(g.virtual_op(1), (5, 0));
+        assert_eq!(g.virtual_op(3), (11, 0));
+        assert_eq!(g.virtual_op(4), (2, 1));
+        assert_eq!(g.virtual_op(7), (11, 1));
+        assert_eq!(g.budget(5), 20);
     }
 
     #[test]

@@ -32,11 +32,11 @@ mod report;
 mod runner;
 mod technique;
 
-pub use client::{ClientActor, OpRecord, OpenLoopClient, ProtocolMsg};
+pub use client::{AggregateClients, ClientActor, ClientGroup, OpRecord, OpenLoopClient, ProtocolMsg};
 pub use durability::{DurabilityConfig, DurabilityTier, RestorePlan};
 pub use op::{accesses, ClientOp, OpId, Response};
 pub use phase::{Phase, PhaseMark, PhaseSkeleton, PhaseTrace};
 pub use repl_gcs::BatchConfig;
 pub use report::{Availability, DurabilityReport, NodeRecovery, RunReport, SilentLoss};
-pub use runner::{run, try_run, Arrival, RunConfig, RunError};
+pub use runner::{run, try_run, Arrival, RunConfig, RunError, MAX_CLIENTS};
 pub use technique::{Community, Guarantee, Propagation, Technique, TechniqueInfo, UpdateLocation};

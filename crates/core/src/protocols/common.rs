@@ -239,6 +239,13 @@ pub struct ServerBase {
     pub volume_wipes: u64,
     /// Set by an untiered wipe; a restore-from-scratch is pending.
     bare_wipe: bool,
+    /// Lean mode: skip the per-operation history records and the
+    /// response cache. Both grow linearly with the number of operations,
+    /// which is fine for the oracle-checked studies but rules out
+    /// million-operation open-loop runs; the aggregated open-loop driver
+    /// never retries (no duplicate suppression needed) and does not run
+    /// the history oracles, so both can be dropped wholesale.
+    lean: bool,
 }
 
 impl ServerBase {
@@ -259,7 +266,25 @@ impl ServerBase {
             tier: None,
             volume_wipes: 0,
             bare_wipe: false,
+            lean: false,
         }
+    }
+
+    /// Switches lean mode on or off (see the `lean` field). Off by
+    /// default; every pre-existing path is byte-identical with it off.
+    ///
+    /// The switch is forwarded into the history itself: protocols append
+    /// through `base.history.record(..)` at many call sites (reconcile
+    /// paths, ordered-delivery replays), and gating inside the history
+    /// covers them all without touching each protocol.
+    pub fn set_lean(&mut self, lean: bool) {
+        self.lean = lean;
+        self.history.set_recording(!lean);
+    }
+
+    /// True when the server skips history recording and response caching.
+    pub fn is_lean(&self) -> bool {
+        self.lean
     }
 
     /// Attaches a durable log tier (no-op when `cfg` is disabled).
@@ -302,6 +327,7 @@ impl ServerBase {
         self.store = Store::with_keyspace(ks, Value(0));
         self.tm = TxnManager::new();
         self.history = ReplicatedHistory::new();
+        self.history.set_recording(!self.lean);
     }
 
     /// Starts the restore of a wiped volume, if one is pending: installs
@@ -381,7 +407,9 @@ impl ServerBase {
                         .read(&self.store, txn, key)
                         .expect("txn is active")
                         .map_or(Value(0), |v| v.value);
-                    self.history.record(self.site, txn, key, AccessKind::Read);
+                    if !self.lean {
+                        self.history.record(self.site, txn, key, AccessKind::Read);
+                    }
                     reads.push((key, v));
                 }
                 Some(v) => {
@@ -389,12 +417,16 @@ impl ServerBase {
                     self.tm
                         .write(&mut self.store, txn, key, v)
                         .expect("txn is active");
-                    self.history.record(self.site, txn, key, AccessKind::Write);
+                    if !self.lean {
+                        self.history.record(self.site, txn, key, AccessKind::Write);
+                    }
                 }
             }
         }
         let ws = self.tm.commit(txn).expect("txn is active");
-        self.history.mark_committed(txn);
+        if !self.lean {
+            self.history.mark_committed(txn);
+        }
         self.committed += 1;
         if let Some(t) = &mut self.tier {
             t.note_commit(&ws);
@@ -442,11 +474,13 @@ impl ServerBase {
 
     /// Installs a replicated writeset (no re-execution), recording history.
     pub fn install_writeset(&mut self, ws: &WriteSet) {
-        for w in &ws.writes {
-            self.history
-                .record(self.site, ws.txn, w.key, AccessKind::Write);
+        if !self.lean {
+            for w in &ws.writes {
+                self.history
+                    .record(self.site, ws.txn, w.key, AccessKind::Write);
+            }
+            self.history.mark_committed(ws.txn);
         }
-        self.history.mark_committed(ws.txn);
         self.store.apply_writeset(ws);
         self.committed += 1;
         if let Some(t) = &mut self.tier {
@@ -507,7 +541,9 @@ impl ServerBase {
     /// Reads a single key outside any transaction (lazy/stale reads),
     /// recording history under the given transaction id.
     pub fn read_committed(&mut self, txn: TxnId, key: Key) -> Value {
-        self.history.record(self.site, txn, key, AccessKind::Read);
+        if !self.lean {
+            self.history.record(self.site, txn, key, AccessKind::Read);
+        }
         self.store.read(key).map_or(Value(0), |v| v.value)
     }
 
@@ -516,9 +552,12 @@ impl ServerBase {
         self.cache.get(&op).cloned()
     }
 
-    /// Caches a response.
+    /// Caches a response (a no-op in lean mode — the open-loop driver
+    /// never retries, so duplicate suppression has nothing to suppress).
     pub fn remember(&mut self, resp: &Response) {
-        self.cache.insert(resp.op, resp.clone());
+        if !self.lean {
+            self.cache.insert(resp.op, resp.clone());
+        }
     }
 }
 
@@ -645,6 +684,25 @@ mod tests {
         let resp = Response::committed(OpId(9));
         base.remember(&resp);
         assert_eq!(base.cached(OpId(9)), Some(resp));
+    }
+
+    #[test]
+    fn lean_mode_skips_history_and_cache_but_not_state() {
+        let mut lean = ServerBase::new(0, 4, ExecutionMode::Deterministic);
+        lean.set_lean(true);
+        assert!(lean.is_lean());
+        let o = op(1, vec![OpTemplate::Write(Key(1), Value(5))]);
+        let (ws, resp) = lean.execute_commit(&o, TxnId::new(1, 0));
+        lean.remember(&resp);
+        assert!(lean.cached(o.id).is_none(), "lean cache stays empty");
+        assert!(lean.history.committed().is_empty(), "lean history stays empty");
+        assert_eq!(lean.committed, 1);
+        // The store state itself is identical to a non-lean execution.
+        let mut full = ServerBase::new(1, 4, ExecutionMode::Deterministic);
+        full.install_writeset(&ws);
+        assert_eq!(lean.store.fingerprint(), full.store.fingerprint());
+        let _ = lean.read_committed(TxnId::new(2, 0), Key(1));
+        assert!(lean.history.committed().is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! oracles need.
 
 use repl_db::{ReplicatedHistory, SerializabilityViolation, TxnId};
-use repl_sim::{LatencyStats, Metrics, SimDuration, SimTime};
+use repl_sim::{LatencyHistogram, LatencyStats, Metrics, SimDuration, SimTime};
 
 use crate::client::OpRecord;
 use crate::consistency::{count_stale_reads, StaleRead};
@@ -171,8 +171,17 @@ pub struct RunReport {
     pub clients: u32,
     /// Virtual time when the run ended.
     pub duration: SimTime,
-    /// Response-time samples of completed operations.
+    /// Response-time samples of completed operations. Empty on
+    /// aggregated open-loop runs, which record into
+    /// [`RunReport::latency_hist`] instead.
     pub latencies: LatencyStats,
+    /// Constant-memory latency histogram, populated only by the
+    /// aggregated open-loop engine (`None` on the exact store-all path,
+    /// keeping its digests byte-identical to earlier revisions).
+    pub latency_hist: Option<LatencyHistogram>,
+    /// Peak in-flight operations across all client groups (aggregated
+    /// open-loop runs; zero otherwise).
+    pub peak_outstanding: u64,
     /// Operations answered (committed or aborted).
     pub ops_completed: u64,
     /// Operations answered with a commit.
@@ -295,10 +304,10 @@ impl RunReport {
         mix(self.servers as u64);
         mix(self.clients as u64);
         mix(self.duration.ticks());
-        // Latency samples are hashed sorted so the digest is insensitive
-        // to whether a percentile (which sorts in place) was taken first.
-        let mut samples = self.latencies.samples().to_vec();
-        samples.sort_unstable();
+        // Latency samples are hashed through the canonical sorted view so
+        // the digest is insensitive to whether a percentile (which sorts
+        // in place) was taken first.
+        let samples = self.latencies.sorted_samples();
         mix(samples.len() as u64);
         for s in samples {
             mix(s);
@@ -370,6 +379,13 @@ impl RunReport {
             mix(self.durability.restore_bytes);
             mix(self.durability.restore_ticks);
         }
+        // The streaming histogram exists only on aggregated open-loop
+        // runs; mixing it conditionally keeps every pre-existing mode's
+        // digest byte-identical.
+        if let Some(hist) = &self.latency_hist {
+            mix(hist.fingerprint());
+            mix(self.peak_outstanding);
+        }
         mix(self.trace_hash);
         h
     }
@@ -414,6 +430,10 @@ impl RunReport {
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
+        let mean = match &self.latency_hist {
+            Some(h) if self.latencies.is_empty() => h.mean(),
+            _ => self.latencies.mean(),
+        };
         format!(
             "{}: n={} clients={} ops={} committed={} aborted={} mean={}t msgs/op={:.1} converged={}",
             self.technique,
@@ -422,7 +442,7 @@ impl RunReport {
             self.ops_completed,
             self.ops_committed,
             self.ops_aborted,
-            self.latencies.mean().ticks(),
+            mean.ticks(),
             self.messages_per_op(),
             self.converged(),
         )

@@ -4,13 +4,15 @@
 use repl_db::DeadlockPolicy;
 use repl_gcs::{BatchConfig, ConsensusConfig, FdConfig, VsConfig};
 use repl_sim::{
-    Actor, LatencyStats, Message, NetworkConfig, NodeId, SimConfig, SimDuration, SimTime, World,
+    Actor, LatencyHistogram, LatencyStats, Message, NetworkConfig, NodeId, SimConfig, SimDuration,
+    SimTime, World,
 };
 use repl_workload::{
-    CrashSchedule, FaultEvent, FaultPlan, FaultPlanError, WorkloadGen, WorkloadSpec,
+    ArrivalDist, ArrivalStream, CrashSchedule, FaultEvent, FaultPlan, FaultPlanError, WorkloadGen,
+    WorkloadSpec,
 };
 
-use crate::client::{ClientActor, OpenLoopClient, ProtocolMsg};
+use crate::client::{AggregateClients, ClientActor, ClientGroup, OpenLoopClient, ProtocolMsg};
 use crate::durability::DurabilityConfig;
 use crate::phase::PhaseTrace;
 use crate::protocols::common::{op_of_txn, AbcastImpl, ExecutionMode};
@@ -40,6 +42,20 @@ pub enum Arrival {
     /// Open loop: Poisson arrivals with the given mean inter-arrival time
     /// (ticks); several operations may be outstanding, none are retried.
     Open(u64),
+    /// Aggregated open loop: the whole client population is simulated by
+    /// one arrival process per server group instead of one actor per
+    /// client, so the client count is a parameter rather than an actor
+    /// count (a million clients cost a handful of actors). `mean` is the
+    /// *per-client* mean inter-arrival time in ticks; the group stream
+    /// runs at `mean / group size`. Latencies go into a constant-memory
+    /// [`LatencyHistogram`] ([`RunReport::latency_hist`]) and no
+    /// per-operation records are kept.
+    OpenAggregated {
+        /// Per-client mean inter-arrival time, in ticks.
+        mean: u64,
+        /// Shape of the arrival process.
+        dist: ArrivalDist,
+    },
 }
 
 /// Everything that parameterises one experiment run.
@@ -256,7 +272,21 @@ impl RunConfig {
         self.arrival = a;
         self
     }
+
+    /// Whether servers should run lean: skip the unbounded per-run
+    /// bookkeeping (execution history, client-response cache) that the
+    /// exact collection path consumes. True exactly for the aggregated
+    /// open-loop engine, whose collection never reads either.
+    pub fn lean_servers(&self) -> bool {
+        matches!(self.arrival, Arrival::OpenAggregated { .. })
+    }
 }
+
+/// The maximum client population of a run: virtual client ids are packed
+/// into the low 20 bits of server-side transaction ids
+/// (`crate::protocols::common::txn_for_op`), so ids must stay below
+/// 2^20. One full million clients fits.
+pub const MAX_CLIENTS: u32 = 1 << 20;
 
 /// One-way worst-case network delay of a profile.
 fn max_delay(net: &NetworkConfig) -> u64 {
@@ -333,6 +363,16 @@ pub enum RunError {
     InvalidFaultPlan(FaultPlanError),
     /// The configuration asks for zero servers.
     NoServers,
+    /// The configuration asks for more clients than transaction ids can
+    /// address (client ids occupy 20 bits; see [`MAX_CLIENTS`]). Packing
+    /// larger populations would silently alias distinct clients onto the
+    /// same transaction ids.
+    TooManyClients {
+        /// The requested client count.
+        clients: u32,
+        /// The maximum supported ([`MAX_CLIENTS`]).
+        max: u32,
+    },
     /// The simulation itself panicked; the payload is the panic message.
     Internal(String),
 }
@@ -342,6 +382,10 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
             RunError::NoServers => write!(f, "configuration has zero servers"),
+            RunError::TooManyClients { clients, max } => write!(
+                f,
+                "configuration has {clients} clients but transaction ids only address {max}"
+            ),
             RunError::Internal(msg) => write!(f, "run failed internally: {msg}"),
         }
     }
@@ -375,10 +419,18 @@ impl From<FaultPlanError> for RunError {
 ///
 /// [`RunError::InvalidFaultPlan`] when `cfg.faults` fails validation
 /// against `cfg.servers`/`cfg.max_time`; [`RunError::NoServers`] when
-/// `cfg.servers == 0`; [`RunError::Internal`] when the run panicked.
+/// `cfg.servers == 0`; [`RunError::TooManyClients`] when `cfg.clients`
+/// exceeds [`MAX_CLIENTS`]; [`RunError::Internal`] when the run
+/// panicked.
 pub fn try_run(cfg: &RunConfig) -> Result<RunReport, RunError> {
     if cfg.servers == 0 {
         return Err(RunError::NoServers);
+    }
+    if cfg.clients > MAX_CLIENTS {
+        return Err(RunError::TooManyClients {
+            clients: cfg.clients,
+            max: MAX_CLIENTS,
+        });
     }
     cfg.faults.validate(cfg.servers, cfg.max_time)?;
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(cfg))).map_err(|payload| {
@@ -421,6 +473,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 )
                 .with_batching(c.batching);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -437,6 +490,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                     tuned_vs(&c.network),
                 );
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -455,6 +509,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 )
                 .with_batching(c.batching);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -473,6 +528,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 );
                 srv.set_log_retention(c.log_retention);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -491,6 +547,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 .with_batching(c.batching);
                 srv.set_log_retention(c.log_retention);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -502,6 +559,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                     EulServer::new(site, me, group, c.workload.keyspace(), c.exec, c.deadlock)
                         .with_rowa(c.rowa);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| {
@@ -524,6 +582,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 )
                 .with_batching(c.batching);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -542,6 +601,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 .with_batching(c.batching);
                 srv.set_log_retention(c.log_retention);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -559,6 +619,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 )
                 .with_reconcile(c.reconcile);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| {
@@ -581,6 +642,7 @@ fn dispatch(cfg: &RunConfig) -> RunReport {
                 )
                 .with_batching(c.batching);
                 srv.base.set_durability(&c.durability, c.fsync_ticks);
+                srv.base.set_lean(c.lean_servers());
                 Box::new(srv)
             },
             |s| base_stats(&s.base),
@@ -632,6 +694,42 @@ fn preferred_server(technique: Technique, client: u32, servers: u32) -> usize {
     }
 }
 
+/// Partitions the virtual client population into per-server groups for
+/// the aggregated open-loop engine, mirroring [`preferred_server`]: the
+/// primary-copy techniques put everyone in one group aimed at the
+/// primary, the rest split round-robin by `client % servers`. Empty
+/// groups are omitted.
+fn client_groups(technique: Technique, clients: u32, servers: u32) -> Vec<(ClientGroup, usize)> {
+    match technique {
+        Technique::Passive | Technique::EagerPrimary => {
+            if clients == 0 {
+                return Vec::new();
+            }
+            vec![(
+                ClientGroup {
+                    first: 0,
+                    stride: 1,
+                    count: clients,
+                },
+                0,
+            )]
+        }
+        _ => (0..servers)
+            .filter_map(|s| {
+                let count = clients / servers + u32::from(s < clients % servers);
+                (count > 0).then_some((
+                    ClientGroup {
+                        first: s,
+                        stride: servers,
+                        count,
+                    },
+                    s as usize,
+                ))
+            })
+            .collect(),
+    }
+}
+
 fn drive<M, S>(
     cfg: &RunConfig,
     build: impl Fn(u32, NodeId, Vec<NodeId>, &RunConfig) -> Box<dyn Actor<M>>,
@@ -660,28 +758,61 @@ where
         world.add_actor(actor);
     }
     let mut clients = Vec::new();
-    for c in 0..cfg.clients {
-        let mut gen = WorkloadGen::new(&cfg.workload, cfg.seed.wrapping_mul(1_000_003) + c as u64);
-        let txns = gen.take_txns(cfg.workload.txns_per_client as usize);
-        let preferred = preferred_server(cfg.technique, c, cfg.servers);
-        let actor: Box<dyn Actor<M>> = match cfg.arrival {
-            Arrival::Closed => Box::new(ClientActor::<M>::new(
-                c,
+    if let Arrival::OpenAggregated { mean, dist } = cfg.arrival {
+        // One actor per server group stands for the whole population:
+        // the group's stream runs `count` times faster than one client
+        // (exact superposition for Poisson). The workload generator is
+        // seeded per group; the arrival stream gets an independent seed
+        // so gap draws never correlate with key/op draws.
+        for (gi, (group, preferred)) in client_groups(cfg.technique, cfg.clients, cfg.servers)
+            .into_iter()
+            .enumerate()
+        {
+            let gen = WorkloadGen::new(&cfg.workload, cfg.seed.wrapping_mul(1_000_003) + gi as u64);
+            let group_mean = mean.max(1) as f64 / f64::from(group.count);
+            let arrivals = ArrivalStream::new(
+                dist,
+                group_mean,
+                cfg.seed
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(gi as u64 ^ 0x9E37_79B9_7F4A_7C15),
+            );
+            let actor: Box<dyn Actor<M>> = Box::new(AggregateClients::<M>::new(
+                group,
                 servers.clone(),
                 preferred,
-                txns,
-                cfg.workload.think_time,
-                cfg.retry_after,
-            )),
-            Arrival::Open(mean) => Box::new(OpenLoopClient::<M>::new(
-                c,
-                servers.clone(),
-                preferred,
-                txns,
-                SimDuration::from_ticks(mean),
-            )),
-        };
-        clients.push(world.add_actor(actor));
+                gen,
+                arrivals,
+                cfg.workload.txns_per_client,
+            ));
+            clients.push(world.add_actor(actor));
+        }
+    } else {
+        for c in 0..cfg.clients {
+            let mut gen =
+                WorkloadGen::new(&cfg.workload, cfg.seed.wrapping_mul(1_000_003) + c as u64);
+            let txns = gen.take_txns(cfg.workload.txns_per_client as usize);
+            let preferred = preferred_server(cfg.technique, c, cfg.servers);
+            let actor: Box<dyn Actor<M>> = match cfg.arrival {
+                Arrival::Closed => Box::new(ClientActor::<M>::new(
+                    c,
+                    servers.clone(),
+                    preferred,
+                    txns,
+                    cfg.workload.think_time,
+                    cfg.retry_after,
+                )),
+                Arrival::Open(mean) => Box::new(OpenLoopClient::<M>::new(
+                    c,
+                    servers.clone(),
+                    preferred,
+                    txns,
+                    SimDuration::from_ticks(mean),
+                )),
+                Arrival::OpenAggregated { .. } => unreachable!("handled above"),
+            };
+            clients.push(world.add_actor(actor));
+        }
     }
     for ev in cfg.faults.events() {
         match ev {
@@ -696,6 +827,7 @@ where
     let client_done = |world: &World<M>, c: NodeId| match cfg.arrival {
         Arrival::Closed => world.actor_ref::<ClientActor<M>>(c).is_done(),
         Arrival::Open(_) => world.actor_ref::<OpenLoopClient<M>>(c).is_done(),
+        Arrival::OpenAggregated { .. } => world.actor_ref::<AggregateClients<M>>(c).is_done(),
     };
     loop {
         let next = world.now() + chunk;
@@ -725,27 +857,62 @@ where
     let mut ops_aborted = 0u64;
     let mut ops_unanswered = 0u64;
     let mut client_retries = 0u64;
-    for (cno, &c) in clients.iter().enumerate() {
-        let recs: &[crate::client::OpRecord] = match cfg.arrival {
-            Arrival::Closed => &world.actor_ref::<ClientActor<M>>(c).records,
-            Arrival::Open(_) => &world.actor_ref::<OpenLoopClient<M>>(c).records,
-        };
-        for rec in recs {
-            client_retries += rec.retries as u64;
-            match (&rec.responded, rec.committed()) {
-                (Some(_), true) => {
-                    ops_completed += 1;
-                    ops_committed += 1;
-                    latencies.record(rec.latency().expect("responded"));
+    let mut latency_hist: Option<LatencyHistogram> = None;
+    let mut peak_outstanding = 0u64;
+    let mut agg_worst_gaps: Vec<SimDuration> = Vec::new();
+    let mut agg_last_response: Option<SimTime> = None;
+    if matches!(cfg.arrival, Arrival::OpenAggregated { .. }) {
+        // Constant-memory collection: merge each group's streaming
+        // histogram and counters; no per-operation records exist.
+        let mut hist = LatencyHistogram::new();
+        for &c in &clients {
+            let a = world.actor_ref::<AggregateClients<M>>(c);
+            hist.merge(&a.hist);
+            ops_committed += a.committed;
+            ops_aborted += a.aborted;
+            ops_completed += a.committed + a.aborted;
+            ops_unanswered += a.outstanding.len() as u64;
+            peak_outstanding = peak_outstanding.max(a.peak_outstanding);
+            // The group's worst unavailability window: answered ops use
+            // their response gap, in-flight ops count to the end of the
+            // run, same convention as the per-client records below.
+            let mut worst = a.worst_gap;
+            for &invoked in a.outstanding.values() {
+                let gap = completed_at - invoked;
+                if gap > worst {
+                    worst = gap;
                 }
-                (Some(_), false) => {
-                    ops_completed += 1;
-                    ops_aborted += 1;
-                    latencies.record(rec.latency().expect("responded"));
-                }
-                (None, _) => ops_unanswered += 1,
             }
-            records.push((cno as u32, rec.clone()));
+            agg_worst_gaps.push(worst);
+            if let Some(t) = a.last_response {
+                agg_last_response = Some(agg_last_response.map_or(t, |prev| prev.max(t)));
+            }
+        }
+        latency_hist = Some(hist);
+    } else {
+        for (cno, &c) in clients.iter().enumerate() {
+            let recs: &[crate::client::OpRecord] = match cfg.arrival {
+                Arrival::Closed => &world.actor_ref::<ClientActor<M>>(c).records,
+                Arrival::Open(_) => &world.actor_ref::<OpenLoopClient<M>>(c).records,
+                Arrival::OpenAggregated { .. } => unreachable!("handled above"),
+            };
+            for rec in recs {
+                client_retries += rec.retries as u64;
+                match (&rec.responded, rec.committed()) {
+                    (Some(_), true) => {
+                        ops_completed += 1;
+                        ops_committed += 1;
+                        latencies.record(rec.latency().expect("responded"));
+                    }
+                    (Some(_), false) => {
+                        ops_completed += 1;
+                        ops_aborted += 1;
+                        latencies.record(rec.latency().expect("responded"));
+                    }
+                    (None, _) => ops_unanswered += 1,
+                }
+                records.push((cno as u32, rec.clone()));
+            }
         }
     }
     let mut history = repl_db::ReplicatedHistory::new();
@@ -797,17 +964,24 @@ where
     // count to the end of the run), and failover latency anchored at the
     // plan's first crash. Fault counts come from the world's final
     // metrics so faults applied during the drain are still visible.
-    let mut per_client_worst_gap = vec![SimDuration::ZERO; cfg.clients as usize];
-    for (cno, rec) in &records {
-        let gap = match rec.responded {
-            Some(at) => at - rec.invoked,
-            None => completed_at - rec.invoked,
-        };
-        let worst = &mut per_client_worst_gap[*cno as usize];
-        if gap > *worst {
-            *worst = gap;
+    // On aggregated runs the vector is per *group* (one aggregate actor
+    // per server group), not per client.
+    let per_client_worst_gap = if matches!(cfg.arrival, Arrival::OpenAggregated { .. }) {
+        agg_worst_gaps
+    } else {
+        let mut worst_gaps = vec![SimDuration::ZERO; cfg.clients as usize];
+        for (cno, rec) in &records {
+            let gap = match rec.responded {
+                Some(at) => at - rec.invoked,
+                None => completed_at - rec.invoked,
+            };
+            let worst = &mut worst_gaps[*cno as usize];
+            if gap > *worst {
+                *worst = gap;
+            }
         }
-    }
+        worst_gaps
+    };
     let failover_latency = cfg.faults.first_crash_time().and_then(|crash| {
         records
             .iter()
@@ -832,6 +1006,7 @@ where
         .iter()
         .filter_map(|(_, r)| r.responded)
         .max()
+        .or(agg_last_response)
         .unwrap_or_else(|| world.now());
     RunReport {
         technique: cfg.technique,
@@ -839,6 +1014,8 @@ where
         clients: cfg.clients,
         duration: last_response,
         latencies,
+        latency_hist,
+        peak_outstanding,
         ops_completed,
         ops_committed,
         ops_aborted,
@@ -1017,6 +1194,99 @@ mod tests {
         let b = run(&cfg);
         assert_eq!(a.digest(), b.digest(), "same seed, same digest");
         assert_ne!(a.trace_hash, 0);
+    }
+
+    #[test]
+    fn too_many_clients_is_a_typed_error() {
+        let cfg = small(Technique::Active).with_clients(MAX_CLIENTS + 1);
+        let err = try_run(&cfg).expect_err("population above 2^20 must be rejected");
+        assert_eq!(
+            err,
+            RunError::TooManyClients {
+                clients: MAX_CLIENTS + 1,
+                max: MAX_CLIENTS,
+            }
+        );
+        assert!(err.to_string().contains("clients"));
+        // The boundary itself is fine (ids 0..2^20 all pack).
+        assert!(small(Technique::Active).with_clients(MAX_CLIENTS).clients <= MAX_CLIENTS);
+    }
+
+    #[test]
+    fn client_groups_partition_the_population() {
+        for technique in [Technique::Active, Technique::Passive, Technique::EagerPrimary] {
+            for (clients, servers) in [(0u32, 3u32), (1, 3), (7, 3), (9, 3), (5, 8)] {
+                let groups = client_groups(technique, clients, servers);
+                let mut seen = std::collections::HashSet::new();
+                for (g, preferred) in &groups {
+                    assert!(*preferred < servers as usize);
+                    for i in 0..g.count {
+                        let id = g.first + i * g.stride;
+                        assert!(id < clients, "virtual id {id} out of range");
+                        assert!(seen.insert(id), "virtual id {id} appears twice");
+                        assert_eq!(
+                            *preferred,
+                            preferred_server(technique, id, servers),
+                            "group preference must match the per-client rule"
+                        );
+                    }
+                }
+                assert_eq!(
+                    seen.len() as u32,
+                    clients,
+                    "{technique} {clients}c/{servers}s: population not covered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_open_loop_completes_for_every_technique() {
+        for technique in Technique::ALL {
+            let cfg = small(technique)
+                .with_clients(6)
+                .with_arrival(Arrival::OpenAggregated {
+                    mean: 2_000,
+                    dist: ArrivalDist::Poisson,
+                })
+                .with_trace(false);
+            let report = run(&cfg);
+            assert_eq!(
+                report.ops_completed + report.ops_unanswered,
+                6 * 5,
+                "{technique}: budget not drained"
+            );
+            assert_eq!(report.ops_unanswered, 0, "{technique}: unanswered ops");
+            let hist = report
+                .latency_hist
+                .as_ref()
+                .expect("aggregated runs stream a histogram");
+            assert_eq!(hist.count(), report.ops_completed, "{technique}");
+            assert!(report.peak_outstanding >= 1, "{technique}");
+            assert!(
+                report.records.is_empty(),
+                "{technique}: aggregated runs must not keep per-op records"
+            );
+            assert!(report.latencies.is_empty(), "{technique}");
+            assert!(report.converged(), "{technique}: {:?}", report.fingerprints);
+            assert!(report.summary().contains("ops=30"), "{technique}");
+        }
+    }
+
+    #[test]
+    fn aggregated_runs_are_deterministic() {
+        let cfg = small(Technique::Certification)
+            .with_clients(5)
+            .with_arrival(Arrival::OpenAggregated {
+                mean: 1_000,
+                dist: ArrivalDist::Uniform,
+            })
+            .with_trace(false);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.digest(), b.digest(), "same seed, same aggregated digest");
+        let c = run(&cfg.clone().with_seed(99));
+        assert_ne!(a.digest(), c.digest(), "different seed, different digest");
     }
 
     #[test]

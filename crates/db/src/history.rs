@@ -83,6 +83,10 @@ pub struct ReplicatedHistory {
     /// prefix of its `ops_by_txn` list).
     integrated: FxHashMap<TxnId, usize>,
     total_ops: usize,
+    /// When set, `record`/`mark_committed` are no-ops: the open-loop
+    /// scale path trades post-run serializability checking for constant
+    /// memory (the history otherwise grows per operation, unbounded).
+    paused: bool,
 }
 
 /// A cycle in the serialization graph: evidence of a non-serializable
@@ -111,8 +115,26 @@ impl ReplicatedHistory {
         ReplicatedHistory::default()
     }
 
+    /// Turns recording on or off. While off, `record` and
+    /// `mark_committed` do nothing, so the history stays constant-size
+    /// no matter how many operations execute. Already-recorded state is
+    /// kept. This is the single switch behind the server "lean" mode:
+    /// protocols append through many call sites, and gating here covers
+    /// them all.
+    pub fn set_recording(&mut self, on: bool) {
+        self.paused = !on;
+    }
+
+    /// True unless recording has been switched off.
+    pub fn is_recording(&self) -> bool {
+        !self.paused
+    }
+
     /// Records a physical operation at `site` in execution order.
     pub fn record(&mut self, site: u32, txn: TxnId, key: Key, kind: AccessKind) {
+        if self.paused {
+            return;
+        }
         let log = self.per_site.entry(site).or_default();
         let seq = log.next_seq;
         log.next_seq += 1;
@@ -138,6 +160,9 @@ impl ReplicatedHistory {
     /// Marks a transaction as committed; only committed transactions
     /// participate in the serialization graph.
     pub fn mark_committed(&mut self, txn: TxnId) {
+        if self.paused {
+            return;
+        }
         if self.committed.insert(txn) {
             self.dirty.push(txn);
         }
@@ -630,6 +655,29 @@ mod tests {
         h.record(0, t(2), Key(0), Write);
         assert_eq!(h.conflict_edges(), vec![(t(1), t(2))]);
         assert_eq!(h.conflict_edges(), h.full_rescan_edges());
+    }
+
+    #[test]
+    fn paused_recording_keeps_the_history_constant_size() {
+        // The open-loop lean path flips recording off; every append —
+        // including the direct protocol call sites — must then be a
+        // no-op, while already-recorded state survives.
+        let mut h = ReplicatedHistory::new();
+        assert!(h.is_recording());
+        h.record(0, t(1), Key(0), Write);
+        h.mark_committed(t(1));
+        h.set_recording(false);
+        assert!(!h.is_recording());
+        for i in 2..100u64 {
+            h.record(0, t(i), Key(i % 4), Write);
+            h.mark_committed(t(i));
+        }
+        assert_eq!(h.len(), 1, "paused history must not grow");
+        assert_eq!(h.committed().len(), 1);
+        h.set_recording(true);
+        h.record(0, t(2), Key(0), Write);
+        h.mark_committed(t(2));
+        assert_eq!(h.conflict_edges(), vec![(t(1), t(2))]);
     }
 
     #[test]

@@ -137,6 +137,32 @@ impl<M: Message> Actor<M> for FanOut<M> {
 struct Wheel {
     ticks: u64,
 }
+
+/// Re-arms timers across a ladder of horizons — same-slot, level-1/2
+/// slots, a far level-3 slot and beyond the wheel window — so every
+/// level of the hierarchical timing wheel (and its overflow heap)
+/// cascades under load, not just the near slots `Wheel` exercises.
+struct WideWheel {
+    ticks: u64,
+}
+
+const HORIZONS: [u64; 5] = [3, 700, 40_000, 3_000_000, 20_000_000];
+
+impl Actor<Payload> for WideWheel {
+    fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
+        ctx.set_timer(SimDuration::from_ticks(1), 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, Payload>, _from: NodeId, _msg: Payload) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, Payload>, _id: TimerId, tag: u64) {
+        if self.ticks == 0 {
+            return;
+        }
+        self.ticks -= 1;
+        let dt = HORIZONS[(tag % HORIZONS.len() as u64) as usize];
+        ctx.set_timer(SimDuration::from_ticks(dt), tag + 1);
+    }
+    impl_as_any!();
+}
 impl Actor<Payload> for Wheel {
     fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
         ctx.set_timer(SimDuration::from_ticks(10), 0);
@@ -196,6 +222,20 @@ fn run_fanout<M: Message>(nodes: u32, rounds: u64, make: fn() -> M) -> u64 {
     world.metrics().events_processed
 }
 
+fn run_wide_wheel(actors: u32, ticks: u64) -> u64 {
+    let mut world: World<Payload> = World::new(
+        SimConfig::new(42)
+            .with_network(NetworkConfig::instant())
+            .with_trace(false),
+    );
+    for _ in 0..actors {
+        world.add_actor(Box::new(WideWheel { ticks }));
+    }
+    world.start();
+    world.run_to_quiescence(SimTime::from_ticks(u64::MAX / 2));
+    world.metrics().events_processed
+}
+
 fn run_timer_wheel(actors: u32, ticks: u64) -> u64 {
     let mut world: World<Payload> = World::new(
         SimConfig::new(42)
@@ -221,6 +261,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("timer_wheel/16x1000", |b| {
         b.iter(|| std::hint::black_box(run_timer_wheel(16, 1_000)))
+    });
+    g.bench_function("timer_wheel_wide/16x1000", |b| {
+        b.iter(|| std::hint::black_box(run_wide_wheel(16, 1_000)))
     });
     // The host-side cost of sharing multicast payloads: same wire bytes,
     // deep Vec clones vs Arc pointer bumps on every fan-out leg.

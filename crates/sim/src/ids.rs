@@ -33,6 +33,19 @@ impl NodeId {
     pub const fn raw(self) -> u32 {
         self.0
     }
+
+    /// Creates a node id from a `usize` index, panicking if the index
+    /// does not fit — a checked replacement for `as u32` truncation on
+    /// paths where actor counts are caller-controlled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> Self {
+        let raw = u32::try_from(index)
+            .unwrap_or_else(|_| panic!("node index {index} exceeds the u32 id space"));
+        NodeId(raw)
+    }
 }
 
 impl fmt::Display for NodeId {
@@ -70,6 +83,18 @@ mod tests {
         let n = NodeId::new(42);
         assert_eq!(n.index(), 42);
         assert_eq!(n.raw(), 42);
+    }
+
+    #[test]
+    fn from_index_accepts_the_u32_boundary() {
+        assert_eq!(NodeId::from_index(0), NodeId::new(0));
+        assert_eq!(NodeId::from_index(u32::MAX as usize), NodeId::new(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 id space")]
+    fn from_index_rejects_past_the_boundary() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
     }
 
     #[test]

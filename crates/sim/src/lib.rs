@@ -61,11 +61,13 @@ mod network;
 mod objectstore;
 mod time;
 mod trace;
+mod wheel;
 mod world;
 
 pub use actor::{Actor, Message};
 pub use ids::{NodeId, TimerId};
-pub use metrics::{LatencyStats, Metrics};
+pub use metrics::{LatencyHistogram, LatencyStats, Metrics};
+pub use wheel::{TimingWheel, WheelEntry};
 pub use network::{Delivery, LinkQuality, NetFault, Network, NetworkConfig};
 pub use objectstore::{ObjectStore, ObjectStoreConfig};
 pub use time::{SimDuration, SimTime};

@@ -1,13 +1,13 @@
 //! The world: event queue, scheduler, and the [`Context`] handed to actors.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::actor::{Actor, Message};
 use crate::ids::{NodeId, TimerId};
+use crate::wheel::TimingWheel;
 use crate::metrics::Metrics;
 use crate::network::{Delivery, NetFault, Network, NetworkConfig};
 use crate::time::{SimDuration, SimTime};
@@ -93,38 +93,11 @@ enum Event<M> {
     Net { fault: NetFault },
 }
 
-struct Scheduled<M> {
-    time: SimTime,
-    seq: u64,
-    event: Event<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// Everything an actor may touch while handling an event.
 struct Core<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: TimingWheel<Event<M>>,
     network: Network,
     rng: SmallRng,
     trace: TraceLog,
@@ -139,7 +112,7 @@ impl<M: Message> Core<M> {
     fn push(&mut self, time: SimTime, event: Event<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { time, seq, event });
+        self.queue.push(time.ticks(), seq, event);
     }
 
     fn send_from(&mut self, src: NodeId, dst: NodeId, msg: M) {
@@ -308,10 +281,7 @@ impl<M: Message> World<M> {
             core: Core {
                 now: SimTime::ZERO,
                 seq: 0,
-                // Pre-sized: a study run keeps thousands of in-flight
-                // events; growing the heap mid-run costs reallocation and
-                // copying on the hot path.
-                queue: BinaryHeap::with_capacity(4_096),
+                queue: TimingWheel::new(),
                 network: Network::new(config.network),
                 rng: SmallRng::seed_from_u64(config.seed),
                 trace,
@@ -334,7 +304,7 @@ impl<M: Message> World<M> {
     /// Panics if the world has already started.
     pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> NodeId {
         assert!(!self.started, "cannot add actors after start");
-        let id = NodeId::new(self.actors.len() as u32);
+        let id = NodeId::from_index(self.actors.len());
         self.actors.push(Some(actor));
         self.core.alive.push(true);
         id
@@ -355,7 +325,7 @@ impl<M: Message> World<M> {
         self.started = true;
         self.core.network.reserve_nodes(self.actors.len());
         for i in 0..self.actors.len() {
-            let node = NodeId::new(i as u32);
+            let node = NodeId::from_index(i);
             self.with_actor(node, |actor, ctx| {
                 actor.on_start(ctx);
                 actor.on_settle(ctx);
@@ -386,10 +356,11 @@ impl<M: Message> World<M> {
         let Some(next) = self.core.queue.pop() else {
             return false;
         };
-        debug_assert!(next.time >= self.core.now, "time went backwards");
-        self.core.now = next.time;
+        let time = SimTime::from_ticks(next.time);
+        debug_assert!(time >= self.core.now, "time went backwards");
+        self.core.now = time;
         self.core.metrics.events_processed += 1;
-        match next.event {
+        match next.item {
             Event::Deliver { to, from, msg } => {
                 if !self.core.alive[to.index()] {
                     self.core.metrics.messages_dropped += 1;
@@ -489,8 +460,8 @@ impl<M: Message> World<M> {
     /// Processes events with time ≤ `deadline`. The clock ends at
     /// `deadline` even if the queue still holds later events.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(next) = self.core.queue.peek() {
-            if next.time > deadline {
+        while let Some(next) = self.core.queue.peek_time() {
+            if SimTime::from_ticks(next) > deadline {
                 break;
             }
             self.step();
@@ -503,8 +474,8 @@ impl<M: Message> World<M> {
     /// Runs until the queue drains or the clock would pass `limit`.
     /// Returns true if the queue drained (quiescence reached).
     pub fn run_to_quiescence(&mut self, limit: SimTime) -> bool {
-        while let Some(next) = self.core.queue.peek() {
-            if next.time > limit {
+        while let Some(next) = self.core.queue.peek_time() {
+            if SimTime::from_ticks(next) > limit {
                 return false;
             }
             self.step();

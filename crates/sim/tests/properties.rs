@@ -170,6 +170,129 @@ proptest! {
         prop_assert_eq!(stats.percentile(1.0), stats.max());
     }
 
+    /// The timing wheel pops in exactly the order the old binary-heap
+    /// event queue would have: ascending (time, seq), with same-tick
+    /// entries resolved by insertion sequence. Times mix dense same-tick
+    /// ties, near-future slots, and far-overflow horizons so every level
+    /// of the hierarchy (and the overflow heap) is exercised.
+    #[test]
+    fn timing_wheel_matches_binary_heap_order(
+        times in proptest::collection::vec(
+            prop_oneof![
+                0u64..8,            // same-tick ties and level-0 slots
+                0u64..5_000,        // level 1-2 territory
+                0u64..20_000_000,   // level 3 and beyond the 16.8M window
+            ],
+            1..120,
+        ),
+    ) {
+        use std::cmp::Reverse;
+        let mut wheel = TimingWheel::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        for (seq, &t) in times.iter().enumerate() {
+            wheel.push(t, seq as u64, seq);
+            heap.push(Reverse((t, seq as u64, seq)));
+        }
+        let mut last = 0u64;
+        while let Some(Reverse((t, seq, item))) = heap.pop() {
+            prop_assert_eq!(wheel.peek_time(), Some(t));
+            let e = wheel.pop().expect("wheel has as many entries as the heap");
+            prop_assert_eq!((e.time, e.seq, e.item), (t, seq, item));
+            prop_assert!(e.time >= last, "pop order went backwards");
+            last = e.time;
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert_eq!(wheel.pop().map(|e| e.item), None);
+    }
+
+    /// Interleaved push/pop: after any prefix of pops, pushing more
+    /// entries (at or after the current head, as the simulator does)
+    /// still yields globally sorted (time, seq) order.
+    #[test]
+    fn timing_wheel_interleaved_push_pop(
+        first in proptest::collection::vec(0u64..10_000, 1..40),
+        second in proptest::collection::vec(0u64..200_000, 1..40),
+        pops in 1usize..20,
+    ) {
+        use std::cmp::Reverse;
+        let mut wheel = TimingWheel::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        let mut seq = 0u64;
+        for &t in &first {
+            wheel.push(t, seq, seq);
+            heap.push(Reverse((t, seq)));
+            seq += 1;
+        }
+        let mut now = 0u64;
+        for _ in 0..pops.min(first.len()) {
+            let Reverse((t, s)) = heap.pop().expect("prefix pop");
+            let e = wheel.pop().expect("prefix pop");
+            prop_assert_eq!((e.time, e.seq), (t, s));
+            now = t;
+        }
+        // New work is always scheduled at or after the current time.
+        for &dt in &second {
+            let t = now + dt;
+            wheel.push(t, seq, seq);
+            heap.push(Reverse((t, seq)));
+            seq += 1;
+        }
+        while let Some(Reverse((t, s))) = heap.pop() {
+            let e = wheel.pop().expect("wheel drains with the heap");
+            prop_assert_eq!((e.time, e.seq), (t, s));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Streaming histogram vs exact store-all stats: the count, sum-mean
+    /// and extrema agree exactly, and every percentile is within the
+    /// histogram's documented relative-error bound of the exact value.
+    #[test]
+    fn histogram_tracks_exact_percentiles(
+        samples in proptest::collection::vec(0u64..50_000_000, 1..300),
+    ) {
+        let mut exact = LatencyStats::new();
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            exact.record(SimDuration::from_ticks(s));
+            hist.record(SimDuration::from_ticks(s));
+        }
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.min(), exact.min());
+        prop_assert_eq!(hist.max(), exact.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let e = exact.percentile(q).ticks() as f64;
+            let h = hist.percentile(q).ticks() as f64;
+            let bound = e * LatencyHistogram::MAX_RELATIVE_ERROR + 1.0;
+            prop_assert!(
+                (h - e).abs() <= bound,
+                "q={} exact={} hist={} bound={}", q, e, h, bound
+            );
+        }
+    }
+
+    /// Merging split histograms equals recording the whole stream into
+    /// one — the property the per-group collection path relies on.
+    #[test]
+    fn histogram_merge_is_lossless(
+        left in proptest::collection::vec(0u64..1_000_000, 0..150),
+        right in proptest::collection::vec(0u64..1_000_000, 0..150),
+    ) {
+        let mut merged = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &s in &left {
+            merged.record(SimDuration::from_ticks(s));
+            a.record(SimDuration::from_ticks(s));
+        }
+        for &s in &right {
+            merged.record(SimDuration::from_ticks(s));
+            b.record(SimDuration::from_ticks(s));
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.fingerprint(), merged.fingerprint());
+    }
+
     /// Dropped messages are exactly the complement of delivered ones.
     #[test]
     fn message_conservation(

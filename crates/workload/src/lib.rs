@@ -8,6 +8,8 @@
 //! * [`TxnTemplate`]/[`OpTemplate`] — generated (multi-operation)
 //!   transactions over logical items,
 //! * [`WorkloadGen`] — the seeded generator,
+//! * [`ArrivalStream`] — seeded open-loop inter-arrival streams
+//!   (Poisson or uniform), the arrival half of the open-loop engine,
 //! * [`Zipf`] — zipfian key sampler (hotspot contention),
 //! * [`FaultPlan`] — declarative fault loads: crashes/recoveries,
 //!   partitions/heals, link drops and latency spikes, plus the seeded
@@ -17,12 +19,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod crashes;
 mod faults;
 mod generator;
 mod spec;
 mod zipf;
 
+pub use arrivals::{ArrivalDist, ArrivalStream};
 pub use crashes::{CrashEvent, CrashSchedule};
 pub use faults::{FaultEvent, FaultPlan, FaultPlanError};
 pub use generator::{OpTemplate, TxnTemplate, WorkloadGen};

@@ -46,6 +46,7 @@ pub use repl_workload as workload;
 pub use repl_core::{
     figures, run, try_run, Arrival, Availability, BatchConfig, DurabilityConfig, DurabilityReport,
     Guarantee, Phase, PhaseSkeleton, Propagation, RunConfig, RunError, RunReport, SilentLoss,
-    Technique,
+    Technique, MAX_CLIENTS,
 };
-pub use repl_workload::{FaultPlan, FaultPlanError, WorkloadSpec};
+pub use repl_sim::LatencyHistogram;
+pub use repl_workload::{ArrivalDist, ArrivalStream, FaultPlan, FaultPlanError, WorkloadSpec};
